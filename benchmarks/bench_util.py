@@ -1,0 +1,78 @@
+"""Shared helpers for the experiment benchmarks."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.core.genesis import create_genesis
+from repro.core.node import VegvisirNode
+from repro.crypto.keys import KeyPair
+from repro.membership.authority import CertificateAuthority
+
+
+class Table:
+    """A printable, saveable results table."""
+
+    def __init__(self, title: str, columns: list[str]):
+        self.title = title
+        self.columns = columns
+        self.rows: list[list] = []
+
+    def add(self, *values) -> None:
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        widths = [
+            max(len(str(col)), *(len(str(row[i])) for row in self.rows))
+            if self.rows else len(str(col))
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(
+            str(col).ljust(width)
+            for col, width in zip(self.columns, widths)
+        ))
+        for row in self.rows:
+            lines.append("  ".join(
+                str(value).ljust(width)
+                for value, width in zip(row, widths)
+            ))
+        return "\n".join(lines)
+
+    def emit(self, results_dir: pathlib.Path, name: str) -> None:
+        text = self.render()
+        print("\n" + text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+class BenchClock:
+    """Monotonic shared clock for benchmark fleets."""
+
+    def __init__(self, start_ms: int = 1_000, step_ms: int = 10):
+        self.now = start_ms
+        self.step = step_ms
+
+    def __call__(self) -> int:
+        self.now += self.step
+        return self.now
+
+
+def make_fleet(node_count: int, seed: int = 0, role: str = "sensor",
+               clock: BenchClock | None = None):
+    """Owner + *node_count* member nodes on one chain."""
+    clock = clock or BenchClock()
+    owner = KeyPair.deterministic(seed * 10_007 + 1)
+    authority = CertificateAuthority(owner)
+    keys = [
+        KeyPair.deterministic(seed * 10_007 + 2 + i)
+        for i in range(node_count)
+    ]
+    genesis = create_genesis(
+        owner, chain_name="bench", timestamp=0,
+        founding_members=[
+            authority.issue(key.public_key, role, issued_at=0)
+            for key in keys
+        ],
+    )
+    nodes = [VegvisirNode(key, genesis, clock=clock) for key in keys]
+    return owner, genesis, nodes, clock

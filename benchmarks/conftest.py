@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Each experiment module computes its sweep once (session-scoped), prints
+the series the experiment reports, saves it under
+``benchmarks/results/``, and times a representative kernel with
+pytest-benchmark.  Run with ``pytest benchmarks/ --benchmark-only`` (add
+``-s`` to see the tables inline; they are always saved to the results
+directory either way).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

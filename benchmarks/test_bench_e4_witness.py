@@ -1,0 +1,81 @@
+"""Experiment E4 — proof-of-witness latency (§IV-H).
+
+An application waits for k distinct users to demonstrably store a block
+before acting on it.  One node appends a block; the fleet gossips and
+every honest node appends a witness block whenever it sees unwitnessed
+foreign work.  We sweep the quorum k and fleet size and report the time
+until the block's proof-of-witness reaches k on the creator's replica.
+
+Expected shape: latency grows with k (each extra witness needs another
+contact round) and shrinks with node density.
+"""
+
+from __future__ import annotations
+
+from repro.core.witness import WitnessTracker
+from repro.sim import Scenario, Simulation
+
+from benchmarks.bench_util import Table
+
+
+def _witness_latency(node_count: int, quorum: int, seed: int = 0):
+    scenario = Scenario(
+        node_count=node_count,
+        duration_ms=60_000,
+        gossip_interval_ms=1_000,
+        append_interval_ms=None,
+        seed=seed,
+    )
+    sim = Simulation(scenario)
+    sim.gossip.start()
+    creator = sim.node(0)
+    target = sorted(creator.frontier())[0]  # the CRDT-creation block
+    tracker = WitnessTracker(creator.dag)
+
+    witnessed = {i: False for i in range(1, node_count)}
+
+    def witness_tick(node_id):
+        # Witness policy: when a node holds the target and hasn't yet
+        # witnessed it, it appends an empty witness block.
+        node = sim.node(node_id)
+        if not witnessed[node_id] and node.has_block(target):
+            node.append_witness_block()
+            witnessed[node_id] = True
+        sim.loop.schedule_in(500, lambda: witness_tick(node_id))
+
+    for node_id in range(1, node_count):
+        sim.loop.schedule_in(500, lambda n=node_id: witness_tick(n))
+
+    step = 500
+    for t in range(step, 60_000 + step, step):
+        sim.loop.run_until(t)
+        tracker.sync()
+        if tracker.witness_count(target) >= quorum:
+            return t, tracker.witness_count(target)
+    return None, tracker.witness_count(target)
+
+
+def test_e4_witness(benchmark, results_dir):
+    table = Table(
+        "E4: time until proof-of-witness at quorum k (ms)",
+        ["nodes", "quorum_k", "latency_ms", "witnesses_at_end"],
+    )
+    latencies = {}
+    for node_count, quorum in [(6, 1), (6, 2), (6, 4), (12, 4), (12, 8)]:
+        latency, count = _witness_latency(node_count, quorum,
+                                          seed=node_count * 10 + quorum)
+        latencies[(node_count, quorum)] = latency
+        table.add(node_count, quorum,
+                  latency if latency else "> 60000", count)
+    table.emit(results_dir, "e4_witness")
+
+    for key, latency in latencies.items():
+        assert latency is not None, f"quorum never reached for {key}"
+    assert latencies[(6, 4)] >= latencies[(6, 1)], (
+        "larger quorum cannot be faster"
+    )
+    assert latencies[(12, 4)] <= latencies[(6, 4)] * 2, (
+        "density should help, not hurt"
+    )
+
+    benchmark(_witness_latency, 6, 2, 5)

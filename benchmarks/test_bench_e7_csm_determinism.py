@@ -1,0 +1,107 @@
+"""Experiment E7 — CSM replay determinism and throughput (§IV-D/E).
+
+The CRDT argument: "any total ordering consistent with the partial
+ordering will produce the same interpretation on the state."  This
+experiment builds a wide concurrent DAG (several partitioned writers
+over all CRDT types), replays it in many random topological orders, and
+reports (a) the number of distinct final states observed — which must
+be 1 — and (b) replay throughput in blocks/second, the number that
+sizes what an IoT-class CPU must sustain during reconciliation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.chain.block import Transaction
+from repro.csm.machine import CSMachine
+from repro.reconcile.frontier import FrontierProtocol
+
+from benchmarks.bench_util import Table, make_fleet
+
+
+def _build_concurrent_dag(writers: int = 4, steps: int = 30, seed: int = 0):
+    _, genesis, nodes, clock = make_fleet(writers, seed=seed)
+    protocol = FrontierProtocol()
+    lead = nodes[0]
+    lead.append_transactions([
+        lead.create_crdt_tx("log", "append_log", "any", {"append": "*"}),
+        lead.create_crdt_tx("votes", "pn_counter", "int",
+                            {"increment": "*", "decrement": "*"}),
+        lead.create_crdt_tx("kv", "or_map", "any",
+                            {"set": "*", "remove": "*"}),
+        lead.create_crdt_tx("tags", "or_set", "str",
+                            {"add": "*", "remove": "*"}),
+    ])
+    for node in nodes[1:]:
+        protocol.run(node, lead)
+    rng = random.Random(seed)
+    for step in range(steps):
+        node = nodes[rng.randrange(writers)]
+        kind = step % 4
+        if kind == 0:
+            node.append_transactions(
+                [Transaction("log", "append", [{"s": step}])]
+            )
+        elif kind == 1:
+            node.append_transactions(
+                [Transaction("votes",
+                             "increment" if step % 8 else "decrement",
+                             [step + 1])]
+            )
+        elif kind == 2:
+            node.append_transactions(
+                [Transaction("kv", "set", [f"k{step % 6}", step])]
+            )
+        else:
+            node.append_transactions(
+                [Transaction("tags", "add", [f"t{step % 5}"])]
+            )
+        if rng.random() < 0.4:
+            other = nodes[rng.randrange(writers)]
+            if other is not node:
+                protocol.run(node, other)
+    for a in nodes:
+        for b in nodes:
+            if a is not b:
+                protocol.run(a, b)
+    return genesis, nodes[0].dag
+
+
+def test_e7_csm_determinism(benchmark, results_dir):
+    genesis, dag = _build_concurrent_dag(seed=3)
+    blocks = len(dag)
+
+    digests = set()
+    import time as time_module
+    replay_times = []
+    for seed in range(10):
+        order = dag.topological_order(rng=random.Random(seed))
+        machine = CSMachine.from_genesis(genesis)
+        start = time_module.perf_counter()
+        for block_hash in order:
+            if block_hash == dag.genesis_hash:
+                continue
+            machine.replay_block(dag.get(block_hash))
+        replay_times.append(time_module.perf_counter() - start)
+        digests.add(machine.state_digest().hex())
+
+    throughput = blocks / (sum(replay_times) / len(replay_times))
+    table = Table(
+        "E7: replay determinism over random topological orders",
+        ["blocks", "random_orders", "distinct_final_states",
+         "replay_blocks_per_s"],
+    )
+    table.add(blocks, 10, len(digests), round(throughput))
+    table.emit(results_dir, "e7_csm_determinism")
+
+    assert len(digests) == 1, "replay order changed the final state"
+
+    def kernel():
+        machine = CSMachine.from_genesis(genesis)
+        for block_hash in dag.insertion_order():
+            if block_hash == dag.genesis_hash:
+                continue
+            machine.replay_block(dag.get(block_hash))
+
+    benchmark(kernel)

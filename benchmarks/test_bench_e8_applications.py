@@ -1,0 +1,135 @@
+"""Experiment E8 — end-to-end application scenarios (§II).
+
+The three motivating use cases run as scripted partition/heal scenarios
+on the public API; the experiment reports, per application, the events
+committed during disconnection, the events visible after convergence,
+and the end-to-end correctness predicate each scenario cares about
+(record released under witness quorum, pathogen traced to source,
+voyage log recovered from survivors).
+"""
+
+from __future__ import annotations
+
+from repro.apps.agriculture import ProvenanceLedger
+from repro.apps.health import HealthAccessLedger, RecordVault
+from repro.apps.maritime import BlackBoxRecorder, recover_voyage_log
+from repro.core.genesis import create_genesis
+from repro.core.node import VegvisirNode
+from repro.crypto.keys import KeyPair
+from repro.membership.authority import CertificateAuthority
+from repro.reconcile.frontier import FrontierProtocol
+
+from benchmarks.bench_util import BenchClock, Table
+
+
+def _fleet(roles: list[str], seed: int):
+    clock = BenchClock()
+    owner = KeyPair.deterministic(seed * 31 + 1)
+    authority = CertificateAuthority(owner)
+    keys = [KeyPair.deterministic(seed * 31 + 2 + i)
+            for i in range(len(roles))]
+    genesis = create_genesis(
+        owner, timestamp=0,
+        founding_members=[
+            authority.issue(key.public_key, role, issued_at=0)
+            for key, role in zip(keys, roles)
+        ],
+    )
+    nodes = [VegvisirNode(key, genesis, clock=clock) for key in keys]
+    return nodes
+
+
+def _health_scenario():
+    protocol = FrontierProtocol()
+    medic_a, medic_b, helper = _fleet(["medic", "medic", "sensor"], seed=1)
+    HealthAccessLedger(medic_a).setup()
+    protocol.run(medic_b, medic_a)
+    protocol.run(helper, medic_a)
+    # Partitioned: both medics log requests independently.
+    ledger_a = HealthAccessLedger(medic_a)
+    ledger_b = HealthAccessLedger(medic_b)
+    request = ledger_a.request_access("patient-1", "triage")
+    ledger_b.request_access("patient-2", "triage")
+    during = len(ledger_a.requests()) + len(ledger_b.requests())
+    # Heal + witness.
+    protocol.run(medic_b, medic_a)
+    medic_b.append_witness_block()
+    protocol.run(helper, medic_b)
+    helper.append_witness_block()
+    protocol.run(medic_a, helper)
+    vault = RecordVault(b"k", witness_quorum=2)
+    vault.store("patient-1", b"record")
+    released = vault.release("patient-1", request, medic_a) == b"record"
+    after = len(HealthAccessLedger(medic_a).requests())
+    return during, after, released
+
+
+def _agriculture_scenario():
+    protocol = FrontierProtocol()
+    farmer, broker, inspector = _fleet(
+        ["farmer", "broker", "inspector"], seed=2
+    )
+    ProvenanceLedger(farmer).setup()
+    farm = ProvenanceLedger(farmer)
+    farm.register_item("cow-1", "Holstein", "farm-a")
+    farm.record_event("cow-1", "vaccinated", {"v": "BVD"})
+    protocol.run(broker, farmer)
+    # Partitioned: broker trades while farmer keeps recording.
+    ProvenanceLedger(broker).record_event("cow-1", "purchased", {"p": 1})
+    farm.record_event("cow-1", "antibiotics", {"d": "oxy"})
+    during = 2
+    protocol.run(inspector, broker)
+    protocol.run(inspector, farmer)
+    trace = ProvenanceLedger(inspector).trace("cow-1")
+    traced = (
+        trace[0]["type"] == "registered"
+        and {e["type"] for e in trace}
+        == {"registered", "vaccinated", "purchased", "antibiotics"}
+    )
+    return during, len(trace), traced
+
+
+def _maritime_scenario():
+    protocol = FrontierProtocol()
+    bridge, engine, boat_a, boat_b = _fleet(
+        ["ship-system", "ship-system", "lifeboat", "lifeboat"], seed=3
+    )
+    key = b"company"
+    recorder_bridge = BlackBoxRecorder(bridge, key)
+    recorder_bridge.setup()
+    protocol.run(engine, bridge)
+    recorder_engine = BlackBoxRecorder(engine, key)
+    recorder_bridge.record("gps", {"lat": 1}, 100)
+    recorder_engine.record("engine", {"rpm": 0}, 200)
+    during = 2
+    # Distress: lifeboats sync from different systems, ship is lost.
+    protocol.run(boat_a, bridge)
+    protocol.run(engine, bridge)
+    protocol.run(boat_b, engine)
+    log = recover_voyage_log([boat_a, boat_b], key)
+    recovered = (
+        len(log) == 2 and not any(e["corrupt"] for e in log)
+    )
+    return during, len(log), recovered
+
+
+def test_e8_applications(benchmark, results_dir):
+    table = Table(
+        "E8: application scenarios across partition and heal",
+        ["application", "events_during_partition", "events_after_heal",
+         "scenario_predicate"],
+    )
+    during, after, released = _health_scenario()
+    table.add("health", during, after, f"record_released={released}")
+    assert released and after == during
+
+    during, after, traced = _agriculture_scenario()
+    table.add("agriculture", during, after, f"traced_to_source={traced}")
+    assert traced
+
+    during, after, recovered = _maritime_scenario()
+    table.add("maritime", during, after, f"voyage_recovered={recovered}")
+    assert recovered
+    table.emit(results_dir, "e8_applications")
+
+    benchmark(_health_scenario)

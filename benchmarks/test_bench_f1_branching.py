@@ -1,0 +1,103 @@
+"""Experiment F1 — DAG branching and the reining rule (Fig. 1, §IV-A).
+
+The paper's Fig. 1 caption: "branches are reined in by making every
+known leaf a predecessor of your new block."  This experiment measures
+the frontier width (number of leaves) of the converged DAG as the fleet
+is split into k partitions, with the reining rule on (every append cites
+the whole local frontier) versus ablated (every append cites a single
+parent, as a linear-chain-minded implementation would).
+
+Expected shape: with reining, the frontier width during a k-way
+partition is exactly k and collapses back to ~1 a round after healing;
+without reining, width grows with every concurrent append and healing
+does not repair it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.chain.block import Block
+from repro.reconcile.frontier import FrontierProtocol
+
+from benchmarks.bench_util import Table, make_fleet
+
+
+def _run_partitioned_appends(partitions: int, appends_per_node: int,
+                             rein: bool, seed: int = 0):
+    """Six nodes split k ways; everyone appends; then full healing."""
+    node_count = 6
+    _, genesis, nodes, clock = make_fleet(node_count, seed=seed)
+    protocol = FrontierProtocol()
+    rng = random.Random(seed)
+    groups = [
+        [nodes[i] for i in range(node_count) if i % partitions == g]
+        for g in range(partitions)
+    ]
+
+    def append(node):
+        if rein:
+            node.append_transactions([])
+        else:
+            # Ablation: cite one arbitrary frontier block only.
+            parent = sorted(node.frontier())[0]
+            parent_ts = node.dag.get(parent).timestamp
+            block = Block.create(
+                node.key_pair, [parent],
+                max(node.now_ms(), parent_ts + 1),
+            )
+            node.receive_block(block)
+
+    for _ in range(appends_per_node):
+        for group in groups:
+            for node in group:
+                append(node)
+            # Intra-partition gossip keeps each side internally merged.
+            for a, b in zip(group, group[1:]):
+                protocol.run(a, b)
+            if rein and len(group) > 1:
+                append(group[0])  # a merge block reins the group's leaves
+
+    # Width while partitioned (on a representative member of group 0).
+    width_during = nodes[0].dag.frontier_width()
+
+    # Heal: everyone reconciles with everyone.
+    for a in nodes:
+        for b in nodes:
+            if a is not b:
+                protocol.run(a, b)
+    width_healed = nodes[0].dag.frontier_width()
+    if rein:
+        append(nodes[0])  # one post-heal append reins all sides' leaves
+        width_after_append = nodes[0].dag.frontier_width()
+    else:
+        append(nodes[0])
+        width_after_append = nodes[0].dag.frontier_width()
+    return width_during, width_healed, width_after_append
+
+
+def test_f1_branching(benchmark, results_dir):
+    table = Table(
+        "F1: frontier width vs partitions (reining on / ablated)",
+        ["partitions", "rein", "width_during", "width_at_heal",
+         "width_after_append"],
+    )
+    for partitions in (1, 2, 3):
+        for rein in (True, False):
+            during, healed, after = _run_partitioned_appends(
+                partitions, appends_per_node=4, rein=rein, seed=partitions
+            )
+            table.add(partitions, "on" if rein else "off",
+                      during, healed, after)
+    table.emit(results_dir, "f1_branching")
+
+    # The claims behind the figure:
+    for partitions in (2, 3):
+        _, _, after_rein = _run_partitioned_appends(partitions, 4, True,
+                                                    seed=partitions)
+        _, _, after_flat = _run_partitioned_appends(partitions, 4, False,
+                                                    seed=partitions)
+        assert after_rein == 1, "reining must collapse branches"
+        assert after_flat > after_rein, "ablation must branch more"
+
+    benchmark(_run_partitioned_appends, 2, 3, True, 7)

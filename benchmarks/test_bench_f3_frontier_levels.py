@@ -1,0 +1,78 @@
+"""Experiment F3 — frontier-level reconciliation (Fig. 3, Algorithm 1).
+
+Fig. 3 defines the level-N frontier set; Algorithm 1 deepens N until the
+gap bridges.  This experiment reconciles two replicas diverged by *d*
+blocks and reports rounds and pull-direction bytes versus *d*, for the
+frontier protocol against the full-DAG-exchange strawman, on a long
+shared history (256 blocks).
+
+Expected shape: frontier rounds grow linearly in d (one level per round
+on a linear divergence) while its bytes stay proportional to d; full
+exchange is flat in rounds but pays the entire chain in bytes — the
+crossover the paper's §VI efficiency remark is about.
+"""
+
+from __future__ import annotations
+
+from repro.reconcile.frontier import FrontierProtocol
+from repro.reconcile.full import FullExchangeProtocol
+from repro.reconcile.stats import RESPONDER_TO_INITIATOR
+
+from benchmarks.bench_util import Table, make_fleet
+
+SHARED_HISTORY = 64
+
+
+def _diverged_pair(divergence: int, seed: int = 0):
+    _, genesis, nodes, clock = make_fleet(2, seed=seed)
+    behind, ahead = nodes
+    for _ in range(SHARED_HISTORY):
+        block = ahead.append_transactions([])
+        behind.receive_block(block)
+    for _ in range(divergence):
+        ahead.append_transactions([])
+    return behind, ahead
+
+
+def test_f3_frontier_levels(benchmark, results_dir):
+    table = Table(
+        f"F3: pull cost vs divergence depth (shared history = "
+        f"{SHARED_HISTORY} blocks)",
+        ["divergence", "frontier_rounds", "frontier_pull_bytes",
+         "full_rounds", "full_pull_bytes"],
+    )
+    frontier_bytes = {}
+    full_bytes = {}
+    for divergence in (1, 2, 4, 8, 16, 32):
+        behind, ahead = _diverged_pair(divergence, seed=divergence)
+        frontier = FrontierProtocol(push=False).run(behind, ahead)
+        assert frontier.converged
+
+        behind, ahead = _diverged_pair(divergence, seed=divergence)
+        full = FullExchangeProtocol(push=False).run(behind, ahead)
+        assert full.converged
+
+        frontier_bytes[divergence] = frontier.bytes[RESPONDER_TO_INITIATOR]
+        full_bytes[divergence] = full.bytes[RESPONDER_TO_INITIATOR]
+        table.add(divergence, frontier.rounds,
+                  frontier.bytes[RESPONDER_TO_INITIATOR],
+                  full.rounds, full.bytes[RESPONDER_TO_INITIATOR])
+    table.emit(results_dir, "f3_frontier_levels")
+
+    # Shape assertions: frontier cost tracks divergence, full exchange
+    # tracks chain length.
+    assert frontier_bytes[1] < full_bytes[1] / 5, (
+        "small divergence must be far cheaper with Algorithm 1"
+    )
+    assert full_bytes[32] < full_bytes[1] * 1.5, (
+        "full exchange is flat in divergence (pays chain length)"
+    )
+    assert frontier_bytes[32] > frontier_bytes[1], (
+        "frontier cost grows with divergence"
+    )
+
+    def kernel():
+        behind, ahead = _diverged_pair(8, seed=99)
+        FrontierProtocol(push=False).run(behind, ahead)
+
+    benchmark(kernel)

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Device lifecycle: persistence, storage pressure, and recovery (§IV-I).
+
+A field sensor's whole storage story in one script:
+
+1. it logs readings and persists its replica across a reboot;
+2. storage fills up, so it offloads witnessed history to a superpeer's
+   support blockchain and drops the bodies locally;
+3. it dies in the field; a replacement device bootstraps the entire
+   chain from the support blockchain alone and rejoins the gossip.
+
+Run:  python examples/device_lifecycle.py
+"""
+
+import tempfile
+import pathlib
+
+from repro import CertificateAuthority, KeyPair, VegvisirNode, create_genesis
+from repro.chain.block import Transaction
+from repro.reconcile import FrontierProtocol
+from repro.storage import load_node, save_node
+from repro.support import OffloadManager, Superpeer, bootstrap_from_support
+
+_now = [1_000]
+
+
+def clock() -> int:
+    _now[0] += 100
+    return _now[0]
+
+
+def main() -> None:
+    # --- Deployment ------------------------------------------------------
+    coop = KeyPair.generate()
+    authority = CertificateAuthority(coop)
+    sensor_key = KeyPair.generate()
+    truck_key = KeyPair.generate()
+    replacement_key = KeyPair.generate()
+    genesis = create_genesis(
+        coop, chain_name="field-7", founding_members=[
+            authority.issue(sensor_key.public_key, "sensor"),
+            authority.issue(truck_key.public_key, "superpeer"),
+            authority.issue(replacement_key.public_key, "sensor"),
+        ],
+    )
+    sensor = VegvisirNode(sensor_key, genesis, clock=clock)
+    truck = VegvisirNode(truck_key, genesis, clock=clock)
+    protocol = FrontierProtocol()
+
+    sensor.create_crdt("soil", "append_log", element_spec={"map": "any"},
+                       permissions={"append": ["sensor"]})
+    for hour in range(12):
+        sensor.append_transactions([Transaction(
+            "soil", "append",
+            [{"hour": hour, "moisture_pct": 31 + hour % 5}],
+        )])
+    print(f"sensor logged {len(sensor.crdt_value('soil'))} readings, "
+          f"{sensor.dag.total_wire_size()} bytes on device")
+
+    # --- 1. Reboot: persist, power-cycle, reload --------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = pathlib.Path(tmp) / "replica.vgv"
+        save_node(sensor, store_path)
+        rebooted = load_node(sensor_key, store_path, clock=clock)
+        assert rebooted.state_digest() == sensor.state_digest()
+        print(f"reboot: replica restored from {store_path.name}, "
+              f"{len(rebooted.dag)} blocks, state intact")
+        sensor = rebooted
+
+    # --- 2. Storage pressure: offload to the passing truck ---------------
+    protocol.run(truck, sensor)          # truck syncs + will archive
+    truck.append_witness_block()         # and witnesses the history
+    protocol.run(sensor, truck)
+    superpeer = Superpeer(truck)
+    superpeer.archive_new_blocks()
+    manager = OffloadManager(sensor, max_bytes=2_000, witness_quorum=1)
+    before = manager.stored_bytes()
+    dropped = manager.offload(superpeer)
+    print(f"offload: dropped {dropped} witnessed bodies, "
+          f"{before} -> {manager.stored_bytes()} bytes "
+          f"(support chain: {len(superpeer.chain)} blocks)")
+
+    # --- 3. Device lost; replacement bootstraps from the archive ---------
+    replacement = bootstrap_from_support(
+        replacement_key, genesis, superpeer.chain, clock=clock,
+    )
+    print(f"replacement bootstrapped {len(replacement.dag)} blocks "
+          f"from the support chain")
+    replacement.append_transactions([Transaction(
+        "soil", "append", [{"hour": 12, "moisture_pct": 30,
+                            "device": "replacement"}],
+    )])
+    stats = protocol.run(replacement, truck)
+    print(f"rejoined gossip (session: {stats.total_bytes} bytes); "
+          f"log now has {len(replacement.crdt_value('soil'))} readings, "
+          f"converged={replacement.state_digest() == truck.state_digest()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Digital agriculture: farm-to-fork provenance (§II-B).
+
+A cow's life is tracked across a farm, a broker, a packer, and a
+retailer, none of whom are online at the same time; a regulator then
+traces a pathogen back to the supplier in one query.  Storage-
+constrained field sensors offload old blocks to a superpeer's support
+chain (§IV-I).
+
+Run:  python examples/digital_agriculture.py
+"""
+
+from repro import CertificateAuthority, KeyPair, VegvisirNode, create_genesis
+from repro.apps.agriculture import ProvenanceLedger
+from repro.reconcile import FrontierProtocol
+from repro.support import OffloadManager, Superpeer
+
+_now = [1_000]
+
+
+def clock() -> int:
+    _now[0] += 50
+    return _now[0]
+
+
+def main() -> None:
+    # --- The supply chain consortium ------------------------------------
+    coop = KeyPair.generate()  # the growers' co-op owns the chain
+    authority = CertificateAuthority(coop)
+    parties = {
+        role: KeyPair.generate()
+        for role in ("farmer", "broker", "packer", "retailer", "inspector")
+    }
+    genesis = create_genesis(
+        coop,
+        chain_name="farm-to-fork",
+        founding_members=[
+            authority.issue(key.public_key, role)
+            for role, key in parties.items()
+        ],
+    )
+    nodes = {
+        role: VegvisirNode(key, genesis, clock=clock)
+        for role, key in parties.items()
+    }
+    protocol = FrontierProtocol()
+    ProvenanceLedger(nodes["farmer"]).setup()
+
+    # --- Life on the farm (no connectivity needed) -----------------------
+    farm = ProvenanceLedger(nodes["farmer"])
+    farm.register_item("cow-0042", "Holstein heifer", "seven-pines-farm",
+                       born="2024-03-15")
+    farm.record_event("cow-0042", "vaccinated",
+                      {"vaccine": "BVD", "batch": "V-118"})
+    farm.record_event("cow-0042", "antibiotics",
+                      {"drug": "oxytetracycline", "withdrawal_days": 28})
+
+    # --- The broker's truck visits the farm (one contact) ----------------
+    protocol.run(nodes["broker"], nodes["farmer"])
+    broker = ProvenanceLedger(nodes["broker"])
+    broker.record_event("cow-0042", "purchased", {"price_usd": 1450})
+
+    # --- Packer and retailer, each a later opportunistic contact ---------
+    protocol.run(nodes["packer"], nodes["broker"])
+    packer = ProvenanceLedger(nodes["packer"])
+    packer.record_event("cow-0042", "processed",
+                        {"lots": ["beef-lot-77", "beef-lot-78"]})
+    packer.register_item("beef-lot-77", "ground beef 80/20",
+                         "seven-pines-farm", from_animal="cow-0042")
+
+    protocol.run(nodes["retailer"], nodes["packer"])
+    retailer = ProvenanceLedger(nodes["retailer"])
+    retailer.record_event("beef-lot-77", "on-shelf", {"store": "ithaca-12"})
+
+    # --- Pathogen alarm: trace back in one query (§II-B: "seconds") ------
+    protocol.run(nodes["inspector"], nodes["retailer"])
+    inspector = ProvenanceLedger(nodes["inspector"])
+    print("trace of beef-lot-77:")
+    for event in inspector.trace("beef-lot-77"):
+        print(f"  {event['type']:<12} {event['data']}")
+    origin = inspector.items()["beef-lot-77"]
+    print("source animal:", origin["from_animal"])
+    print("animal history:",
+          [e["type"] for e in inspector.trace(origin["from_animal"])])
+    inspector.recall_item("beef-lot-77", "E. coli O157:H7 detected")
+    print("recalled; live items now:", sorted(inspector.items()))
+
+    # --- Field sensor offloads history to the co-op superpeer ------------
+    superpeer = Superpeer(nodes["inspector"])  # well-connected truck
+    superpeer.archive_new_blocks()
+    sensor_replica = nodes["farmer"]
+    protocol.run(sensor_replica, nodes["inspector"])
+    manager = OffloadManager(sensor_replica, max_bytes=2_500)
+    before = manager.stored_bytes()
+    dropped = manager.offload(superpeer)
+    print(f"sensor offloaded {dropped} blocks: "
+          f"{before} -> {manager.stored_bytes()} bytes "
+          f"(support chain holds {len(superpeer.chain)} blocks, "
+          f"verified={superpeer.chain.verify({nodes['inspector'].user_id: parties['inspector'].public_key})})")
+
+
+if __name__ == "__main__":
+    main()

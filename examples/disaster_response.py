@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Disaster response: use-based privacy for health records (§II-A, §V).
+
+A hurricane has taken down the cell towers.  Four responders' phones
+form an ad hoc network (simulated), medics log health-record access
+requests on the blockchain, records are released only against a
+proof-of-witness, and after the emergency the log is audited for
+frivolous access.
+
+Run:  python examples/disaster_response.py
+"""
+
+from repro import CertificateAuthority, KeyPair, VegvisirNode, create_genesis
+from repro.apps.health import HealthAccessLedger, RecordVault
+from repro.core.witness import WitnessTracker
+from repro.reconcile import FrontierProtocol
+
+_now = [1_000]
+
+
+def clock() -> int:
+    _now[0] += 25
+    return _now[0]
+
+
+def main() -> None:
+    # --- Deployment: incident command owns the chain -------------------
+    command = KeyPair.generate()
+    authority = CertificateAuthority(command)
+    medic_keys = [KeyPair.generate() for _ in range(2)]
+    logistics_key = KeyPair.generate()
+    genesis = create_genesis(
+        command,
+        chain_name="hurricane-response",
+        founding_members=[
+            authority.issue(medic_keys[0].public_key, "medic"),
+            authority.issue(medic_keys[1].public_key, "medic"),
+            authority.issue(logistics_key.public_key, "sensor"),
+        ],
+    )
+    command_node = VegvisirNode(command, genesis, clock=clock)
+    medic_nodes = [VegvisirNode(k, genesis, clock=clock) for k in medic_keys]
+    logistics_node = VegvisirNode(logistics_key, genesis, clock=clock)
+    HealthAccessLedger(command_node).setup()
+
+    protocol = FrontierProtocol()
+    everyone = [command_node, *medic_nodes, logistics_node]
+    for node in everyone[1:]:
+        protocol.run(node, command_node)
+    print(f"deployed chain {command_node.chain_id.short()} "
+          f"with {len(command_node.members())} members")
+
+    # --- A medic needs a patient's record -------------------------------
+    medic = medic_nodes[0]
+    ledger = HealthAccessLedger(medic)
+    request = ledger.request_access("patient-0187", "crush-injury triage")
+    print("access request logged in block", request.hash.short())
+
+    # The phone carries the encrypted records; release needs 2 witnesses.
+    vault = RecordVault(b"incident-vault-key", witness_quorum=2)
+    vault.store("patient-0187", b"O-neg; penicillin allergy; on warfarin")
+
+    try:
+        vault.release("patient-0187", request, medic)
+    except PermissionError as exc:
+        print("release blocked before witnessing:", exc)
+
+    # Two nearby responders witness the request (gossip + empty blocks).
+    for peer in (medic_nodes[1], logistics_node):
+        protocol.run(peer, medic)
+        peer.append_witness_block()
+        protocol.run(medic, peer)
+
+    tracker = WitnessTracker(medic.dag)
+    print(f"witnesses now: {tracker.witness_count(request.hash)}")
+    record = vault.release("patient-0187", request, medic, tracker)
+    print("record released:", record.decode())
+
+    # --- Meanwhile a curious medic snoops --------------------------------
+    snooper = HealthAccessLedger(medic_nodes[1])
+    snooper.request_access("celebrity-jones", "just curious")
+    protocol.run(medic, medic_nodes[1])
+
+    # --- After the emergency: the audit ----------------------------------
+    review = HealthAccessLedger(command_node)
+    protocol.run(command_node, medic)
+    flagged = review.audit(
+        valid_reasons={"crush-injury triage", "burn treatment"}
+    )
+    print(f"audit: {len(review.requests())} requests, "
+          f"{len(flagged)} flagged for review")
+    for item in flagged:
+        print("  FLAGGED:", item["patient"], "—", item["reason"])
+
+
+if __name__ == "__main__":
+    main()

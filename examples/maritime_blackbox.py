@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Maritime black box: data collection during a capsizing event (§II-C).
+
+Ship systems log encrypted telemetry to a Vegvisir chain.  A distress
+event triggers the lifeboat nodes to join the gossip; the ship sinks;
+the investigation recovers a unified, tamper-evident, decrypted timeline
+from whatever lifeboats survived — run as a discrete-event simulation
+with an explicit partition when the hull floods.
+
+Run:  python examples/maritime_blackbox.py
+"""
+
+from repro import CertificateAuthority, KeyPair, VegvisirNode, create_genesis
+from repro.apps.maritime import BlackBoxRecorder, recover_voyage_log
+from repro.reconcile import FrontierProtocol
+
+COMPANY_KEY = b"maersk-line-black-box-key"
+
+_now = [0]
+
+
+def clock() -> int:
+    _now[0] += 100
+    return _now[0]
+
+
+def main() -> None:
+    # --- The vessel: 3 ship systems, 3 lifeboat nodes --------------------
+    company = KeyPair.generate()
+    authority = CertificateAuthority(company)
+    system_keys = [KeyPair.generate() for _ in range(3)]
+    lifeboat_keys = [KeyPair.generate() for _ in range(3)]
+    genesis = create_genesis(
+        company,
+        chain_name="mv-ithaca",
+        founding_members=[
+            *(authority.issue(k.public_key, "ship-system")
+              for k in system_keys),
+            *(authority.issue(k.public_key, "lifeboat")
+              for k in lifeboat_keys),
+        ],
+    )
+    systems = [VegvisirNode(k, genesis, clock=clock) for k in system_keys]
+    lifeboats = [VegvisirNode(k, genesis, clock=clock) for k in lifeboat_keys]
+    recorders = [BlackBoxRecorder(node, COMPANY_KEY) for node in systems]
+    recorders[0].setup()
+    protocol = FrontierProtocol()
+    for node in systems[1:]:
+        protocol.run(node, systems[0])
+
+    # --- Normal voyage: periodic telemetry, shipboard gossip -------------
+    for minute in range(5):
+        recorders[0].record("gps", {"lat_e7": 424433000 + minute * 1000,
+                                    "lon_e7": -764935000})
+        recorders[1].record("engine", {"rpm": 88 - minute})
+        recorders[2].record("hull", {"water_ingress_mm": 0})
+        for a, b in [(0, 1), (1, 2), (2, 0)]:
+            protocol.run(systems[a], systems[b])
+    print(f"voyage logged; chain has {len(systems[0].dag)} blocks")
+
+    # --- DISTRESS: hull breach; lifeboats power on and join gossip -------
+    recorders[2].record("hull", {"water_ingress_mm": 450, "alarm": True})
+    recorders[1].record("engine", {"rpm": 0, "alarm": "flooded"})
+    for lifeboat in lifeboats:
+        protocol.run(lifeboat, systems[2])
+    print("distress: lifeboats joined and synced")
+
+    # --- Sinking: systems 0-1 are lost before their last words spread ----
+    recorders[0].record("gps", {"lat_e7": 424439000, "lon_e7": -764935000,
+                                "final": True})
+    # Only lifeboat 0 is still in radio range of the bridge:
+    protocol.run(lifeboats[0], systems[0])
+    # The ship goes down.  Lifeboats drift apart, gossiping pairwise.
+    protocol.run(lifeboats[1], lifeboats[0])
+    protocol.run(lifeboats[2], lifeboats[1])
+
+    # --- Weeks later: the investigation -----------------------------------
+    # Only lifeboats 1 and 2 are recovered.
+    recovered = [lifeboats[1], lifeboats[2]]
+    timeline = recover_voyage_log(recovered, COMPANY_KEY)
+    print(f"recovered {len(timeline)} telemetry samples "
+          f"({sum(e['corrupt'] for e in timeline)} corrupt):")
+    for entry in timeline[-6:]:
+        print(f"  t={entry['t']:>6} {entry['sensor']:<7} {entry['reading']}")
+    final = [e for e in timeline if e["reading"].get("final")]
+    print("final position recovered:", bool(final))
+
+    # Wrong key ⇒ proprietary data stays sealed.
+    sealed = recover_voyage_log(recovered, b"salvage-competitor-key")
+    print("samples readable without the company key:",
+          sum(not e["corrupt"] for e in sealed))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on modern pips uses PEP 660, which this environment's
+setuptools cannot complete offline; ``python setup.py develop`` provides the
+same editable install through the legacy path.  Metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

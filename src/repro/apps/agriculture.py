@@ -1,0 +1,143 @@
+"""Digital-agriculture provenance (§II-B).
+
+Farm-to-fork traceability: items (animals, pallets, shipping containers)
+are registered once and accumulate provenance events — births,
+vaccinations, transfers, inspections, sales — appended by differently-
+rolled participants who are rarely all online together.  A consumer (or
+a regulator tracing a pathogen) reads an item's full history from any
+converged replica in time order.
+
+CRDT layout:
+
+* ``agri:items`` — an OR-Map registering item metadata (add-wins, so a
+  registration survives a concurrent administrative removal);
+* ``agri:events`` — an append-only log of provenance events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.chain.block import Block, Transaction
+from repro.core.node import VegvisirNode
+
+ITEMS_CRDT = "agri:items"
+EVENTS_CRDT = "agri:events"
+
+# Roles the schema grants; regulators may only read.
+WRITER_ROLES = ["farmer", "broker", "packer", "distributor", "retailer",
+                "inspector", "owner"]
+
+
+class ProvenanceLedger:
+    """One participant's view of the supply-chain ledger."""
+
+    def __init__(self, node: VegvisirNode):
+        self.node = node
+
+    def setup(self) -> Block:
+        """Create both CRDTs in one block (run once per chain)."""
+        return self.node.append_transactions(
+            [
+                self.node.create_crdt_tx(
+                    ITEMS_CRDT,
+                    "or_map",
+                    element_spec={"map": "any"},
+                    permissions={"set": WRITER_ROLES,
+                                 "remove": ["inspector", "owner"]},
+                ),
+                self.node.create_crdt_tx(
+                    EVENTS_CRDT,
+                    "append_log",
+                    element_spec={"map": "any"},
+                    permissions={"append": WRITER_ROLES},
+                ),
+            ]
+        )
+
+    def is_ready(self) -> bool:
+        return (
+            self.node.csm.crdt_instance(ITEMS_CRDT) is not None
+            and self.node.csm.crdt_instance(EVENTS_CRDT) is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+
+    def register_item(self, item_id: str, description: str,
+                      origin: str, **attributes: Any) -> Block:
+        """Register a new tracked item (e.g. an animal's birth record)."""
+        metadata = {"description": description, "origin": origin}
+        metadata.update(attributes)
+        return self.node.append_transactions(
+            [
+                Transaction(ITEMS_CRDT, "set", [item_id, metadata]),
+                self._event_tx(item_id, "registered", metadata),
+            ]
+        )
+
+    def record_event(self, item_id: str, event_type: str,
+                     data: Optional[dict] = None) -> Block:
+        """Append a provenance event (vaccination, transfer, sale...)."""
+        return self.node.append_transactions(
+            [self._event_tx(item_id, event_type, data or {})]
+        )
+
+    def recall_item(self, item_id: str, reason: str) -> Block:
+        """Inspector action: pull an item and record why.
+
+        The registration entry is removed from the live map (observed
+        tags from this replica), while its history stays in the log —
+        tamperproofness means the past is never erased.
+        """
+        return self.node.append_transactions(
+            [
+                self.node.ormap_remove_tx(ITEMS_CRDT, item_id),
+                self._event_tx(item_id, "recalled", {"reason": reason}),
+            ]
+        )
+
+    def _event_tx(self, item_id: str, event_type: str,
+                  data: dict) -> Transaction:
+        return Transaction(
+            EVENTS_CRDT,
+            "append",
+            [
+                {
+                    "item": item_id,
+                    "type": event_type,
+                    "data": data,
+                    "actor": self.node.user_id.digest,
+                }
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # Reads
+
+    def items(self) -> dict:
+        """Live registered items."""
+        return self.node.crdt_value(ITEMS_CRDT) if self.is_ready() else {}
+
+    def trace(self, item_id: str) -> list[dict]:
+        """The item's complete event history, in time order — the
+        "seconds, not weeks" pathogen-tracing query from §II-B."""
+        if not self.is_ready():
+            return []
+        return [
+            event for event in self.node.crdt_value(EVENTS_CRDT)
+            if event["item"] == item_id
+        ]
+
+    def items_touched_by(self, actor_user_id: bytes) -> list[str]:
+        """Every item an actor has recorded events for — the blast
+        radius of a contaminated supplier."""
+        if not self.is_ready():
+            return []
+        return sorted(
+            {
+                event["item"]
+                for event in self.node.crdt_value(EVENTS_CRDT)
+                if event["actor"] == actor_user_id
+            }
+        )

@@ -1,0 +1,147 @@
+"""Disaster-response health-record access logging (§II-A, §V).
+
+Use-based privacy: during an emergency, every access request is granted
+— provided it is first persisted on the blockchain, where it can be
+audited afterwards.  The paper's CRDT ``H`` is an add-only set of access
+requests; here it is an append-only log so the audit reads in time
+order.
+
+The :class:`RecordVault` stands in for the paper's TEE-protected
+encrypted database (§V): it releases a record only after a "certifiably
+correct program" — this class — has verified that the request is on the
+blockchain *and* carries a proof-of-witness at the configured quorum.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.chain.block import Block, Transaction
+from repro.core.node import VegvisirNode
+from repro.core.witness import WitnessTracker
+from repro.crypto import stream
+
+REQUESTS_CRDT = "health:requests"
+
+
+class HealthAccessLedger:
+    """One responder's view of the access-request log."""
+
+    def __init__(self, node: VegvisirNode):
+        self.node = node
+
+    def setup(self) -> Block:
+        """Create the request log (run once, by any member; typically the
+        owner at deployment time).  Only medics may append."""
+        return self.node.create_crdt(
+            REQUESTS_CRDT,
+            "append_log",
+            element_spec={"map": "any"},
+            permissions={"append": ["medic", "owner"]},
+        )
+
+    def is_ready(self) -> bool:
+        return self.node.csm.crdt_instance(REQUESTS_CRDT) is not None
+
+    def request_access(self, patient_id: str, reason: str) -> Block:
+        """Append an access request; returns the block carrying it."""
+        request = {
+            "patient": patient_id,
+            "reason": reason,
+            "requester": self.node.user_id.digest,
+        }
+        return self.node.append_transactions(
+            [Transaction(REQUESTS_CRDT, "append", [request])]
+        )
+
+    def requests(self) -> list[dict]:
+        """All requests visible on this replica, in time order."""
+        if not self.is_ready():
+            return []
+        return self.node.crdt_value(REQUESTS_CRDT)
+
+    def requests_for_patient(self, patient_id: str) -> list[dict]:
+        return [r for r in self.requests() if r["patient"] == patient_id]
+
+    def audit(self, valid_reasons: set[str]) -> list[dict]:
+        """Post-emergency review: requests whose reason is not on the
+        approved list — the accesses a review board would sanction."""
+        return [
+            request for request in self.requests()
+            if request["reason"] not in valid_reasons
+        ]
+
+
+class RecordVault:
+    """The encrypted record store each responder carries (§V).
+
+    Records are sealed with the vault key; :meth:`release` is the
+    certifiably-correct gate: it decrypts a record only for a requester
+    whose request block is on the blockchain with a proof-of-witness at
+    quorum *k*.
+    """
+
+    def __init__(self, vault_key: bytes, witness_quorum: int = 2):
+        self._key = vault_key
+        self.witness_quorum = witness_quorum
+        self._records: dict[str, bytes] = {}
+        self._nonce_counter = 0
+
+    def store(self, patient_id: str, record: bytes) -> None:
+        nonce = self._nonce_counter.to_bytes(stream.NONCE_SIZE, "big")
+        self._nonce_counter += 1
+        self._records[patient_id] = stream.encrypt(self._key, nonce, record)
+
+    def has_record(self, patient_id: str) -> bool:
+        return patient_id in self._records
+
+    def sealed(self, patient_id: str) -> bytes:
+        """The ciphertext as stored on the device."""
+        return self._records[patient_id]
+
+    def release(
+        self,
+        patient_id: str,
+        request_block: Block,
+        node: VegvisirNode,
+        witness_tracker: Optional[WitnessTracker] = None,
+    ) -> bytes:
+        """Decrypt a record iff the request is persisted and witnessed.
+
+        Raises :class:`PermissionError` when any condition fails:
+        the block must be on this replica, must carry a request for
+        *patient_id* that was applied (not rejected), and must have a
+        proof-of-witness at the vault's quorum.
+        """
+        if patient_id not in self._records:
+            raise KeyError(f"no record for patient {patient_id!r}")
+        if not node.has_block(request_block.hash):
+            raise PermissionError("request block is not on the blockchain")
+        outcomes = node.csm.outcomes(request_block.hash)
+        carried = False
+        for tx, outcome in zip(request_block.transactions, outcomes):
+            if (
+                tx.crdt_name == REQUESTS_CRDT
+                and tx.op == "append"
+                and tx.args
+                and isinstance(tx.args[0], dict)
+                and tx.args[0].get("patient") == patient_id
+                and outcome.applied
+            ):
+                carried = True
+                break
+        if not carried:
+            raise PermissionError(
+                "block carries no applied request for this patient"
+            )
+        tracker = witness_tracker or WitnessTracker(node.dag)
+        tracker.sync()
+        if not tracker.has_proof_of_witness(
+            request_block.hash, self.witness_quorum
+        ):
+            raise PermissionError(
+                f"request lacks proof-of-witness at quorum "
+                f"{self.witness_quorum} "
+                f"(has {tracker.witness_count(request_block.hash)})"
+            )
+        return stream.decrypt(self._key, self._records[patient_id])

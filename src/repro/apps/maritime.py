@@ -1,0 +1,113 @@
+"""Maritime black-box data collection (§II-C).
+
+Ship systems log telemetry to a Vegvisir chain; when a distress signal
+fires, lifeboat IoT nodes join the gossip and carry the chain away from
+the sinking vessel.  Telemetry payloads are encrypted with the company
+key (the paper: "Vegvisir allows for full encryption of contents within
+the blockchain"), so proprietary data is protected even though every
+node replicates the blocks.
+
+``recover_voyage_log`` is the post-incident investigation step: merge
+whatever replicas survived and decrypt the unified, tamper-evident
+timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro import wire
+from repro.chain.block import Block, Transaction
+from repro.core.node import VegvisirNode
+from repro.crypto import stream
+from repro.reconcile.frontier import FrontierProtocol
+
+TELEMETRY_CRDT = "maritime:telemetry"
+
+
+class BlackBoxRecorder:
+    """One ship system (or lifeboat node) writing encrypted telemetry."""
+
+    def __init__(self, node: VegvisirNode, company_key: bytes):
+        self.node = node
+        self._key = company_key
+        self._nonce_counter = 0
+
+    def setup(self) -> Block:
+        """Create the telemetry log (run once, on the lead system)."""
+        return self.node.create_crdt(
+            TELEMETRY_CRDT,
+            "append_log",
+            element_spec={"map": "any"},
+            permissions={"append": ["ship-system", "lifeboat", "owner"]},
+        )
+
+    def is_ready(self) -> bool:
+        return self.node.csm.crdt_instance(TELEMETRY_CRDT) is not None
+
+    def record(self, sensor: str, reading: dict,
+               timestamp_ms: Optional[int] = None) -> Block:
+        """Append one encrypted telemetry sample."""
+        when = timestamp_ms if timestamp_ms is not None else self.node.now_ms()
+        plaintext = wire.encode(
+            {"sensor": sensor, "reading": reading, "t": when}
+        )
+        nonce_seed = self.node.user_id.digest[:8] + self._nonce_counter.to_bytes(
+            8, "big"
+        )
+        self._nonce_counter += 1
+        sealed = stream.encrypt(self._key, nonce_seed, plaintext)
+        entry = {"source": self.node.user_id.digest, "sealed": sealed}
+        return self.node.append_transactions(
+            [Transaction(TELEMETRY_CRDT, "append", [entry])]
+        )
+
+    def entries(self) -> list[dict]:
+        """Raw (still-encrypted) entries on this replica."""
+        if not self.is_ready():
+            return []
+        return self.node.crdt_value(TELEMETRY_CRDT)
+
+
+def merge_survivors(survivors: Iterable[VegvisirNode]) -> VegvisirNode:
+    """Pairwise-reconcile the surviving replicas onto the first one."""
+    survivors = list(survivors)
+    if not survivors:
+        raise ValueError("no surviving replicas")
+    collector = survivors[0]
+    protocol = FrontierProtocol()
+    for other in survivors[1:]:
+        protocol.run(collector, other)
+    return collector
+
+
+def recover_voyage_log(
+    survivors: Iterable[VegvisirNode], company_key: bytes
+) -> list[dict]:
+    """The investigation: merge survivors and decrypt the timeline.
+
+    Entries whose MAC fails (corrupted or forged payloads) are reported
+    with ``"corrupt": True`` rather than silently dropped — investigators
+    need to know something was there.
+    """
+    collector = merge_survivors(survivors)
+    instance = collector.csm.crdt_instance(TELEMETRY_CRDT)
+    if instance is None:
+        return []
+    timeline = []
+    for entry in collector.crdt_value(TELEMETRY_CRDT):
+        try:
+            sample = wire.decode(stream.decrypt(company_key, entry["sealed"]))
+            timeline.append(
+                {
+                    "source": entry["source"],
+                    "sensor": sample["sensor"],
+                    "reading": sample["reading"],
+                    "t": sample["t"],
+                    "corrupt": False,
+                }
+            )
+        except (stream.AuthenticationError, wire.DecodeError, KeyError):
+            timeline.append({"source": entry.get("source"), "corrupt": True})
+    timeline.sort(key=lambda item: item.get("t", -1))
+    return timeline

@@ -1,0 +1,155 @@
+"""Use-based privacy policy engine (§II-A).
+
+The paper adopts *use-based* privacy (Cate [12], Birrell & Schneider
+[14]): instead of blocking access up front, uses are evaluated against
+policy, emergency uses are granted-but-logged, and abuses are
+sanctioned after the fact.  This module puts the policy itself on the
+blockchain so every replica evaluates requests identically:
+
+* ``health:emergencies`` — an append-only log of emergency window
+  declarations ``{start, end, declared_by}``; only the owner (incident
+  command) may append.
+* ``health:consent`` — an OR-Map of per-patient consent directives
+  ``patient -> {"roles": [...], "purposes": [...]}``; patients (or the
+  owner on their behalf) grant and withdraw.
+
+:class:`PolicyEngine` classifies each access request (from the
+``health:requests`` log) into:
+
+* ``GRANT`` — covered by the patient's standing consent;
+* ``GRANT_LOGGED`` — not covered, but inside a declared emergency
+  window: allowed now, reviewed later;
+* ``DENY`` — neither: the vault must refuse.
+
+The post-emergency audit then flags exactly the GRANT_LOGGED uses whose
+purpose the review board rejects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.chain.block import Block, Transaction
+from repro.core.node import VegvisirNode
+
+EMERGENCIES_CRDT = "health:emergencies"
+CONSENT_CRDT = "health:consent"
+
+GRANT = "grant"
+GRANT_LOGGED = "grant_logged"
+DENY = "deny"
+
+
+def setup_policy_crdts(node: VegvisirNode) -> Block:
+    """Create the policy CRDTs (run once, typically by the owner)."""
+    return node.append_transactions([
+        node.create_crdt_tx(
+            EMERGENCIES_CRDT, "append_log",
+            element_spec={"map": "any"},
+            permissions={},  # owner only (owner bypasses grants)
+        ),
+        node.create_crdt_tx(
+            CONSENT_CRDT, "or_map",
+            element_spec={"map": "any"},
+            permissions={"set": ["patient", "owner"],
+                         "remove": ["patient", "owner"]},
+        ),
+    ])
+
+
+def declare_emergency(node: VegvisirNode, start_ms: int,
+                      end_ms: int) -> Block:
+    """Owner declares an emergency window on the chain."""
+    if end_ms <= start_ms:
+        raise ValueError("emergency window must have positive length")
+    return node.append_transactions([
+        Transaction(EMERGENCIES_CRDT, "append", [
+            {"start": start_ms, "end": end_ms,
+             "declared_by": node.user_id.digest}
+        ])
+    ])
+
+
+def grant_consent(node: VegvisirNode, patient_id: str,
+                  roles: list[str], purposes: list[str]) -> Block:
+    """Record a patient's standing consent directive."""
+    return node.append_transactions([
+        Transaction(CONSENT_CRDT, "set", [
+            patient_id, {"roles": sorted(roles),
+                         "purposes": sorted(purposes)}
+        ])
+    ])
+
+
+def withdraw_consent(node: VegvisirNode, patient_id: str) -> Block:
+    """Remove a patient's directive (observed-remove semantics)."""
+    return node.append_transactions(
+        [node.ormap_remove_tx(CONSENT_CRDT, patient_id)]
+    )
+
+
+class PolicyEngine:
+    """Evaluates access requests against the on-chain policy state."""
+
+    def __init__(self, node: VegvisirNode):
+        self.node = node
+
+    def is_ready(self) -> bool:
+        return (
+            self.node.csm.crdt_instance(EMERGENCIES_CRDT) is not None
+            and self.node.csm.crdt_instance(CONSENT_CRDT) is not None
+        )
+
+    def emergency_active(self, at_ms: int) -> bool:
+        if self.node.csm.crdt_instance(EMERGENCIES_CRDT) is None:
+            return False
+        return any(
+            window["start"] <= at_ms < window["end"]
+            for window in self.node.crdt_value(EMERGENCIES_CRDT)
+        )
+
+    def consent_covers(self, patient_id: str, requester_role: str,
+                       purpose: str) -> bool:
+        instance = self.node.csm.crdt_instance(CONSENT_CRDT)
+        if instance is None:
+            return False
+        directive = instance.get(patient_id)
+        if directive is None:
+            return False
+        return (
+            requester_role in directive.get("roles", [])
+            and purpose in directive.get("purposes", [])
+        )
+
+    def evaluate(self, patient_id: str, requester_role: str,
+                 purpose: str, at_ms: Optional[int] = None) -> str:
+        """Classify one access: GRANT, GRANT_LOGGED, or DENY."""
+        when = at_ms if at_ms is not None else self.node.now_ms()
+        if self.consent_covers(patient_id, requester_role, purpose):
+            return GRANT
+        if self.emergency_active(when):
+            return GRANT_LOGGED
+        return DENY
+
+    def audit_emergency_uses(
+        self, requests: list[dict], approved_purposes: set[str]
+    ) -> list[dict]:
+        """Post-emergency review.
+
+        For each logged request (as stored by
+        :class:`~repro.apps.health.HealthAccessLedger`): uses covered by
+        consent are fine; emergency-logged uses whose reason the board
+        approves are fine; everything else is flagged for sanction —
+        the §II-A accountability loop.
+        """
+        flagged = []
+        for request in requests:
+            patient = request["patient"]
+            reason = request["reason"]
+            role = request.get("role", "medic")
+            if self.consent_covers(patient, role, reason):
+                continue
+            if reason in approved_purposes:
+                continue
+            flagged.append(request)
+        return flagged

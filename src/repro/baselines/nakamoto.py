@@ -1,0 +1,294 @@
+"""A Nakamoto-style linear proof-of-work blockchain.
+
+Implements the design Vegvisir defines itself against: a linear chain
+where miners grind a SHA-256 cryptopuzzle and forks are resolved by the
+longest-chain rule, *discarding* the losing branch's blocks.  Used two
+ways:
+
+* experiment E1 partitions a Nakamoto network and counts the committed
+  transactions that are lost when the partition heals (Vegvisir loses
+  none);
+* experiment E2 charges the mining attempts to the energy model and
+  compares joules-per-committed-block against Vegvisir's
+  sign-hash-and-gossip cost.
+
+Mining is real (the nonce actually satisfies the difficulty) for small
+difficulties; above ``SIMULATED_DIFFICULTY_BITS`` the attempt count is
+drawn from the geometric distribution instead, so high-difficulty energy
+sweeps stay fast while the expected work matches 2^bits exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional, Sequence
+
+from repro import wire
+from repro.crypto.sha import Hash
+
+SIMULATED_DIFFICULTY_BITS = 18
+
+
+class PowBlock:
+    """One proof-of-work block in a linear chain."""
+
+    __slots__ = ("prev_hash", "height", "miner_id", "timestamp", "nonce",
+                 "payload", "difficulty_bits", "simulated", "_hash")
+
+    def __init__(
+        self,
+        prev_hash: Optional[Hash],
+        height: int,
+        miner_id: int,
+        timestamp: int,
+        nonce: int,
+        payload: Sequence[Any],
+        difficulty_bits: int,
+        simulated: bool = False,
+    ):
+        self.prev_hash = prev_hash
+        self.height = height
+        self.miner_id = miner_id
+        self.timestamp = timestamp
+        self.nonce = nonce
+        self.payload = list(payload)
+        self.difficulty_bits = difficulty_bits
+        self.simulated = simulated
+        self._hash = Hash.of_bytes(self.header_bytes())
+
+    def header_bytes(self) -> bytes:
+        return wire.encode(
+            {
+                "difficulty": self.difficulty_bits,
+                "height": self.height,
+                "miner": self.miner_id,
+                "nonce": self.nonce,
+                "payload": self.payload,
+                "prev": self.prev_hash.digest if self.prev_hash else b"",
+                "timestamp": self.timestamp,
+            }
+        )
+
+    @property
+    def hash(self) -> Hash:
+        return self._hash
+
+    def meets_difficulty(self) -> bool:
+        """Does the header hash have the required leading zero bits?"""
+        if self.simulated:
+            return True
+        value = int.from_bytes(self._hash.digest, "big")
+        return value >> (256 - self.difficulty_bits) == 0
+
+    def __repr__(self) -> str:
+        return f"PowBlock(h={self.height}, {self._hash.short()})"
+
+
+def _genesis_block(difficulty_bits: int) -> PowBlock:
+    return PowBlock(
+        prev_hash=None, height=0, miner_id=-1, timestamp=0, nonce=0,
+        payload=[], difficulty_bits=difficulty_bits, simulated=True,
+    )
+
+
+class PowMiner:
+    """Grinds (or simulates grinding) proof-of-work.
+
+    ``attempts`` accumulates every hash attempt for the energy model.
+    """
+
+    def __init__(self, miner_id: int, seed: int = 0):
+        self.miner_id = miner_id
+        self.attempts = 0
+        self._rng = random.Random(seed ^ (miner_id * 0x9E3779B9))
+
+    def mine(
+        self,
+        prev: PowBlock,
+        payload: Sequence[Any],
+        timestamp: int,
+        difficulty_bits: int,
+    ) -> PowBlock:
+        """Produce the next block on top of *prev*."""
+        if difficulty_bits <= SIMULATED_DIFFICULTY_BITS:
+            return self._mine_real(prev, payload, timestamp, difficulty_bits)
+        return self._mine_simulated(prev, payload, timestamp, difficulty_bits)
+
+    def _mine_real(self, prev, payload, timestamp, difficulty_bits):
+        nonce = self._rng.randrange(2**32)
+        while True:
+            self.attempts += 1
+            block = PowBlock(
+                prev.hash, prev.height + 1, self.miner_id, timestamp,
+                nonce, payload, difficulty_bits,
+            )
+            if block.meets_difficulty():
+                return block
+            nonce = (nonce + 1) % 2**64
+
+    def _mine_simulated(self, prev, payload, timestamp, difficulty_bits):
+        # Geometric attempts with success probability 2^-bits; the block
+        # is marked simulated so validation skips the difficulty check.
+        probability = 2.0 ** -difficulty_bits
+        attempts = 1
+        while self._rng.random() >= probability:
+            attempts += 1
+            if attempts >= 2**40:  # cap pathological draws
+                break
+        self.attempts += attempts
+        return PowBlock(
+            prev.hash, prev.height + 1, self.miner_id, timestamp,
+            self._rng.randrange(2**64), payload, difficulty_bits,
+            simulated=True,
+        )
+
+
+class NakamotoChain:
+    """One node's replica of the linear PoW chain.
+
+    Keeps every received block but exposes only the longest chain (ties
+    broken by smallest tip hash, deterministically); everything off the
+    main chain is *discarded work* — the quantity E1 reports.
+    """
+
+    def __init__(self, difficulty_bits: int = 12):
+        self.difficulty_bits = difficulty_bits
+        self.genesis = _genesis_block(difficulty_bits)
+        self._blocks: dict[Hash, PowBlock] = {self.genesis.hash: self.genesis}
+
+    def add_block(self, block: PowBlock) -> bool:
+        """Accept a block whose parent is known and whose PoW checks out."""
+        if block.hash in self._blocks:
+            return False
+        if block.prev_hash not in self._blocks:
+            return False
+        if not block.meets_difficulty():
+            return False
+        parent = self._blocks[block.prev_hash]
+        if block.height != parent.height + 1:
+            return False
+        self._blocks[block.hash] = block
+        return True
+
+    def tip(self) -> PowBlock:
+        """Longest-chain head (max height, then smallest hash)."""
+        return max(
+            self._blocks.values(),
+            key=lambda block: (block.height, [-b for b in block.hash.digest]),
+        )
+
+    def main_chain(self) -> list[PowBlock]:
+        """Genesis-to-tip blocks of the winning branch."""
+        chain = []
+        current: Optional[PowBlock] = self.tip()
+        while current is not None:
+            chain.append(current)
+            current = (
+                self._blocks[current.prev_hash]
+                if current.prev_hash is not None else None
+            )
+        chain.reverse()
+        return chain
+
+    def main_chain_hashes(self) -> set[Hash]:
+        return {block.hash for block in self.main_chain()}
+
+    def discarded_blocks(self) -> list[PowBlock]:
+        """Blocks this replica holds that lost the fork race."""
+        main = self.main_chain_hashes()
+        return [
+            block for block in self._blocks.values()
+            if block.hash not in main
+        ]
+
+    def committed_payloads(self) -> list[Any]:
+        """Transactions on the main chain, in order."""
+        result = []
+        for block in self.main_chain():
+            result.extend(block.payload)
+        return result
+
+    def all_blocks(self) -> list[PowBlock]:
+        return list(self._blocks.values())
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block_hash: Hash) -> bool:
+        return block_hash in self._blocks
+
+
+class NakamotoNetwork:
+    """A fleet of Nakamoto replicas with partition-aware broadcast.
+
+    Round-driven rather than event-driven: each call to :meth:`round`
+    lets every miner attempt a block with the configured probability and
+    broadcasts within each connectivity group.  This matches the
+    granularity E1/E2 need without duplicating the event-loop machinery.
+    """
+
+    def __init__(self, node_count: int, difficulty_bits: int = 12,
+                 block_probability: float = 0.2, seed: int = 0):
+        self.node_count = node_count
+        self.difficulty_bits = difficulty_bits
+        self.block_probability = block_probability
+        self.chains = [
+            NakamotoChain(difficulty_bits) for _ in range(node_count)
+        ]
+        self.miners = [PowMiner(i, seed) for i in range(node_count)]
+        self._rng = random.Random(seed ^ 0xBEEF)
+        self._next_tx = 0
+        self.time_ms = 0
+
+    def total_attempts(self) -> int:
+        return sum(miner.attempts for miner in self.miners)
+
+    def round(self, groups: Optional[list[set[int]]] = None,
+              round_ms: int = 1_000) -> None:
+        """One mining-and-broadcast round.
+
+        *groups* restricts connectivity (None ⇒ fully connected); each
+        group synchronizes internally after mining, adopting the longest
+        chain visible within the group.
+        """
+        self.time_ms += round_ms
+        if groups is None:
+            groups = [set(range(self.node_count))]
+        mined: dict[int, PowBlock] = {}
+        for node_id in range(self.node_count):
+            if self._rng.random() < self.block_probability:
+                payload = [{"tx": self._next_tx, "node": node_id}]
+                self._next_tx += 1
+                block = self.miners[node_id].mine(
+                    self.chains[node_id].tip(), payload,
+                    self.time_ms, self.difficulty_bits,
+                )
+                self.chains[node_id].add_block(block)
+                mined[node_id] = block
+        for group in groups:
+            self._sync_group(group)
+
+    def _sync_group(self, group: set[int]) -> None:
+        """Everyone in the group learns every block anyone in it has."""
+        members = sorted(group)
+        union: dict[Hash, PowBlock] = {}
+        for node_id in members:
+            for block in self.chains[node_id].all_blocks():
+                union[block.hash] = block
+        ordered = sorted(union.values(), key=lambda b: b.height)
+        for node_id in members:
+            for block in ordered:
+                self.chains[node_id].add_block(block)
+
+    def committed_everywhere(self) -> list[Any]:
+        """Payloads on every replica's main chain (the survivors)."""
+        if not self.chains:
+            return []
+        common = None
+        for chain in self.chains:
+            payloads = {wire.encode(p) for p in chain.committed_payloads()}
+            common = payloads if common is None else common & payloads
+        return sorted(common)
+
+    def submitted_count(self) -> int:
+        return self._next_tx

@@ -1,0 +1,147 @@
+"""A majority-quorum permissioned linear chain (Hyperledger-style).
+
+The paper's §VI: "The alternative of providing linearizability would
+have led to lack of liveness."  This baseline makes that alternative
+concrete: a permissioned linear chain where a proposer commits a block
+only after collecting acknowledgements from a strict majority of the
+membership (the essence of PBFT/Raft-style committees, stripped of the
+view-change machinery that does not matter for partition behaviour).
+
+Under a partition, only a side holding a majority can commit; minority
+sides are *safe but unavailable* — they lose no committed data, and
+also cannot commit anything.  Experiment E1 contrasts this with
+Vegvisir (all sides available, nothing lost) and Nakamoto (all sides
+available, losers discarded).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.crypto.sha import Hash
+
+
+class QuorumBlock:
+    """One committed block: payload plus the acknowledging voters."""
+
+    __slots__ = ("prev_hash", "height", "proposer", "payload", "voters",
+                 "_hash")
+
+    def __init__(self, prev_hash: Optional[Hash], height: int,
+                 proposer: int, payload: list, voters: frozenset[int]):
+        self.prev_hash = prev_hash
+        self.height = height
+        self.proposer = proposer
+        self.payload = list(payload)
+        self.voters = frozenset(voters)
+        self._hash = Hash.of_value(
+            {
+                "height": height,
+                "payload": self.payload,
+                "prev": prev_hash.digest if prev_hash else b"",
+                "proposer": proposer,
+                "voters": sorted(self.voters),
+            }
+        )
+
+    @property
+    def hash(self) -> Hash:
+        return self._hash
+
+
+class QuorumChain:
+    """A fleet of members running majority-ack commitment.
+
+    Driven round-by-round like :class:`NakamotoNetwork`: each round one
+    member (round-robin) proposes a block carrying pending transactions;
+    it commits iff a strict majority of the *total* membership is in the
+    proposer's connectivity group.  Committed blocks replicate to the
+    group instantly (the interesting dynamics here are availability, not
+    link latency).
+    """
+
+    def __init__(self, member_count: int):
+        if member_count < 1:
+            raise ValueError("need at least one member")
+        self.member_count = member_count
+        self._chains: dict[int, list[QuorumBlock]] = {
+            member: [] for member in range(member_count)
+        }
+        self._pending: dict[int, list[Any]] = {
+            member: [] for member in range(member_count)
+        }
+        self._round = 0
+        self.commit_attempts = 0
+        self.commits_blocked = 0
+
+    def quorum_size(self) -> int:
+        return self.member_count // 2 + 1
+
+    def submit(self, member: int, transaction: Any) -> None:
+        """Queue a transaction at a member."""
+        self._pending[member].append(transaction)
+
+    def chain_of(self, member: int) -> list[QuorumBlock]:
+        return list(self._chains[member])
+
+    def committed_payloads(self, member: int) -> list[Any]:
+        result: list[Any] = []
+        for block in self._chains[member]:
+            result.extend(block.payload)
+        return result
+
+    def round(self, groups: Optional[list[set[int]]] = None) -> bool:
+        """One proposal round.  Returns True iff a block committed."""
+        if groups is None:
+            groups = [set(range(self.member_count))]
+        proposer = self._round % self.member_count
+        self._round += 1
+        group = next(
+            (g for g in groups if proposer in g), {proposer}
+        )
+        # Sync first: everyone in the proposer's group adopts the
+        # longest chain present (committed blocks are final, so chains
+        # are prefixes of one another — adopt is safe).
+        self._sync_group(group)
+        payload = self._pending[proposer]
+        if not payload:
+            return False
+        self.commit_attempts += 1
+        if len(group) < self.quorum_size():
+            # Cannot gather a majority: safe but unavailable.
+            self.commits_blocked += 1
+            return False
+        base = self._chains[proposer]
+        block = QuorumBlock(
+            prev_hash=base[-1].hash if base else None,
+            height=len(base),
+            proposer=proposer,
+            payload=payload,
+            voters=frozenset(sorted(group)[: self.quorum_size()]),
+        )
+        self._pending[proposer] = []
+        for member in group:
+            self._chains[member].append(block)
+        return True
+
+    def _sync_group(self, group: Iterable[int]) -> None:
+        members = sorted(group)
+        longest = max(
+            (self._chains[member] for member in members), key=len
+        )
+        for member in members:
+            chain = self._chains[member]
+            # Committed chains never fork; verify and extend.
+            assert chain == longest[: len(chain)], "quorum safety violated"
+            self._chains[member] = list(longest)
+
+    def consistent(self) -> bool:
+        """All chains are prefixes of the longest — never a fork."""
+        longest = max(self._chains.values(), key=len)
+        return all(
+            chain == longest[: len(chain)]
+            for chain in self._chains.values()
+        )
+
+    def pending_count(self) -> int:
+        return sum(len(queue) for queue in self._pending.values())

@@ -1,0 +1,204 @@
+"""An IOTA-style tangle (DAG of transactions with tip selection).
+
+Included for the related-work comparison (§III): the tangle is also a
+DAG, but its *confirmation* mechanism — cumulative weight accrued from
+later transactions approving earlier ones — assumes transactions keep
+arriving from across the whole network.  Under a partition, each side's
+transactions accrue weight only from that side, and after healing the
+sides' tips must be merged by new transactions before cross-partition
+confirmation resumes.  Vegvisir avoids the issue by not needing
+confirmation at all (CRDT semantics), which experiment E1 contrasts.
+
+Two tip-selection strategies from Popov's whitepaper are implemented:
+uniform random (§2) and the MCMC weighted random walk (§4.1) — a walker
+starts at genesis and repeatedly steps to a child with probability
+proportional to ``exp(alpha * cumulative_weight)``, which biases
+approval toward the heaviest subtangle and starves lazy side-branches.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any
+
+from repro.crypto.sha import Hash
+
+
+class TangleTransaction:
+    """A tangle site: payload plus one or two approved parents."""
+
+    __slots__ = ("tx_id", "payload", "approves", "issuer", "timestamp")
+
+    def __init__(self, tx_id: Hash, payload: Any, approves: list[Hash],
+                 issuer: int, timestamp: int):
+        self.tx_id = tx_id
+        self.payload = payload
+        self.approves = approves
+        self.issuer = issuer
+        self.timestamp = timestamp
+
+    def __repr__(self) -> str:
+        return f"TangleTransaction({self.tx_id.short()})"
+
+
+class Tangle:
+    """One replica's tangle."""
+
+    def __init__(self, seed: int = 0):
+        genesis_id = Hash.of_value(["tangle-genesis"])
+        self._genesis = TangleTransaction(genesis_id, None, [], -1, 0)
+        self._transactions: dict[Hash, TangleTransaction] = {
+            genesis_id: self._genesis
+        }
+        self._approvers: dict[Hash, set[Hash]] = {genesis_id: set()}
+        self._rng = random.Random(seed)
+
+    @property
+    def genesis_id(self) -> Hash:
+        return self._genesis.tx_id
+
+    def tips(self) -> list[Hash]:
+        """Transactions with no approvers, sorted."""
+        return sorted(
+            tx_id for tx_id, approvers in self._approvers.items()
+            if not approvers
+        )
+
+    def select_tips(self, count: int = 2) -> list[Hash]:
+        """Uniform random tip selection (without replacement)."""
+        tips = self.tips()
+        if len(tips) <= count:
+            return tips
+        return sorted(self._rng.sample(tips, count))
+
+    def select_tips_mcmc(self, count: int = 2,
+                         alpha: float = 0.05) -> list[Hash]:
+        """Weighted-random-walk tip selection (whitepaper §4.1).
+
+        Runs *count* independent walkers from genesis; each walker steps
+        to an approver with probability ∝ exp(alpha·W) where W is the
+        approver's cumulative weight, stopping at a tip.  alpha=0 is an
+        unweighted walk; larger alpha concentrates approvals on the main
+        tangle.
+        """
+        selected: list[Hash] = []
+        for _ in range(count):
+            current = self._genesis.tx_id
+            while True:
+                approvers = sorted(self._approvers.get(current, ()))
+                if not approvers:
+                    break
+                weights = [
+                    math.exp(alpha * self.cumulative_weight(approver))
+                    for approver in approvers
+                ]
+                total = sum(weights)
+                draw = self._rng.random() * total
+                cumulative = 0.0
+                for approver, weight in zip(approvers, weights):
+                    cumulative += weight
+                    if draw <= cumulative:
+                        current = approver
+                        break
+            selected.append(current)
+        return sorted(set(selected))
+
+    def issue_mcmc(self, payload: Any, issuer: int, timestamp: int,
+                   alpha: float = 0.05) -> TangleTransaction:
+        """Issue a transaction using MCMC tip selection."""
+        approves = self.select_tips_mcmc(alpha=alpha)
+        tx_id = Hash.of_value(
+            ["tx", [h.digest for h in approves], issuer, timestamp,
+             payload]
+        )
+        tx = TangleTransaction(tx_id, payload, approves, issuer, timestamp)
+        self.receive(tx)
+        return tx
+
+    def issue(self, payload: Any, issuer: int,
+              timestamp: int) -> TangleTransaction:
+        """Create a transaction approving locally selected tips."""
+        approves = self.select_tips()
+        tx_id = Hash.of_value(
+            ["tx", [h.digest for h in approves], issuer, timestamp,
+             payload]
+        )
+        tx = TangleTransaction(tx_id, payload, approves, issuer, timestamp)
+        self.receive(tx)
+        return tx
+
+    def receive(self, tx: TangleTransaction) -> bool:
+        """Insert a transaction if all approved parents are known."""
+        if tx.tx_id in self._transactions:
+            return False
+        if any(parent not in self._transactions for parent in tx.approves):
+            return False
+        self._transactions[tx.tx_id] = tx
+        self._approvers[tx.tx_id] = set()
+        for parent in tx.approves:
+            self._approvers[parent].add(tx.tx_id)
+        return True
+
+    def cumulative_weight(self, tx_id: Hash) -> int:
+        """1 + number of transactions directly or indirectly approving."""
+        seen: set[Hash] = set()
+        stack = [tx_id]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._approvers.get(current, ()))
+        return len(seen)
+
+    def is_confirmed(self, tx_id: Hash, weight_threshold: int) -> bool:
+        return self.cumulative_weight(tx_id) >= weight_threshold
+
+    def confirmed_fraction(self, weight_threshold: int) -> float:
+        """Fraction of non-genesis transactions at or above the
+        confirmation threshold."""
+        candidates = [
+            tx_id for tx_id in self._transactions
+            if tx_id != self._genesis.tx_id
+        ]
+        if not candidates:
+            return 1.0
+        confirmed = sum(
+            1 for tx_id in candidates
+            if self.is_confirmed(tx_id, weight_threshold)
+        )
+        return confirmed / len(candidates)
+
+    def merge_from(self, other: "Tangle") -> int:
+        """Pull every transaction from *other* (used at partition heal).
+
+        Returns how many were new.  Transactions are inserted in
+        dependency order.
+        """
+        added = 0
+        pending = [
+            tx for tx_id, tx in other._transactions.items()
+            if tx_id not in self._transactions
+        ]
+        progress = True
+        while pending and progress:
+            progress = False
+            remaining = []
+            for tx in pending:
+                if self.receive(tx):
+                    added += 1
+                    progress = True
+                else:
+                    remaining.append(tx)
+            pending = remaining
+        return added
+
+    def all_ids(self) -> set[Hash]:
+        return set(self._transactions)
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __contains__(self, tx_id: Hash) -> bool:
+        return tx_id in self._transactions

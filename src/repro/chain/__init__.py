@@ -1,0 +1,48 @@
+"""Blocks, transactions, and the block DAG (S5-S6, paper §IV-C/D/G).
+
+A Vegvisir block carries a header (creator id, timestamp, optional
+location, parent hashes), zero or more transactions, and the creator's
+signature (Fig. 2).  Blocks form a DAG with a unique genesis sink
+(Fig. 1); :class:`BlockDAG` stores a replica's copy and answers the
+frontier-set queries that drive reconciliation (Fig. 3).
+"""
+
+from repro.chain.block import (
+    Block,
+    BlockHeader,
+    Transaction,
+    USERS_CRDT_NAME,
+    CRDTS_CRDT_NAME,
+)
+from repro.chain.dag import BlockDAG
+from repro.chain.errors import (
+    ChainError,
+    DuplicateBlockError,
+    MalformedBlockError,
+    MissingParentsError,
+    NotAMemberError,
+    SignatureInvalidError,
+    TimestampError,
+    UnknownBlockError,
+    ValidationError,
+)
+from repro.chain.validation import BlockValidator
+
+__all__ = [
+    "Block",
+    "BlockDAG",
+    "BlockHeader",
+    "BlockValidator",
+    "CRDTS_CRDT_NAME",
+    "ChainError",
+    "DuplicateBlockError",
+    "MalformedBlockError",
+    "MissingParentsError",
+    "NotAMemberError",
+    "SignatureInvalidError",
+    "TimestampError",
+    "Transaction",
+    "USERS_CRDT_NAME",
+    "UnknownBlockError",
+    "ValidationError",
+]

@@ -1,0 +1,276 @@
+"""Blocks and transactions (paper §IV-D, Fig. 2).
+
+A transaction names a CRDT, an operation, and arguments; it carries no
+signature of its own — the enclosing block's signature covers it, and the
+block's creator is the originator of every transaction in the block.
+
+The block header holds the creator's user id, a timestamp, an optional
+physical location, and the list of parent hashes.  The block hash covers
+the entire block including the signature, so a block is immutable down to
+the last byte once referenced as a parent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro import wire
+from repro.chain.errors import MalformedBlockError
+from repro.crypto.keys import KeyPair
+from repro.crypto.sha import Hash
+
+# Reserved CRDT names (the paper's U and Ω).
+USERS_CRDT_NAME = "__users__"
+CRDTS_CRDT_NAME = "__crdts__"
+
+MAX_PARENTS = 64
+MAX_TRANSACTIONS = 1024
+MAX_ARG_BYTES = 64 * 1024
+
+
+class Transaction:
+    """One CRDT operation: ``(crdt_name, op, args)``."""
+
+    __slots__ = ("crdt_name", "op", "args")
+
+    def __init__(self, crdt_name: str, op: str, args: Sequence[Any]):
+        if not isinstance(crdt_name, str) or not crdt_name:
+            raise MalformedBlockError("transaction needs a CRDT name")
+        if not isinstance(op, str) or not op:
+            raise MalformedBlockError("transaction needs an operation name")
+        self.crdt_name = crdt_name
+        self.op = op
+        self.args = list(args)
+
+    def to_wire(self) -> dict:
+        return {"crdt": self.crdt_name, "op": self.op, "args": self.args}
+
+    @classmethod
+    def from_wire(cls, value: Any) -> "Transaction":
+        if not isinstance(value, dict):
+            raise MalformedBlockError("transaction must be a map")
+        try:
+            return cls(value["crdt"], value["op"], value["args"])
+        except KeyError as exc:
+            raise MalformedBlockError(f"transaction missing {exc}") from exc
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Transaction)
+            and self.crdt_name == other.crdt_name
+            and self.op == other.op
+            and self.args == other.args
+        )
+
+    def __repr__(self) -> str:
+        return f"Transaction({self.crdt_name}.{self.op})"
+
+
+class BlockHeader:
+    """Creator id, timestamp, optional location, parent hashes (Fig. 2).
+
+    Locations are fixed-point integers (degrees × 1e7) because the wire
+    format deliberately has no floats.
+    """
+
+    __slots__ = ("user_id", "timestamp", "location", "parents")
+
+    def __init__(
+        self,
+        user_id: Hash,
+        timestamp: int,
+        parents: Sequence[Hash],
+        location: Optional[tuple[int, int]] = None,
+    ):
+        parents = list(parents)
+        if len(parents) > MAX_PARENTS:
+            raise MalformedBlockError(
+                f"{len(parents)} parents exceeds limit of {MAX_PARENTS}"
+            )
+        if len({bytes(parent) for parent in parents}) != len(parents):
+            raise MalformedBlockError("duplicate parent hashes")
+        self.user_id = user_id
+        self.timestamp = int(timestamp)
+        self.location = (
+            (int(location[0]), int(location[1])) if location is not None else None
+        )
+        # Canonical parent order: sorted by hash, so two blocks citing the
+        # same parent set serialize identically.
+        self.parents = sorted(parents)
+
+    def to_wire(self) -> dict:
+        return {
+            "location": (
+                list(self.location) if self.location is not None else None
+            ),
+            "parents": [parent.digest for parent in self.parents],
+            "timestamp": self.timestamp,
+            "user_id": self.user_id.digest,
+        }
+
+    @classmethod
+    def from_wire(cls, value: Any) -> "BlockHeader":
+        if not isinstance(value, dict):
+            raise MalformedBlockError("header must be a map")
+        try:
+            location = value["location"]
+            return cls(
+                user_id=Hash(value["user_id"]),
+                timestamp=value["timestamp"],
+                parents=[Hash(digest) for digest in value["parents"]],
+                location=tuple(location) if location is not None else None,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MalformedBlockError(f"malformed header: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockHeader(user={self.user_id.short()}, "
+            f"ts={self.timestamp}, parents={len(self.parents)})"
+        )
+
+
+class Block:
+    """An immutable signed block.
+
+    Use :meth:`Block.create` to build and sign a block in one step.  The
+    block hash is computed over the full wire encoding (header +
+    transactions + signature) and cached.
+    """
+
+    __slots__ = ("header", "transactions", "signature", "_hash", "_wire_size")
+
+    def __init__(
+        self,
+        header: BlockHeader,
+        transactions: Sequence[Transaction],
+        signature: bytes,
+    ):
+        transactions = list(transactions)
+        if len(transactions) > MAX_TRANSACTIONS:
+            raise MalformedBlockError(
+                f"{len(transactions)} transactions exceeds limit"
+            )
+        self.header = header
+        self.transactions = transactions
+        self.signature = bytes(signature)
+        encoded = wire.encode(self.to_wire())
+        self._hash = Hash.of_bytes(encoded)
+        self._wire_size = len(encoded)
+
+    @classmethod
+    def create(
+        cls,
+        key_pair: KeyPair,
+        parents: Sequence[Hash],
+        timestamp: int,
+        transactions: Sequence[Transaction] = (),
+        location: Optional[tuple[int, int]] = None,
+    ) -> "Block":
+        """Build a block, sign it with *key_pair*, and return it."""
+        header = BlockHeader(
+            user_id=key_pair.user_id,
+            timestamp=timestamp,
+            parents=parents,
+            location=location,
+        )
+        payload = cls._signing_payload(header, list(transactions))
+        signature = key_pair.sign(payload)
+        return cls(header, transactions, signature)
+
+    @staticmethod
+    def _signing_payload(
+        header: BlockHeader, transactions: list[Transaction]
+    ) -> bytes:
+        return wire.encode(
+            {
+                "header": header.to_wire(),
+                "transactions": [tx.to_wire() for tx in transactions],
+            }
+        )
+
+    def signing_payload(self) -> bytes:
+        """The bytes the creator signed (header + transactions)."""
+        return self._signing_payload(self.header, self.transactions)
+
+    @property
+    def hash(self) -> Hash:
+        return self._hash
+
+    @property
+    def wire_size(self) -> int:
+        """Size in bytes of the canonical encoding."""
+        return self._wire_size
+
+    @property
+    def parents(self) -> list[Hash]:
+        return self.header.parents
+
+    @property
+    def user_id(self) -> Hash:
+        return self.header.user_id
+
+    @property
+    def timestamp(self) -> int:
+        return self.header.timestamp
+
+    def is_genesis(self) -> bool:
+        return not self.header.parents
+
+    def to_wire(self) -> dict:
+        return {
+            "header": self.header.to_wire(),
+            "signature": self.signature,
+            "transactions": [tx.to_wire() for tx in self.transactions],
+        }
+
+    @classmethod
+    def from_wire(cls, value: Any) -> "Block":
+        if not isinstance(value, dict):
+            raise MalformedBlockError("block must be a map")
+        try:
+            header = BlockHeader.from_wire(value["header"])
+            transactions = [
+                Transaction.from_wire(tx) for tx in value["transactions"]
+            ]
+            signature = value["signature"]
+        except (KeyError, TypeError) as exc:
+            raise MalformedBlockError(f"malformed block: {exc}") from exc
+        if not isinstance(signature, bytes):
+            raise MalformedBlockError("signature must be bytes")
+        return cls(header, transactions, signature)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Block":
+        """Parse a block from its canonical encoding.
+
+        Strict: the input must be byte-identical to the parsed block's
+        canonical encoding.  (The wire codec already rejects
+        non-canonical encodings of a given value; this additionally
+        rejects *structural* coercions — e.g. an empty map where the
+        parent list belongs — so a block has exactly one accepted
+        transport encoding.)
+        """
+        try:
+            value = wire.decode(data)
+        except wire.DecodeError as exc:
+            raise MalformedBlockError(f"undecodable block: {exc}") from exc
+        block = cls.from_wire(value)
+        if block.to_bytes() != bytes(data):
+            raise MalformedBlockError("non-canonical block encoding")
+        return block
+
+    def to_bytes(self) -> bytes:
+        return wire.encode(self.to_wire())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Block) and self._hash == other._hash
+
+    def __hash__(self) -> int:
+        return hash(self._hash)
+
+    def __repr__(self) -> str:
+        return (
+            f"Block({self._hash.short()}, user={self.user_id.short()}, "
+            f"txs={len(self.transactions)}, parents={len(self.parents)})"
+        )

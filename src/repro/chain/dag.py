@@ -1,0 +1,241 @@
+"""The block DAG (paper Fig. 1, §IV-C/G).
+
+:class:`BlockDAG` is one replica's copy of the chain: an append-only store
+of blocks indexed by hash, with parent/child edges, the frontier set (the
+blocks with no successors, which reconciliation exchanges first), level-N
+frontier sets (Fig. 3), heights, and topological iteration for the CRDT
+state machine.
+
+The DAG enforces only *structural* rules (parents present, single genesis,
+no duplicates); the protocol validity checks of §IV-E live in
+:mod:`repro.chain.validation` so that storage and policy stay separate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Optional
+
+from repro.chain.block import Block
+from repro.chain.errors import (
+    ChainError,
+    DuplicateBlockError,
+    MissingParentsError,
+    UnknownBlockError,
+)
+from repro.crypto.sha import Hash
+
+
+class BlockDAG:
+    """One replica's block DAG, rooted at a single genesis block."""
+
+    def __init__(self, genesis: Block):
+        if not genesis.is_genesis():
+            raise ChainError("genesis block must have no parents")
+        self._blocks: dict[Hash, Block] = {genesis.hash: genesis}
+        self._children: dict[Hash, set[Hash]] = {genesis.hash: set()}
+        self._heights: dict[Hash, int] = {genesis.hash: 0}
+        self._frontier: set[Hash] = {genesis.hash}
+        self._genesis_hash = genesis.hash
+        # Insertion sequence: one valid topological order, kept so replay
+        # and persistence can stream blocks in an order that respects
+        # parent-before-child.
+        self._order: list[Hash] = [genesis.hash]
+
+    @property
+    def genesis_hash(self) -> Hash:
+        """Identifies the blockchain (§IV-G)."""
+        return self._genesis_hash
+
+    @property
+    def genesis(self) -> Block:
+        return self._blocks[self._genesis_hash]
+
+    def add_block(self, block: Block) -> None:
+        """Insert a block whose parents are all present.
+
+        Raises :class:`DuplicateBlockError` if already present (including
+        a second genesis) and :class:`MissingParentsError` listing absent
+        parents otherwise.
+        """
+        if block.hash in self._blocks:
+            raise DuplicateBlockError(f"block {block.hash.short()} present")
+        if block.is_genesis():
+            raise DuplicateBlockError("a second genesis block is not allowed")
+        missing = [p for p in block.parents if p not in self._blocks]
+        if missing:
+            raise MissingParentsError(missing)
+        self._blocks[block.hash] = block
+        self._children[block.hash] = set()
+        self._order.append(block.hash)
+        height = 0
+        for parent in block.parents:
+            self._children[parent].add(block.hash)
+            self._frontier.discard(parent)
+            height = max(height, self._heights[parent] + 1)
+        self._heights[block.hash] = height
+        self._frontier.add(block.hash)
+
+    def get(self, block_hash: Hash) -> Block:
+        try:
+            return self._blocks[block_hash]
+        except KeyError:
+            raise UnknownBlockError(
+                f"no block {block_hash.short()}"
+            ) from None
+
+    def maybe_get(self, block_hash: Hash) -> Optional[Block]:
+        return self._blocks.get(block_hash)
+
+    def height(self, block_hash: Hash) -> int:
+        """Length of the longest path from genesis to this block."""
+        try:
+            return self._heights[block_hash]
+        except KeyError:
+            raise UnknownBlockError(
+                f"no block {block_hash.short()}"
+            ) from None
+
+    def children(self, block_hash: Hash) -> set[Hash]:
+        try:
+            return set(self._children[block_hash])
+        except KeyError:
+            raise UnknownBlockError(
+                f"no block {block_hash.short()}"
+            ) from None
+
+    def frontier(self) -> set[Hash]:
+        """The level-1 frontier set: blocks with no successors (§IV-G)."""
+        return set(self._frontier)
+
+    def frontier_level(self, level: int) -> set[Hash]:
+        """The level-N frontier set (Fig. 3).
+
+        Level 1 is the frontier; level N is level N-1 plus the parents of
+        all its blocks.  Used by the reconciliation protocol to bridge
+        progressively deeper divergences.
+        """
+        if level < 1:
+            raise ValueError("frontier level must be >= 1")
+        result = set(self._frontier)
+        boundary = set(self._frontier)
+        for _ in range(level - 1):
+            parents: set[Hash] = set()
+            for block_hash in boundary:
+                parents.update(self._blocks[block_hash].parents)
+            new = parents - result
+            if not new:
+                break
+            result |= new
+            boundary = new
+        return result
+
+    def parents_of(self, block_hashes: Iterable[Hash]) -> set[Hash]:
+        """Union of the parent sets of the given blocks."""
+        parents: set[Hash] = set()
+        for block_hash in block_hashes:
+            parents.update(self.get(block_hash).parents)
+        return parents
+
+    def ancestors(self, block_hash: Hash) -> set[Hash]:
+        """All ancestors of a block (excluding the block itself)."""
+        result: set[Hash] = set()
+        stack = list(self.get(block_hash).parents)
+        while stack:
+            current = stack.pop()
+            if current in result:
+                continue
+            result.add(current)
+            stack.extend(self._blocks[current].parents)
+        return result
+
+    def is_ancestor(self, ancestor: Hash, descendant: Hash) -> bool:
+        """Is *ancestor* in the causal past of *descendant*?"""
+        if ancestor not in self._blocks:
+            raise UnknownBlockError(f"no block {ancestor.short()}")
+        if ancestor == descendant:
+            return False
+        target_height = self._heights[ancestor]
+        seen: set[Hash] = set()
+        stack = list(self.get(descendant).parents)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current == ancestor:
+                return True
+            # Prune: an ancestor's height is strictly lower.
+            if self._heights[current] > target_height:
+                stack.extend(self._blocks[current].parents)
+        return False
+
+    def descendants(self, block_hash: Hash) -> set[Hash]:
+        """All descendants of a block (excluding the block itself)."""
+        result: set[Hash] = set()
+        stack = list(self.children(block_hash))
+        while stack:
+            current = stack.pop()
+            if current in result:
+                continue
+            result.add(current)
+            stack.extend(self._children[current])
+        return result
+
+    def insertion_order(self) -> list[Hash]:
+        """The order blocks were added — a valid topological order."""
+        return list(self._order)
+
+    def topological_order(
+        self, rng: Optional[random.Random] = None
+    ) -> list[Hash]:
+        """A topological order (parents before children).
+
+        With *rng*, a uniformly shuffled one — used by convergence tests to
+        check that replay order does not matter; without, a deterministic
+        order sorted by (height, hash).
+        """
+        in_degree = {
+            block_hash: len(block.parents)
+            for block_hash, block in self._blocks.items()
+        }
+        ready = [h for h, degree in in_degree.items() if degree == 0]
+        result: list[Hash] = []
+        while ready:
+            if rng is not None:
+                index = rng.randrange(len(ready))
+                ready[index], ready[-1] = ready[-1], ready[index]
+            else:
+                ready.sort(key=lambda h: (self._heights[h], h.digest),
+                           reverse=True)
+            current = ready.pop()
+            result.append(current)
+            for child in self._children[current]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    ready.append(child)
+        return result
+
+    def blocks(self) -> Iterator[Block]:
+        """All blocks in insertion (topological) order."""
+        return (self._blocks[h] for h in self._order)
+
+    def hashes(self) -> set[Hash]:
+        return set(self._blocks)
+
+    def total_wire_size(self) -> int:
+        """Total bytes of all stored blocks' canonical encodings."""
+        return sum(block.wire_size for block in self._blocks.values())
+
+    def frontier_width(self) -> int:
+        """Number of leaves — the branching measure of experiment F1."""
+        return len(self._frontier)
+
+    def max_height(self) -> int:
+        return max(self._heights.values())
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block_hash: Hash) -> bool:
+        return block_hash in self._blocks

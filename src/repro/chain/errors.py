@@ -1,0 +1,52 @@
+"""Chain-level errors.
+
+Validation errors map one-to-one onto the block validity checks of
+§IV-E: parents known, timestamp window, signature, and membership.
+"""
+
+from __future__ import annotations
+
+
+class ChainError(Exception):
+    """Base class for chain errors."""
+
+
+class MalformedBlockError(ChainError):
+    """A block failed structural parsing or exceeds size limits."""
+
+
+class ValidationError(ChainError):
+    """Base class for the §IV-E block validity check failures."""
+
+
+class MissingParentsError(ValidationError):
+    """One or more parent blocks are not in the local DAG yet.
+
+    Carries the missing hashes so reconciliation can fetch deeper frontier
+    levels (Algorithm 1).
+    """
+
+    def __init__(self, missing):
+        self.missing = list(missing)
+        shorts = ", ".join(h.short() for h in self.missing)
+        super().__init__(f"missing parent blocks: {shorts}")
+
+
+class TimestampError(ValidationError):
+    """Timestamp not above all parents' or not below the local clock."""
+
+
+class SignatureInvalidError(ValidationError):
+    """The block signature does not verify against the creator's key."""
+
+
+class NotAMemberError(ValidationError):
+    """The block creator has no live certificate in the block's causal past."""
+
+
+class DuplicateBlockError(ChainError):
+    """The block is already present in the DAG."""
+
+
+class UnknownBlockError(ChainError):
+    """A query referenced a block hash not present in the DAG."""

@@ -1,0 +1,125 @@
+"""Block validity checks (paper §IV-E).
+
+A new block is valid iff:
+
+1. the creator is a member of the blockchain (a live certificate exists in
+   the block's causal past — evaluated as-of the block's parents so every
+   replica reaches the same verdict regardless of replay order);
+2. all parent blocks are already in the DAG;
+3. the timestamp is strictly above the maximum parent timestamp and at or
+   below the local clock (plus a configurable skew allowance);
+4. the signature verifies against the member's public key and the header
+   user id matches that key.
+
+Membership resolution is delegated to a ``MemberResolver`` callback so the
+validator does not depend on the CRDT state machine package.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.chain.block import Block
+from repro.chain.dag import BlockDAG
+from repro.chain.errors import (
+    DuplicateBlockError,
+    MissingParentsError,
+    NotAMemberError,
+    SignatureInvalidError,
+    TimestampError,
+)
+from repro.crypto.ed25519 import PublicKey
+from repro.crypto.sha import Hash
+
+# Clock skew allowance: ad hoc IoT devices do not have synchronized
+# clocks; the paper only requires the timestamp be "lower than the current
+# time at the user", which we soften by a bounded skew.
+DEFAULT_MAX_SKEW_MS = 5_000
+
+
+class MemberResolver(Protocol):
+    """Resolves the creator's public key as-of a block's causal past.
+
+    Returns the member's public key if a live (non-revoked) certificate
+    for *user_id* is visible from *parent_hashes*, else ``None``.
+    """
+
+    def __call__(self, user_id: Hash, parent_hashes: list[Hash]) -> (
+        Optional[PublicKey]
+    ): ...
+
+
+class BlockValidator:
+    """Applies the §IV-E block checks against a DAG and a member resolver."""
+
+    def __init__(
+        self,
+        dag: BlockDAG,
+        resolve_member: MemberResolver,
+        max_skew_ms: int = DEFAULT_MAX_SKEW_MS,
+    ):
+        self._dag = dag
+        self._resolve_member = resolve_member
+        self._max_skew_ms = max_skew_ms
+
+    def validate(self, block: Block, now_ms: int,
+                 verify_signature: bool = True) -> None:
+        """Raise a :class:`ValidationError` subclass if *block* is invalid.
+
+        Check order matters for reconciliation: missing parents must be
+        reported before anything that needs parent data, so the caller can
+        fetch deeper frontier levels and retry.
+
+        ``verify_signature=False`` skips only the Ed25519 verification
+        (membership, user-id binding, parents, and timestamps still
+        run) — for replaying storage this device already validated and
+        sealed; never for blocks from a peer.
+        """
+        if block.hash in self._dag:
+            raise DuplicateBlockError(
+                f"block {block.hash.short()} already in DAG"
+            )
+        if block.is_genesis():
+            raise DuplicateBlockError("a second genesis block is not allowed")
+
+        missing = [p for p in block.parents if p not in self._dag]
+        if missing:
+            raise MissingParentsError(missing)
+
+        max_parent_ts = max(
+            self._dag.get(parent).timestamp for parent in block.parents
+        )
+        if block.timestamp <= max_parent_ts:
+            raise TimestampError(
+                f"timestamp {block.timestamp} not above parent maximum "
+                f"{max_parent_ts}"
+            )
+        if block.timestamp > now_ms + self._max_skew_ms:
+            raise TimestampError(
+                f"timestamp {block.timestamp} is in the future "
+                f"(now {now_ms}, skew {self._max_skew_ms})"
+            )
+
+        public_key = self._resolve_member(block.user_id, block.parents)
+        if public_key is None:
+            raise NotAMemberError(
+                f"user {block.user_id.short()} has no live certificate in "
+                f"the block's causal past"
+            )
+        if Hash.of_bytes(public_key.data) != block.user_id:
+            raise SignatureInvalidError("header user id does not match key")
+        if verify_signature and not public_key.verify(
+            block.signing_payload(), block.signature
+        ):
+            raise SignatureInvalidError(
+                f"signature of block {block.hash.short()} does not verify"
+            )
+
+    def is_valid(self, block: Block, now_ms: int) -> bool:
+        """Boolean form of :meth:`validate` (duplicates count as invalid)."""
+        try:
+            self.validate(block, now_ms)
+        except (DuplicateBlockError, MissingParentsError, TimestampError,
+                NotAMemberError, SignatureInvalidError):
+            return False
+        return True

@@ -1,0 +1,304 @@
+"""Command-line interface.
+
+Four subcommands cover the workflows a user reaches for first:
+
+* ``keygen PATH`` — generate an Ed25519 key seed file.
+* ``init STORE --owner-key KEY [--name NAME]`` — create a new chain and
+  persist it to a block store.
+* ``inspect STORE`` — summarize a persisted chain: blocks, members,
+  CRDTs, frontier, per-CRDT values.
+* ``simulate`` — run a gossiping fleet (optionally partitioned) and
+  print the dissemination/energy summary.
+* ``demo`` — the quickstart scenario end to end.
+
+Run as ``python -m repro <command>`` or via the ``vegvisir`` script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from repro.core.genesis import create_genesis
+from repro.crypto.keys import KeyPair
+from repro.crypto.ed25519 import PrivateKey
+
+
+def _load_key(path: str) -> KeyPair:
+    seed = pathlib.Path(path).read_bytes()
+    if len(seed) != 32:
+        raise SystemExit(f"key file {path} must hold a 32-byte seed")
+    return KeyPair(PrivateKey(seed))
+
+
+def _cmd_keygen(args: argparse.Namespace) -> int:
+    import os
+
+    path = pathlib.Path(args.path)
+    if path.exists() and not args.force:
+        print(f"refusing to overwrite {path} (use --force)",
+              file=sys.stderr)
+        return 1
+    seed = os.urandom(32)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(seed)
+    key = KeyPair(PrivateKey(seed))
+    print(f"wrote key seed to {path}")
+    print(f"user id: {key.user_id.hex()}")
+    return 0
+
+
+def _cmd_init(args: argparse.Namespace) -> int:
+    from repro.core.node import VegvisirNode
+    from repro.storage import save_node
+
+    owner = _load_key(args.owner_key)
+    genesis = create_genesis(owner, chain_name=args.name)
+    node = VegvisirNode(owner, genesis)
+    save_node(node, args.store)
+    print(f"created chain {node.chain_id.hex()}")
+    print(f"owner: {owner.user_id.hex()}")
+    print(f"store: {args.store}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.storage import BlockStore
+    from repro.chain.dag import BlockDAG
+    from repro.csm.machine import CSMachine
+
+    store = BlockStore(args.store)
+    blocks = list(store.blocks())
+    if not blocks:
+        print("store is empty", file=sys.stderr)
+        return 1
+    genesis = blocks[0]
+    dag = BlockDAG(genesis)
+    machine = CSMachine.from_genesis(genesis)
+    for block in blocks[1:]:
+        dag.add_block(block)
+        machine.replay_block(block)
+    print(f"chain:     {dag.genesis_hash.hex()}")
+    print(f"blocks:    {len(dag)}  (max height {dag.max_height()}, "
+          f"frontier width {dag.frontier_width()})")
+    print(f"bytes:     {dag.total_wire_size()}")
+    print(f"txs:       {machine.applied_count} applied, "
+          f"{machine.rejected_count} rejected")
+    print("members:")
+    for certificate in machine.members():
+        print(f"  {certificate.user_id.hex()[:16]}…  role={certificate.role}")
+    print("crdts:")
+    for name in machine.crdt_names():
+        value = machine.crdt_value(name)
+        rendered = repr(value)
+        if len(rendered) > 70:
+            rendered = rendered[:67] + "..."
+        print(f"  {name}: {rendered}")
+    if args.dag:
+        from repro.report import render_dag
+
+        print()
+        print(render_dag(dag))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Replay a store through full validation and report the verdict."""
+    from repro.chain.errors import ChainError
+    from repro.storage import BlockStore, StorageError, load_node
+    from repro.crypto.keys import KeyPair
+    from repro.crypto.ed25519 import PrivateKey
+    import os
+
+    # Verification needs any key pair to instantiate a node; use a
+    # throwaway one (it never signs anything during a load).
+    throwaway = KeyPair(PrivateKey(os.urandom(32)))
+    try:
+        node = load_node(throwaway, args.store)
+    except (StorageError, ChainError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(node.dag)} blocks validate "
+          f"(chain {node.chain_id.hex()[:16]}…, "
+          f"{node.csm.applied_count} txs applied, "
+          f"{node.csm.rejected_count} rejected)")
+    return 0
+
+
+def _jsonable(value):
+    """Wire values -> JSON-compatible (bytes become hex strings)."""
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, list):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    return value
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    """Print one CRDT's value (or all) as JSON."""
+    import json
+
+    from repro.storage import BlockStore
+    from repro.chain.dag import BlockDAG
+    from repro.csm.machine import CSMachine
+
+    store = BlockStore(args.store)
+    blocks = list(store.blocks())
+    if not blocks:
+        print("store is empty", file=sys.stderr)
+        return 1
+    dag = BlockDAG(blocks[0])
+    machine = CSMachine.from_genesis(blocks[0])
+    for block in blocks[1:]:
+        dag.add_block(block)
+        machine.replay_block(block)
+    if args.crdt:
+        names = [args.crdt]
+        if args.crdt not in machine.crdt_names():
+            print(f"no CRDT named {args.crdt!r}", file=sys.stderr)
+            return 1
+    else:
+        names = machine.crdt_names()
+    payload = {
+        name: _jsonable(machine.crdt_value(name)) for name in names
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.net.partitions import PartitionSchedule, PartitionedTopology
+    from repro.net.topology import FullMeshTopology
+    from repro.sim import Scenario, Simulation
+
+    topology_factory = FullMeshTopology
+    if args.partition_until:
+        def topology_factory(node_count):  # noqa: F811
+            half = node_count // 2
+            schedule = PartitionSchedule([
+                (0, args.partition_until,
+                 [set(range(half)), set(range(half, node_count))])
+            ])
+            return PartitionedTopology(
+                FullMeshTopology(node_count), schedule
+            )
+
+    scenario = Scenario(
+        node_count=args.nodes,
+        duration_ms=args.duration,
+        append_interval_ms=args.append_interval,
+        topology_factory=topology_factory,
+        seed=args.seed,
+    )
+    sim = Simulation(scenario).run()
+    sim.run_quiescence(args.duration // 2)
+    from repro.report import simulation_report
+
+    print(simulation_report(sim))
+    return 0 if sim.converged() else 1
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.node import VegvisirNode
+    from repro.membership.authority import CertificateAuthority
+    from repro.reconcile import FrontierProtocol
+
+    owner = KeyPair.deterministic(1)
+    authority = CertificateAuthority(owner)
+    alice, bob = KeyPair.deterministic(2), KeyPair.deterministic(3)
+    genesis = create_genesis(owner, chain_name="demo", founding_members=[
+        authority.issue(alice.public_key, "medic"),
+        authority.issue(bob.public_key, "sensor"),
+    ])
+    ticks = [1000]
+
+    def clock():
+        ticks[0] += 10
+        return ticks[0]
+
+    node_a = VegvisirNode(alice, genesis, clock=clock)
+    node_b = VegvisirNode(bob, genesis, clock=clock)
+    node_a.create_crdt("events", "append_log", "str",
+                       permissions={"append": "*"})
+    protocol = FrontierProtocol()
+    protocol.run(node_b, node_a)
+    node_a.append_transactions(
+        [node_a.crdt_op("events", "append", "hello from alice")]
+    )
+    node_b.append_transactions(
+        [node_b.crdt_op("events", "append", "hello from bob")]
+    )
+    stats = protocol.run(node_a, node_b)
+    print(f"chain {node_a.chain_id.short()} reconciled in "
+          f"{stats.rounds} round(s), {stats.total_bytes} bytes")
+    print("events:", node_a.crdt_value("events"))
+    print("converged:", node_a.state_digest() == node_b.state_digest())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="vegvisir",
+        description="Vegvisir: a partition-tolerant blockchain for IoT",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    keygen = commands.add_parser("keygen", help="generate a key seed file")
+    keygen.add_argument("path")
+    keygen.add_argument("--force", action="store_true")
+    keygen.set_defaults(func=_cmd_keygen)
+
+    init = commands.add_parser("init", help="create a new chain")
+    init.add_argument("store")
+    init.add_argument("--owner-key", required=True)
+    init.add_argument("--name", default="vegvisir")
+    init.set_defaults(func=_cmd_init)
+
+    inspect = commands.add_parser("inspect", help="summarize a chain store")
+    inspect.add_argument("store")
+    inspect.add_argument("--dag", action="store_true",
+                         help="render the block DAG as ASCII")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    verify = commands.add_parser(
+        "verify", help="fully validate every block in a store"
+    )
+    verify.add_argument("store")
+    verify.set_defaults(func=_cmd_verify)
+
+    export = commands.add_parser(
+        "export", help="print CRDT values from a store as JSON"
+    )
+    export.add_argument("store")
+    export.add_argument("--crdt", help="export a single CRDT by name")
+    export.set_defaults(func=_cmd_export)
+
+    simulate = commands.add_parser("simulate", help="run a gossip fleet")
+    simulate.add_argument("--nodes", type=int, default=8)
+    simulate.add_argument("--duration", type=int, default=30_000,
+                          help="simulated ms")
+    simulate.add_argument("--append-interval", type=int, default=4_000)
+    simulate.add_argument("--partition-until", type=int, default=0,
+                          help="2-way partition until this time (ms)")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    demo = commands.add_parser("demo", help="run the quickstart scenario")
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""The Vegvisir node (S8, S10).
+
+:class:`~repro.core.node.VegvisirNode` ties together a block DAG, the
+CRDT state machine, and the member's key pair.  Appending transactions
+reins in branching by citing every local frontier block as a parent
+(§IV-A); :class:`~repro.core.witness.WitnessTracker` implements the
+proof-of-witness persistence predicate (§IV-H).
+"""
+
+from repro.core.genesis import create_genesis
+from repro.core.node import VegvisirNode
+from repro.core.witness import WitnessTracker
+
+__all__ = ["VegvisirNode", "WitnessTracker", "create_genesis"]

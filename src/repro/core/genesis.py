@@ -1,0 +1,71 @@
+"""Genesis block construction (paper §IV-C).
+
+The owner generates and signs the genesis block, which carries the
+owner's self-signed certificate — the owner acts as the blockchain's CA.
+Additional founding members and an optional human-readable chain name can
+be baked in as further genesis transactions.  The genesis hash is the
+chain's identity (§IV-G: "the unique sink of the DAG").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.chain.block import Block, Transaction, USERS_CRDT_NAME
+from repro.crypto.keys import KeyPair
+from repro.membership.authority import CertificateAuthority
+from repro.membership.certificate import Certificate
+
+CHAIN_NAME_CRDT = "__chain_name__"
+
+
+def create_genesis(
+    owner: KeyPair,
+    chain_name: Optional[str] = None,
+    timestamp: int = 0,
+    founding_members: Sequence[Certificate] = (),
+    location: Optional[tuple[int, int]] = None,
+) -> Block:
+    """Build and sign the genesis block for a new blockchain.
+
+    Args:
+        owner: the blockchain owner's key pair (becomes the CA).
+        chain_name: optional display name, stored in an LWW register
+            named ``__chain_name__``.
+        timestamp: genesis timestamp in ms (all other blocks must be
+            strictly later).
+        founding_members: CA-signed certificates added alongside the
+            owner, so the chain starts with a membership.
+        location: optional fixed-point (lat × 1e7, lon × 1e7).
+    """
+    authority = CertificateAuthority(owner)
+    owner_certificate = authority.self_certificate(issued_at=timestamp)
+    transactions = [
+        Transaction(USERS_CRDT_NAME, "add", [owner_certificate.to_wire()])
+    ]
+    for certificate in founding_members:
+        transactions.append(
+            Transaction(USERS_CRDT_NAME, "add", [certificate.to_wire()])
+        )
+    if chain_name is not None:
+        transactions.append(
+            Transaction(
+                "__crdts__",
+                "create",
+                [
+                    CHAIN_NAME_CRDT,
+                    "lww_register",
+                    {"element": "str", "permissions": {}},
+                ],
+            )
+        )
+        transactions.append(
+            Transaction(CHAIN_NAME_CRDT, "set", [chain_name])
+        )
+    return Block.create(
+        key_pair=owner,
+        parents=[],
+        timestamp=timestamp,
+        transactions=transactions,
+        location=location,
+    )

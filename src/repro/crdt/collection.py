@@ -1,0 +1,124 @@
+"""The named-CRDT collection ``Ω`` (paper §IV-D).
+
+"A collection of CRDTs is a CRDT itself."  :class:`CRDTCollection` holds
+every CRDT creation ever replayed, keyed by the creating operation's id,
+with a name index on top.
+
+Name collisions (the paper makes them negligible by using long random
+names, but they must still be deterministic) are handled *causally* by the
+CRDT state machine: each operation binds to the creation record with the
+smallest order key among those visible in the operation's own causal past.
+The collection therefore keeps one instance per creation record — never
+per name — so no operation is ever applied to the "wrong" instance and no
+rebuilds are needed.  For reads, the *winner* of a name is the record with
+the globally smallest order key, on which all converged replicas agree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.crdt.base import CRDT, InvalidOperation, crdt_type
+from repro.crdt.schema import Schema
+
+
+class CreateRecord:
+    """One CRDT creation operation.
+
+    Identified by ``op_id`` (the creating transaction's unique id); the
+    ``order_key`` decides name-collision winners deterministically.
+    """
+
+    __slots__ = ("name", "type_name", "schema", "order_key", "creator", "op_id")
+
+    def __init__(self, name: str, type_name: str, schema: Schema,
+                 order_key: tuple, creator, op_id: bytes):
+        self.name = name
+        self.type_name = type_name
+        self.schema = schema
+        self.order_key = order_key
+        self.creator = creator
+        self.op_id = bytes(op_id)
+
+    def __repr__(self) -> str:
+        return f"CreateRecord({self.name!r}, {self.type_name})"
+
+
+class CRDTCollection:
+    """All user-created CRDTs, with per-creation-record instances."""
+
+    def __init__(self):
+        self._records: dict[bytes, CreateRecord] = {}
+        self._instances: dict[bytes, CRDT] = {}
+        self._by_name: dict[str, list[bytes]] = {}
+
+    def register_create(self, record: CreateRecord) -> CRDT:
+        """Replay a creation operation; returns the new instance."""
+        if not isinstance(record.name, str) or not record.name:
+            raise InvalidOperation("CRDT name must be a non-empty string")
+        if record.op_id in self._records:
+            raise InvalidOperation("duplicate creation op id")
+        cls = crdt_type(record.type_name)
+        instance = cls(record.schema.element_spec)
+        self._records[record.op_id] = record
+        self._instances[record.op_id] = instance
+        self._by_name.setdefault(record.name, []).append(record.op_id)
+        return instance
+
+    def record(self, op_id: bytes) -> Optional[CreateRecord]:
+        return self._records.get(op_id)
+
+    def instance(self, op_id: bytes) -> Optional[CRDT]:
+        return self._instances.get(op_id)
+
+    def records_for_name(self, name: str) -> list[CreateRecord]:
+        """Every creation record for *name*, in replay arrival order."""
+        return [self._records[op_id] for op_id in self._by_name.get(name, [])]
+
+    def winner(self, name: str) -> Optional[CreateRecord]:
+        """The globally winning creation for *name* (smallest order key)."""
+        records = self.records_for_name(name)
+        if not records:
+            return None
+        return min(records, key=lambda record: record.order_key)
+
+    def get(self, name: str) -> Optional[CRDT]:
+        """The instance of the winning creation for *name*."""
+        winning = self.winner(name)
+        return self._instances[winning.op_id] if winning else None
+
+    def schema(self, name: str) -> Optional[Schema]:
+        winning = self.winner(name)
+        return winning.schema if winning else None
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def collisions(self) -> dict[str, int]:
+        """Names with more than one creation record, with their counts."""
+        return {
+            name: len(op_ids)
+            for name, op_ids in sorted(self._by_name.items())
+            if len(op_ids) > 1
+        }
+
+    def canonical_state(self) -> Any:
+        """Wire-encodable convergence check over every instance."""
+        return [
+            [
+                op_id,
+                self._records[op_id].name,
+                self._records[op_id].type_name,
+                self._instances[op_id].canonical_state(),
+            ]
+            for op_id in sorted(self._records)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._by_name))

@@ -1,0 +1,121 @@
+"""2P2P graph — a directed-graph CRDT.
+
+Shapiro's catalog (the paper's CRDT citation [28]) includes graph
+CRDTs; provenance networks (which supplier shipped to which packer) are
+a natural supply-chain use.  The 2P2P graph composes two 2P-sets — one
+for vertices, one for edges — with the invariant that an edge is
+*visible* only while both endpoints are visible.  Removing a vertex
+therefore hides its incident edges without needing to name them, and
+all operations commute because the underlying 2P-sets do.
+
+Operations:
+    ``add_vertex(v)`` / ``remove_vertex(v)``
+    ``add_edge(src, dst)`` / ``remove_edge(src, dst)``
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crdt.base import CRDT, InvalidOperation, OpContext, register_crdt_type
+from repro.crdt.gset import freeze_element
+from repro.crdt.schema import check_type
+
+
+@register_crdt_type
+class TwoPTwoPGraph(CRDT):
+    """Directed graph over 2P-sets of vertices and edges."""
+
+    TYPE_NAME = "graph_2p2p"
+    OPERATIONS = ("add_vertex", "remove_vertex", "add_edge", "remove_edge")
+
+    def __init__(self, element_spec: Any = "any"):
+        super().__init__(element_spec)
+        self._vertices_added: dict[bytes, Any] = {}
+        self._vertices_removed: set[bytes] = set()
+        self._edges_added: dict[tuple[bytes, bytes], tuple[Any, Any]] = {}
+        self._edges_removed: set[tuple[bytes, bytes]] = set()
+
+    def check_args(self, op: str, args: list) -> None:
+        self.require_op(op)
+        if op in ("add_vertex", "remove_vertex"):
+            if len(args) != 1:
+                raise InvalidOperation(f"{op} takes one vertex")
+            check_type(self.element_spec, args[0])
+            return
+        if len(args) != 2:
+            raise InvalidOperation(f"{op} takes (src, dst)")
+        check_type(self.element_spec, args[0])
+        check_type(self.element_spec, args[1])
+
+    def apply(self, op: str, args: list, ctx: OpContext) -> None:
+        self.check_args(op, args)
+        if op == "add_vertex":
+            self._vertices_added[freeze_element(args[0])] = args[0]
+        elif op == "remove_vertex":
+            self._vertices_removed.add(freeze_element(args[0]))
+        elif op == "add_edge":
+            key = (freeze_element(args[0]), freeze_element(args[1]))
+            self._edges_added[key] = (args[0], args[1])
+        else:
+            self._edges_removed.add(
+                (freeze_element(args[0]), freeze_element(args[1]))
+            )
+
+    # ------------------------------------------------------------------
+    # Reads
+
+    def _vertex_live(self, key: bytes) -> bool:
+        return key in self._vertices_added and key not in (
+            self._vertices_removed
+        )
+
+    def has_vertex(self, vertex: Any) -> bool:
+        return self._vertex_live(freeze_element(vertex))
+
+    def has_edge(self, src: Any, dst: Any) -> bool:
+        key = (freeze_element(src), freeze_element(dst))
+        return (
+            key in self._edges_added
+            and key not in self._edges_removed
+            and self._vertex_live(key[0])
+            and self._vertex_live(key[1])
+        )
+
+    def vertices(self) -> list:
+        return [
+            self._vertices_added[key]
+            for key in sorted(self._vertices_added)
+            if self._vertex_live(key)
+        ]
+
+    def edges(self) -> list[tuple]:
+        return [
+            self._edges_added[key]
+            for key in sorted(self._edges_added)
+            if key not in self._edges_removed
+            and self._vertex_live(key[0])
+            and self._vertex_live(key[1])
+        ]
+
+    def successors(self, vertex: Any) -> list:
+        """Vertices reachable by one live out-edge of *vertex*."""
+        source = freeze_element(vertex)
+        return [
+            dst for (src, dst) in self.edges()
+            if freeze_element(src) == source
+        ]
+
+    def value(self) -> dict:
+        return {
+            "vertices": self.vertices(),
+            "edges": [list(edge) for edge in self.edges()],
+        }
+
+    def canonical_state(self) -> Any:
+        return [
+            sorted(self._vertices_added),
+            sorted(self._vertices_removed),
+            sorted(self._edges_added),
+            sorted(self._edges_removed),
+        ]

@@ -1,0 +1,60 @@
+"""Grow-only set (G-Set).
+
+The simplest CRDT: elements can only be added.  The paper's motivating
+example — the add-only set ``H`` of health-record access requests — is a
+G-Set.  Elements must be hashable wire values; unhashable containers are
+keyed by their canonical encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import wire
+from repro.crdt.base import CRDT, OpContext, register_crdt_type
+from repro.crdt.schema import check_type
+
+
+def freeze_element(element: Any) -> bytes:
+    """Canonical byte key for set membership of any wire value."""
+    return wire.encode(element)
+
+
+@register_crdt_type
+class GSet(CRDT):
+    """Add-only set.  Operations: ``add(element)``."""
+
+    TYPE_NAME = "g_set"
+    OPERATIONS = ("add",)
+
+    def __init__(self, element_spec: Any = "any"):
+        super().__init__(element_spec)
+        self._elements: dict[bytes, Any] = {}
+
+    def check_args(self, op: str, args: list) -> None:
+        self.require_op(op)
+        if len(args) != 1:
+            from repro.crdt.base import InvalidOperation
+
+            raise InvalidOperation("add takes exactly one argument")
+        check_type(self.element_spec, args[0])
+
+    def apply(self, op: str, args: list, ctx: OpContext) -> None:
+        self.check_args(op, args)
+        self._elements[freeze_element(args[0])] = args[0]
+
+    def contains(self, element: Any) -> bool:
+        return freeze_element(element) in self._elements
+
+    def value(self) -> list:
+        """Elements sorted by canonical encoding (deterministic)."""
+        return [self._elements[key] for key in sorted(self._elements)]
+
+    def canonical_state(self) -> Any:
+        return sorted(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, element: Any) -> bool:
+        return self.contains(element)

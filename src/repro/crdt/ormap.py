@@ -1,0 +1,105 @@
+"""Observed-remove map (OR-Map).
+
+A string-keyed map with add-wins key semantics and last-writer-wins value
+resolution per key.  ``set`` writes a key, tagging the write with the op
+id; ``remove`` deletes exactly the write tags it observed.  Each live tag
+carries its own value, and a key's visible value is the one with the
+greatest ``(timestamp, actor, op_id)`` order key among *surviving* tags —
+derived state, so removing a tag in any order leaves all replicas with the
+same winner.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crdt.base import CRDT, InvalidOperation, OpContext, register_crdt_type
+from repro.crdt.schema import check_type
+
+
+@register_crdt_type
+class ORMap(CRDT):
+    """Observed-remove map with LWW values.
+
+    Operations:
+        ``set(key, value)`` — write a key.
+        ``remove(key, observed_tags)`` — delete the observed writes.
+    """
+
+    TYPE_NAME = "or_map"
+    OPERATIONS = ("set", "remove")
+
+    def __init__(self, element_spec: Any = "any"):
+        super().__init__(element_spec)
+        # key -> {tag -> (order_key, value)}; a key with no live tags is
+        # absent.  Tombstones keep replayed sets from resurrecting tags.
+        self._keys: dict[str, dict[bytes, tuple[tuple, Any]]] = {}
+        self._tombstones: set[bytes] = set()
+
+    def check_args(self, op: str, args: list) -> None:
+        self.require_op(op)
+        if op == "set":
+            if len(args) != 2:
+                raise InvalidOperation("set takes (key, value)")
+            if not isinstance(args[0], str):
+                raise InvalidOperation("map keys must be strings")
+            check_type(self.element_spec, args[1])
+            return
+        if len(args) != 2:
+            raise InvalidOperation("remove takes (key, observed_tags)")
+        if not isinstance(args[0], str):
+            raise InvalidOperation("map keys must be strings")
+        if not isinstance(args[1], list) or any(
+            not isinstance(tag, bytes) for tag in args[1]
+        ):
+            raise InvalidOperation("observed_tags must be a list of op ids")
+
+    def apply(self, op: str, args: list, ctx: OpContext) -> None:
+        self.check_args(op, args)
+        key = args[0]
+        if op == "set":
+            if ctx.op_id in self._tombstones:
+                return
+            entries = self._keys.setdefault(key, {})
+            entries[ctx.op_id] = (ctx.order_key(), args[1])
+            return
+        observed = args[1]
+        entries = self._keys.get(key)
+        for tag in observed:
+            self._tombstones.add(tag)
+            if entries is not None:
+                entries.pop(tag, None)
+        if entries is not None and not entries:
+            del self._keys[key]
+
+    def contains(self, key: str) -> bool:
+        return key in self._keys
+
+    def get(self, key: str, default: Any = None) -> Any:
+        entries = self._keys.get(key)
+        if entries is None:
+            return default
+        return max(entries.values(), key=lambda pair: pair[0])[1]
+
+    def observed_tags(self, key: str) -> list[bytes]:
+        """Tags a remove issued on this replica should name."""
+        entries = self._keys.get(key)
+        return sorted(entries) if entries is not None else []
+
+    def keys(self) -> list[str]:
+        return sorted(self._keys)
+
+    def value(self) -> dict:
+        return {key: self.get(key) for key in sorted(self._keys)}
+
+    def canonical_state(self) -> Any:
+        return [
+            [key, [[tag, entries[tag][1]] for tag in sorted(entries)]]
+            for key, entries in sorted(self._keys.items())
+        ]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)

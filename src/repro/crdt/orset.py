@@ -1,0 +1,92 @@
+"""Observed-remove set (OR-Set).
+
+Add-wins semantics: each ``add`` creates a unique tag (the op id); a
+``remove`` names the tags the remover has observed.  An add concurrent
+with a remove is not named by it and therefore survives — the element
+stays in the set.  Removed tags are tombstoned so replaying an add after
+its remove (possible only during state restores) cannot resurrect it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crdt.base import CRDT, InvalidOperation, OpContext, register_crdt_type
+from repro.crdt.gset import freeze_element
+from repro.crdt.schema import check_type
+
+
+@register_crdt_type
+class ORSet(CRDT):
+    """Observed-remove set.
+
+    Operations:
+        ``add(element)`` — tags the element with the op id.
+        ``remove(element, observed_tags)`` — deletes exactly those tags.
+    """
+
+    TYPE_NAME = "or_set"
+    OPERATIONS = ("add", "remove")
+
+    def __init__(self, element_spec: Any = "any"):
+        super().__init__(element_spec)
+        # element key -> {tag -> None}; plus the element values for reads.
+        self._tags: dict[bytes, set[bytes]] = {}
+        self._values: dict[bytes, Any] = {}
+        self._tombstones: set[bytes] = set()
+
+    def check_args(self, op: str, args: list) -> None:
+        self.require_op(op)
+        if op == "add":
+            if len(args) != 1:
+                raise InvalidOperation("add takes exactly one argument")
+            check_type(self.element_spec, args[0])
+            return
+        if len(args) != 2:
+            raise InvalidOperation("remove takes (element, observed_tags)")
+        check_type(self.element_spec, args[0])
+        observed = args[1]
+        if not isinstance(observed, list) or any(
+            not isinstance(tag, bytes) for tag in observed
+        ):
+            raise InvalidOperation("observed_tags must be a list of op ids")
+
+    def apply(self, op: str, args: list, ctx: OpContext) -> None:
+        self.check_args(op, args)
+        key = freeze_element(args[0])
+        if op == "add":
+            if ctx.op_id in self._tombstones:
+                return
+            self._tags.setdefault(key, set()).add(ctx.op_id)
+            self._values[key] = args[0]
+            return
+        observed = args[1]
+        tags = self._tags.get(key)
+        for tag in observed:
+            self._tombstones.add(tag)
+            if tags is not None:
+                tags.discard(tag)
+        if tags is not None and not tags:
+            del self._tags[key]
+            del self._values[key]
+
+    def contains(self, element: Any) -> bool:
+        return freeze_element(element) in self._tags
+
+    def observed_tags(self, element: Any) -> list[bytes]:
+        """Tags a remove issued on this replica should name."""
+        return sorted(self._tags.get(freeze_element(element), ()))
+
+    def value(self) -> list:
+        return [self._values[key] for key in sorted(self._tags)]
+
+    def canonical_state(self) -> Any:
+        return [
+            [key, sorted(self._tags[key])] for key in sorted(self._tags)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __contains__(self, element: Any) -> bool:
+        return self.contains(element)

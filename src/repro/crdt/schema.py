@@ -1,0 +1,193 @@
+"""CRDT schemas: element type specs and role-based permissions.
+
+The paper (§IV-E) requires transaction arguments to pass type checks and
+requires each CRDT to declare which roles may perform which operations.
+A :class:`Schema` bundles both and travels inside the CRDT-creation
+transaction, so every replica enforces identical rules.
+
+Type specs are small wire-encodable values::
+
+    "int" | "str" | "bytes" | "bool" | "null" | "any"
+    {"list": <spec>}       # homogeneous list
+    {"map": <spec>}        # string-keyed map with homogeneous values
+
+Permissions map operation names to lists of roles (or ``"*"`` for all
+members).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crdt.base import TypeCheckError
+from repro.membership.roles import validate_role
+
+_SCALAR_SPECS = ("int", "str", "bytes", "bool", "null", "any")
+
+ALL_ROLES = "*"
+
+
+def validate_spec(spec: Any) -> Any:
+    """Check that *spec* is a well-formed type spec; returns it unchanged."""
+    if isinstance(spec, str):
+        if spec not in _SCALAR_SPECS:
+            raise TypeCheckError(f"unknown scalar type spec {spec!r}")
+        return spec
+    if isinstance(spec, dict) and len(spec) == 1:
+        (kind, inner), = spec.items()
+        if kind in ("list", "map"):
+            validate_spec(inner)
+            return spec
+    raise TypeCheckError(f"malformed type spec {spec!r}")
+
+
+def check_type(spec: Any, value: Any) -> None:
+    """Raise :class:`TypeCheckError` unless *value* conforms to *spec*."""
+    if spec == "any":
+        _check_encodable(value)
+        return
+    if spec == "int":
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeCheckError(f"expected int, got {type(value).__name__}")
+        return
+    if spec == "str":
+        if not isinstance(value, str):
+            raise TypeCheckError(f"expected str, got {type(value).__name__}")
+        return
+    if spec == "bytes":
+        if not isinstance(value, bytes):
+            raise TypeCheckError(f"expected bytes, got {type(value).__name__}")
+        return
+    if spec == "bool":
+        if not isinstance(value, bool):
+            raise TypeCheckError(f"expected bool, got {type(value).__name__}")
+        return
+    if spec == "null":
+        if value is not None:
+            raise TypeCheckError(f"expected null, got {type(value).__name__}")
+        return
+    if isinstance(spec, dict) and len(spec) == 1:
+        (kind, inner), = spec.items()
+        if kind == "list":
+            if not isinstance(value, list):
+                raise TypeCheckError(
+                    f"expected list, got {type(value).__name__}"
+                )
+            for item in value:
+                check_type(inner, item)
+            return
+        if kind == "map":
+            if not isinstance(value, dict):
+                raise TypeCheckError(
+                    f"expected map, got {type(value).__name__}"
+                )
+            for key, item in value.items():
+                if not isinstance(key, str):
+                    raise TypeCheckError("map keys must be strings")
+                check_type(inner, item)
+            return
+    raise TypeCheckError(f"malformed type spec {spec!r}")
+
+
+def _check_encodable(value: Any) -> None:
+    """Accept anything the wire codec can represent."""
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        return
+    if isinstance(value, list):
+        for item in value:
+            _check_encodable(item)
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeCheckError("map keys must be strings")
+            _check_encodable(item)
+        return
+    raise TypeCheckError(
+        f"value of type {type(value).__name__} is not wire-encodable"
+    )
+
+
+class Permissions:
+    """Role-based operation grants for one CRDT.
+
+    ``Permissions({"add": ["medic"], "remove": "*"})`` lets only medics add
+    and any member remove.  Operations absent from the map are denied to
+    everyone except the blockchain owner, who is always allowed (the owner
+    administers the chain and can always revoke it anyway).
+    """
+
+    __slots__ = ("_grants",)
+
+    def __init__(self, grants: dict[str, Any] | None = None):
+        self._grants: dict[str, Any] = {}
+        for op, roles in (grants or {}).items():
+            if roles == ALL_ROLES:
+                self._grants[op] = ALL_ROLES
+            else:
+                self._grants[op] = sorted(validate_role(r) for r in roles)
+
+    @classmethod
+    def allow_all(cls, operations: tuple[str, ...]) -> "Permissions":
+        """Grant every listed operation to all members."""
+        return cls({op: ALL_ROLES for op in operations})
+
+    def allows(self, role: str, op: str) -> bool:
+        """May a member with *role* perform *op*?"""
+        if role == "owner":
+            return True
+        grant = self._grants.get(op)
+        if grant is None:
+            return False
+        return grant == ALL_ROLES or role in grant
+
+    def to_wire(self) -> dict:
+        return dict(self._grants)
+
+    @classmethod
+    def from_wire(cls, value: Any) -> "Permissions":
+        if not isinstance(value, dict):
+            raise TypeCheckError("permissions must be a map")
+        return cls(value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Permissions) and self._grants == other._grants
+
+    def __repr__(self) -> str:
+        return f"Permissions({self._grants})"
+
+
+class Schema:
+    """Element type spec plus permissions for one CRDT instance."""
+
+    __slots__ = ("element_spec", "permissions")
+
+    def __init__(self, element_spec: Any = "any",
+                 permissions: Permissions | None = None):
+        self.element_spec = validate_spec(element_spec)
+        self.permissions = permissions or Permissions()
+
+    def to_wire(self) -> dict:
+        return {
+            "element": self.element_spec,
+            "permissions": self.permissions.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, value: Any) -> "Schema":
+        if not isinstance(value, dict):
+            raise TypeCheckError("schema must be a map")
+        return cls(
+            element_spec=value.get("element", "any"),
+            permissions=Permissions.from_wire(value.get("permissions", {})),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Schema)
+            and self.element_spec == other.element_spec
+            and self.permissions == other.permissions
+        )
+
+    def __repr__(self) -> str:
+        return f"Schema(element={self.element_spec!r})"

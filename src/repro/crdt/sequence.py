@@ -1,0 +1,147 @@
+"""Replicated growable array (RGA) — an ordered-sequence CRDT.
+
+The paper's CRDT citation (Shapiro et al. [28]) catalogs sequence CRDTs
+alongside sets and counters; collaborative editing [31] is one of the
+cited applications.  This is an RGA: each element is inserted *after* a
+named existing element (or the head), identified by its op id.  Causal
+delivery (guaranteed by the block DAG) means the reference element is
+always present before the insert replays; concurrent inserts after the
+same reference are ordered by descending order key, which gives every
+replica the same tie-break without coordination.
+
+Operations:
+    ``insert(after_op_id | b"", element)`` — insert after a node.
+    ``delete(op_id)`` — tombstone an element.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crdt.base import CRDT, InvalidOperation, OpContext, register_crdt_type
+from repro.crdt.schema import check_type
+
+HEAD = b""
+
+
+class _SeqNode:
+    """One inserted element (possibly tombstoned)."""
+
+    __slots__ = ("op_id", "order_key", "element", "deleted", "children")
+
+    def __init__(self, op_id: bytes, order_key: tuple, element: Any):
+        self.op_id = op_id
+        self.order_key = order_key
+        self.element = element
+        self.deleted = False
+        # Child inserts, kept sorted by descending order key so a simple
+        # pre-order walk yields the converged sequence.
+        self.children: list["_SeqNode"] = []
+
+
+@register_crdt_type
+class RGASequence(CRDT):
+    """Ordered sequence with insert-after and tombstone delete."""
+
+    TYPE_NAME = "rga_sequence"
+    OPERATIONS = ("insert", "delete")
+
+    def __init__(self, element_spec: Any = "any"):
+        super().__init__(element_spec)
+        self._head = _SeqNode(HEAD, (), None)
+        self._nodes: dict[bytes, _SeqNode] = {HEAD: self._head}
+        # Inserts that arrived before their reference (possible only in
+        # non-causal replays, e.g. state restores); keyed by reference.
+        self._orphans: dict[bytes, list[tuple[bytes, tuple, Any]]] = {}
+        self._deleted_early: set[bytes] = set()
+
+    def check_args(self, op: str, args: list) -> None:
+        self.require_op(op)
+        if op == "insert":
+            if len(args) != 2:
+                raise InvalidOperation("insert takes (after_op_id, element)")
+            if not isinstance(args[0], bytes):
+                raise InvalidOperation("after_op_id must be bytes")
+            check_type(self.element_spec, args[1])
+            return
+        if len(args) != 1 or not isinstance(args[0], bytes):
+            raise InvalidOperation("delete takes one op id")
+
+    def apply(self, op: str, args: list, ctx: OpContext) -> None:
+        self.check_args(op, args)
+        if op == "insert":
+            self._apply_insert(args[0], args[1], ctx.op_id, ctx.order_key())
+        else:
+            self._apply_delete(args[0])
+
+    def _apply_insert(self, after: bytes, element: Any, op_id: bytes,
+                      order_key: tuple) -> None:
+        if op_id in self._nodes:
+            return  # idempotent
+        parent = self._nodes.get(after)
+        if parent is None:
+            self._orphans.setdefault(after, []).append(
+                (op_id, order_key, element)
+            )
+            return
+        node = _SeqNode(op_id, order_key, element)
+        if op_id in self._deleted_early:
+            node.deleted = True
+        self._attach(parent, node)
+        # Re-home any orphans waiting on this node.
+        for orphan_id, orphan_key, orphan_element in self._orphans.pop(
+            op_id, []
+        ):
+            self._apply_insert(op_id, orphan_element, orphan_id, orphan_key)
+
+    def _attach(self, parent: _SeqNode, node: _SeqNode) -> None:
+        self._nodes[node.op_id] = node
+        # Descending order key: later (greater) concurrent inserts land
+        # earlier in the visible sequence, a fixed convention shared by
+        # every replica.
+        children = parent.children
+        index = 0
+        while index < len(children) and (
+            children[index].order_key > node.order_key
+        ):
+            index += 1
+        children.insert(index, node)
+
+    def _apply_delete(self, op_id: bytes) -> None:
+        node = self._nodes.get(op_id)
+        if node is None:
+            self._deleted_early.add(op_id)
+            return
+        node.deleted = True
+
+    # ------------------------------------------------------------------
+    # Reads
+
+    def _walk(self):
+        stack = list(reversed(self._head.children))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def value(self) -> list:
+        return [node.element for node in self._walk() if not node.deleted]
+
+    def op_ids(self) -> list[bytes]:
+        """Op ids of visible elements, in sequence order — what a caller
+        needs to address inserts and deletes."""
+        return [node.op_id for node in self._walk() if not node.deleted]
+
+    def op_id_at(self, index: int) -> bytes:
+        """The op id of the visible element at *index*."""
+        visible = self.op_ids()
+        return visible[index]
+
+    def canonical_state(self) -> Any:
+        return [
+            [node.op_id, node.element, node.deleted]
+            for node in self._walk()
+        ]
+
+    def __len__(self) -> int:
+        return sum(1 for node in self._walk() if not node.deleted)

@@ -1,0 +1,76 @@
+"""Two-phase set (2P-Set).
+
+A pair of grow-only sets ``(A, R)``; the visible value is ``A \\ R``
+(paper §IV-D).  Once removed, an element can never reappear — exactly the
+semantics Vegvisir needs for the membership set ``U``, where adding a
+certificate to ``R`` is a permanent revocation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crdt.base import CRDT, InvalidOperation, OpContext, register_crdt_type
+from repro.crdt.gset import freeze_element
+from repro.crdt.schema import check_type
+
+
+@register_crdt_type
+class TwoPhaseSet(CRDT):
+    """Add/remove set with remove-wins, no re-add.
+
+    Operations: ``add(element)``, ``remove(element)``.  A remove is valid
+    even for an element never added; it simply poisons that element for
+    the rest of time (certificate revocation-in-advance relies on this).
+    """
+
+    TYPE_NAME = "two_phase_set"
+    OPERATIONS = ("add", "remove")
+
+    def __init__(self, element_spec: Any = "any"):
+        super().__init__(element_spec)
+        self._added: dict[bytes, Any] = {}
+        self._removed: dict[bytes, Any] = {}
+
+    def check_args(self, op: str, args: list) -> None:
+        self.require_op(op)
+        if len(args) != 1:
+            raise InvalidOperation(f"{op} takes exactly one argument")
+        check_type(self.element_spec, args[0])
+
+    def apply(self, op: str, args: list, ctx: OpContext) -> None:
+        self.check_args(op, args)
+        key = freeze_element(args[0])
+        if op == "add":
+            self._added[key] = args[0]
+        else:
+            self._removed[key] = args[0]
+
+    def contains(self, element: Any) -> bool:
+        key = freeze_element(element)
+        return key in self._added and key not in self._removed
+
+    def was_removed(self, element: Any) -> bool:
+        return freeze_element(element) in self._removed
+
+    def value(self) -> list:
+        """Live elements (added and not removed), canonically sorted."""
+        live = {
+            key: element
+            for key, element in self._added.items()
+            if key not in self._removed
+        }
+        return [live[key] for key in sorted(live)]
+
+    def added_value(self) -> list:
+        """All ever-added elements, including removed ones."""
+        return [self._added[key] for key in sorted(self._added)]
+
+    def canonical_state(self) -> Any:
+        return [sorted(self._added), sorted(self._removed)]
+
+    def __len__(self) -> int:
+        return sum(1 for key in self._added if key not in self._removed)
+
+    def __contains__(self, element: Any) -> bool:
+        return self.contains(element)

@@ -1,0 +1,31 @@
+"""Cryptographic substrate (S2).
+
+Vegvisir blocks are content-addressed by SHA-256 and signed with Ed25519.
+The Ed25519 implementation is pure Python (RFC 8032) so the repository has
+no dependency on native crypto libraries; it is not constant-time and is
+meant for research use, exactly like the rest of this reproduction.
+"""
+
+from repro.crypto.ed25519 import (
+    SIGNATURE_SIZE,
+    PrivateKey,
+    PublicKey,
+    SignatureError,
+    sign,
+    verify,
+)
+from repro.crypto.keys import KeyPair
+from repro.crypto.sha import Hash, hash_value, sha256
+
+__all__ = [
+    "Hash",
+    "KeyPair",
+    "PrivateKey",
+    "PublicKey",
+    "SIGNATURE_SIZE",
+    "SignatureError",
+    "hash_value",
+    "sha256",
+    "sign",
+    "verify",
+]

@@ -1,0 +1,265 @@
+"""Pure-Python Ed25519 signatures (RFC 8032).
+
+This is a from-scratch implementation of the Ed25519 signature scheme over
+the twisted Edwards curve edwards25519, following RFC 8032 section 5.1.
+Points are kept in extended homogeneous coordinates ``(X, Y, Z, T)`` with
+``x = X/Z``, ``y = Y/Z``, ``x*y = T/Z`` so that point addition and doubling
+need no field inversions; a single inversion happens on encoding.
+
+The implementation verifies against the RFC 8032 test vectors (see
+``tests/crypto/test_ed25519.py``).  It is **not** constant-time and must
+not be used to protect real secrets; within this reproduction it provides
+the authentic sign/verify interface the Vegvisir protocol requires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+SIGNATURE_SIZE = 64
+PUBLIC_KEY_SIZE = 32
+PRIVATE_KEY_SIZE = 32
+
+# Curve and field constants (RFC 8032, section 5.1).
+_P = 2**255 - 19
+_L = 2**252 + 27742317777372353535851937790883648493
+_D = -121665 * pow(121666, _P - 2, _P) % _P
+
+
+class SignatureError(Exception):
+    """A signature or key failed to parse or verify."""
+
+
+def _sha512(data: bytes) -> bytes:
+    return hashlib.sha512(data).digest()
+
+
+def _invert(value: int) -> int:
+    return pow(value, _P - 2, _P)
+
+
+# A point is an (X, Y, Z, T) tuple in extended homogeneous coordinates.
+_IDENTITY = (0, 1, 1, 0)
+
+
+def _point_add(p: tuple, q: tuple) -> tuple:
+    x1, y1, z1, t1 = p
+    x2, y2, z2, t2 = q
+    a = (y1 - x1) * (y2 - x2) % _P
+    b = (y1 + x1) * (y2 + x2) % _P
+    c = 2 * t1 * t2 * _D % _P
+    d = 2 * z1 * z2 % _P
+    e = b - a
+    f = d - c
+    g = d + c
+    h = b + a
+    return (e * f % _P, g * h % _P, f * g % _P, e * h % _P)
+
+
+def _point_double(p: tuple) -> tuple:
+    x1, y1, z1, _ = p
+    a = x1 * x1 % _P
+    b = y1 * y1 % _P
+    c = 2 * z1 * z1 % _P
+    h = a + b
+    e = (h - (x1 + y1) * (x1 + y1)) % _P
+    g = (a - b) % _P
+    f = (c + g) % _P
+    return (e * f % _P, g * h % _P, f * g % _P, e * h % _P)
+
+
+def _scalar_mult(scalar: int, point: tuple) -> tuple:
+    result = _IDENTITY
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = _point_add(result, addend)
+        addend = _point_double(addend)
+        scalar >>= 1
+    return result
+
+
+def _point_equal(p: tuple, q: tuple) -> bool:
+    x1, y1, z1, _ = p
+    x2, y2, z2, _ = q
+    return (x1 * z2 - x2 * z1) % _P == 0 and (y1 * z2 - y2 * z1) % _P == 0
+
+
+def _recover_x(y: int, sign_bit: int) -> int:
+    if y >= _P:
+        raise SignatureError("point y-coordinate out of range")
+    x2 = (y * y - 1) * _invert(_D * y * y + 1) % _P
+    if x2 == 0:
+        if sign_bit:
+            raise SignatureError("invalid point encoding")
+        return 0
+    x = pow(x2, (_P + 3) // 8, _P)
+    if (x * x - x2) % _P != 0:
+        x = x * pow(2, (_P - 1) // 4, _P) % _P
+    if (x * x - x2) % _P != 0:
+        raise SignatureError("point not on curve")
+    if (x & 1) != sign_bit:
+        x = _P - x
+    return x
+
+
+def _point_compress(p: tuple) -> bytes:
+    x, y, z, _ = p
+    zinv = _invert(z)
+    x = x * zinv % _P
+    y = y * zinv % _P
+    return ((y | ((x & 1) << 255))).to_bytes(32, "little")
+
+
+def _point_decompress(data: bytes) -> tuple:
+    if len(data) != 32:
+        raise SignatureError("point encoding must be 32 bytes")
+    encoded = int.from_bytes(data, "little")
+    sign_bit = encoded >> 255
+    y = encoded & ((1 << 255) - 1)
+    x = _recover_x(y, sign_bit)
+    return (x, y, 1, x * y % _P)
+
+
+# Base point B (RFC 8032).
+_B_Y = 4 * _invert(5) % _P
+_B_X = _recover_x(_B_Y, 0)
+_BASE = (_B_X, _B_Y, 1, _B_X * _B_Y % _P)
+
+
+def _secret_expand(secret: bytes) -> tuple[int, bytes]:
+    if len(secret) != PRIVATE_KEY_SIZE:
+        raise SignatureError("private key must be 32 bytes")
+    h = _sha512(secret)
+    a = int.from_bytes(h[:32], "little")
+    a &= (1 << 254) - 8
+    a |= 1 << 254
+    return a, h[32:]
+
+
+class PublicKey:
+    """An Ed25519 public key (32-byte compressed point)."""
+
+    __slots__ = ("_data", "_point")
+
+    def __init__(self, data: bytes):
+        data = bytes(data)
+        if len(data) != PUBLIC_KEY_SIZE:
+            raise SignatureError("public key must be 32 bytes")
+        self._data = data
+        self._point = None
+
+    @property
+    def data(self) -> bytes:
+        return self._data
+
+    def point(self) -> tuple:
+        """Decompressed curve point, cached after first use."""
+        if self._point is None:
+            self._point = _point_decompress(self._data)
+        return self._point
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return verify(self, message, signature)
+
+    def __bytes__(self) -> bytes:
+        return self._data
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PublicKey) and self._data == other._data
+
+    def __hash__(self) -> int:
+        return hash(self._data)
+
+    def __repr__(self) -> str:
+        return f"PublicKey({self._data[:4].hex()})"
+
+
+class PrivateKey:
+    """An Ed25519 private key (32-byte seed)."""
+
+    __slots__ = ("_seed", "_scalar", "_prefix", "_public")
+
+    def __init__(self, seed: bytes):
+        seed = bytes(seed)
+        self._seed = seed
+        self._scalar, self._prefix = _secret_expand(seed)
+        public_point = _scalar_mult(self._scalar, _BASE)
+        self._public = PublicKey(_point_compress(public_point))
+
+    @classmethod
+    def from_seed_int(cls, value: int) -> "PrivateKey":
+        """Deterministic key for tests and simulations (NOT secure)."""
+        return cls(hashlib.sha256(value.to_bytes(8, "big")).digest())
+
+    @property
+    def seed(self) -> bytes:
+        return self._seed
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._public
+
+    def sign(self, message: bytes) -> bytes:
+        return sign(self, message)
+
+    def __repr__(self) -> str:
+        return "PrivateKey(<seed hidden>)"
+
+
+def sign(key: PrivateKey, message: bytes) -> bytes:
+    """Produce a 64-byte Ed25519 signature over *message*."""
+    a, prefix = key._scalar, key._prefix
+    r = int.from_bytes(_sha512(prefix + message), "little") % _L
+    r_point = _scalar_mult(r, _BASE)
+    r_bytes = _point_compress(r_point)
+    h = int.from_bytes(
+        _sha512(r_bytes + key.public_key.data + message), "little"
+    ) % _L
+    s = (r + h * a) % _L
+    return r_bytes + s.to_bytes(32, "little")
+
+
+# Process-wide verification cache.  In simulations, every replica of a
+# block verifies the same (key, message, signature) triple; verifying is
+# pure, so memoizing is a transparent speedup.  Energy accounting charges
+# per verification regardless (see repro.sim.energy).
+_VERIFY_CACHE: dict[bytes, bool] = {}
+_VERIFY_CACHE_LIMIT = 200_000
+
+
+def verify(key: PublicKey, message: bytes, signature: bytes) -> bool:
+    """Check a signature; returns ``False`` rather than raising on mismatch.
+
+    Malformed inputs (wrong lengths, invalid point encodings, s >= L) also
+    return ``False`` so callers can treat any bad signature uniformly.
+    """
+    if len(signature) != SIGNATURE_SIZE:
+        return False
+    cache_key = hashlib.sha256(key.data + signature + message).digest()
+    cached = _VERIFY_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    result = _verify_uncached(key, message, signature)
+    if len(_VERIFY_CACHE) >= _VERIFY_CACHE_LIMIT:
+        _VERIFY_CACHE.clear()
+    _VERIFY_CACHE[cache_key] = result
+    return result
+
+
+def _verify_uncached(key: PublicKey, message: bytes,
+                     signature: bytes) -> bool:
+    try:
+        a_point = key.point()
+        r_point = _point_decompress(signature[:32])
+    except SignatureError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= _L:
+        return False
+    h = int.from_bytes(
+        _sha512(signature[:32] + key.data + message), "little"
+    ) % _L
+    sb = _scalar_mult(s, _BASE)
+    rha = _point_add(r_point, _scalar_mult(h, a_point))
+    return _point_equal(sb, rha)

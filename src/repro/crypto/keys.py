@@ -1,0 +1,53 @@
+"""Key-pair convenience wrapper used throughout the library.
+
+A :class:`KeyPair` bundles an Ed25519 private key with its public half and
+the derived user identifier.  Vegvisir identifies users by the SHA-256
+hash of their public key, which is what block headers carry as the
+``user_id`` field.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.crypto.ed25519 import PrivateKey, PublicKey
+from repro.crypto.sha import Hash
+
+
+class KeyPair:
+    """An Ed25519 key pair plus the derived Vegvisir user id."""
+
+    __slots__ = ("_private", "_user_id")
+
+    def __init__(self, private: PrivateKey):
+        self._private = private
+        self._user_id = Hash.of_bytes(private.public_key.data)
+
+    @classmethod
+    def generate(cls) -> "KeyPair":
+        """Fresh random key pair from the OS entropy source."""
+        return cls(PrivateKey(os.urandom(32)))
+
+    @classmethod
+    def deterministic(cls, index: int) -> "KeyPair":
+        """Reproducible key pair for tests and simulations (NOT secure)."""
+        return cls(PrivateKey.from_seed_int(index))
+
+    @property
+    def private_key(self) -> PrivateKey:
+        return self._private
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._private.public_key
+
+    @property
+    def user_id(self) -> Hash:
+        """SHA-256 of the public key; block headers carry this id."""
+        return self._user_id
+
+    def sign(self, message: bytes) -> bytes:
+        return self._private.sign(message)
+
+    def __repr__(self) -> str:
+        return f"KeyPair(user={self._user_id.short()})"

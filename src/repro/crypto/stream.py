@@ -1,0 +1,72 @@
+"""A SHA-256-CTR stream cipher with a keyed MAC.
+
+The maritime use case requires "full encryption of contents within the
+blockchain" (§II-C) and the health-record design keeps an encrypted
+database on each device (§V).  This is a from-scratch construction in
+the spirit of the rest of the repository: a CTR keystream derived from
+SHA-256 plus an encrypt-then-MAC tag over the ciphertext (HMAC-SHA256).
+Adequate for the reproduction's threat model; not an audited AEAD.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+NONCE_SIZE = 16
+TAG_SIZE = 32
+_BLOCK = 32
+
+
+class AuthenticationError(Exception):
+    """Ciphertext failed MAC verification."""
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out.extend(
+            hashlib.sha256(
+                key + nonce + counter.to_bytes(8, "big")
+            ).digest()
+        )
+        counter += 1
+    return bytes(out[:length])
+
+
+def _subkeys(key: bytes) -> tuple[bytes, bytes]:
+    enc = hashlib.sha256(b"enc" + key).digest()
+    mac = hashlib.sha256(b"mac" + key).digest()
+    return enc, mac
+
+
+def encrypt(key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+    """Encrypt-then-MAC; returns ``nonce || ciphertext || tag``."""
+    if len(nonce) != NONCE_SIZE:
+        raise ValueError(f"nonce must be {NONCE_SIZE} bytes")
+    enc_key, mac_key = _subkeys(key)
+    ciphertext = bytes(
+        a ^ b
+        for a, b in zip(plaintext, _keystream(enc_key, nonce, len(plaintext)))
+    )
+    tag = hmac.new(mac_key, nonce + ciphertext, hashlib.sha256).digest()
+    return nonce + ciphertext + tag
+
+
+def decrypt(key: bytes, sealed: bytes) -> bytes:
+    """Verify the MAC and decrypt; raises :class:`AuthenticationError`."""
+    if len(sealed) < NONCE_SIZE + TAG_SIZE:
+        raise AuthenticationError("sealed blob too short")
+    nonce = sealed[:NONCE_SIZE]
+    ciphertext = sealed[NONCE_SIZE:-TAG_SIZE]
+    tag = sealed[-TAG_SIZE:]
+    enc_key, mac_key = _subkeys(key)
+    expected = hmac.new(mac_key, nonce + ciphertext, hashlib.sha256).digest()
+    if not hmac.compare_digest(tag, expected):
+        raise AuthenticationError("MAC verification failed")
+    return bytes(
+        a ^ b
+        for a, b in zip(ciphertext,
+                        _keystream(enc_key, nonce, len(ciphertext)))
+    )

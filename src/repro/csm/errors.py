@@ -1,0 +1,12 @@
+"""CSM errors.
+
+Transaction-level failures are *not* exceptions — they are recorded as
+rejected :class:`repro.csm.machine.TxOutcome` values, because a block
+containing an invalid transaction is still a valid block and must replay
+identically everywhere.  Exceptions here signal caller bugs (replaying a
+block twice, replaying before its parents, malformed genesis).
+"""
+
+
+class CSMError(Exception):
+    """Misuse of the CRDT state machine."""

@@ -1,0 +1,437 @@
+"""The CRDT state machine.
+
+The CSM replays blocks in topological order (the node feeds it a block
+only after all the block's parents).  Internally it tracks a small set of
+*protocol events* — certificate additions/revocations and CRDT creations —
+and, for every block, the frozen set of event ids visible in that block's
+causal past.  Membership, role, and CRDT-binding decisions for a block's
+transactions are evaluated against exactly that set, which makes every
+verdict a pure function of the block and its ancestors.
+
+Transaction checks (paper §IV-E):
+
+* the CRDT must exist (U, Ω, or an element of Ω — bound causally);
+* the operation must be valid for the CRDT;
+* the arguments must pass the CRDT's type checks;
+* the creator's role must permit the operation.
+
+A failed check rejects the transaction (recorded in its
+:class:`TxOutcome`) but never the block: the block replays identically on
+every replica either way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.chain.block import (
+    Block,
+    CRDTS_CRDT_NAME,
+    Transaction,
+    USERS_CRDT_NAME,
+)
+from repro.crdt.base import CRDTError, OpContext
+from repro.crdt.collection import CRDTCollection, CreateRecord
+from repro.crdt.schema import Schema
+from repro.crdt.twophase import TwoPhaseSet
+from repro.crypto.ed25519 import PublicKey
+from repro.crypto.sha import Hash
+from repro.csm.errors import CSMError
+from repro.csm.permissions import ChainPolicy, DefaultPolicy
+from repro.membership.certificate import Certificate, CertificateError
+
+_EVENT_CERT_ADD = "cert_add"
+_EVENT_CERT_REMOVE = "cert_remove"
+_EVENT_CREATE = "create"
+
+
+class TxOutcome:
+    """Verdict for one replayed transaction."""
+
+    __slots__ = ("crdt_name", "op", "applied", "reason")
+
+    def __init__(self, crdt_name: str, op: str, applied: bool,
+                 reason: Optional[str] = None):
+        self.crdt_name = crdt_name
+        self.op = op
+        self.applied = applied
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        verdict = "applied" if self.applied else f"rejected: {self.reason}"
+        return f"TxOutcome({self.crdt_name}.{self.op} {verdict})"
+
+
+class _Event:
+    """One protocol event (membership change or CRDT creation)."""
+
+    __slots__ = ("kind", "certificate", "record")
+
+    def __init__(self, kind: str, certificate: Optional[Certificate] = None,
+                 record: Optional[CreateRecord] = None):
+        self.kind = kind
+        self.certificate = certificate
+        self.record = record
+
+
+class CSMachine:
+    """One replica's CRDT state machine.
+
+    Build it with :meth:`from_genesis`; feed it blocks in topological
+    order with :meth:`replay_block`.  Reads (:meth:`members`,
+    :meth:`crdt_value`, :meth:`state_digest`) reflect everything replayed
+    so far.
+    """
+
+    def __init__(self, ca_key: PublicKey, policy: Optional[ChainPolicy] = None):
+        self._ca_key = ca_key
+        self._policy = policy or DefaultPolicy()
+        self._events: list[_Event] = []
+        # block hash -> frozenset of event ids visible in its causal past
+        # *including* the block's own events.
+        self._visible: dict[Hash, frozenset[int]] = {}
+        self._users = TwoPhaseSet(element_spec="any")
+        self._collection = CRDTCollection()
+        self._outcomes: dict[Hash, list[TxOutcome]] = {}
+        self._applied_count = 0
+        self._rejected_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @classmethod
+    def from_genesis(cls, genesis: Block,
+                     policy: Optional[ChainPolicy] = None) -> "CSMachine":
+        """Bootstrap a CSM from a genesis block.
+
+        The genesis block must carry, as its first transaction, the
+        owner's self-signed certificate added to U (§IV-C); the owner's
+        key bootstraps the CA and must also have signed the genesis block
+        itself.
+        """
+        if not genesis.is_genesis():
+            raise CSMError("genesis block must have no parents")
+        owner_cert = cls._extract_owner_certificate(genesis)
+        if not owner_cert.verify(owner_cert.public_key):
+            raise CSMError("genesis certificate is not properly self-signed")
+        if owner_cert.user_id != genesis.user_id:
+            raise CSMError("genesis creator does not match its certificate")
+        if not owner_cert.public_key.verify(
+            genesis.signing_payload(), genesis.signature
+        ):
+            raise CSMError("genesis block signature does not verify")
+        machine = cls(owner_cert.public_key, policy)
+        machine._replay_genesis(genesis)
+        return machine
+
+    @staticmethod
+    def _extract_owner_certificate(genesis: Block) -> Certificate:
+        if not genesis.transactions:
+            raise CSMError("genesis block carries no transactions")
+        first = genesis.transactions[0]
+        if first.crdt_name != USERS_CRDT_NAME or first.op != "add":
+            raise CSMError(
+                "the first genesis transaction must add the owner to U"
+            )
+        if len(first.args) != 1:
+            raise CSMError("malformed genesis membership transaction")
+        try:
+            return Certificate.from_wire(first.args[0])
+        except CertificateError as exc:
+            raise CSMError(f"bad genesis certificate: {exc}") from exc
+
+    def _replay_genesis(self, genesis: Block) -> None:
+        # The owner is not yet a member while genesis replays; membership
+        # checks are skipped for the genesis block only.
+        self._replay_transactions(genesis, inherited=frozenset(),
+                                  genesis_bootstrap=True)
+
+    # ------------------------------------------------------------------
+    # Causal views
+
+    def has_replayed(self, block_hash: Hash) -> bool:
+        """Has this block's transactions been replayed here?"""
+        return block_hash in self._visible
+
+    def _inherited_view(self, parent_hashes: list[Hash]) -> frozenset[int]:
+        view: set[int] = set()
+        for parent in parent_hashes:
+            try:
+                view |= self._visible[parent]
+            except KeyError:
+                raise CSMError(
+                    f"parent {parent.short()} replayed out of order"
+                ) from None
+        return frozenset(view)
+
+    def _live_certificates(
+        self, user_id: Hash, view: frozenset[int]
+    ) -> list[Certificate]:
+        """Certificates for *user_id* added and not revoked within *view*."""
+        added: dict[bytes, Certificate] = {}
+        removed: set[bytes] = set()
+        for event_id in view:
+            event = self._events[event_id]
+            if event.certificate is None:
+                continue
+            if event.certificate.user_id != user_id:
+                continue
+            fingerprint = event.certificate.fingerprint().digest
+            if event.kind == _EVENT_CERT_ADD:
+                added[fingerprint] = event.certificate
+            elif event.kind == _EVENT_CERT_REMOVE:
+                removed.add(fingerprint)
+        return [
+            cert for fingerprint, cert in added.items()
+            if fingerprint not in removed
+        ]
+
+    def resolve_member(
+        self, user_id: Hash, parent_hashes: list[Hash]
+    ) -> Optional[PublicKey]:
+        """Member-resolution callback for the block validator.
+
+        Returns the public key bound to the creator's *effective*
+        certificate (the live one with the greatest ``(issued_at,
+        fingerprint)``) as-of the causal past spanned by *parent_hashes*.
+        """
+        view = self._inherited_view(parent_hashes)
+        live = self._live_certificates(user_id, view)
+        if not live:
+            return None
+        return self._effective_certificate(live).public_key
+
+    @staticmethod
+    def _effective_certificate(live: list[Certificate]) -> Certificate:
+        return max(
+            live, key=lambda c: (c.issued_at, c.fingerprint().digest)
+        )
+
+    def _role_of(self, user_id: Hash, view: frozenset[int]) -> Optional[str]:
+        live = self._live_certificates(user_id, view)
+        if not live:
+            return None
+        return self._effective_certificate(live).role
+
+    def _visible_creations(
+        self, name: str, view: frozenset[int]
+    ) -> list[CreateRecord]:
+        return [
+            self._events[event_id].record
+            for event_id in view
+            if self._events[event_id].kind == _EVENT_CREATE
+            and self._events[event_id].record.name == name
+        ]
+
+    # ------------------------------------------------------------------
+    # Replay
+
+    def replay_block(self, block: Block) -> list[TxOutcome]:
+        """Replay one block whose parents have all been replayed.
+
+        The caller (the Vegvisir node) is responsible for having validated
+        the block first; the CSM assumes block-level validity and judges
+        only the transactions.
+        """
+        if block.hash in self._visible:
+            raise CSMError(f"block {block.hash.short()} already replayed")
+        if block.is_genesis():
+            raise CSMError("genesis is replayed by from_genesis")
+        inherited = self._inherited_view(block.parents)
+        return self._replay_transactions(block, inherited,
+                                         genesis_bootstrap=False)
+
+    def _replay_transactions(
+        self, block: Block, inherited: frozenset[int], genesis_bootstrap: bool
+    ) -> list[TxOutcome]:
+        view = set(inherited)
+        outcomes: list[TxOutcome] = []
+        if genesis_bootstrap:
+            creator_role: Optional[str] = "owner"
+        else:
+            creator_role = self._role_of(block.user_id, frozenset(view))
+        for index, tx in enumerate(block.transactions):
+            ctx = OpContext.for_block(
+                block.user_id, block.timestamp, block.hash, index
+            )
+            outcome = self._replay_one(tx, ctx, view, creator_role)
+            outcomes.append(outcome)
+            if outcome.applied:
+                self._applied_count += 1
+            else:
+                self._rejected_count += 1
+        self._visible[block.hash] = frozenset(view)
+        self._outcomes[block.hash] = outcomes
+        return outcomes
+
+    def _replay_one(
+        self,
+        tx: Transaction,
+        ctx: OpContext,
+        view: set[int],
+        creator_role: Optional[str],
+    ) -> TxOutcome:
+        if creator_role is None:
+            # Block-level validation should have caught this; judge the
+            # transaction anyway so replay never depends on the caller.
+            return self._rejected(tx, "creator is not a member")
+        if tx.crdt_name == USERS_CRDT_NAME:
+            return self._replay_membership(tx, ctx, view, creator_role)
+        if tx.crdt_name == CRDTS_CRDT_NAME:
+            return self._replay_create(tx, ctx, view, creator_role)
+        return self._replay_user_crdt(tx, ctx, view, creator_role)
+
+    def _replay_membership(
+        self, tx: Transaction, ctx: OpContext, view: set[int], role: str
+    ) -> TxOutcome:
+        if tx.op not in ("add", "remove"):
+            return self._rejected(tx, f"U has no operation {tx.op!r}")
+        if len(tx.args) != 1:
+            return self._rejected(tx, "membership ops take one argument")
+        try:
+            certificate = Certificate.from_wire(tx.args[0])
+        except CertificateError as exc:
+            return self._rejected(tx, f"bad certificate: {exc}")
+        if tx.op == "add":
+            if not self._policy.can_add_member(role):
+                return self._rejected(tx, f"role {role!r} may not add members")
+            if not (
+                certificate.verify(self._ca_key)
+                or (
+                    certificate.user_id == Hash.of_bytes(self._ca_key.data)
+                    and certificate.verify(certificate.public_key)
+                )
+            ):
+                return self._rejected(tx, "certificate not signed by the CA")
+            event = _Event(_EVENT_CERT_ADD, certificate=certificate)
+        else:
+            if not self._policy.can_revoke_member(role):
+                return self._rejected(
+                    tx, f"role {role!r} may not revoke members"
+                )
+            event = _Event(_EVENT_CERT_REMOVE, certificate=certificate)
+        self._events.append(event)
+        view.add(len(self._events) - 1)
+        self._users.apply(tx.op, [tx.args[0]], ctx)
+        return TxOutcome(tx.crdt_name, tx.op, True)
+
+    def _replay_create(
+        self, tx: Transaction, ctx: OpContext, view: set[int], role: str
+    ) -> TxOutcome:
+        if tx.op != "create":
+            return self._rejected(tx, f"Ω has no operation {tx.op!r}")
+        if not self._policy.can_create_crdt(role):
+            return self._rejected(tx, f"role {role!r} may not create CRDTs")
+        if len(tx.args) != 3:
+            return self._rejected(tx, "create takes (name, type, schema)")
+        name, type_name, schema_wire = tx.args
+        if not isinstance(name, str) or not name:
+            return self._rejected(tx, "CRDT name must be a non-empty string")
+        if name in (USERS_CRDT_NAME, CRDTS_CRDT_NAME):
+            return self._rejected(tx, f"{name!r} is reserved")
+        try:
+            schema = Schema.from_wire(schema_wire)
+            record = CreateRecord(
+                name=name,
+                type_name=type_name,
+                schema=schema,
+                order_key=ctx.order_key(),
+                creator=ctx.actor,
+                op_id=ctx.op_id,
+            )
+            self._collection.register_create(record)
+        except CRDTError as exc:
+            return self._rejected(tx, str(exc))
+        self._events.append(_Event(_EVENT_CREATE, record=record))
+        view.add(len(self._events) - 1)
+        return TxOutcome(tx.crdt_name, tx.op, True)
+
+    def _replay_user_crdt(
+        self, tx: Transaction, ctx: OpContext, view: set[int], role: str
+    ) -> TxOutcome:
+        creations = self._visible_creations(tx.crdt_name, frozenset(view))
+        if not creations:
+            return self._rejected(
+                tx, f"no CRDT named {tx.crdt_name!r} in causal past"
+            )
+        # Causal binding: the winning creation within this block's past.
+        record = min(creations, key=lambda r: r.order_key)
+        if not record.schema.permissions.allows(role, tx.op):
+            return self._rejected(
+                tx, f"role {role!r} may not {tx.op} on {tx.crdt_name!r}"
+            )
+        instance = self._collection.instance(record.op_id)
+        try:
+            instance.apply(tx.op, tx.args, ctx)
+        except CRDTError as exc:
+            return self._rejected(tx, str(exc))
+        return TxOutcome(tx.crdt_name, tx.op, True)
+
+    @staticmethod
+    def _rejected(tx: Transaction, reason: str) -> TxOutcome:
+        return TxOutcome(tx.crdt_name, tx.op, False, reason)
+
+    # ------------------------------------------------------------------
+    # Reads
+
+    def members(self) -> list[Certificate]:
+        """Live certificates in U, over everything replayed so far."""
+        return [Certificate.from_wire(v) for v in self._users.value()]
+
+    def member_role(self, user_id: Hash) -> Optional[str]:
+        """The user's effective role over everything replayed, or None."""
+        live = [c for c in self.members() if c.user_id == user_id]
+        if not live:
+            return None
+        return self._effective_certificate(live).role
+
+    def is_member(self, user_id: Hash) -> bool:
+        """Does the user hold a live certificate (full replica view)?"""
+        return self.member_role(user_id) is not None
+
+    def crdt_names(self) -> list[str]:
+        """Names of every user-created CRDT, sorted."""
+        return self._collection.names()
+
+    def crdt_value(self, name: str) -> Any:
+        """Current value of the winning instance for *name*."""
+        instance = self._collection.get(name)
+        if instance is None:
+            raise CSMError(f"no CRDT named {name!r}")
+        return instance.value()
+
+    def crdt_instance(self, name: str):
+        """The winning instance for *name*, or None."""
+        return self._collection.get(name)
+
+    def collection(self) -> CRDTCollection:
+        """The Ω collection (all creation records and instances)."""
+        return self._collection
+
+    def outcomes(self, block_hash: Hash) -> list[TxOutcome]:
+        """Per-transaction verdicts for a replayed block."""
+        try:
+            return list(self._outcomes[block_hash])
+        except KeyError:
+            raise CSMError(
+                f"block {block_hash.short()} has not been replayed"
+            ) from None
+
+    @property
+    def applied_count(self) -> int:
+        """Total transactions applied across all replayed blocks."""
+        return self._applied_count
+
+    @property
+    def rejected_count(self) -> int:
+        """Total transactions rejected across all replayed blocks."""
+        return self._rejected_count
+
+    def state_digest(self) -> Hash:
+        """Digest of U and Ω; equal digests ⇒ converged replicas."""
+        return Hash.of_value(
+            [
+                self._users.canonical_state(),
+                self._collection.canonical_state(),
+            ]
+        )

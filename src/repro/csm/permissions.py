@@ -1,0 +1,48 @@
+"""Chain-level permission policy.
+
+Per-CRDT operation grants live in each CRDT's schema; this module covers
+the operations on the built-in CRDTs: adding members to ``U``, revoking
+them, and creating new CRDTs in ``Ω``.  All replicas of one blockchain
+must run the same policy (it is part of the protocol, like the validity
+checks), so policies are pure code with no mutable state.
+"""
+
+from __future__ import annotations
+
+from repro.membership.roles import ROLE_OWNER
+
+
+class ChainPolicy:
+    """Base policy: override the three predicates as needed."""
+
+    def can_add_member(self, role: str) -> bool:
+        """May *role* place a CA-signed certificate into U's add set?
+
+        The certificate's CA signature is what actually authorizes the new
+        member; this predicate only controls who may carry certificates
+        onto the chain.
+        """
+        return True
+
+    def can_revoke_member(self, role: str) -> bool:
+        """May *role* place a certificate into U's remove set?"""
+        return role == ROLE_OWNER
+
+    def can_create_crdt(self, role: str) -> bool:
+        """May *role* create a new CRDT in Ω?"""
+        return True
+
+
+class DefaultPolicy(ChainPolicy):
+    """The defaults: anyone adds members and creates CRDTs, only the
+    owner revokes."""
+
+
+class OwnerOnlyPolicy(ChainPolicy):
+    """Restrictive variant: only the owner administers membership and Ω."""
+
+    def can_add_member(self, role: str) -> bool:
+        return role == ROLE_OWNER
+
+    def can_create_crdt(self, role: str) -> bool:
+        return role == ROLE_OWNER

@@ -1,0 +1,31 @@
+"""Membership substrate (S3): role certificates and the blockchain CA.
+
+Vegvisir is a permissioned blockchain (§IV-C).  The blockchain owner acts
+as a certificate authority: every member holds a certificate binding a
+public key to a user id and a role, signed by the owner.  Certificates
+live on the blockchain itself in the membership 2P-set ``U``; placing a
+certificate in the remove set revokes it.
+"""
+
+from repro.membership.authority import CertificateAuthority
+from repro.membership.certificate import Certificate, CertificateError
+from repro.membership.roles import (
+    ROLE_MEDIC,
+    ROLE_OWNER,
+    ROLE_SENSOR,
+    ROLE_SUPERPEER,
+    ROLE_WITNESS,
+    validate_role,
+)
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateError",
+    "ROLE_MEDIC",
+    "ROLE_OWNER",
+    "ROLE_SENSOR",
+    "ROLE_SUPERPEER",
+    "ROLE_WITNESS",
+    "validate_role",
+]

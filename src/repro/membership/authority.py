@@ -1,0 +1,55 @@
+"""The blockchain certificate authority (§IV-C).
+
+The owner of a Vegvisir blockchain generates the genesis block and acts as
+the CA.  :class:`CertificateAuthority` wraps the owner key pair and issues
+role certificates; the owner's own certificate is self-signed and placed
+in the genesis block.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.ed25519 import PublicKey
+from repro.crypto.keys import KeyPair
+from repro.membership.certificate import Certificate
+from repro.membership.roles import ROLE_OWNER, validate_role
+
+
+class CertificateAuthority:
+    """Issues certificates signed by the blockchain owner."""
+
+    def __init__(self, owner: KeyPair):
+        self._owner = owner
+
+    @property
+    def owner_key_pair(self) -> KeyPair:
+        return self._owner
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._owner.public_key
+
+    def issue(
+        self, member_key: PublicKey, role: str, issued_at: int = 0
+    ) -> Certificate:
+        """Issue a certificate binding *member_key* to *role*."""
+        validate_role(role)
+        unsigned = Certificate(
+            public_key=member_key,
+            role=role,
+            issued_at=issued_at,
+            signature=b"",
+        )
+        signature = self._owner.sign(unsigned.signing_payload())
+        return Certificate(
+            public_key=member_key,
+            role=role,
+            issued_at=issued_at,
+            signature=signature,
+        )
+
+    def self_certificate(self, issued_at: int = 0) -> Certificate:
+        """The owner's self-signed certificate, embedded in genesis."""
+        return self.issue(self._owner.public_key, ROLE_OWNER, issued_at)
+
+    def __repr__(self) -> str:
+        return f"CertificateAuthority(owner={self._owner.user_id.short()})"

@@ -1,0 +1,30 @@
+"""Role names and validation.
+
+Roles are free-form lowercase identifiers carried in certificates; CRDT
+schemas grant operations per role (§IV-E: "when creating a CRDT, one must
+specify which roles can perform which actions").  A few well-known roles
+used by the paper's scenarios are defined here for convenience.
+"""
+
+from __future__ import annotations
+
+import re
+
+ROLE_OWNER = "owner"
+ROLE_MEDIC = "medic"
+ROLE_SENSOR = "sensor"
+ROLE_SUPERPEER = "superpeer"
+ROLE_WITNESS = "witness"
+
+_ROLE_PATTERN = re.compile(r"^[a-z][a-z0-9_-]{0,63}$")
+
+
+def validate_role(role: str) -> str:
+    """Return *role* if it is a well-formed role name, else raise ValueError.
+
+    Role names are 1-64 characters, start with a letter, and contain only
+    lowercase letters, digits, hyphens, and underscores.
+    """
+    if not isinstance(role, str) or not _ROLE_PATTERN.match(role):
+        raise ValueError(f"invalid role name: {role!r}")
+    return role

@@ -1,0 +1,75 @@
+"""Discrete-event loop.
+
+A classic calendar queue: events are ``(time, sequence, callback)``
+triples in a binary heap; the sequence number breaks ties so same-time
+events fire in scheduling order and runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class EventLoop:
+    """Deterministic discrete-event scheduler (times in integer ms)."""
+
+    def __init__(self, start_ms: int = 0):
+        self._now = int(start_ms)
+        self._sequence = 0
+        self._queue: list[tuple[int, int, Callable[[], Any]]] = []
+        self._events_run = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in ms."""
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    def clock(self) -> int:
+        """Bound method usable as a node's clock callable."""
+        return self._now
+
+    def schedule_at(self, when_ms: int, callback: Callable[[], Any]) -> None:
+        """Run *callback* at absolute time *when_ms* (>= now)."""
+        when_ms = int(when_ms)
+        if when_ms < self._now:
+            raise ValueError(
+                f"cannot schedule at {when_ms} before now ({self._now})"
+            )
+        heapq.heappush(self._queue, (when_ms, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_in(self, delay_ms: int, callback: Callable[[], Any]) -> None:
+        """Run *callback* after *delay_ms* (>= 0)."""
+        if delay_ms < 0:
+            raise ValueError("delay must be non-negative")
+        self.schedule_at(self._now + int(delay_ms), callback)
+
+    def run_until(self, end_ms: int) -> None:
+        """Execute events with time <= *end_ms*, then set now = end_ms."""
+        end_ms = int(end_ms)
+        while self._queue and self._queue[0][0] <= end_ms:
+            when, _, callback = heapq.heappop(self._queue)
+            self._now = when
+            self._events_run += 1
+            callback()
+        self._now = max(self._now, end_ms)
+
+    def run_all(self, max_events: int = 1_000_000) -> None:
+        """Drain the queue completely (bounded against runaway loops)."""
+        remaining = max_events
+        while self._queue:
+            if remaining <= 0:
+                raise RuntimeError("event budget exhausted")
+            when, _, callback = heapq.heappop(self._queue)
+            self._now = when
+            self._events_run += 1
+            remaining -= 1
+            callback()
+
+    def pending(self) -> int:
+        return len(self._queue)

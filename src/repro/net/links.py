@@ -1,0 +1,47 @@
+"""Link model: loss, latency, and bandwidth for one contact.
+
+Gossip contacts exchange a reconciliation session's bytes; the link model
+converts those bytes into a transfer duration and decides whether the
+contact fails outright (radio loss, nodes moving apart mid-transfer).
+Defaults approximate a Bluetooth 4.x data channel: ~125 kB/s of goodput
+and a 30 ms connection setup.
+"""
+
+from __future__ import annotations
+
+import random
+
+DEFAULT_BANDWIDTH_BYTES_PER_MS = 125
+DEFAULT_SETUP_LATENCY_MS = 30
+
+
+class LinkModel:
+    """Per-contact loss/latency/bandwidth."""
+
+    def __init__(
+        self,
+        loss_rate: float = 0.0,
+        bandwidth_bytes_per_ms: float = DEFAULT_BANDWIDTH_BYTES_PER_MS,
+        setup_latency_ms: int = DEFAULT_SETUP_LATENCY_MS,
+        seed: int = 0,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if bandwidth_bytes_per_ms <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.loss_rate = loss_rate
+        self.bandwidth_bytes_per_ms = bandwidth_bytes_per_ms
+        self.setup_latency_ms = setup_latency_ms
+        self._rng = random.Random(seed)
+
+    def contact_succeeds(self) -> bool:
+        """Does this contact survive the radio (drawn per contact)?"""
+        return self._rng.random() >= self.loss_rate
+
+    def transfer_duration_ms(self, byte_count: int,
+                             round_trips: int = 1) -> int:
+        """Wall time for a session of *byte_count* total bytes with
+        *round_trips* request/response exchanges."""
+        payload_ms = byte_count / self.bandwidth_bytes_per_ms
+        latency_ms = self.setup_latency_ms * max(1, round_trips)
+        return max(1, int(payload_ms + latency_ms))

@@ -1,0 +1,167 @@
+"""Node placement and mobility models.
+
+A mobility model answers one question: where is node *i* at time *t*?
+Geometric topologies derive connectivity from those positions and a radio
+range.  Positions are floats in meters on a rectangular field; only the
+simulator uses them (they never cross the wire, which is float-free).
+
+Models:
+
+* :class:`StaticPlacement` — uniform random fixed positions (sensor
+  fields, parked vehicles).
+* :class:`GridPlacement` — a regular grid (structured deployments).
+* :class:`RandomWaypoint` — the classic ad hoc mobility model: pick a
+  destination uniformly, travel at constant speed, pause, repeat.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+
+
+class MobilityModel(abc.ABC):
+    """Answers position queries for a fixed set of nodes."""
+
+    def __init__(self, node_count: int, width_m: float, height_m: float):
+        if node_count < 1:
+            raise ValueError("need at least one node")
+        self.node_count = node_count
+        self.width_m = float(width_m)
+        self.height_m = float(height_m)
+
+    @abc.abstractmethod
+    def position(self, node_id: int, time_ms: int) -> tuple[float, float]:
+        """(x, y) in meters at *time_ms*."""
+
+    def distance(self, a: int, b: int, time_ms: int) -> float:
+        """Euclidean distance in meters between two nodes at *time_ms*."""
+        ax, ay = self.position(a, time_ms)
+        bx, by = self.position(b, time_ms)
+        return math.hypot(ax - bx, ay - by)
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < self.node_count:
+            raise ValueError(f"node {node_id} out of range")
+
+
+class StaticPlacement(MobilityModel):
+    """Uniform random fixed positions."""
+
+    def __init__(self, node_count: int, width_m: float, height_m: float,
+                 seed: int = 0):
+        super().__init__(node_count, width_m, height_m)
+        rng = random.Random(seed)
+        self._positions = [
+            (rng.uniform(0, self.width_m), rng.uniform(0, self.height_m))
+            for _ in range(node_count)
+        ]
+
+    def position(self, node_id: int, time_ms: int) -> tuple[float, float]:
+        self._check_node(node_id)
+        return self._positions[node_id]
+
+
+class GridPlacement(MobilityModel):
+    """Nodes on a regular grid filling the field row-major."""
+
+    def __init__(self, node_count: int, width_m: float, height_m: float):
+        super().__init__(node_count, width_m, height_m)
+        columns = max(1, math.ceil(math.sqrt(node_count)))
+        rows = max(1, math.ceil(node_count / columns))
+        self._positions = []
+        for index in range(node_count):
+            row, column = divmod(index, columns)
+            x = (column + 0.5) * self.width_m / columns
+            y = (row + 0.5) * self.height_m / rows
+            self._positions.append((x, y))
+
+    def position(self, node_id: int, time_ms: int) -> tuple[float, float]:
+        self._check_node(node_id)
+        return self._positions[node_id]
+
+
+class _Leg:
+    """One segment of a waypoint journey: travel then pause."""
+
+    __slots__ = ("start_ms", "from_pos", "to_pos", "travel_ms", "end_ms")
+
+    def __init__(self, start_ms, from_pos, to_pos, travel_ms, pause_ms):
+        self.start_ms = start_ms
+        self.from_pos = from_pos
+        self.to_pos = to_pos
+        self.travel_ms = travel_ms
+        self.end_ms = start_ms + travel_ms + pause_ms
+
+
+class RandomWaypoint(MobilityModel):
+    """Random-waypoint mobility.
+
+    Each node independently repeats: choose a uniform destination, move
+    there in a straight line at *speed_mps*, pause for *pause_ms*.  Legs
+    are generated lazily and cached per node, so position queries at any
+    time are deterministic for a given seed.
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        width_m: float,
+        height_m: float,
+        speed_mps: float = 1.4,
+        pause_ms: int = 5_000,
+        seed: int = 0,
+    ):
+        super().__init__(node_count, width_m, height_m)
+        if speed_mps <= 0:
+            raise ValueError("speed must be positive")
+        self.speed_mps = speed_mps
+        self.pause_ms = pause_ms
+        self._rngs = [
+            random.Random((seed << 20) ^ node) for node in range(node_count)
+        ]
+        start_positions = [
+            (self._rngs[node].uniform(0, width_m),
+             self._rngs[node].uniform(0, height_m))
+            for node in range(node_count)
+        ]
+        self._legs: list[list[_Leg]] = [
+            [self._new_leg(node, 0, start_positions[node])]
+            for node in range(node_count)
+        ]
+
+    def _new_leg(self, node_id: int, start_ms: int,
+                 from_pos: tuple[float, float]) -> _Leg:
+        rng = self._rngs[node_id]
+        to_pos = (rng.uniform(0, self.width_m), rng.uniform(0, self.height_m))
+        distance = math.hypot(to_pos[0] - from_pos[0], to_pos[1] - from_pos[1])
+        travel_ms = max(1, int(distance / self.speed_mps * 1000))
+        return _Leg(start_ms, from_pos, to_pos, travel_ms, self.pause_ms)
+
+    def position(self, node_id: int, time_ms: int) -> tuple[float, float]:
+        self._check_node(node_id)
+        legs = self._legs[node_id]
+        while legs[-1].end_ms < time_ms:
+            last = legs[-1]
+            legs.append(self._new_leg(node_id, last.end_ms, last.to_pos))
+        leg = self._find_leg(legs, time_ms)
+        elapsed = time_ms - leg.start_ms
+        if elapsed >= leg.travel_ms:
+            return leg.to_pos
+        fraction = elapsed / leg.travel_ms
+        return (
+            leg.from_pos[0] + (leg.to_pos[0] - leg.from_pos[0]) * fraction,
+            leg.from_pos[1] + (leg.to_pos[1] - leg.from_pos[1]) * fraction,
+        )
+
+    @staticmethod
+    def _find_leg(legs: list[_Leg], time_ms: int) -> _Leg:
+        low, high = 0, len(legs) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if legs[mid].end_ms < time_ms:
+                low = mid + 1
+            else:
+                high = mid
+        return legs[low]

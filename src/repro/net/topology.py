@@ -1,0 +1,120 @@
+"""Connectivity: who can talk to whom, when.
+
+A :class:`Topology` answers neighbor queries at a point in simulated
+time.  The gossip layer (§IV-G: "picks a physical neighbor at random")
+depends only on this interface, so static graphs, radio-range geometry
+over a mobility model, and scripted partitions are interchangeable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from repro.net.mobility import MobilityModel
+
+
+class Topology(abc.ABC):
+    """Time-varying connectivity over nodes ``0..node_count-1``."""
+
+    def __init__(self, node_count: int):
+        if node_count < 1:
+            raise ValueError("need at least one node")
+        self.node_count = node_count
+
+    @abc.abstractmethod
+    def neighbors(self, node_id: int, time_ms: int) -> list[int]:
+        """Nodes within communication range of *node_id*, sorted."""
+
+    def connected(self, a: int, b: int, time_ms: int) -> bool:
+        return b in self.neighbors(a, time_ms)
+
+    def components(self, time_ms: int) -> list[set[int]]:
+        """Connected components of the contact graph at *time_ms*."""
+        unseen = set(range(self.node_count))
+        result = []
+        while unseen:
+            start = min(unseen)
+            component = {start}
+            stack = [start]
+            unseen.discard(start)
+            while stack:
+                current = stack.pop()
+                for neighbor in self.neighbors(current, time_ms):
+                    if neighbor in unseen:
+                        unseen.discard(neighbor)
+                        component.add(neighbor)
+                        stack.append(neighbor)
+            result.append(component)
+        return result
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < self.node_count:
+            raise ValueError(f"node {node_id} out of range")
+
+
+class FullMeshTopology(Topology):
+    """Everyone hears everyone — the well-connected strawman."""
+
+    def neighbors(self, node_id: int, time_ms: int) -> list[int]:
+        self._check_node(node_id)
+        return [n for n in range(self.node_count) if n != node_id]
+
+
+class StaticTopology(Topology):
+    """A fixed undirected graph given as an edge list."""
+
+    def __init__(self, node_count: int,
+                 edges: Iterable[tuple[int, int]]):
+        super().__init__(node_count)
+        self._adjacency: dict[int, set[int]] = {
+            node: set() for node in range(node_count)
+        }
+        for a, b in edges:
+            self._check_node(a)
+            self._check_node(b)
+            if a == b:
+                continue
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
+
+    @classmethod
+    def line(cls, node_count: int) -> "StaticTopology":
+        """A path graph — worst case for gossip latency."""
+        return cls(node_count,
+                   [(i, i + 1) for i in range(node_count - 1)])
+
+    @classmethod
+    def ring(cls, node_count: int) -> "StaticTopology":
+        edges = [(i, (i + 1) % node_count) for i in range(node_count)]
+        return cls(node_count, edges)
+
+    def neighbors(self, node_id: int, time_ms: int) -> list[int]:
+        self._check_node(node_id)
+        return sorted(self._adjacency[node_id])
+
+
+class GeometricTopology(Topology):
+    """Radio-range connectivity over a mobility model.
+
+    Two nodes are neighbors when within *radio_range_m* of each other at
+    the query time — the unit-disk model, the standard abstraction for
+    Bluetooth-class radios.
+    """
+
+    def __init__(self, mobility: MobilityModel, radio_range_m: float):
+        super().__init__(mobility.node_count)
+        if radio_range_m <= 0:
+            raise ValueError("radio range must be positive")
+        self.mobility = mobility
+        self.radio_range_m = float(radio_range_m)
+
+    def neighbors(self, node_id: int, time_ms: int) -> list[int]:
+        self._check_node(node_id)
+        return sorted(
+            other
+            for other in range(self.node_count)
+            if other != node_id
+            and self.mobility.distance(node_id, other, time_ms)
+            <= self.radio_range_m
+        )

@@ -1,0 +1,109 @@
+"""Contact-trace connectivity.
+
+Delay-tolerant-networking evaluations commonly replay *encounter
+traces*: timed intervals during which two nodes can communicate.
+:class:`TraceTopology` replays such a trace; ``synthetic_encounter_trace``
+generates one with exponential inter-contact times and pairwise
+contact-rate heterogeneity, the standard model fitted to real mobility
+traces (Conan et al., CHANTS 2007) — giving the simulator a
+connectivity regime much burstier than the unit-disk model.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from typing import Iterable
+
+from repro.net.topology import Topology
+
+
+class Contact:
+    """One encounter: nodes ``a`` and ``b`` linked during [start, end)."""
+
+    __slots__ = ("a", "b", "start_ms", "end_ms")
+
+    def __init__(self, a: int, b: int, start_ms: int, end_ms: int):
+        if a == b:
+            raise ValueError("a contact needs two distinct nodes")
+        if end_ms <= start_ms:
+            raise ValueError("contact must have positive duration")
+        self.a, self.b = (a, b) if a < b else (b, a)
+        self.start_ms = int(start_ms)
+        self.end_ms = int(end_ms)
+
+    def active(self, time_ms: int) -> bool:
+        """Is the contact up at *time_ms* (half-open interval)?"""
+        return self.start_ms <= time_ms < self.end_ms
+
+    def __repr__(self) -> str:
+        return f"Contact({self.a}<->{self.b}, {self.start_ms}-{self.end_ms})"
+
+
+class TraceTopology(Topology):
+    """Connectivity replayed from a list of timed contacts."""
+
+    def __init__(self, node_count: int, contacts: Iterable[Contact]):
+        super().__init__(node_count)
+        self._contacts = sorted(
+            contacts, key=lambda c: (c.start_ms, c.end_ms, c.a, c.b)
+        )
+        for contact in self._contacts:
+            self._check_node(contact.a)
+            self._check_node(contact.b)
+        self._starts = [c.start_ms for c in self._contacts]
+
+    def neighbors(self, node_id: int, time_ms: int) -> list[int]:
+        self._check_node(node_id)
+        result = set()
+        # Contacts are sorted by start; everything starting after
+        # time_ms is inactive, so scan only the prefix.
+        upper = bisect_right(self._starts, time_ms)
+        for contact in self._contacts[:upper]:
+            if contact.active(time_ms):
+                if contact.a == node_id:
+                    result.add(contact.b)
+                elif contact.b == node_id:
+                    result.add(contact.a)
+        return sorted(result)
+
+    def contact_count(self) -> int:
+        """Number of contacts in the trace."""
+        return len(self._contacts)
+
+    def total_contact_time_ms(self) -> int:
+        """Sum of all contact durations."""
+        return sum(c.end_ms - c.start_ms for c in self._contacts)
+
+
+def synthetic_encounter_trace(
+    node_count: int,
+    duration_ms: int,
+    mean_intercontact_ms: float = 30_000.0,
+    mean_contact_ms: float = 3_000.0,
+    heterogeneity: float = 0.5,
+    seed: int = 0,
+) -> list[Contact]:
+    """Generate a pairwise exponential encounter trace.
+
+    Each node pair gets its own contact rate drawn log-uniformly within
+    ``heterogeneity`` decades around the mean (0 ⇒ homogeneous pairs),
+    then an alternating renewal process of exponential inter-contact
+    gaps and exponential contact durations fills the horizon.
+    """
+    if node_count < 2:
+        return []
+    rng = random.Random(seed)
+    contacts: list[Contact] = []
+    for a in range(node_count):
+        for b in range(a + 1, node_count):
+            scale = 10 ** rng.uniform(-heterogeneity, heterogeneity)
+            pair_gap = mean_intercontact_ms * scale
+            now = rng.expovariate(1.0 / pair_gap)
+            while now < duration_ms:
+                length = max(100.0, rng.expovariate(1.0 / mean_contact_ms))
+                end = min(duration_ms, now + length)
+                if end > now:
+                    contacts.append(Contact(a, b, int(now), int(end) + 1))
+                now = end + rng.expovariate(1.0 / pair_gap)
+    return contacts

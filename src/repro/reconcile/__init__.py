@@ -1,0 +1,55 @@
+"""DAG reconciliation protocols (S9, paper §IV-G and Algorithm 1).
+
+Blocks spread by opportunistic pairwise reconciliation: when two nodes
+meet, the initiator pulls the blocks it lacks and then pushes the blocks
+the responder lacks.  Four protocols share that contract but differ in
+how they discover the difference:
+
+* :class:`FrontierProtocol` — the paper's Algorithm 1: ask for the
+  level-N frontier set with increasing N until the gap is bridged.
+* :class:`FullExchangeProtocol` — the strawman the paper compares
+  against: ship the entire DAG.
+* :class:`BloomProtocol` — the §VI "more efficient reconciliation"
+  direction: exchange a Bloom digest of held hashes, then transfer only
+  probably-missing blocks, repairing false positives by explicit fetches.
+* :class:`HeightSkipProtocol` — per-height digests locate the lowest
+  diverging height in one round trip, then transfer everything above it.
+
+Every protocol counts the exact canonical-wire bytes and messages each
+direction, so the bandwidth experiments (F3, E5) measure real encodings.
+"""
+
+from repro.reconcile.adapters import ByteTransportProtocol
+from repro.reconcile.bloom import BloomFilter, BloomProtocol
+from repro.reconcile.endpoint import ReconcileEndpoint, RemoteSession
+from repro.reconcile.frontier import FrontierProtocol
+from repro.reconcile.full import FullExchangeProtocol
+from repro.reconcile.session import (
+    ReconcileError,
+    merge_blocks,
+    push_missing_blocks,
+)
+from repro.reconcile.skip import HeightSkipProtocol
+from repro.reconcile.stats import ReconcileStats
+
+__all__ = [
+    "BloomFilter",
+    "BloomProtocol",
+    "ByteTransportProtocol",
+    "FrontierProtocol",
+    "FullExchangeProtocol",
+    "HeightSkipProtocol",
+    "ReconcileEndpoint",
+    "ReconcileError",
+    "ReconcileStats",
+    "RemoteSession",
+    "merge_blocks",
+    "push_missing_blocks",
+]
+
+ALL_PROTOCOLS = (
+    FrontierProtocol,
+    FullExchangeProtocol,
+    BloomProtocol,
+    HeightSkipProtocol,
+)

@@ -1,0 +1,54 @@
+"""Full-DAG exchange — the strawman baseline.
+
+The paper motivates Algorithm 1 as "considerably more efficient than
+exchanging entire DAGs" (§VI); this protocol is that strawman: the
+responder ships every block it has, then the initiator pushes back the
+difference.  Bandwidth is proportional to chain length regardless of how
+little the replicas diverge, which is exactly what experiments F3/E5
+demonstrate.
+"""
+
+from __future__ import annotations
+
+from repro.core.node import VegvisirNode
+from repro.reconcile.session import merge_blocks, push_missing_blocks
+from repro.reconcile.stats import (
+    INITIATOR_TO_RESPONDER,
+    RESPONDER_TO_INITIATOR,
+    ReconcileStats,
+)
+
+
+class FullExchangeProtocol:
+    """Ship the whole DAG both ways."""
+
+    name = "full_exchange"
+
+    def __init__(self, push: bool = True):
+        self._push = push
+
+    def run(self, initiator: VegvisirNode,
+            responder: VegvisirNode) -> ReconcileStats:
+        stats = ReconcileStats(self.name)
+        if initiator.chain_id != responder.chain_id:
+            return stats
+        responder_frontier = sorted(responder.frontier())
+
+        stats.rounds = 1
+        stats.record(INITIATOR_TO_RESPONDER, {"type": "get_dag"})
+        blocks = list(responder.dag.blocks())
+        stats.record(
+            RESPONDER_TO_INITIATOR,
+            {"type": "dag", "blocks": [b.to_wire() for b in blocks]},
+        )
+        merged = merge_blocks(initiator, blocks)
+        stats.blocks_pulled += len(merged.added)
+        stats.duplicate_blocks += merged.duplicates
+        stats.invalid_blocks += merged.invalid
+        stats.converged = merged.complete
+
+        if stats.converged and self._push:
+            push_missing_blocks(
+                initiator, responder, responder_frontier, stats
+            )
+        return stats

@@ -1,0 +1,129 @@
+"""Shared reconciliation plumbing: merging pulled blocks and pushing the
+responder's missing blocks.
+
+``merge_blocks`` inserts a batch of received blocks in dependency order,
+tolerating duplicates and quarantining blocks whose parents are absent
+(the caller fetches deeper and retries).  ``push_missing_blocks``
+implements the push half of a session: after a successful pull the
+initiator's DAG is a superset of the responder's, so the responder's
+holdings are exactly the ancestry of its frontier and the difference can
+be computed without further negotiation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.chain.block import Block
+from repro.chain.errors import (
+    ChainError,
+    DuplicateBlockError,
+    MissingParentsError,
+    ValidationError,
+)
+from repro.core.node import VegvisirNode
+from repro.crypto.sha import Hash
+from repro.reconcile.stats import INITIATOR_TO_RESPONDER, ReconcileStats
+
+
+class ReconcileError(Exception):
+    """A reconciliation session could not complete."""
+
+
+class MergeResult:
+    """What happened to one batch of received blocks."""
+
+    __slots__ = ("added", "duplicates", "invalid", "missing_parents",
+                 "unplaced")
+
+    def __init__(self):
+        self.added: list[Block] = []
+        self.duplicates = 0
+        self.invalid = 0
+        self.missing_parents: set[Hash] = set()
+        self.unplaced: list[Block] = []
+
+    @property
+    def complete(self) -> bool:
+        """Did every non-duplicate, valid block make it into the DAG?"""
+        return not self.missing_parents
+
+
+def merge_blocks(node: VegvisirNode, blocks: Iterable[Block]) -> MergeResult:
+    """Insert received blocks in dependency order.
+
+    Repeatedly sweeps the batch, inserting every block whose parents are
+    present, until a fixpoint; blocks still missing parents are reported
+    in the result so the protocol can fetch another level.  Invalid
+    blocks (bad signature, timestamp, non-member) are counted and
+    dropped — a malicious responder cannot poison the DAG.
+    """
+    result = MergeResult()
+    pending = list(blocks)
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining: list[Block] = []
+        for block in pending:
+            if node.has_block(block.hash):
+                result.duplicates += 1
+                progress = True
+                continue
+            try:
+                node.receive_block(block)
+            except MissingParentsError:
+                remaining.append(block)
+            except (ValidationError, ChainError, DuplicateBlockError):
+                result.invalid += 1
+                progress = True
+            else:
+                result.added.append(block)
+                progress = True
+        pending = remaining
+    result.unplaced = pending
+    for block in pending:
+        for parent in block.parents:
+            if not node.has_block(parent):
+                result.missing_parents.add(parent)
+    return result
+
+
+def responder_holdings(node: VegvisirNode,
+                       frontier_hashes: Iterable[Hash]) -> set[Hash]:
+    """Blocks a peer with the given frontier must hold (provenance §IV-A:
+    a replica always holds the full ancestry of its frontier)."""
+    holdings: set[Hash] = set()
+    for frontier_hash in frontier_hashes:
+        if node.has_block(frontier_hash):
+            holdings.add(frontier_hash)
+            holdings |= node.dag.ancestors(frontier_hash)
+    return holdings
+
+
+def push_missing_blocks(
+    initiator: VegvisirNode,
+    responder: VegvisirNode,
+    responder_frontier: Sequence[Hash],
+    stats: ReconcileStats,
+) -> None:
+    """Send the responder every block it lacks, in topological order.
+
+    Assumes the initiator has already pulled, so its DAG is a superset of
+    the responder's.  Charged to the initiator→responder direction via a
+    single block-batch message.
+    """
+    responder_has = responder_holdings(initiator, responder_frontier)
+    missing = [
+        block for block in initiator.dag.blocks()
+        if block.hash not in responder_has
+    ]
+    if not missing:
+        return
+    stats.record(
+        INITIATOR_TO_RESPONDER,
+        {"type": "push_blocks", "blocks": [b.to_wire() for b in missing]},
+    )
+    merged = merge_blocks(responder, missing)
+    stats.blocks_pushed += len(merged.added)
+    stats.duplicate_blocks += merged.duplicates
+    stats.invalid_blocks += merged.invalid

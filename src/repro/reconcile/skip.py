@@ -1,0 +1,111 @@
+"""Height-digest reconciliation.
+
+An alternative improved protocol: both replicas can summarize their DAG
+as one digest per height (the hash of the sorted block hashes at that
+height).  The initiator sends its digest vector; the responder finds the
+lowest height where the digests differ and returns every one of its
+blocks at or above that height, plus its frontier for exact convergence
+detection.  Divergence of depth *d* costs one round trip, O(height)
+digest bytes, and O(blocks above the split) block bytes — no iterative
+deepening, at the price of resending blocks on branches the initiator
+already had when heights interleave.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.chain.dag import BlockDAG
+from repro.core.node import VegvisirNode
+from repro.crypto.sha import Hash
+from repro.reconcile.session import merge_blocks, push_missing_blocks
+from repro.reconcile.stats import (
+    INITIATOR_TO_RESPONDER,
+    RESPONDER_TO_INITIATOR,
+    ReconcileStats,
+)
+
+
+def height_digests(dag: BlockDAG) -> list[bytes]:
+    """One digest per height level: hash of the sorted hashes there."""
+    by_height: dict[int, list[bytes]] = defaultdict(list)
+    for block in dag.blocks():
+        by_height[dag.height(block.hash)].append(block.hash.digest)
+    return [
+        Hash.of_value(sorted(by_height[height])).digest
+        for height in range(dag.max_height() + 1)
+    ]
+
+
+class HeightSkipProtocol:
+    """Single-round-trip height-digest reconciliation, then push."""
+
+    name = "height_skip"
+
+    def __init__(self, push: bool = True):
+        self._push = push
+
+    def run(self, initiator: VegvisirNode,
+            responder: VegvisirNode) -> ReconcileStats:
+        stats = ReconcileStats(self.name)
+        if initiator.chain_id != responder.chain_id:
+            return stats
+        responder_frontier = sorted(responder.frontier())
+
+        stats.rounds += 1
+        my_digests = height_digests(initiator.dag)
+        stats.record(
+            INITIATOR_TO_RESPONDER,
+            {"type": "height_digests", "digests": my_digests},
+        )
+
+        their_digests = height_digests(responder.dag)
+        split = _first_difference(my_digests, their_digests)
+        if split is None:
+            stats.record(
+                RESPONDER_TO_INITIATOR,
+                {"type": "height_match", "frontier": [
+                    h.digest for h in responder_frontier
+                ]},
+            )
+            stats.converged = True
+        else:
+            blocks = [
+                block for block in responder.dag.blocks()
+                if responder.dag.height(block.hash) >= split
+            ]
+            stats.record(
+                RESPONDER_TO_INITIATOR,
+                {
+                    "type": "height_blocks",
+                    "from_height": split,
+                    "blocks": [b.to_wire() for b in blocks],
+                    "frontier": [h.digest for h in responder_frontier],
+                },
+            )
+            merged = merge_blocks(initiator, blocks)
+            stats.blocks_pulled += len(merged.added)
+            stats.duplicate_blocks += merged.duplicates
+            stats.invalid_blocks += merged.invalid
+            stats.converged = all(
+                initiator.has_block(h) for h in responder_frontier
+            )
+
+        if stats.converged and self._push:
+            push_missing_blocks(
+                initiator, responder, responder_frontier, stats
+            )
+        return stats
+
+
+def _first_difference(a: list[bytes], b: list[bytes]):
+    """Lowest index where the digest vectors differ, or None if one is a
+    prefix of the other and they match everywhere both are defined —
+    unless lengths differ, in which case the shorter length is the split."""
+    shared = min(len(a), len(b))
+    for index in range(shared):
+        if a[index] != b[index]:
+            return index
+    if len(a) != len(b):
+        return shared
+    return None

@@ -1,0 +1,68 @@
+"""Byte and message accounting for reconciliation sessions.
+
+Messages are wire-encodable dicts; :meth:`ReconcileStats.record` charges
+the exact canonical encoding size to the sending direction, so protocol
+comparisons measure what would really cross the radio.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import wire
+
+INITIATOR_TO_RESPONDER = "i->r"
+RESPONDER_TO_INITIATOR = "r->i"
+
+
+class ReconcileStats:
+    """Outcome of one pairwise reconciliation session."""
+
+    def __init__(self, protocol: str):
+        self.protocol = protocol
+        self.rounds = 0
+        self.messages = {INITIATOR_TO_RESPONDER: 0, RESPONDER_TO_INITIATOR: 0}
+        self.bytes = {INITIATOR_TO_RESPONDER: 0, RESPONDER_TO_INITIATOR: 0}
+        self.blocks_pulled = 0
+        self.blocks_pushed = 0
+        self.duplicate_blocks = 0
+        self.invalid_blocks = 0
+        self.converged = False
+
+    def record(self, direction: str, message: Any) -> int:
+        """Charge one message; returns its encoded size in bytes."""
+        size = len(wire.encode(message))
+        self.messages[direction] += 1
+        self.bytes[direction] += size
+        return size
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    @property
+    def blocks_transferred(self) -> int:
+        return self.blocks_pulled + self.blocks_pushed
+
+    def as_dict(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "rounds": self.rounds,
+            "messages": self.total_messages,
+            "bytes": self.total_bytes,
+            "blocks_pulled": self.blocks_pulled,
+            "blocks_pushed": self.blocks_pushed,
+            "duplicates": self.duplicate_blocks,
+            "invalid": self.invalid_blocks,
+            "converged": self.converged,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ReconcileStats({self.protocol}, rounds={self.rounds}, "
+            f"bytes={self.total_bytes}, blocks={self.blocks_transferred})"
+        )

@@ -1,0 +1,12 @@
+"""Human-readable reporting: ASCII DAG rendering and run summaries.
+
+Debugging a partition-tolerant protocol means staring at DAGs;
+``render_dag`` draws one in plain text (height-banded, branch widths
+visible at a glance) and ``simulation_report`` summarizes a run the way
+EXPERIMENTS.md quotes numbers.
+"""
+
+from repro.report.dagviz import render_dag
+from repro.report.summary import simulation_report
+
+__all__ = ["render_dag", "simulation_report"]

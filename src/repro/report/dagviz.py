@@ -1,0 +1,61 @@
+"""ASCII rendering of a block DAG.
+
+Blocks are grouped into height bands (genesis at the top); each block
+shows its short hash, creator, transaction count, and parent pointers
+by short hash.  Concurrency is visible as multiple blocks in one band;
+the frontier is marked with ``*``.
+
+Example output::
+
+    h0  [7ac3f1b2 g] genesis
+    h1  [09d2… a0:2] <- 7ac3…   [5e11… b7:1] <- 7ac3…
+    h2  [77aa… a0:0] <- 09d2…, 5e11…   *
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.chain.dag import BlockDAG
+
+
+def _short(digest_hex: str) -> str:
+    return digest_hex[:8]
+
+
+def render_dag(dag: BlockDAG, max_blocks_per_band: int = 6) -> str:
+    """Render *dag* as height-banded text."""
+    bands: dict[int, list] = defaultdict(list)
+    for block in dag.blocks():
+        bands[dag.height(block.hash)].append(block)
+    frontier = dag.frontier()
+    lines = []
+    for height in sorted(bands):
+        cells = []
+        band = sorted(bands[height], key=lambda b: b.hash.digest)
+        shown = band[:max_blocks_per_band]
+        for block in shown:
+            if block.is_genesis():
+                cell = f"[{block.hash.short()} g] genesis"
+            else:
+                parents = ", ".join(
+                    parent.short() for parent in block.parents[:3]
+                )
+                if len(block.parents) > 3:
+                    parents += f", +{len(block.parents) - 3}"
+                cell = (
+                    f"[{block.hash.short()} "
+                    f"{block.user_id.short()[:4]}:"
+                    f"{len(block.transactions)}] <- {parents}"
+                )
+            if block.hash in frontier:
+                cell += " *"
+            cells.append(cell)
+        if len(band) > max_blocks_per_band:
+            cells.append(f"(+{len(band) - max_blocks_per_band} more)")
+        lines.append(f"h{height:<3} " + "   ".join(cells))
+    lines.append(
+        f"{len(dag)} blocks, height {dag.max_height()}, "
+        f"frontier width {dag.frontier_width()} (* = frontier)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Simulation run summaries."""
+
+from __future__ import annotations
+
+from repro.sim.metrics import percentile
+from repro.sim.runner import Simulation
+
+
+def simulation_report(sim: Simulation) -> str:
+    """A multi-line summary of a finished simulation run."""
+    metrics = sim.metrics
+    propagation = metrics.propagation
+    lines = [
+        f"fleet:            {sim.scenario.node_count} nodes, "
+        f"{sim.loop.now} ms simulated",
+        f"blocks:           {sim.total_blocks()} "
+        f"({metrics.blocks_created} workload appends)",
+        f"sessions:         {metrics.sessions_completed} completed, "
+        f"{metrics.session_bytes} bytes, "
+        f"{metrics.transfer_ms_total} ms on air",
+        f"contacts:         {metrics.contacts_attempted} attempted "
+        f"({metrics.contacts_no_neighbor} isolated, "
+        f"{metrics.contacts_lost} lost, "
+        f"{metrics.contacts_refused} refused, "
+        f"{metrics.contacts_busy} busy)",
+        f"coverage:         mean {propagation.mean_coverage():.3f}, "
+        f"fully covered {propagation.fully_covered_fraction():.3f}",
+    ]
+    latencies = propagation.full_coverage_latencies()
+    if latencies:
+        lines.append(
+            f"full-coverage:    p50 {percentile(latencies, 0.5)} ms, "
+            f"p90 {percentile(latencies, 0.9)} ms, "
+            f"max {max(latencies)} ms"
+        )
+    lines.append(
+        f"energy:           {sim.energy.total_j():.4f} J total "
+        f"({_breakdown(sim)})"
+    )
+    lines.append(f"converged:        {sim.converged()}")
+    return "\n".join(lines)
+
+
+def _breakdown(sim: Simulation) -> str:
+    parts = sim.energy.breakdown_uj()
+    total = sum(parts.values()) or 1.0
+    shares = [
+        f"{category} {100 * amount / total:.0f}%"
+        for category, amount in sorted(
+            parts.items(), key=lambda item: -item[1]
+        )
+        if amount > 0
+    ]
+    return ", ".join(shares) if shares else "none"

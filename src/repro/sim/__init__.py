@@ -1,0 +1,45 @@
+"""Simulation harness (S13).
+
+Ties the network substrate to Vegvisir nodes: a gossip scheduler fires
+periodic opportunistic contacts (§IV-G), an energy model charges every
+byte and every cryptographic operation (the paper's low-power claim),
+metrics track dissemination and branching, and adversary policies model
+§IV-B (nodes that withhold or refuse to propagate blocks).
+"""
+
+from repro.sim.adversary import (
+    AdversaryPolicy,
+    FreeRiderAdversary,
+    HonestPolicy,
+    SilentAdversary,
+)
+from repro.sim.energy import EnergyLedger, EnergyModel, EnergyParameters
+from repro.sim.gossip import GossipScheduler
+from repro.sim.metrics import PropagationTracker, SimMetrics
+from repro.sim.runner import Simulation
+from repro.sim.scenario import Scenario
+from repro.sim.workload import (
+    BurstyWorkload,
+    HotspotWorkload,
+    PeriodicWorkload,
+    Workload,
+)
+
+__all__ = [
+    "AdversaryPolicy",
+    "BurstyWorkload",
+    "HotspotWorkload",
+    "PeriodicWorkload",
+    "Workload",
+    "EnergyLedger",
+    "EnergyModel",
+    "EnergyParameters",
+    "FreeRiderAdversary",
+    "GossipScheduler",
+    "HonestPolicy",
+    "PropagationTracker",
+    "Scenario",
+    "SilentAdversary",
+    "SimMetrics",
+    "Simulation",
+]

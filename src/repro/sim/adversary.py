@@ -1,0 +1,69 @@
+"""Adversary policies (paper §IV-B).
+
+The paper's adversaries "can remove blocks from their local version of
+the blockchain and they can choose not to propagate new blocks they
+receive"; they cannot forge signatures.  The protocol's defense is
+redundancy: among every node's k nearest neighbors, at least one is
+honest, so blocks route around the adversaries.
+
+Policies hook the gossip scheduler:
+
+* :class:`HonestPolicy` — follows the protocol.
+* :class:`SilentAdversary` — never initiates and refuses every contact:
+  the strongest "choose not to propagate" behaviour.
+* :class:`FreeRiderAdversary` — initiates pulls to stay current but
+  refuses to respond or receive pushes: it drains information without
+  spreading any (withholding while staying plausibly live).
+
+Signature forgery and block *modification* need no policy: the crypto
+layer rejects them (see the tamper tests), which the E6 bench also
+demonstrates.
+"""
+
+from __future__ import annotations
+
+
+class AdversaryPolicy:
+    """Hook points consulted by the gossip scheduler."""
+
+    name = "honest"
+
+    def initiates_gossip(self) -> bool:
+        """Does this node run its periodic gossip tick?"""
+        return True
+
+    def responds_to_gossip(self) -> bool:
+        """Does this node serve a peer's reconciliation session?"""
+        return True
+
+    def accepts_pushes(self) -> bool:
+        """Does this node let the push half of a session reach it?"""
+        return True
+
+
+class HonestPolicy(AdversaryPolicy):
+    """Follows the protocol."""
+
+
+class SilentAdversary(AdversaryPolicy):
+    """Neither initiates nor responds: a black hole in the contact graph."""
+
+    name = "silent"
+
+    def initiates_gossip(self) -> bool:
+        return False
+
+    def responds_to_gossip(self) -> bool:
+        return False
+
+    def accepts_pushes(self) -> bool:
+        return False
+
+
+class FreeRiderAdversary(AdversaryPolicy):
+    """Pulls from others but never gives anything back."""
+
+    name = "free_rider"
+
+    def responds_to_gossip(self) -> bool:
+        return False

@@ -1,0 +1,221 @@
+"""The opportunistic gossip scheduler (paper §IV-G).
+
+"Periodically, a node picks a physical neighbor at random (if it has
+any)" and reconciles DAGs with it.  Each node runs an independent timer
+with jitter; a tick asks the topology for the current neighbor set,
+draws one uniformly, consults both sides' adversary policies and the
+link model, and — if the contact goes through — runs one reconciliation
+session, charging its bytes to the energy ledgers and its deliveries to
+the propagation tracker.
+
+A session is executed atomically at the contact instant (its duration is
+recorded, not simulated block-by-block); this is the standard epidemic-
+simulation simplification and affects none of the measured quantities
+except sub-contact-timescale latency.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.core.node import VegvisirNode
+from repro.net.events import EventLoop
+from repro.net.links import LinkModel
+from repro.net.topology import Topology
+from repro.reconcile.frontier import FrontierProtocol
+from repro.reconcile.stats import (
+    INITIATOR_TO_RESPONDER,
+    RESPONDER_TO_INITIATOR,
+    ReconcileStats,
+)
+from repro.sim.adversary import AdversaryPolicy, HonestPolicy
+from repro.sim.energy import EnergyModel
+from repro.sim.metrics import SimMetrics
+
+
+def default_protocol_factory(push: bool):
+    return FrontierProtocol(push=push)
+
+
+SELECT_RANDOM = "random"
+SELECT_ROUND_ROBIN = "round_robin"
+SELECT_LEAST_RECENT = "least_recent"
+
+PEER_SELECTORS = (SELECT_RANDOM, SELECT_ROUND_ROBIN, SELECT_LEAST_RECENT)
+
+
+class GossipScheduler:
+    """Periodic random-neighbor reconciliation over an event loop."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        topology: Topology,
+        nodes: dict[int, VegvisirNode],
+        metrics: SimMetrics,
+        energy: Optional[EnergyModel] = None,
+        link: Optional[LinkModel] = None,
+        protocol_factory: Callable[[bool], object] = default_protocol_factory,
+        policies: Optional[dict[int, AdversaryPolicy]] = None,
+        interval_ms: int = 1_000,
+        jitter_ms: int = 200,
+        seed: int = 0,
+        peer_selector: str = SELECT_RANDOM,
+    ):
+        if peer_selector not in PEER_SELECTORS:
+            raise ValueError(f"unknown peer selector {peer_selector!r}")
+        self._loop = loop
+        self._topology = topology
+        self._nodes = nodes
+        self._metrics = metrics
+        self._energy = energy
+        self._link = link or LinkModel(seed=seed ^ 0x5EED)
+        self._protocol_factory = protocol_factory
+        self._policies = policies or {}
+        self._interval_ms = interval_ms
+        self._jitter_ms = jitter_ms
+        self._rng = random.Random(seed)
+        # Per-node cursor into the DAG insertion order, for delivery
+        # tracking without rescanning whole DAGs.
+        self._seen_counts = {node_id: 0 for node_id in nodes}
+        # Radios are half-duplex: a session occupies both ends for its
+        # transfer duration; ticks that land on a busy node are skipped.
+        self._busy_until = {node_id: 0 for node_id in nodes}
+        # Peer selection state (§IV-G mandates only that a neighbor is
+        # picked; the strategy is an ablation knob, experiment A3).
+        self._peer_selector = peer_selector
+        self._round_robin_cursor = {node_id: 0 for node_id in nodes}
+        self._last_contact: dict[tuple[int, int], int] = {}
+        self._started = False
+
+    def policy(self, node_id: int) -> AdversaryPolicy:
+        return self._policies.get(node_id) or HonestPolicy()
+
+    def start(self) -> None:
+        """Schedule every node's first tick at a random phase offset."""
+        if self._started:
+            raise RuntimeError("gossip scheduler already started")
+        self._started = True
+        for node_id in sorted(self._nodes):
+            self.observe_local_blocks(node_id)
+            offset = self._rng.randrange(max(1, self._interval_ms))
+            self._loop.schedule_in(
+                offset, self._make_tick(node_id)
+            )
+
+    def _make_tick(self, node_id: int) -> Callable[[], None]:
+        def tick() -> None:
+            self._tick(node_id)
+        return tick
+
+    def _schedule_next(self, node_id: int) -> None:
+        jitter = (
+            self._rng.randrange(-self._jitter_ms, self._jitter_ms + 1)
+            if self._jitter_ms
+            else 0
+        )
+        delay = max(1, self._interval_ms + jitter)
+        self._loop.schedule_in(delay, self._make_tick(node_id))
+
+    def is_busy(self, node_id: int) -> bool:
+        return self._busy_until[node_id] > self._loop.now
+
+    def _tick(self, node_id: int) -> None:
+        self._schedule_next(node_id)
+        if not self.policy(node_id).initiates_gossip():
+            return
+        self._metrics.contacts_attempted += 1
+        if self.is_busy(node_id):
+            self._metrics.contacts_busy += 1
+            return
+        neighbors = self._topology.neighbors(node_id, self._loop.now)
+        if not neighbors:
+            self._metrics.contacts_no_neighbor += 1
+            return
+        peer_id = self._select_peer(node_id, neighbors)
+        if self.is_busy(peer_id):
+            self._metrics.contacts_busy += 1
+            return
+        if not self.policy(peer_id).responds_to_gossip():
+            self._metrics.contacts_refused += 1
+            return
+        if not self._link.contact_succeeds():
+            self._metrics.contacts_lost += 1
+            return
+        self.contact(node_id, peer_id)
+
+    def _select_peer(self, node_id: int, neighbors: list[int]) -> int:
+        if self._peer_selector == SELECT_ROUND_ROBIN:
+            cursor = self._round_robin_cursor[node_id]
+            self._round_robin_cursor[node_id] = cursor + 1
+            return neighbors[cursor % len(neighbors)]
+        if self._peer_selector == SELECT_LEAST_RECENT:
+            def last_seen(peer: int) -> tuple:
+                key = (min(node_id, peer), max(node_id, peer))
+                return (self._last_contact.get(key, -1), peer)
+            return min(neighbors, key=last_seen)
+        return neighbors[self._rng.randrange(len(neighbors))]
+
+    def contact(self, initiator_id: int, responder_id: int) -> ReconcileStats:
+        """Run one reconciliation session between two nodes, now."""
+        push = (
+            self.policy(initiator_id).responds_to_gossip()
+            and self.policy(responder_id).accepts_pushes()
+        )
+        protocol = self._protocol_factory(push)
+        stats = protocol.run(
+            self._nodes[initiator_id], self._nodes[responder_id]
+        )
+        self._metrics.record_session(stats.total_bytes, stats.total_messages)
+        duration = self._link.transfer_duration_ms(
+            stats.total_bytes, round_trips=max(1, stats.rounds)
+        )
+        busy_until = self._loop.now + duration
+        self._busy_until[initiator_id] = busy_until
+        self._busy_until[responder_id] = busy_until
+        self._metrics.record_transfer_duration(duration)
+        pair = (min(initiator_id, responder_id),
+                max(initiator_id, responder_id))
+        self._last_contact[pair] = self._loop.now
+        if self._energy is not None:
+            self._energy.charge_transfer(
+                initiator_id, responder_id,
+                stats.bytes[INITIATOR_TO_RESPONDER],
+            )
+            self._energy.charge_transfer(
+                responder_id, initiator_id,
+                stats.bytes[RESPONDER_TO_INITIATOR],
+            )
+        self.observe_local_blocks(initiator_id)
+        self.observe_local_blocks(responder_id)
+        return stats
+
+    def observe_local_blocks(self, node_id: int) -> None:
+        """Record first-delivery times for blocks new to this node.
+
+        Also charges signature verification energy for each newly
+        received (not locally created) block.
+        """
+        node = self._nodes[node_id]
+        order = node.dag.insertion_order()
+        cursor = self._seen_counts[node_id]
+        for block_hash in order[cursor:]:
+            block = node.dag.get(block_hash)
+            if block.user_id == node.user_id:
+                self._metrics.propagation.record_created(
+                    block_hash, node_id, self._loop.now
+                )
+                if self._energy is not None:
+                    self._energy.charge_block_creation(
+                        node_id, block.wire_size
+                    )
+            else:
+                self._metrics.propagation.record_delivered(
+                    block_hash, node_id, self._loop.now
+                )
+                if self._energy is not None:
+                    self._energy.charge_block_verification(
+                        node_id, block.wire_size
+                    )
+        self._seen_counts[node_id] = len(order)

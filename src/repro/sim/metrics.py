@@ -1,0 +1,140 @@
+"""Simulation metrics: dissemination, contacts, branching.
+
+:class:`PropagationTracker` records when each node first holds each
+block, giving per-block coverage and delivery-latency distributions —
+the paper's *Transitivity* property ("if one user learns of a
+transaction, eventually all users do") made measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto.sha import Hash
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty list."""
+    if not values:
+        raise ValueError("no values")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class PropagationTracker:
+    """First-delivery times of every block at every node."""
+
+    def __init__(self, node_count: int):
+        self.node_count = node_count
+        self._created: dict[Hash, tuple[int, int]] = {}  # hash -> (t, node)
+        self._delivered: dict[Hash, dict[int, int]] = {}  # hash -> node -> t
+
+    def record_created(self, block_hash: Hash, node_id: int,
+                       time_ms: int) -> None:
+        if block_hash not in self._created:
+            self._created[block_hash] = (time_ms, node_id)
+            self._delivered.setdefault(block_hash, {})[node_id] = time_ms
+
+    def record_delivered(self, block_hash: Hash, node_id: int,
+                         time_ms: int) -> None:
+        deliveries = self._delivered.setdefault(block_hash, {})
+        if node_id not in deliveries:
+            deliveries[node_id] = time_ms
+
+    def blocks(self) -> list[Hash]:
+        return sorted(self._created)
+
+    def coverage(self, block_hash: Hash) -> float:
+        """Fraction of nodes holding the block."""
+        return len(self._delivered.get(block_hash, {})) / self.node_count
+
+    def full_coverage_time(self, block_hash: Hash) -> Optional[int]:
+        """When the last node received the block, or None if not yet."""
+        deliveries = self._delivered.get(block_hash, {})
+        if len(deliveries) < self.node_count:
+            return None
+        return max(deliveries.values())
+
+    def delivery_latencies(self, block_hash: Hash) -> list[int]:
+        """Per-node latency from creation to first delivery."""
+        created_at, _ = self._created[block_hash]
+        return [
+            delivered_at - created_at
+            for delivered_at in self._delivered.get(block_hash, {}).values()
+        ]
+
+    def fully_covered_fraction(self) -> float:
+        """Fraction of created blocks known to every node."""
+        if not self._created:
+            return 1.0
+        covered = sum(
+            1 for block_hash in self._created
+            if len(self._delivered.get(block_hash, {})) == self.node_count
+        )
+        return covered / len(self._created)
+
+    def mean_coverage(self) -> float:
+        if not self._created:
+            return 1.0
+        return sum(
+            self.coverage(block_hash) for block_hash in self._created
+        ) / len(self._created)
+
+    def full_coverage_latencies(self) -> list[int]:
+        """Creation-to-everywhere latency for fully covered blocks."""
+        result = []
+        for block_hash, (created_at, _) in self._created.items():
+            covered_at = self.full_coverage_time(block_hash)
+            if covered_at is not None:
+                result.append(covered_at - created_at)
+        return result
+
+
+class SimMetrics:
+    """Aggregate counters plus the propagation tracker."""
+
+    def __init__(self, node_count: int):
+        self.propagation = PropagationTracker(node_count)
+        self.contacts_attempted = 0
+        self.contacts_no_neighbor = 0
+        self.contacts_lost = 0
+        self.contacts_refused = 0
+        self.contacts_busy = 0
+        self.sessions_completed = 0
+        self.session_bytes = 0
+        self.session_messages = 0
+        self.transfer_ms_total = 0
+        self.blocks_created = 0
+        self.frontier_width_samples: list[tuple[int, int]] = []
+
+    def record_session(self, byte_count: int, message_count: int) -> None:
+        self.sessions_completed += 1
+        self.session_bytes += byte_count
+        self.session_messages += message_count
+
+    def record_transfer_duration(self, duration_ms: int) -> None:
+        self.transfer_ms_total += duration_ms
+
+    def sample_frontier_width(self, time_ms: int, width: int) -> None:
+        self.frontier_width_samples.append((time_ms, width))
+
+    def max_frontier_width(self) -> int:
+        if not self.frontier_width_samples:
+            return 0
+        return max(width for _, width in self.frontier_width_samples)
+
+    def as_dict(self) -> dict:
+        return {
+            "contacts_attempted": self.contacts_attempted,
+            "contacts_no_neighbor": self.contacts_no_neighbor,
+            "contacts_lost": self.contacts_lost,
+            "contacts_refused": self.contacts_refused,
+            "contacts_busy": self.contacts_busy,
+            "sessions_completed": self.sessions_completed,
+            "session_bytes": self.session_bytes,
+            "blocks_created": self.blocks_created,
+            "mean_coverage": self.propagation.mean_coverage(),
+            "fully_covered_fraction":
+                self.propagation.fully_covered_fraction(),
+        }

@@ -1,0 +1,155 @@
+"""The simulation runner.
+
+Builds a fleet from a :class:`~repro.sim.scenario.Scenario`, wires the
+gossip scheduler and an append workload onto one event loop, runs it,
+and exposes convergence/energy/propagation results.  Every run with the
+same scenario seed is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.chain.block import Transaction
+from repro.net.events import EventLoop
+from repro.net.links import LinkModel
+from repro.sim.energy import EnergyModel
+from repro.sim.gossip import GossipScheduler
+from repro.sim.metrics import SimMetrics
+from repro.sim.scenario import Scenario, build_fleet
+
+WORKLOAD_CRDT = "events"
+
+
+class Simulation:
+    """One reproducible simulation run."""
+
+    def __init__(self, scenario: Scenario):
+        self.scenario = scenario
+        self.loop = EventLoop()
+        self.topology = scenario.topology_factory(scenario.node_count)
+        # Geometric topologies expose their mobility model; nodes then
+        # stamp their blocks with physical locations (Fig. 2).
+        mobility = getattr(self.topology, "mobility", None)
+        self.fleet = build_fleet(scenario, self.loop, mobility=mobility)
+        self.metrics = SimMetrics(scenario.node_count)
+        self.energy = EnergyModel(scenario.energy_parameters)
+        self._rng = random.Random(scenario.seed ^ 0xC0FFEE)
+        link = scenario.link or LinkModel(seed=scenario.seed ^ 0x11)
+        self.gossip = GossipScheduler(
+            loop=self.loop,
+            topology=self.topology,
+            nodes=self.fleet.nodes,
+            metrics=self.metrics,
+            energy=self.energy,
+            link=link,
+            protocol_factory=scenario.protocol_factory,
+            policies=scenario.policies,
+            interval_ms=scenario.gossip_interval_ms,
+            jitter_ms=scenario.gossip_jitter_ms,
+            seed=scenario.seed ^ 0x60551B,
+            peer_selector=scenario.peer_selector,
+        )
+        self._appended = 0
+        self._setup_workload_crdt()
+
+    # ------------------------------------------------------------------
+    # Workload
+
+    def _setup_workload_crdt(self) -> None:
+        """Node 0 creates the shared event log all appends target.
+
+        Every node starts from the same genesis; the creation block
+        spreads by gossip like any other block, so early appends from
+        nodes that have not yet seen it are simply targeted later (the
+        workload only appends once the creation is visible locally).
+        """
+        node = self.fleet.nodes[0]
+        node.create_crdt(
+            WORKLOAD_CRDT, "append_log", "any", permissions={"append": "*"}
+        )
+
+    def _schedule_appends(self) -> None:
+        interval = self.scenario.append_interval_ms
+        if interval is None:
+            return
+        for node_id in sorted(self.fleet.nodes):
+            offset = self._rng.randrange(max(1, interval))
+            self.loop.schedule_in(offset, self._make_append(node_id))
+
+    def _make_append(self, node_id: int):
+        def append() -> None:
+            interval = self.scenario.append_interval_ms
+            if interval is None:
+                return  # workload stopped (quiescence phase)
+            jitter = self._rng.randrange(max(1, interval // 4))
+            self.loop.schedule_in(interval + jitter, self._make_append(node_id))
+            node = self.fleet.nodes[node_id]
+            if node.csm.crdt_instance(WORKLOAD_CRDT) is None:
+                return  # creation block not seen here yet
+            self.metrics.sample_frontier_width(
+                self.loop.now, node.dag.frontier_width()
+            )
+            payload = {
+                "node": node_id,
+                "seq": self._appended,
+                "data": bytes(self._payload()),
+            }
+            node.append_transactions(
+                [Transaction(WORKLOAD_CRDT, "append", [payload])]
+            )
+            self._appended += 1
+            self.metrics.blocks_created += 1
+            self.gossip.observe_local_blocks(node_id)
+        return append
+
+    def _payload(self) -> bytearray:
+        return bytearray(
+            self._rng.randrange(256)
+            for _ in range(self.scenario.payload_bytes)
+        )
+
+    # ------------------------------------------------------------------
+    # Running
+
+    def run(self, duration_ms: Optional[int] = None) -> "Simulation":
+        """Start gossip and workload, run the loop, return self."""
+        self.gossip.start()
+        if self.scenario.workload is not None:
+            self.scenario.workload.start(self)
+        else:
+            self._schedule_appends()
+        self.loop.run_until(duration_ms or self.scenario.duration_ms)
+        return self
+
+    def run_quiescence(self, extra_ms: int, workload: bool = False) -> None:
+        """Run further with the workload stopped, letting gossip drain."""
+        if not workload:
+            self.scenario.append_interval_ms = None
+            if self.scenario.workload is not None:
+                self.scenario.workload.stop()
+        self.loop.run_until(self.loop.now + extra_ms)
+
+    # ------------------------------------------------------------------
+    # Results
+
+    def honest_node_ids(self) -> list[int]:
+        return [
+            node_id for node_id in sorted(self.fleet.nodes)
+            if self.gossip.policy(node_id).name == "honest"
+        ]
+
+    def converged(self, node_ids: Optional[list[int]] = None) -> bool:
+        """Do the given nodes (default: honest ones) agree bit-for-bit?"""
+        ids = node_ids if node_ids is not None else self.honest_node_ids()
+        digests = {
+            self.fleet.nodes[node_id].state_digest().hex() for node_id in ids
+        }
+        return len(digests) <= 1
+
+    def total_blocks(self) -> int:
+        return max(len(node.dag) for node in self.fleet.nodes.values())
+
+    def node(self, node_id: int):
+        return self.fleet.nodes[node_id]

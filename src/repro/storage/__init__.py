@@ -1,0 +1,13 @@
+"""On-disk persistence.
+
+IoT devices reboot; a replica must survive power loss.  The store is an
+append-only log of length-prefixed, checksummed canonical block
+encodings, written in the DAG's insertion order (a topological order),
+so recovery is a straight replay through the ordinary validation
+pipeline — persisted garbage cannot bypass the §IV-E checks.
+"""
+
+from repro.storage.blockstore import BlockStore, StorageError
+from repro.storage.node_store import load_node, save_node
+
+__all__ = ["BlockStore", "StorageError", "load_node", "save_node"]

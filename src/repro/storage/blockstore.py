@@ -1,0 +1,101 @@
+"""Append-only block log.
+
+Record format (all integers big-endian):
+
+    magic   4 bytes  b"VGV1"          (file header, once)
+    ---- per record ----
+    length  4 bytes                   length of the block encoding
+    sha256 32 bytes                   digest of the block encoding
+    block   <length> bytes            canonical wire encoding
+
+A torn final record (power loss mid-write) is detected by length or
+checksum mismatch and ignored; everything before it is intact.  Records
+are written with flush+fsync by default so an acknowledged append
+survives a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+from typing import Iterator, Union
+
+from repro.chain.block import Block
+
+MAGIC = b"VGV1"
+_HEADER = len(MAGIC)
+_LEN_BYTES = 4
+_SHA_BYTES = 32
+
+
+class StorageError(Exception):
+    """The store file is unusable (bad magic, unreadable path)."""
+
+
+class BlockStore:
+    """An append-only file of blocks."""
+
+    def __init__(self, path: Union[str, pathlib.Path], fsync: bool = True):
+        self._path = pathlib.Path(path)
+        self._fsync = fsync
+        if self._path.exists():
+            with self._path.open("rb") as handle:
+                magic = handle.read(_HEADER)
+            if magic != MAGIC:
+                raise StorageError(f"{self._path} is not a block store")
+        else:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            with self._path.open("wb") as handle:
+                handle.write(MAGIC)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self._path
+
+    def append(self, block: Block) -> None:
+        """Durably append one block."""
+        payload = block.to_bytes()
+        record = (
+            len(payload).to_bytes(_LEN_BYTES, "big")
+            + hashlib.sha256(payload).digest()
+            + payload
+        )
+        with self._path.open("ab") as handle:
+            handle.write(record)
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+
+    def append_all(self, blocks) -> None:
+        for block in blocks:
+            self.append(block)
+
+    def blocks(self) -> Iterator[Block]:
+        """Yield stored blocks in append order, stopping cleanly at a
+        torn tail.  Raises MalformedBlockError only for a record whose
+        checksum passes but whose content will not parse (i.e. real
+        corruption, not a torn write)."""
+        with self._path.open("rb") as handle:
+            if handle.read(_HEADER) != MAGIC:
+                raise StorageError(f"{self._path} is not a block store")
+            while True:
+                length_bytes = handle.read(_LEN_BYTES)
+                if len(length_bytes) < _LEN_BYTES:
+                    return  # clean end or torn length
+                length = int.from_bytes(length_bytes, "big")
+                digest = handle.read(_SHA_BYTES)
+                payload = handle.read(length)
+                if len(digest) < _SHA_BYTES or len(payload) < length:
+                    return  # torn record
+                if hashlib.sha256(payload).digest() != digest:
+                    return  # corrupt/torn record: stop before it
+                yield Block.from_bytes(payload)
+
+    def count(self) -> int:
+        return sum(1 for _ in self.blocks())
+
+    def __iter__(self) -> Iterator[Block]:
+        return self.blocks()

@@ -1,0 +1,28 @@
+"""The support blockchain (S11, paper §IV-I, Figs. 4-5).
+
+Storage-constrained IoT devices may offload old Vegvisir blocks to a
+"more traditional blockchain" — a linear chain maintained by
+higher-powered superpeers with occasional connectivity.  Each support
+block wraps one Vegvisir block; support blocks must be appended in an
+order that preserves the Vegvisir DAG's topological order, so the
+archive is always a parent-closed prefix and any archived block's full
+provenance is recoverable from the archive alone.
+"""
+
+from repro.support.offload import OffloadManager
+from repro.support.restore import bootstrap_from_support
+from repro.support.superpeer import Superpeer
+from repro.support.support_chain import (
+    SupportBlock,
+    SupportChain,
+    SupportChainError,
+)
+
+__all__ = [
+    "OffloadManager",
+    "SupportBlock",
+    "SupportChain",
+    "SupportChainError",
+    "Superpeer",
+    "bootstrap_from_support",
+]

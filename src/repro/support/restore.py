@@ -1,0 +1,52 @@
+"""Rebuilding a replica from the support blockchain.
+
+Because support blocks preserve the Vegvisir DAG's topological order
+(§IV-I), the archive alone is enough to reconstruct a replica: replay
+the genesis block, then each archived body in support-chain order,
+through the ordinary validation pipeline.  A device that lost
+everything — or a brand-new member — can therefore bootstrap from a
+superpeer instead of a long chain of peer-to-peer frontier sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.chain.block import Block
+from repro.core.node import VegvisirNode
+from repro.crypto.keys import KeyPair
+from repro.csm.permissions import ChainPolicy
+from repro.support.support_chain import SupportChain, SupportChainError
+
+
+def bootstrap_from_support(
+    key_pair: KeyPair,
+    genesis: Block,
+    chain: SupportChain,
+    policy: Optional[ChainPolicy] = None,
+    clock: Optional[Callable[[], int]] = None,
+    **node_kwargs,
+) -> VegvisirNode:
+    """Build a fresh replica from a genesis block plus the archive.
+
+    The genesis block itself is not on the support chain (it identifies
+    the chain, §IV-G) and must be supplied; every archived body is then
+    validated and replayed in archive order.  Raises
+    :class:`SupportChainError` if the archive does not belong to this
+    genesis; validation errors propagate if the archive was tampered.
+    """
+    if chain.vegvisir_genesis != genesis.hash:
+        raise SupportChainError(
+            "support chain does not belong to this genesis block"
+        )
+    node = VegvisirNode(
+        key_pair, genesis, policy=policy, clock=clock, **node_kwargs
+    )
+    restored_now = genesis.timestamp
+    for support_block in chain.blocks():
+        body = support_block.body
+        restored_now = max(restored_now, body.timestamp)
+        node.validator.validate(body, now_ms=restored_now)
+        node.dag.add_block(body)
+        node.csm.replay_block(body)
+    return node

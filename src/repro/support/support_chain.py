@@ -1,0 +1,175 @@
+"""The linear support chain.
+
+"The body of a block on the support blockchain is a Vegvisir block.
+Support blocks must be added in a way that preserves the topological
+order of the Vegvisir DAG" (§IV-I).  The chain is an authenticated
+hash-linked log signed by superpeers; the topological-order rule means
+the archived set is always *parent-closed*: every archived block's
+parents are archived before it, so tamperproofness and provenance
+survive the move off-device.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro import wire
+from repro.chain.block import Block
+from repro.crypto.keys import KeyPair
+from repro.crypto.ed25519 import PublicKey
+from repro.crypto.sha import Hash
+
+
+class SupportChainError(Exception):
+    """Invalid support-chain operation."""
+
+
+class SupportBlock:
+    """One support block: a Vegvisir block plus the linear linkage."""
+
+    __slots__ = ("prev_hash", "height", "archiver_id", "timestamp", "body",
+                 "signature", "_hash")
+
+    def __init__(
+        self,
+        prev_hash: Optional[Hash],
+        height: int,
+        archiver_id: Hash,
+        timestamp: int,
+        body: Block,
+        signature: bytes,
+    ):
+        self.prev_hash = prev_hash
+        self.height = height
+        self.archiver_id = archiver_id
+        self.timestamp = timestamp
+        self.body = body
+        self.signature = bytes(signature)
+        self._hash = Hash.of_value(self.to_wire())
+
+    def signing_payload(self) -> bytes:
+        return wire.encode(
+            {
+                "archiver": self.archiver_id.digest,
+                "body": self.body.to_wire(),
+                "height": self.height,
+                "prev": self.prev_hash.digest if self.prev_hash else b"",
+                "timestamp": self.timestamp,
+            }
+        )
+
+    def to_wire(self) -> dict:
+        return {
+            "archiver": self.archiver_id.digest,
+            "body": self.body.to_wire(),
+            "height": self.height,
+            "prev": self.prev_hash.digest if self.prev_hash else b"",
+            "signature": self.signature,
+            "timestamp": self.timestamp,
+        }
+
+    @property
+    def hash(self) -> Hash:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"SupportBlock(h={self.height}, body={self.body.hash.short()})"
+
+
+class SupportChain:
+    """The linear archive of Vegvisir blocks."""
+
+    def __init__(self, genesis_hash: Hash):
+        self._vegvisir_genesis = genesis_hash
+        self._blocks: list[SupportBlock] = []
+        self._archived: dict[Hash, int] = {}  # vegvisir hash -> height
+
+    @property
+    def vegvisir_genesis(self) -> Hash:
+        return self._vegvisir_genesis
+
+    def tip_hash(self) -> Optional[Hash]:
+        return self._blocks[-1].hash if self._blocks else None
+
+    def append(self, body: Block, archiver: KeyPair,
+               timestamp: int) -> SupportBlock:
+        """Archive one Vegvisir block.
+
+        Enforces the topological-order rule: every parent of *body* must
+        already be archived (the Vegvisir genesis is implicitly
+        archived — every replica holds it by definition).
+        """
+        if body.hash in self._archived:
+            raise SupportChainError(
+                f"block {body.hash.short()} already archived"
+            )
+        for parent in body.parents:
+            if parent != self._vegvisir_genesis and (
+                parent not in self._archived
+            ):
+                raise SupportChainError(
+                    f"parent {parent.short()} of {body.hash.short()} is "
+                    f"not archived yet (topological order violated)"
+                )
+        height = len(self._blocks)
+        unsigned = SupportBlock(
+            prev_hash=self.tip_hash(),
+            height=height,
+            archiver_id=archiver.user_id,
+            timestamp=timestamp,
+            body=body,
+            signature=b"",
+        )
+        block = SupportBlock(
+            prev_hash=unsigned.prev_hash,
+            height=height,
+            archiver_id=archiver.user_id,
+            timestamp=timestamp,
+            body=body,
+            signature=archiver.sign(unsigned.signing_payload()),
+        )
+        self._blocks.append(block)
+        self._archived[body.hash] = height
+        return block
+
+    def is_archived(self, vegvisir_hash: Hash) -> bool:
+        return vegvisir_hash in self._archived
+
+    def fetch(self, vegvisir_hash: Hash) -> Block:
+        """Recover an archived Vegvisir block body."""
+        try:
+            return self._blocks[self._archived[vegvisir_hash]].body
+        except KeyError:
+            raise SupportChainError(
+                f"block {vegvisir_hash.short()} is not archived"
+            ) from None
+
+    def archived_hashes(self) -> set[Hash]:
+        return set(self._archived)
+
+    def verify(self, trusted_archivers: dict[Hash, PublicKey]) -> bool:
+        """Check hash linkage, signatures, and topological order."""
+        prev: Optional[Hash] = None
+        seen: set[Hash] = {self._vegvisir_genesis}
+        for height, block in enumerate(self._blocks):
+            if block.height != height or block.prev_hash != prev:
+                return False
+            key = trusted_archivers.get(block.archiver_id)
+            if key is None:
+                return False
+            if not key.verify(block.signing_payload(), block.signature):
+                return False
+            if any(parent not in seen for parent in block.body.parents):
+                return False
+            seen.add(block.body.hash)
+            prev = block.hash
+        return True
+
+    def blocks(self) -> Iterator[SupportBlock]:
+        return iter(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, vegvisir_hash: Hash) -> bool:
+        return vegvisir_hash in self._archived

@@ -1,0 +1,20 @@
+"""Canonical binary wire format (S1).
+
+Every object that is hashed or signed in Vegvisir — blocks, transactions,
+certificates, reconciliation messages — must serialize to exactly one byte
+string, or signatures and block hashes would be ambiguous.  This package
+provides a small, self-contained, deterministic tag-length-value codec with
+strict canonicity checking on decode.
+"""
+
+from repro.wire.codec import decode, encode, encoded_size
+from repro.wire.errors import DecodeError, EncodeError, WireError
+
+__all__ = [
+    "DecodeError",
+    "EncodeError",
+    "WireError",
+    "decode",
+    "encode",
+    "encoded_size",
+]

@@ -1,0 +1,238 @@
+"""Deterministic tag-length-value codec.
+
+The format is intentionally small.  Seven type tags cover everything the
+blockchain needs; integers use unsigned LEB128 varints with a zigzag
+transform for signed values; maps sort their keys by encoded bytes so that
+any two structurally equal values produce identical byte strings.
+
+Canonicity is enforced in both directions:
+
+* ``encode`` produces the unique canonical byte string for a value;
+* ``decode`` rejects any byte string that ``encode`` could not have
+  produced (overlong varints, unsorted or duplicate map keys, trailing
+  garbage), so ``encode(decode(b)) == b`` for every accepted ``b``.
+
+Supported Python types: ``None``, ``bool``, ``int``, ``bytes``, ``str``,
+``list``/``tuple`` (decoded as ``list``), and ``dict`` with ``str`` keys.
+Floats are deliberately unsupported: they have no canonical total order
+across platforms and the protocol never needs them (fixed-point integers
+are used for locations and energy accounting instead).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.wire.errors import DecodeError, EncodeError
+
+TAG_NULL = 0x00
+TAG_FALSE = 0x01
+TAG_TRUE = 0x02
+TAG_INT = 0x03
+TAG_BYTES = 0x04
+TAG_STR = 0x05
+TAG_LIST = 0x06
+TAG_MAP = 0x07
+
+_TAG_NAMES = {
+    TAG_NULL: "null",
+    TAG_FALSE: "false",
+    TAG_TRUE: "true",
+    TAG_INT: "int",
+    TAG_BYTES: "bytes",
+    TAG_STR: "str",
+    TAG_LIST: "list",
+    TAG_MAP: "map",
+}
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    """Append the LEB128 encoding of a non-negative integer."""
+    if value < 0:
+        raise EncodeError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _encode_into(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(TAG_NULL)
+    elif value is True:
+        out.append(TAG_TRUE)
+    elif value is False:
+        out.append(TAG_FALSE)
+    elif isinstance(value, int):
+        out.append(TAG_INT)
+        _write_uvarint(out, _zigzag_signed(value))
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out.append(TAG_BYTES)
+        _write_uvarint(out, len(data))
+        out.extend(data)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(TAG_STR)
+        _write_uvarint(out, len(data))
+        out.extend(data)
+    elif isinstance(value, (list, tuple)):
+        out.append(TAG_LIST)
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif isinstance(value, dict):
+        _encode_map_into(out, value)
+    else:
+        raise EncodeError(f"type {type(value).__name__} is not wire-encodable")
+
+
+def _zigzag_signed(value: int) -> int:
+    """Zigzag-encode using arbitrary-precision arithmetic."""
+    if value >= 0:
+        return value << 1
+    return ((-value) << 1) - 1
+
+
+def _unzigzag_signed(value: int) -> int:
+    if value & 1:
+        return -((value + 1) >> 1)
+    return value >> 1
+
+
+def _encode_map_into(out: bytearray, mapping: dict) -> None:
+    entries = []
+    for key, item in mapping.items():
+        if not isinstance(key, str):
+            raise EncodeError(
+                f"map keys must be str, got {type(key).__name__}"
+            )
+        key_bytes = bytearray()
+        _encode_into(key_bytes, key)
+        item_bytes = bytearray()
+        _encode_into(item_bytes, item)
+        entries.append((bytes(key_bytes), bytes(item_bytes)))
+    entries.sort(key=lambda pair: pair[0])
+    for i in range(1, len(entries)):
+        if entries[i][0] == entries[i - 1][0]:
+            raise EncodeError("duplicate map key after canonicalization")
+    out.append(TAG_MAP)
+    _write_uvarint(out, len(entries))
+    for key_bytes, item_bytes in entries:
+        out.extend(key_bytes)
+        out.extend(item_bytes)
+
+
+def encode(value: Any) -> bytes:
+    """Serialize *value* to its unique canonical byte string.
+
+    Raises :class:`EncodeError` for unsupported types (notably ``float``)
+    and for maps with non-string keys.
+    """
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+def encoded_size(value: Any) -> int:
+    """Number of bytes :func:`encode` would produce for *value*."""
+    return len(encode(value))
+
+
+class _Reader:
+    """Cursor over an immutable byte string with canonicity checks."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def u8(self) -> int:
+        if self.pos >= len(self.data):
+            raise DecodeError("unexpected end of input")
+        byte = self.data[self.pos]
+        self.pos += 1
+        return byte
+
+    def take(self, count: int) -> bytes:
+        end = self.pos + count
+        if end > len(self.data):
+            raise DecodeError("unexpected end of input")
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def uvarint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            byte = self.u8()
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                if byte == 0 and shift != 0:
+                    raise DecodeError("overlong varint encoding")
+                return result
+            shift += 7
+            if shift > 1022:
+                raise DecodeError("varint too long")
+
+
+def _decode_value(reader: _Reader, depth: int) -> Any:
+    if depth > 64:
+        raise DecodeError("nesting depth exceeds limit of 64")
+    tag = reader.u8()
+    if tag == TAG_NULL:
+        return None
+    if tag == TAG_TRUE:
+        return True
+    if tag == TAG_FALSE:
+        return False
+    if tag == TAG_INT:
+        return _unzigzag_signed(reader.uvarint())
+    if tag == TAG_BYTES:
+        return reader.take(reader.uvarint())
+    if tag == TAG_STR:
+        raw = reader.take(reader.uvarint())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecodeError("invalid utf-8 in string") from exc
+    if tag == TAG_LIST:
+        count = reader.uvarint()
+        return [_decode_value(reader, depth + 1) for _ in range(count)]
+    if tag == TAG_MAP:
+        count = reader.uvarint()
+        result: dict = {}
+        previous_key_bytes = None
+        for _ in range(count):
+            key_start = reader.pos
+            key = _decode_value(reader, depth + 1)
+            key_bytes = reader.data[key_start:reader.pos]
+            if not isinstance(key, str):
+                raise DecodeError("map key is not a string")
+            if previous_key_bytes is not None and key_bytes <= previous_key_bytes:
+                raise DecodeError("map keys not in canonical order")
+            previous_key_bytes = key_bytes
+            result[key] = _decode_value(reader, depth + 1)
+        return result
+    raise DecodeError(f"unknown type tag 0x{tag:02x}")
+
+
+def decode(data: bytes) -> Any:
+    """Parse a canonical byte string back into a Python value.
+
+    Rejects non-canonical input: overlong varints, unsorted or duplicate
+    map keys, invalid UTF-8, unknown tags, and trailing bytes.
+    """
+    reader = _Reader(bytes(data))
+    value = _decode_value(reader, 0)
+    if reader.pos != len(reader.data):
+        raise DecodeError(
+            f"{len(reader.data) - reader.pos} trailing bytes after value"
+        )
+    return value

@@ -1,0 +1,13 @@
+"""Errors raised by the canonical wire codec."""
+
+
+class WireError(Exception):
+    """Base class for all wire-format errors."""
+
+
+class EncodeError(WireError):
+    """The value cannot be represented in the canonical wire format."""
+
+
+class DecodeError(WireError):
+    """The byte string is not a canonical encoding of any value."""

@@ -1,0 +1,117 @@
+"""Digital-agriculture provenance tests (§II-B)."""
+
+import pytest
+
+from repro.apps.agriculture import ProvenanceLedger
+from repro.core.node import VegvisirNode
+from repro.core.genesis import create_genesis
+from repro.crypto.keys import KeyPair
+from repro.membership.authority import CertificateAuthority
+from repro.reconcile.frontier import FrontierProtocol
+
+
+class Farm:
+    """A supply chain: owner, farmer, broker, inspector."""
+
+    def __init__(self):
+        self.clock_value = [1_000]
+        self.owner = KeyPair.deterministic(300)
+        authority = CertificateAuthority(self.owner)
+        self.farmer_key = KeyPair.deterministic(301)
+        self.broker_key = KeyPair.deterministic(302)
+        self.inspector_key = KeyPair.deterministic(303)
+        self.consumer_key = KeyPair.deterministic(304)
+        certs = [
+            authority.issue(self.farmer_key.public_key, "farmer", 1),
+            authority.issue(self.broker_key.public_key, "broker", 1),
+            authority.issue(self.inspector_key.public_key, "inspector", 1),
+            authority.issue(self.consumer_key.public_key, "consumer", 1),
+        ]
+        genesis = create_genesis(
+            self.owner, chain_name="agri", timestamp=0,
+            founding_members=certs,
+        )
+        self.farmer = self._node(self.farmer_key, genesis)
+        self.broker = self._node(self.broker_key, genesis)
+        self.inspector = self._node(self.inspector_key, genesis)
+        self.consumer = self._node(self.consumer_key, genesis)
+        ProvenanceLedger(self.farmer).setup()
+
+    def _node(self, key, genesis):
+        def clock():
+            self.clock_value[0] += 10
+            return self.clock_value[0]
+        return VegvisirNode(key, genesis, clock=clock)
+
+    @staticmethod
+    def spread(a, b):
+        FrontierProtocol().run(a, b)
+
+
+@pytest.fixture
+def farm():
+    return Farm()
+
+
+class TestProvenance:
+    def test_register_and_trace(self, farm):
+        ledger = ProvenanceLedger(farm.farmer)
+        ledger.register_item("cow-1", "Holstein", "ithaca-farm",
+                             born="2026-01-01")
+        ledger.record_event("cow-1", "vaccinated", {"vaccine": "BVD"})
+        trace = ledger.trace("cow-1")
+        assert [e["type"] for e in trace] == ["registered", "vaccinated"]
+        assert ledger.items()["cow-1"]["origin"] == "ithaca-farm"
+
+    def test_multi_party_history_merges(self, farm):
+        farmer_ledger = ProvenanceLedger(farm.farmer)
+        farmer_ledger.register_item("cow-1", "Holstein", "ithaca-farm")
+        farm.spread(farm.broker, farm.farmer)
+        broker_ledger = ProvenanceLedger(farm.broker)
+        broker_ledger.record_event("cow-1", "purchased", {"price": 1200})
+        # Farmer keeps recording while the broker is out of contact.
+        farmer_ledger.record_event("cow-1", "vaccinated", {"vaccine": "IBR"})
+        farm.spread(farm.farmer, farm.broker)
+        types = [e["type"] for e in farmer_ledger.trace("cow-1")]
+        assert set(types) == {"registered", "purchased", "vaccinated"}
+
+    def test_consumer_reads_full_chain(self, farm):
+        farmer_ledger = ProvenanceLedger(farm.farmer)
+        farmer_ledger.register_item("beef-lot-9", "ground beef", "farm-x")
+        farmer_ledger.record_event("beef-lot-9", "shipped", {"to": "store"})
+        farm.spread(farm.consumer, farm.farmer)
+        consumer_ledger = ProvenanceLedger(farm.consumer)
+        trace = consumer_ledger.trace("beef-lot-9")
+        assert [e["type"] for e in trace] == ["registered", "shipped"]
+
+    def test_consumer_cannot_write(self, farm):
+        farm.spread(farm.consumer, farm.farmer)
+        ledger = ProvenanceLedger(farm.consumer)
+        block = ledger.record_event("cow-1", "forged", {})
+        assert not farm.consumer.csm.outcomes(block.hash)[0].applied
+
+    def test_inspector_recall(self, farm):
+        farmer_ledger = ProvenanceLedger(farm.farmer)
+        farmer_ledger.register_item("lot-7", "spinach", "farm-y")
+        farm.spread(farm.inspector, farm.farmer)
+        inspector_ledger = ProvenanceLedger(farm.inspector)
+        inspector_ledger.recall_item("lot-7", "e-coli detected")
+        assert "lot-7" not in inspector_ledger.items()
+        # History is preserved — tamperproof recall trail.
+        types = [e["type"] for e in inspector_ledger.trace("lot-7")]
+        assert types == ["registered", "recalled"]
+
+    def test_farmer_cannot_recall(self, farm):
+        ledger = ProvenanceLedger(farm.farmer)
+        ledger.register_item("lot-8", "kale", "farm-z")
+        block = farm.farmer.append_transactions(
+            [farm.farmer.ormap_remove_tx("agri:items", "lot-8")]
+        )
+        assert not farm.farmer.csm.outcomes(block.hash)[0].applied
+
+    def test_blast_radius_query(self, farm):
+        ledger = ProvenanceLedger(farm.farmer)
+        ledger.register_item("a", "x", "farm")
+        ledger.register_item("b", "y", "farm")
+        touched = ledger.items_touched_by(farm.farmer.user_id.digest)
+        assert touched == ["a", "b"]

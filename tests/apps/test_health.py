@@ -1,0 +1,133 @@
+"""Disaster-response application tests (§II-A, §V)."""
+
+import pytest
+
+from repro.apps.health import HealthAccessLedger, RecordVault
+from repro.core.witness import WitnessTracker
+from repro.reconcile.frontier import FrontierProtocol
+
+
+def _spread(a, b):
+    FrontierProtocol().run(a, b)
+
+
+@pytest.fixture
+def medics(deployment):
+    """Owner sets up the ledger; medics 0 and a witness replica share it."""
+    owner = deployment.owner_node()
+    HealthAccessLedger(owner).setup()
+    medic = deployment.node(0)  # role: medic
+    witness_a = deployment.owner_node()
+    _spread(medic, owner)
+    _spread(witness_a, medic)
+    return owner, medic, witness_a
+
+
+class TestAccessLogging:
+    def test_request_recorded(self, medics):
+        _, medic, _ = medics
+        ledger = HealthAccessLedger(medic)
+        ledger.request_access("patient-1", "triage")
+        requests = ledger.requests()
+        assert len(requests) == 1
+        assert requests[0]["patient"] == "patient-1"
+        assert requests[0]["requester"] == medic.user_id.digest
+
+    def test_non_medic_request_rejected(self, deployment, medics):
+        owner, medic, _ = medics
+        sensor = deployment.node(1)  # role: sensor
+        _spread(sensor, medic)
+        ledger = HealthAccessLedger(sensor)
+        block = ledger.request_access("patient-1", "snooping")
+        assert not sensor.csm.outcomes(block.hash)[0].applied
+        assert ledger.requests() == []
+
+    def test_audit_flags_frivolous_reasons(self, medics):
+        _, medic, _ = medics
+        ledger = HealthAccessLedger(medic)
+        ledger.request_access("patient-1", "triage")
+        ledger.request_access("celebrity", "curiosity")
+        flagged = ledger.audit(valid_reasons={"triage", "surgery"})
+        assert len(flagged) == 1
+        assert flagged[0]["patient"] == "celebrity"
+
+    def test_requests_survive_partition_merge(self, deployment, medics):
+        owner, medic, _ = medics
+        other_owner_replica = deployment.owner_node()
+        _spread(other_owner_replica, owner)
+        # Both sides log requests while partitioned.
+        HealthAccessLedger(medic).request_access("p1", "triage")
+        HealthAccessLedger(other_owner_replica).request_access("p2", "triage")
+        _spread(medic, other_owner_replica)
+        patients = {
+            r["patient"] for r in HealthAccessLedger(medic).requests()
+        }
+        assert patients == {"p1", "p2"}
+
+
+class TestRecordVault:
+    def test_release_with_witness_quorum(self, deployment, medics):
+        owner, medic, witness_a = medics
+        ledger = HealthAccessLedger(medic)
+        request_block = ledger.request_access("patient-1", "triage")
+        # Two other members witness the request.
+        witness_b = deployment.node(1)
+        _spread(witness_a, medic)
+        witness_a.append_witness_block()
+        _spread(witness_b, witness_a)
+        witness_b.append_witness_block()
+        _spread(medic, witness_b)
+
+        vault = RecordVault(b"key", witness_quorum=2)
+        vault.store("patient-1", b"medical history")
+        released = vault.release("patient-1", request_block, medic)
+        assert released == b"medical history"
+
+    def test_release_denied_without_quorum(self, medics):
+        _, medic, _ = medics
+        ledger = HealthAccessLedger(medic)
+        request_block = ledger.request_access("patient-1", "triage")
+        vault = RecordVault(b"key", witness_quorum=2)
+        vault.store("patient-1", b"medical history")
+        with pytest.raises(PermissionError, match="proof-of-witness"):
+            vault.release("patient-1", request_block, medic)
+
+    def test_release_denied_for_unlogged_request(self, deployment, medics):
+        owner, medic, _ = medics
+        foreign = deployment.node(1)
+        foreign_block = foreign.append_transactions([])
+        vault = RecordVault(b"key", witness_quorum=0)
+        vault.store("patient-1", b"data")
+        with pytest.raises(PermissionError):
+            vault.release("patient-1", foreign_block, medic)
+
+    def test_release_denied_for_wrong_patient(self, medics):
+        _, medic, _ = medics
+        ledger = HealthAccessLedger(medic)
+        block = ledger.request_access("patient-1", "triage")
+        vault = RecordVault(b"key", witness_quorum=0)
+        vault.store("patient-2", b"data")
+        with pytest.raises(PermissionError):
+            vault.release("patient-2", block, medic)
+
+    def test_release_denied_for_rejected_request(self, deployment, medics):
+        owner, medic, _ = medics
+        sensor = deployment.node(1)
+        _spread(sensor, medic)
+        block = HealthAccessLedger(sensor).request_access("p", "snoop")
+        vault = RecordVault(b"key", witness_quorum=0)
+        vault.store("p", b"data")
+        with pytest.raises(PermissionError):
+            vault.release("p", block, sensor)
+
+    def test_unknown_patient_raises_keyerror(self, medics):
+        _, medic, _ = medics
+        block = HealthAccessLedger(medic).request_access("p", "triage")
+        vault = RecordVault(b"key")
+        with pytest.raises(KeyError):
+            vault.release("p", block, medic)
+
+    def test_stored_record_is_encrypted_at_rest(self, medics):
+        vault = RecordVault(b"key")
+        vault.store("p", b"plaintext record")
+        assert b"plaintext record" not in vault.sealed("p")

@@ -1,0 +1,113 @@
+"""Maritime black-box tests (§II-C)."""
+
+import pytest
+
+from repro.apps.maritime import (
+    BlackBoxRecorder,
+    merge_survivors,
+    recover_voyage_log,
+)
+from repro.core.node import VegvisirNode
+from repro.core.genesis import create_genesis
+from repro.crypto.keys import KeyPair
+from repro.membership.authority import CertificateAuthority
+from repro.reconcile.frontier import FrontierProtocol
+
+COMPANY_KEY = b"shipping-company-master-key"
+
+
+class Vessel:
+    """A ship with systems and lifeboats on one chain."""
+
+    def __init__(self):
+        self.clock_value = [1_000]
+        owner = KeyPair.deterministic(400)
+        authority = CertificateAuthority(owner)
+        self.system_keys = [KeyPair.deterministic(401 + i) for i in range(2)]
+        self.lifeboat_keys = [KeyPair.deterministic(410 + i) for i in range(2)]
+        certs = [
+            authority.issue(k.public_key, "ship-system", 1)
+            for k in self.system_keys
+        ] + [
+            authority.issue(k.public_key, "lifeboat", 1)
+            for k in self.lifeboat_keys
+        ]
+        genesis = create_genesis(owner, chain_name="vessel", timestamp=0,
+                                 founding_members=certs)
+        self.systems = [self._node(k, genesis) for k in self.system_keys]
+        self.lifeboats = [self._node(k, genesis) for k in self.lifeboat_keys]
+        self.recorders = [
+            BlackBoxRecorder(node, COMPANY_KEY) for node in self.systems
+        ]
+        self.recorders[0].setup()
+        FrontierProtocol().run(self.systems[1], self.systems[0])
+
+    def _node(self, key, genesis):
+        def clock():
+            self.clock_value[0] += 10
+            return self.clock_value[0]
+        return VegvisirNode(key, genesis, clock=clock)
+
+
+@pytest.fixture
+def vessel():
+    return Vessel()
+
+
+class TestBlackBox:
+    def test_telemetry_encrypted_on_chain(self, vessel):
+        recorder = vessel.recorders[0]
+        recorder.record("gps", {"lat": 42, "lon": -76})
+        entries = recorder.entries()
+        assert len(entries) == 1
+        assert b"gps" not in entries[0]["sealed"]
+
+    def test_recovery_decrypts_timeline(self, vessel):
+        vessel.recorders[0].record("gps", {"lat": 1}, timestamp_ms=100)
+        vessel.recorders[1].record("engine", {"rpm": 90}, timestamp_ms=200)
+        FrontierProtocol().run(vessel.systems[0], vessel.systems[1])
+        log = recover_voyage_log([vessel.systems[0]], COMPANY_KEY)
+        assert [e["sensor"] for e in log] == ["gps", "engine"]
+        assert not any(e["corrupt"] for e in log)
+
+    def test_wrong_company_key_marks_corrupt(self, vessel):
+        vessel.recorders[0].record("gps", {"lat": 1})
+        log = recover_voyage_log([vessel.systems[0]], b"wrong key")
+        assert log[0]["corrupt"]
+
+    def test_lifeboats_carry_data_after_sinking(self, vessel):
+        # Distress: telemetry recorded, then lifeboats gossip with the
+        # ship systems before the systems go down.
+        vessel.recorders[0].record("hull", {"breach": True}, 100)
+        vessel.recorders[1].record("gps", {"lat": 9}, 200)
+        FrontierProtocol().run(vessel.systems[0], vessel.systems[1])
+        for lifeboat in vessel.lifeboats:
+            FrontierProtocol().run(lifeboat, vessel.systems[0])
+        # Ship lost; only lifeboats remain.
+        log = recover_voyage_log(vessel.lifeboats, COMPANY_KEY)
+        assert {e["sensor"] for e in log} == {"hull", "gps"}
+
+    def test_partitioned_lifeboats_gossip_among_themselves(self, vessel):
+        vessel.recorders[0].record("hull", {"breach": True}, 100)
+        FrontierProtocol().run(vessel.lifeboats[0], vessel.systems[0])
+        # Lifeboat 1 never met the ship — only lifeboat 0.
+        FrontierProtocol().run(vessel.lifeboats[1], vessel.lifeboats[0])
+        log = recover_voyage_log([vessel.lifeboats[1]], COMPANY_KEY)
+        assert log and log[0]["sensor"] == "hull"
+
+    def test_merge_survivors_converges(self, vessel):
+        vessel.recorders[0].record("a", {}, 100)
+        vessel.recorders[1].record("b", {}, 200)
+        collector = merge_survivors(vessel.systems + vessel.lifeboats)
+        assert collector is vessel.systems[0]
+        assert len(collector.crdt_value("maritime:telemetry")) == 2
+
+    def test_merge_survivors_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_survivors([])
+
+    def test_recovery_without_setup_is_empty(self, vessel):
+        fresh_owner = KeyPair.deterministic(450)
+        genesis = create_genesis(fresh_owner, timestamp=0)
+        node = VegvisirNode(fresh_owner, genesis, clock=lambda: 10)
+        assert recover_voyage_log([node], COMPANY_KEY) == []

@@ -1,0 +1,162 @@
+"""Use-based privacy policy engine tests (§II-A)."""
+
+import pytest
+
+from repro.apps.privacy import (
+    CONSENT_CRDT,
+    DENY,
+    GRANT,
+    GRANT_LOGGED,
+    PolicyEngine,
+    declare_emergency,
+    grant_consent,
+    setup_policy_crdts,
+    withdraw_consent,
+)
+from repro.chain.block import Transaction
+from repro.core.genesis import create_genesis
+from repro.core.node import VegvisirNode
+from repro.crypto.keys import KeyPair
+from repro.membership.authority import CertificateAuthority
+from repro.reconcile.frontier import FrontierProtocol
+
+
+class World:
+    def __init__(self):
+        self.clock_ms = [10_000]
+        self.owner = KeyPair.deterministic(2000)
+        authority = CertificateAuthority(self.owner)
+        self.medic_key = KeyPair.deterministic(2001)
+        self.patient_key = KeyPair.deterministic(2002)
+        genesis = create_genesis(
+            self.owner, timestamp=0,
+            founding_members=[
+                authority.issue(self.medic_key.public_key, "medic", 1),
+                authority.issue(self.patient_key.public_key, "patient", 1),
+            ],
+        )
+        self.owner_node = self._node(self.owner, genesis)
+        self.medic = self._node(self.medic_key, genesis)
+        self.patient = self._node(self.patient_key, genesis)
+        setup_policy_crdts(self.owner_node)
+        FrontierProtocol().run(self.medic, self.owner_node)
+        FrontierProtocol().run(self.patient, self.medic)
+
+    def _node(self, key, genesis):
+        def clock():
+            self.clock_ms[0] += 10
+            return self.clock_ms[0]
+        return VegvisirNode(key, genesis, clock=clock)
+
+    def sync_all(self):
+        protocol = FrontierProtocol()
+        nodes = [self.owner_node, self.medic, self.patient]
+        for a in nodes:
+            for b in nodes:
+                if a is not b:
+                    protocol.run(a, b)
+
+
+@pytest.fixture
+def world():
+    return World()
+
+
+class TestEmergencyWindows:
+    def test_only_owner_declares(self, world):
+        block = world.medic.append_transactions([
+            Transaction("health:emergencies", "append",
+                        [{"start": 0, "end": 10}])
+        ])
+        assert not world.medic.csm.outcomes(block.hash)[0].applied
+        declare_emergency(world.owner_node, 0, 99_999_999)
+        assert PolicyEngine(world.owner_node).emergency_active(50)
+
+    def test_window_boundaries(self, world):
+        declare_emergency(world.owner_node, 1_000, 2_000)
+        engine = PolicyEngine(world.owner_node)
+        assert not engine.emergency_active(999)
+        assert engine.emergency_active(1_000)
+        assert engine.emergency_active(1_999)
+        assert not engine.emergency_active(2_000)
+
+    def test_degenerate_window_rejected(self, world):
+        with pytest.raises(ValueError):
+            declare_emergency(world.owner_node, 100, 100)
+
+
+class TestConsent:
+    def test_patient_grants_and_engine_honors(self, world):
+        grant_consent(world.patient, "patient-9",
+                      roles=["medic"], purposes=["triage"])
+        world.sync_all()
+        engine = PolicyEngine(world.medic)
+        assert engine.evaluate("patient-9", "medic", "triage") == GRANT
+        assert engine.evaluate("patient-9", "medic", "curiosity") == DENY
+        assert engine.evaluate("patient-9", "sensor", "triage") == DENY
+
+    def test_withdrawal_removes_consent(self, world):
+        grant_consent(world.patient, "patient-9",
+                      roles=["medic"], purposes=["triage"])
+        withdraw_consent(world.patient, "patient-9")
+        world.sync_all()
+        engine = PolicyEngine(world.medic)
+        assert engine.evaluate("patient-9", "medic", "triage") == DENY
+
+    def test_medic_cannot_write_consent(self, world):
+        block = world.medic.append_transactions([
+            Transaction(CONSENT_CRDT, "set",
+                        ["patient-9", {"roles": ["medic"],
+                                       "purposes": ["anything"]}])
+        ])
+        assert not world.medic.csm.outcomes(block.hash)[0].applied
+
+
+class TestEvaluation:
+    def test_emergency_grants_logged(self, world):
+        declare_emergency(world.owner_node, 0, 99_999_999)
+        world.sync_all()
+        engine = PolicyEngine(world.medic)
+        verdict = engine.evaluate("unknown-patient", "medic", "triage")
+        assert verdict == GRANT_LOGGED
+
+    def test_consent_beats_emergency_logging(self, world):
+        declare_emergency(world.owner_node, 0, 99_999_999)
+        grant_consent(world.patient, "p", ["medic"], ["triage"])
+        world.sync_all()
+        engine = PolicyEngine(world.medic)
+        assert engine.evaluate("p", "medic", "triage") == GRANT
+
+    def test_deny_outside_emergency_without_consent(self, world):
+        world.sync_all()
+        engine = PolicyEngine(world.medic)
+        assert engine.evaluate("p", "medic", "triage", at_ms=5) == DENY
+
+    def test_policy_converges_across_partitions(self, world):
+        # Consent granted in one partition, emergency declared in the
+        # other; after merging, every replica evaluates identically.
+        grant_consent(world.patient, "p", ["medic"], ["triage"])
+        declare_emergency(world.owner_node, 0, 99_999_999)
+        world.sync_all()
+        verdicts = {
+            PolicyEngine(node).evaluate("p", "medic", "triage")
+            for node in (world.owner_node, world.medic, world.patient)
+        }
+        assert verdicts == {GRANT}
+
+
+class TestAudit:
+    def test_flags_unjustified_emergency_uses(self, world):
+        grant_consent(world.patient, "p1", ["medic"], ["triage"])
+        world.sync_all()
+        engine = PolicyEngine(world.medic)
+        requests = [
+            {"patient": "p1", "reason": "triage", "role": "medic"},
+            {"patient": "p2", "reason": "surgery", "role": "medic"},
+            {"patient": "celebrity", "reason": "curiosity",
+             "role": "medic"},
+        ]
+        flagged = engine.audit_emergency_uses(
+            requests, approved_purposes={"surgery"}
+        )
+        assert flagged == [requests[2]]

@@ -1,0 +1,141 @@
+"""Block and transaction structure tests (Fig. 2)."""
+
+import pytest
+
+from repro.chain.block import (
+    Block,
+    BlockHeader,
+    MAX_PARENTS,
+    MAX_TRANSACTIONS,
+    Transaction,
+)
+from repro.chain.errors import MalformedBlockError
+from repro.crypto.keys import KeyPair
+from repro.crypto.sha import Hash
+
+
+@pytest.fixture
+def key():
+    return KeyPair.deterministic(50)
+
+
+def _parent_hashes(n):
+    return [Hash.of_value(["parent", i]) for i in range(n)]
+
+
+class TestTransaction:
+    def test_wire_roundtrip(self):
+        tx = Transaction("events", "append", [{"k": 1}])
+        restored = Transaction.from_wire(tx.to_wire())
+        assert restored == tx
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(MalformedBlockError):
+            Transaction("", "op", [])
+        with pytest.raises(MalformedBlockError):
+            Transaction("crdt", "", [])
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(MalformedBlockError):
+            Transaction.from_wire(["not", "a", "map"])
+        with pytest.raises(MalformedBlockError):
+            Transaction.from_wire({"crdt": "x", "op": "y"})  # missing args
+
+
+class TestBlockHeader:
+    def test_parents_stored_sorted(self):
+        parents = _parent_hashes(3)
+        header = BlockHeader(Hash.of_value(["u"]), 100, list(reversed(parents)))
+        assert header.parents == sorted(parents)
+
+    def test_duplicate_parents_rejected(self):
+        parent = Hash.of_value(["p"])
+        with pytest.raises(MalformedBlockError):
+            BlockHeader(Hash.of_value(["u"]), 100, [parent, parent])
+
+    def test_too_many_parents_rejected(self):
+        with pytest.raises(MalformedBlockError):
+            BlockHeader(
+                Hash.of_value(["u"]), 100, _parent_hashes(MAX_PARENTS + 1)
+            )
+
+    def test_location_fixed_point(self):
+        header = BlockHeader(
+            Hash.of_value(["u"]), 100, [], location=(424433000, -764935000)
+        )
+        assert header.location == (424433000, -764935000)
+        restored = BlockHeader.from_wire(header.to_wire())
+        assert restored.location == header.location
+
+    def test_wire_roundtrip_without_location(self):
+        header = BlockHeader(Hash.of_value(["u"]), 100, _parent_hashes(2))
+        restored = BlockHeader.from_wire(header.to_wire())
+        assert restored.parents == header.parents
+        assert restored.timestamp == header.timestamp
+        assert restored.user_id == header.user_id
+        assert restored.location is None
+
+
+class TestBlock:
+    def test_create_signs_correctly(self, key):
+        block = Block.create(key, [], 100, [Transaction("c", "op", [1])])
+        assert key.public_key.verify(block.signing_payload(), block.signature)
+        assert block.user_id == key.user_id
+
+    def test_hash_covers_signature(self, key):
+        block = Block.create(key, [], 100)
+        tampered = Block(block.header, block.transactions, b"\x00" * 64)
+        assert tampered.hash != block.hash
+
+    def test_hash_covers_transactions(self, key):
+        a = Block.create(key, [], 100, [Transaction("c", "op", [1])])
+        b = Block.create(key, [], 100, [Transaction("c", "op", [2])])
+        assert a.hash != b.hash
+
+    def test_same_content_same_hash(self, key):
+        a = Block.create(key, [], 100, [Transaction("c", "op", [1])])
+        b = Block.create(key, [], 100, [Transaction("c", "op", [1])])
+        assert a.hash == b.hash  # Ed25519 signing is deterministic
+
+    def test_bytes_roundtrip(self, key):
+        parents = _parent_hashes(2)
+        block = Block.create(
+            key, parents, 100,
+            [Transaction("c", "op", [{"x": [1, b"2", None]}])],
+            location=(1, 2),
+        )
+        restored = Block.from_bytes(block.to_bytes())
+        assert restored == block
+        assert restored.hash == block.hash
+        assert restored.parents == block.parents
+
+    def test_wire_size_matches_encoding(self, key):
+        block = Block.create(key, [], 100)
+        assert block.wire_size == len(block.to_bytes())
+
+    def test_genesis_detection(self, key):
+        assert Block.create(key, [], 0).is_genesis()
+        parent = Block.create(key, [], 0)
+        child = Block.create(key, [parent.hash], 1)
+        assert not child.is_genesis()
+
+    def test_too_many_transactions_rejected(self, key):
+        txs = [Transaction("c", "op", [i]) for i in range(MAX_TRANSACTIONS + 1)]
+        with pytest.raises(MalformedBlockError):
+            Block.create(key, [], 100, txs)
+
+    def test_undecodable_bytes_rejected(self):
+        with pytest.raises(MalformedBlockError):
+            Block.from_bytes(b"\xff\xff\xff")
+
+    def test_wire_missing_signature_rejected(self, key):
+        wire_form = Block.create(key, [], 100).to_wire()
+        del wire_form["signature"]
+        with pytest.raises(MalformedBlockError):
+            Block.from_wire(wire_form)
+
+    def test_equality_is_by_hash(self, key):
+        a = Block.create(key, [], 100)
+        b = Block.from_bytes(a.to_bytes())
+        assert a == b
+        assert hash(a) == hash(b)

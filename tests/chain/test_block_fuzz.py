@@ -1,0 +1,67 @@
+"""Fuzzing block parsing: hostile bytes must never crash uncontrolled.
+
+A peer can hand us anything.  ``Block.from_bytes`` must either return a
+structurally valid block or raise :class:`MalformedBlockError` — no
+other exception type, ever.  Mutations of genuine blocks additionally
+must never verify under the original creator's key unless they are
+byte-identical.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import wire
+from repro.chain.block import Block, Transaction
+from repro.chain.errors import MalformedBlockError
+from repro.crypto.keys import KeyPair
+
+_KEY = KeyPair.deterministic(5151)
+_REAL = Block.create(
+    _KEY, [], 100, [Transaction("c", "op", [1, "x", b"y"])]
+)
+_REAL_BYTES = _REAL.to_bytes()
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=300)
+def test_random_bytes_never_crash(data):
+    try:
+        block = Block.from_bytes(data)
+    except MalformedBlockError:
+        return
+    assert block.to_bytes() == data  # anything accepted is canonical
+
+
+@given(
+    st.integers(0, len(_REAL_BYTES) - 1),
+    st.integers(1, 255),
+)
+@settings(max_examples=300)
+def test_single_byte_mutations(position, delta):
+    mutated = bytearray(_REAL_BYTES)
+    mutated[position] = (mutated[position] + delta) % 256
+    try:
+        block = Block.from_bytes(bytes(mutated))
+    except MalformedBlockError:
+        return
+    # If it still parses, either it is a different block (hash changed,
+    # signature now invalid) or the mutation landed in the signature.
+    if block.hash == _REAL.hash:
+        assert bytes(mutated) == _REAL_BYTES
+    else:
+        assert not _KEY.public_key.verify(
+            block.signing_payload(), block.signature
+        ) or block.signing_payload() == _REAL.signing_payload()
+
+
+@given(st.binary(max_size=120))
+@settings(max_examples=200)
+def test_wire_values_never_crash_from_wire(data):
+    try:
+        value = wire.decode(data)
+    except wire.DecodeError:
+        return
+    try:
+        Block.from_wire(value)
+    except MalformedBlockError:
+        return

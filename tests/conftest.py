@@ -1,0 +1,68 @@
+"""Shared fixtures: deterministic keys, certificates, genesis, nodes.
+
+Everything is seeded so the suite is bit-for-bit reproducible.  The
+``chain`` fixture gives a small ready-made deployment: an owner, four
+members with assorted roles, a genesis carrying all certificates, and a
+shared monotonic test clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.genesis import create_genesis
+from repro.core.node import VegvisirNode
+from repro.crypto.keys import KeyPair
+from repro.membership.authority import CertificateAuthority
+
+
+class TestClock:
+    """A shared monotonic clock; each call advances 10 ms."""
+
+    def __init__(self, start_ms: int = 1_000):
+        self.now = start_ms
+
+    def __call__(self) -> int:
+        self.now += 10
+        return self.now
+
+
+class Deployment:
+    """A ready-to-use blockchain deployment for tests."""
+
+    ROLES = ["medic", "sensor", "farmer", "superpeer"]
+
+    def __init__(self):
+        self.clock = TestClock()
+        self.owner = KeyPair.deterministic(0)
+        self.authority = CertificateAuthority(self.owner)
+        self.keys = [KeyPair.deterministic(i + 1) for i in range(4)]
+        self.certificates = [
+            self.authority.issue(key.public_key, role, issued_at=1)
+            for key, role in zip(self.keys, self.ROLES)
+        ]
+        self.genesis = create_genesis(
+            self.owner,
+            chain_name="test-chain",
+            timestamp=0,
+            founding_members=self.certificates,
+        )
+
+    def node(self, index: int = 0, **kwargs) -> VegvisirNode:
+        """A member node (index into the four members)."""
+        kwargs.setdefault("clock", self.clock)
+        return VegvisirNode(self.keys[index], self.genesis, **kwargs)
+
+    def owner_node(self, **kwargs) -> VegvisirNode:
+        kwargs.setdefault("clock", self.clock)
+        return VegvisirNode(self.owner, self.genesis, **kwargs)
+
+
+@pytest.fixture
+def deployment() -> Deployment:
+    return Deployment()
+
+
+@pytest.fixture
+def clock() -> TestClock:
+    return TestClock()

@@ -1,0 +1,67 @@
+"""Historical state queries: node.state_at and provenance interplay."""
+
+import pytest
+
+from repro.chain.block import Transaction
+from repro.reconcile.frontier import FrontierProtocol
+
+
+class TestStateAt:
+    def test_state_at_reflects_causal_past_only(self, deployment):
+        node = deployment.node(0)
+        node.create_crdt("log", "append_log", "str", {"append": "*"})
+        first = node.append_transactions(
+            [Transaction("log", "append", ["early"])]
+        )
+        node.append_transactions(
+            [Transaction("log", "append", ["late"])]
+        )
+        historical = node.state_at(first.hash)
+        assert historical.crdt_value("log") == ["early"]
+        assert node.crdt_value("log") == ["early", "late"]
+
+    def test_state_at_excludes_concurrent_branches(self, deployment):
+        left = deployment.node(0)
+        right = deployment.node(1)
+        left.create_crdt("log", "append_log", "str", {"append": "*"})
+        FrontierProtocol().run(right, left)
+        left_block = left.append_transactions(
+            [Transaction("log", "append", ["from-left"])]
+        )
+        right.append_transactions(
+            [Transaction("log", "append", ["from-right"])]
+        )
+        FrontierProtocol().run(left, right)
+        # The full replica sees both; the state at left_block sees only
+        # the left branch (right's write is concurrent, not causal).
+        assert len(left.crdt_value("log")) == 2
+        historical = left.state_at(left_block.hash)
+        assert historical.crdt_value("log") == ["from-left"]
+
+    def test_state_at_genesis(self, deployment):
+        node = deployment.node(0)
+        node.append_transactions([])
+        historical = node.state_at(node.chain_id)
+        assert historical.crdt_value("__chain_name__") == "test-chain"
+        assert len(historical.members()) == 5
+
+    def test_state_at_matches_full_state_at_frontier(self, deployment):
+        node = deployment.node(0)
+        node.create_crdt("log", "append_log", "str", {"append": "*"})
+        tip = node.append_transactions(
+            [Transaction("log", "append", ["x"])]
+        )
+        historical = node.state_at(tip.hash)
+        assert historical.state_digest() == node.csm.state_digest()
+
+    def test_membership_as_of_past(self, deployment):
+        owner = deployment.owner_node()
+        marker = owner.append_transactions([])
+        from repro.crypto.keys import KeyPair
+
+        newcomer = KeyPair.deterministic(3100)
+        cert = deployment.authority.issue(newcomer.public_key, "medic", 9)
+        owner.append_transactions([owner.add_member_tx(cert)])
+        assert owner.csm.is_member(newcomer.user_id)
+        historical = owner.state_at(marker.hash)
+        assert not historical.is_member(newcomer.user_id)

@@ -1,0 +1,105 @@
+"""Proof-of-witness tests (§IV-H)."""
+
+import pytest
+
+from repro.chain.errors import UnknownBlockError
+from repro.core.witness import WitnessTracker
+from repro.crypto.sha import Hash
+from repro.reconcile.frontier import FrontierProtocol
+
+
+def _spread(a, b):
+    FrontierProtocol().run(a, b)
+
+
+class TestWitnessing:
+    def test_fresh_block_has_no_witnesses(self, deployment):
+        node = deployment.node(0)
+        block = node.append_transactions([])
+        tracker = WitnessTracker(node.dag)
+        assert tracker.witness_count(block.hash) == 0
+
+    def test_own_descendant_does_not_count(self, deployment):
+        node = deployment.node(0)
+        block = node.append_transactions([])
+        node.append_witness_block()  # same creator
+        tracker = WitnessTracker(node.dag)
+        assert tracker.witness_count(block.hash) == 0
+
+    def test_peer_witness_counts(self, deployment):
+        a = deployment.node(0)
+        b = deployment.node(1)
+        block = a.append_transactions([])
+        _spread(b, a)
+        b.append_witness_block()
+        _spread(a, b)
+        tracker = WitnessTracker(a.dag)
+        assert tracker.witnesses(block.hash) == {b.user_id}
+
+    def test_quorum_reached_with_k_peers(self, deployment):
+        creator = deployment.node(0)
+        block = creator.append_transactions([])
+        peers = [deployment.node(i) for i in range(1, 4)]
+        previous = creator
+        for peer in peers:
+            _spread(peer, previous)
+            peer.append_witness_block()
+            previous = peer
+        _spread(creator, previous)
+        tracker = WitnessTracker(creator.dag)
+        assert tracker.witness_count(block.hash) == 3
+        assert tracker.has_proof_of_witness(block.hash, 3)
+        assert not tracker.has_proof_of_witness(block.hash, 4)
+
+    def test_proof_extends_to_ancestors(self, deployment):
+        """A witness of a block witnesses all its ancestors (§IV-H)."""
+        a = deployment.node(0)
+        first = a.append_transactions([])
+        second = a.append_transactions([])
+        b = deployment.node(1)
+        _spread(b, a)
+        b.append_witness_block()
+        _spread(a, b)
+        tracker = WitnessTracker(a.dag)
+        assert tracker.witnesses(second.hash) == {b.user_id}
+        assert tracker.witnesses(first.hash) == {b.user_id}
+        assert tracker.witnesses(a.chain_id) >= {b.user_id}
+
+    def test_witness_blocks_carry_no_transactions(self, deployment):
+        node = deployment.node(0)
+        block = node.append_witness_block()
+        assert block.transactions == []
+
+    def test_incremental_matches_fresh(self, deployment):
+        a = deployment.node(0)
+        b = deployment.node(1)
+        tracker = WitnessTracker(a.dag)  # built early, updated as we go
+        block = a.append_transactions([])
+        tracker.sync()
+        _spread(b, a)
+        b.append_witness_block()
+        _spread(a, b)
+        tracker.sync()
+        fresh = WitnessTracker(a.dag)
+        for block_hash in a.dag.hashes():
+            assert tracker.witnesses(block_hash) == fresh.witnesses(
+                block_hash
+            )
+
+    def test_unwitnessed_listing(self, deployment):
+        a = deployment.node(0)
+        block = a.append_transactions([])
+        tracker = WitnessTracker(a.dag)
+        assert block.hash in tracker.unwitnessed(quorum=1)
+
+    def test_negative_quorum_rejected(self, deployment):
+        node = deployment.node(0)
+        tracker = WitnessTracker(node.dag)
+        with pytest.raises(ValueError):
+            tracker.has_proof_of_witness(node.chain_id, -1)
+
+    def test_unknown_block_raises(self, deployment):
+        node = deployment.node(0)
+        tracker = WitnessTracker(node.dag)
+        with pytest.raises(UnknownBlockError):
+            tracker.witnesses(Hash.of_value(["phantom"]))

@@ -1,0 +1,42 @@
+"""Helpers for CRDT tests: operation contexts and replay checking."""
+
+from __future__ import annotations
+
+import random
+
+from repro.crdt.base import CRDT, OpContext
+from repro.crypto.sha import Hash
+
+
+def ctx(actor: int = 0, ts: int = 100, op: int = 0) -> OpContext:
+    """A deterministic operation context."""
+    return OpContext(
+        actor=Hash.of_value(["actor", actor]),
+        timestamp=ts,
+        op_id=Hash.of_value(["op", actor, ts, op]).digest[:20],
+    )
+
+
+def replay_in_order(crdt_factory, ops, order):
+    """Apply (op, args, ctx) triples in the given index order."""
+    instance = crdt_factory()
+    for index in order:
+        op, args, context = ops[index]
+        instance.apply(op, args, context)
+    return instance
+
+
+def assert_concurrent_ops_commute(crdt_factory, ops, samples: int = 20,
+                                  seed: int = 0):
+    """All permutations of fully concurrent ops give the same state."""
+    rng = random.Random(seed)
+    baseline = replay_in_order(crdt_factory, ops, range(len(ops)))
+    reference = baseline.state_digest()
+    for _ in range(samples):
+        order = list(range(len(ops)))
+        rng.shuffle(order)
+        shuffled = replay_in_order(crdt_factory, ops, order)
+        assert shuffled.state_digest() == reference, (
+            f"divergence under order {order}"
+        )
+        assert shuffled.value() == baseline.value()

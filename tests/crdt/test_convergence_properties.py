@@ -1,0 +1,180 @@
+"""Property-based CRDT convergence tests.
+
+The core CRDT obligation: applying the same set of concurrent operations
+in any order yields identical state.  Hypothesis generates random
+operation batches per type and random interleavings; every pair of
+interleavings must converge to the same canonical state.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.crdt.counters import GCounter, PNCounter
+from repro.crdt.gset import GSet
+from repro.crdt.log import AppendLog
+from repro.crdt.ormap import ORMap
+from repro.crdt.orset import ORSet
+from repro.crdt.registers import LWWRegister, MVRegister
+from repro.crdt.twophase import TwoPhaseSet
+
+from tests.crdt.helpers import ctx, replay_in_order
+
+_elements = st.sampled_from(["a", "b", "c", "d"])
+_keys = st.sampled_from(["k1", "k2", "k3"])
+
+
+def _contexts(n):
+    """n distinct contexts with varied actors/timestamps."""
+    return [ctx(actor=i % 4, ts=100 + (i * 37) % 50, op=i) for i in range(n)]
+
+
+def _assert_all_orders_converge(factory, ops, permutation_seed: int):
+    import random
+
+    baseline = replay_in_order(factory, ops, range(len(ops)))
+    rng = random.Random(permutation_seed)
+    order = list(range(len(ops)))
+    rng.shuffle(order)
+    shuffled = replay_in_order(factory, ops, order)
+    assert shuffled.state_digest() == baseline.state_digest()
+    assert shuffled.value() == baseline.value()
+
+
+@given(
+    elements=st.lists(_elements, min_size=1, max_size=12),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=100)
+def test_gset_converges(elements, seed):
+    ops = [
+        ("add", [element], context)
+        for element, context in zip(elements, _contexts(len(elements)))
+    ]
+    _assert_all_orders_converge(lambda: GSet("str"), ops, seed)
+
+
+@given(
+    actions=st.lists(
+        st.tuples(st.sampled_from(["add", "remove"]), _elements),
+        min_size=1, max_size=12,
+    ),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=100)
+def test_twophase_converges(actions, seed):
+    contexts = _contexts(len(actions))
+    ops = [
+        (action, [element], context)
+        for (action, element), context in zip(actions, contexts)
+    ]
+    _assert_all_orders_converge(lambda: TwoPhaseSet("str"), ops, seed)
+
+
+@given(
+    amounts=st.lists(st.integers(1, 100), min_size=1, max_size=12),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=100)
+def test_counters_converge(amounts, seed):
+    contexts = _contexts(len(amounts))
+    g_ops = [
+        ("increment", [amount], context)
+        for amount, context in zip(amounts, contexts)
+    ]
+    _assert_all_orders_converge(GCounter, g_ops, seed)
+    pn_ops = [
+        ("increment" if i % 2 else "decrement", [amount], context)
+        for i, (amount, context) in enumerate(zip(amounts, contexts))
+    ]
+    _assert_all_orders_converge(PNCounter, pn_ops, seed)
+
+
+@given(
+    values=st.lists(_elements, min_size=1, max_size=12),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=100)
+def test_lww_converges(values, seed):
+    ops = [
+        ("set", [value], context)
+        for value, context in zip(values, _contexts(len(values)))
+    ]
+    _assert_all_orders_converge(lambda: LWWRegister("str"), ops, seed)
+
+
+@given(
+    values=st.lists(_elements, min_size=1, max_size=8),
+    overwrite_mask=st.lists(st.booleans(), min_size=8, max_size=8),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=100)
+def test_mv_register_converges(values, overwrite_mask, seed):
+    contexts = _contexts(len(values))
+    ops = []
+    for i, (value, context) in enumerate(zip(values, contexts)):
+        # Some writes overwrite an earlier op (simulating causal sets),
+        # others are blind concurrent writes.
+        overwrites = (
+            [contexts[i - 1].op_id] if i > 0 and overwrite_mask[i] else []
+        )
+        ops.append(("set", [value, overwrites], context))
+    _assert_all_orders_converge(lambda: MVRegister("str"), ops, seed)
+
+
+@given(
+    actions=st.lists(
+        st.tuples(st.sampled_from(["add", "remove"]), _elements),
+        min_size=1, max_size=10,
+    ),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=100)
+def test_orset_converges(actions, seed):
+    contexts = _contexts(len(actions))
+    add_tags: dict[str, list[bytes]] = {}
+    ops = []
+    for (action, element), context in zip(actions, contexts):
+        if action == "add":
+            add_tags.setdefault(element, []).append(context.op_id)
+            ops.append(("add", [element], context))
+        else:
+            observed = list(add_tags.get(element, []))
+            ops.append(("remove", [element, observed], context))
+    _assert_all_orders_converge(lambda: ORSet("str"), ops, seed)
+
+
+@given(
+    actions=st.lists(
+        st.tuples(st.sampled_from(["set", "remove"]), _keys, _elements),
+        min_size=1, max_size=10,
+    ),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=100)
+def test_ormap_converges(actions, seed):
+    contexts = _contexts(len(actions))
+    set_tags: dict[str, list[bytes]] = {}
+    ops = []
+    for (action, key, value), context in zip(actions, contexts):
+        if action == "set":
+            set_tags.setdefault(key, []).append(context.op_id)
+            ops.append(("set", [key, value], context))
+        else:
+            ops.append(("remove", [key, list(set_tags.get(key, []))],
+                        context))
+    _assert_all_orders_converge(lambda: ORMap("str"), ops, seed)
+
+
+@given(
+    entries=st.lists(_elements, min_size=1, max_size=12),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=100)
+def test_append_log_converges(entries, seed):
+    ops = [
+        ("append", [entry], context)
+        for entry, context in zip(entries, _contexts(len(entries)))
+    ]
+    _assert_all_orders_converge(lambda: AppendLog("str"), ops, seed)

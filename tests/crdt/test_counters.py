@@ -1,0 +1,96 @@
+"""G-Counter and PN-Counter tests."""
+
+import pytest
+
+from repro.crdt.base import InvalidOperation
+from repro.crdt.counters import GCounter, PNCounter
+
+from tests.crdt.helpers import assert_concurrent_ops_commute, ctx
+
+
+class TestGCounter:
+    def test_starts_at_zero(self):
+        assert GCounter().value() == 0
+
+    def test_increments_accumulate(self):
+        c = GCounter()
+        c.apply("increment", [3], ctx(actor=1, op=0))
+        c.apply("increment", [4], ctx(actor=1, op=1))
+        assert c.value() == 7
+
+    def test_multiple_actors_sum(self):
+        c = GCounter()
+        c.apply("increment", [1], ctx(actor=1))
+        c.apply("increment", [2], ctx(actor=2))
+        c.apply("increment", [3], ctx(actor=3))
+        assert c.value() == 6
+
+    def test_zero_increment_rejected(self):
+        with pytest.raises(InvalidOperation):
+            GCounter().apply("increment", [0], ctx())
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(InvalidOperation):
+            GCounter().apply("increment", [-1], ctx())
+
+    def test_non_int_rejected(self):
+        with pytest.raises(InvalidOperation):
+            GCounter().apply("increment", ["5"], ctx())
+
+    def test_bool_rejected(self):
+        with pytest.raises(InvalidOperation):
+            GCounter().apply("increment", [True], ctx())
+
+    def test_decrement_not_an_operation(self):
+        with pytest.raises(InvalidOperation):
+            GCounter().apply("decrement", [1], ctx())
+
+    def test_increments_commute(self):
+        ops = [
+            ("increment", [i + 1], ctx(actor=i % 3, op=i)) for i in range(9)
+        ]
+        assert_concurrent_ops_commute(GCounter, ops)
+
+
+class TestPNCounter:
+    def test_increment_and_decrement(self):
+        c = PNCounter()
+        c.apply("increment", [10], ctx(actor=1, op=0))
+        c.apply("decrement", [4], ctx(actor=2, op=1))
+        assert c.value() == 6
+
+    def test_can_go_negative(self):
+        c = PNCounter()
+        c.apply("decrement", [5], ctx())
+        assert c.value() == -5
+
+    def test_negative_amounts_rejected_both_ops(self):
+        c = PNCounter()
+        with pytest.raises(InvalidOperation):
+            c.apply("increment", [-1], ctx())
+        with pytest.raises(InvalidOperation):
+            c.apply("decrement", [-1], ctx())
+
+    def test_same_actor_both_directions(self):
+        c = PNCounter()
+        c.apply("increment", [7], ctx(actor=1, op=0))
+        c.apply("decrement", [7], ctx(actor=1, op=1))
+        assert c.value() == 0
+
+    def test_state_digest_separates_p_and_n(self):
+        # +1 is not the same state as +2-1 even though values match.
+        a, b = PNCounter(), PNCounter()
+        a.apply("increment", [1], ctx(actor=1, op=0))
+        b.apply("increment", [2], ctx(actor=1, op=0))
+        b.apply("decrement", [1], ctx(actor=1, op=1))
+        assert a.value() == b.value() == 1
+        assert a.state_digest() != b.state_digest()
+
+    def test_mixed_ops_commute(self):
+        ops = [
+            ("increment", [i + 1], ctx(actor=i % 2, op=i)) for i in range(5)
+        ] + [
+            ("decrement", [i + 1], ctx(actor=2 + i % 2, op=10 + i))
+            for i in range(5)
+        ]
+        assert_concurrent_ops_commute(PNCounter, ops)

@@ -1,0 +1,117 @@
+"""2P2P graph CRDT tests."""
+
+import pytest
+
+from repro.crdt.base import InvalidOperation
+from repro.crdt.graph import TwoPTwoPGraph
+
+from tests.crdt.helpers import assert_concurrent_ops_commute, ctx
+
+
+class TestGraphBasics:
+    def test_add_vertex_and_edge(self):
+        g = TwoPTwoPGraph("str")
+        g.apply("add_vertex", ["a"], ctx(op=0))
+        g.apply("add_vertex", ["b"], ctx(op=1))
+        g.apply("add_edge", ["a", "b"], ctx(op=2))
+        assert g.has_vertex("a")
+        assert g.has_edge("a", "b")
+        assert g.successors("a") == ["b"]
+
+    def test_edge_hidden_without_endpoints(self):
+        g = TwoPTwoPGraph("str")
+        g.apply("add_edge", ["a", "b"], ctx(op=0))
+        assert not g.has_edge("a", "b")  # endpoints not added yet
+        g.apply("add_vertex", ["a"], ctx(op=1))
+        g.apply("add_vertex", ["b"], ctx(op=2))
+        assert g.has_edge("a", "b")  # becomes visible
+
+    def test_remove_vertex_hides_incident_edges(self):
+        g = TwoPTwoPGraph("str")
+        for i, v in enumerate(["a", "b", "c"]):
+            g.apply("add_vertex", [v], ctx(op=i))
+        g.apply("add_edge", ["a", "b"], ctx(op=3))
+        g.apply("add_edge", ["b", "c"], ctx(op=4))
+        g.apply("remove_vertex", ["b"], ctx(op=5))
+        assert g.edges() == []
+        assert g.vertices() == ["a", "c"]
+
+    def test_remove_edge_only(self):
+        g = TwoPTwoPGraph("str")
+        g.apply("add_vertex", ["a"], ctx(op=0))
+        g.apply("add_vertex", ["b"], ctx(op=1))
+        g.apply("add_edge", ["a", "b"], ctx(op=2))
+        g.apply("remove_edge", ["a", "b"], ctx(op=3))
+        assert not g.has_edge("a", "b")
+        assert g.has_vertex("a") and g.has_vertex("b")
+
+    def test_no_re_add_semantics(self):
+        g = TwoPTwoPGraph("str")
+        g.apply("add_vertex", ["a"], ctx(op=0))
+        g.apply("remove_vertex", ["a"], ctx(op=1))
+        g.apply("add_vertex", ["a"], ctx(op=2))
+        assert not g.has_vertex("a")  # 2P semantics: removal is final
+
+    def test_value_shape(self):
+        g = TwoPTwoPGraph("str")
+        g.apply("add_vertex", ["a"], ctx(op=0))
+        g.apply("add_vertex", ["b"], ctx(op=1))
+        g.apply("add_edge", ["a", "b"], ctx(op=2))
+        value = g.value()
+        assert value["vertices"] == ["a", "b"]
+        assert value["edges"] == [["a", "b"]]
+
+    def test_bad_arity_rejected(self):
+        g = TwoPTwoPGraph("str")
+        with pytest.raises(InvalidOperation):
+            g.apply("add_edge", ["a"], ctx())
+        with pytest.raises(InvalidOperation):
+            g.apply("add_vertex", ["a", "b"], ctx())
+
+
+class TestGraphConvergence:
+    def test_all_ops_commute(self):
+        ops = [
+            ("add_vertex", ["a"], ctx(actor=1, op=0)),
+            ("add_vertex", ["b"], ctx(actor=2, op=1)),
+            ("add_vertex", ["c"], ctx(actor=3, op=2)),
+            ("add_edge", ["a", "b"], ctx(actor=1, op=3)),
+            ("add_edge", ["b", "c"], ctx(actor=2, op=4)),
+            ("remove_vertex", ["c"], ctx(actor=3, op=5)),
+            ("remove_edge", ["a", "b"], ctx(actor=1, op=6)),
+        ]
+        assert_concurrent_ops_commute(lambda: TwoPTwoPGraph("str"), ops)
+
+    def test_concurrent_edge_add_vertex_remove(self):
+        # Edge added concurrently with its endpoint's removal: the
+        # remove wins on visibility, in either order.
+        ops = [
+            ("add_vertex", ["a"], ctx(actor=1, op=0)),
+            ("add_vertex", ["b"], ctx(actor=1, op=1)),
+            ("add_edge", ["a", "b"], ctx(actor=2, op=2)),
+            ("remove_vertex", ["b"], ctx(actor=3, op=3)),
+        ]
+        for order in ([0, 1, 2, 3], [3, 2, 1, 0], [0, 1, 3, 2]):
+            g = TwoPTwoPGraph("str")
+            for index in order:
+                op, args, context = ops[index]
+                g.apply(op, args, context)
+            assert not g.has_edge("a", "b")
+
+    def test_supply_chain_shape(self, deployment):
+        """Graph CRDT over the node API: provenance network."""
+        node = deployment.node(0)
+        node.create_crdt(
+            "network", "graph_2p2p", "str",
+            permissions={"add_vertex": "*", "add_edge": "*",
+                         "remove_vertex": "*", "remove_edge": "*"},
+        )
+        node.append_transactions([
+            node.crdt_op("network", "add_vertex", "farm"),
+            node.crdt_op("network", "add_vertex", "packer"),
+            node.crdt_op("network", "add_vertex", "store"),
+            node.crdt_op("network", "add_edge", "farm", "packer"),
+            node.crdt_op("network", "add_edge", "packer", "store"),
+        ])
+        value = node.crdt_value("network")
+        assert value["edges"] == [["farm", "packer"], ["packer", "store"]]

@@ -1,0 +1,121 @@
+"""OR-Map and AppendLog tests."""
+
+import pytest
+
+from repro.crdt.base import InvalidOperation
+from repro.crdt.log import AppendLog
+from repro.crdt.ormap import ORMap
+
+from tests.crdt.helpers import assert_concurrent_ops_commute, ctx
+
+
+class TestORMap:
+    def test_set_and_get(self):
+        m = ORMap("any")
+        m.apply("set", ["k", 42], ctx())
+        assert m.get("k") == 42
+        assert "k" in m
+
+    def test_missing_key_default(self):
+        m = ORMap()
+        assert m.get("nope") is None
+        assert m.get("nope", "fallback") == "fallback"
+
+    def test_later_write_wins_per_key(self):
+        m = ORMap("any")
+        m.apply("set", ["k", "old"], ctx(actor=1, ts=100, op=0))
+        m.apply("set", ["k", "new"], ctx(actor=2, ts=200, op=1))
+        assert m.get("k") == "new"
+
+    def test_observed_remove_deletes_key(self):
+        m = ORMap("any")
+        m.apply("set", ["k", 1], ctx(actor=1, op=0))
+        m.apply("remove", ["k", m.observed_tags("k")], ctx(actor=2, op=1))
+        assert "k" not in m
+
+    def test_concurrent_set_survives_remove(self):
+        m = ORMap("any")
+        old_ctx = ctx(actor=1, ts=100, op=0)
+        m.apply("set", ["k", "old"], old_ctx)
+        # Remove observed only the old write; a concurrent new write
+        # keeps the key alive with the new value.
+        m.apply("set", ["k", "new"], ctx(actor=3, ts=150, op=2))
+        m.apply("remove", ["k", [old_ctx.op_id]], ctx(actor=2, ts=200, op=1))
+        assert m.get("k") == "new"
+
+    def test_winner_recomputed_after_tag_removal(self):
+        # The removed tag carried the highest timestamp; after removal
+        # the surviving concurrent write must become visible.
+        m = ORMap("any")
+        high = ctx(actor=1, ts=300, op=0)
+        low = ctx(actor=2, ts=100, op=1)
+        m.apply("set", ["k", "high"], high)
+        m.apply("set", ["k", "low"], low)
+        assert m.get("k") == "high"
+        m.apply("remove", ["k", [high.op_id]], ctx(actor=3, op=2))
+        assert m.get("k") == "low"
+
+    def test_divergence_regression_orders(self):
+        # The scenario that breaks winner-caching implementations: apply
+        # {set(high), set(low), remove(high's tag)} in both orders.
+        high = ctx(actor=1, ts=300, op=0)
+        low = ctx(actor=2, ts=100, op=1)
+        remove = ctx(actor=3, ts=400, op=2)
+        ops = [
+            ("set", ["k", "high"], high),
+            ("set", ["k", "low"], low),
+            ("remove", ["k", [high.op_id]], remove),
+        ]
+        assert_concurrent_ops_commute(lambda: ORMap("any"), ops)
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(InvalidOperation):
+            ORMap().apply("set", [1, "v"], ctx())
+
+    def test_value_returns_all_live_keys(self):
+        m = ORMap("int")
+        m.apply("set", ["a", 1], ctx(op=0))
+        m.apply("set", ["b", 2], ctx(op=1))
+        assert m.value() == {"a": 1, "b": 2}
+        assert m.keys() == ["a", "b"]
+
+    def test_len_counts_live_keys(self):
+        m = ORMap("int")
+        m.apply("set", ["a", 1], ctx(op=0))
+        m.apply("remove", ["a", m.observed_tags("a")], ctx(op=1))
+        m.apply("set", ["b", 2], ctx(op=2))
+        assert len(m) == 1
+
+
+class TestAppendLog:
+    def test_appends_in_time_order(self):
+        log = AppendLog("str")
+        log.apply("append", ["late"], ctx(actor=1, ts=200, op=0))
+        log.apply("append", ["early"], ctx(actor=2, ts=100, op=1))
+        assert log.value() == ["early", "late"]
+
+    def test_same_entry_twice_kept_twice(self):
+        log = AppendLog("str")
+        log.apply("append", ["x"], ctx(actor=1, op=0))
+        log.apply("append", ["x"], ctx(actor=1, op=1))
+        assert log.value() == ["x", "x"]
+        assert len(log) == 2
+
+    def test_metadata_view(self):
+        log = AppendLog("str")
+        log.apply("append", ["entry"], ctx(actor=3, ts=150))
+        records = log.entries_with_metadata()
+        assert len(records) == 1
+        assert records[0]["timestamp"] == 150
+        assert records[0]["entry"] == "entry"
+
+    def test_appends_commute(self):
+        ops = [
+            ("append", [f"e{i}"], ctx(actor=i % 3, ts=100 + i, op=i))
+            for i in range(10)
+        ]
+        assert_concurrent_ops_commute(lambda: AppendLog("str"), ops)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(InvalidOperation):
+            AppendLog().apply("append", [], ctx())

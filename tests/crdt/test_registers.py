@@ -1,0 +1,106 @@
+"""LWW-Register and MV-Register tests."""
+
+import pytest
+
+from repro.crdt.base import InvalidOperation
+from repro.crdt.registers import LWWRegister, MVRegister
+
+from tests.crdt.helpers import assert_concurrent_ops_commute, ctx
+
+
+class TestLWWRegister:
+    def test_unset_value_is_none(self):
+        r = LWWRegister()
+        assert r.value() is None
+        assert not r.is_set()
+
+    def test_later_timestamp_wins(self):
+        r = LWWRegister("str")
+        r.apply("set", ["old"], ctx(actor=1, ts=100))
+        r.apply("set", ["new"], ctx(actor=2, ts=200))
+        assert r.value() == "new"
+
+    def test_earlier_write_arriving_late_loses(self):
+        r = LWWRegister("str")
+        r.apply("set", ["new"], ctx(actor=2, ts=200))
+        r.apply("set", ["old"], ctx(actor=1, ts=100))
+        assert r.value() == "new"
+
+    def test_timestamp_tie_broken_by_actor(self):
+        a_ctx = ctx(actor=1, ts=100)
+        b_ctx = ctx(actor=2, ts=100)
+        winner = "a" if a_ctx.order_key() > b_ctx.order_key() else "b"
+        for order in [(a_ctx, "a", b_ctx, "b"), (b_ctx, "b", a_ctx, "a")]:
+            r = LWWRegister("str")
+            r.apply("set", [order[1]], order[0])
+            r.apply("set", [order[3]], order[2])
+            assert r.value() == winner
+
+    def test_concurrent_sets_commute(self):
+        ops = [
+            ("set", [f"v{i}"], ctx(actor=i, ts=100 + (i % 3), op=i))
+            for i in range(8)
+        ]
+        assert_concurrent_ops_commute(lambda: LWWRegister("str"), ops)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(InvalidOperation):
+            LWWRegister().apply("set", ["a", "b"], ctx())
+
+
+class TestMVRegister:
+    def test_single_write_single_value(self):
+        r = MVRegister("str")
+        r.apply("set", ["v", []], ctx(actor=1))
+        assert r.value() == ["v"]
+
+    def test_concurrent_writes_both_survive(self):
+        r = MVRegister("str")
+        r.apply("set", ["a", []], ctx(actor=1, ts=100, op=0))
+        r.apply("set", ["b", []], ctx(actor=2, ts=100, op=1))
+        assert sorted(r.value()) == ["a", "b"]
+
+    def test_overwrite_resolves_conflict(self):
+        r = MVRegister("str")
+        a_ctx = ctx(actor=1, op=0)
+        b_ctx = ctx(actor=2, op=1)
+        r.apply("set", ["a", []], a_ctx)
+        r.apply("set", ["b", []], b_ctx)
+        # A third writer observed both and overwrites them.
+        r.apply(
+            "set", ["merged", [a_ctx.op_id, b_ctx.op_id]],
+            ctx(actor=3, ts=300, op=2),
+        )
+        assert r.value() == ["merged"]
+
+    def test_current_op_ids_lists_survivors(self):
+        r = MVRegister("str")
+        a_ctx = ctx(actor=1, op=0)
+        r.apply("set", ["a", []], a_ctx)
+        assert r.current_op_ids() == [a_ctx.op_id]
+
+    def test_overwrite_before_write_tombstones(self):
+        r = MVRegister("str")
+        old_ctx = ctx(actor=1, op=0)
+        r.apply("set", ["new", [old_ctx.op_id]], ctx(actor=2, op=1))
+        r.apply("set", ["old", []], old_ctx)
+        assert r.value() == ["new"]
+
+    def test_values_ordered_by_timestamp(self):
+        r = MVRegister("str")
+        r.apply("set", ["late", []], ctx(actor=1, ts=200, op=0))
+        r.apply("set", ["early", []], ctx(actor=2, ts=100, op=1))
+        assert r.value() == ["early", "late"]
+
+    def test_bad_overwrites_rejected(self):
+        with pytest.raises(InvalidOperation):
+            MVRegister().apply("set", ["v", "not-a-list"], ctx())
+
+    def test_concurrent_ops_commute(self):
+        first = ctx(actor=1, op=0)
+        ops = [
+            ("set", ["a", []], first),
+            ("set", ["b", []], ctx(actor=2, op=1)),
+            ("set", ["c", [first.op_id]], ctx(actor=3, op=2)),
+        ]
+        assert_concurrent_ops_commute(lambda: MVRegister("str"), ops)

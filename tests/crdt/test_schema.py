@@ -1,0 +1,121 @@
+"""Type-spec and permission tests."""
+
+import pytest
+
+from repro.crdt.base import TypeCheckError
+from repro.crdt.schema import Permissions, Schema, check_type, validate_spec
+
+
+class TestValidateSpec:
+    @pytest.mark.parametrize(
+        "spec",
+        ["int", "str", "bytes", "bool", "null", "any",
+         {"list": "int"}, {"map": "str"}, {"list": {"map": "any"}}],
+    )
+    def test_valid_specs(self, spec):
+        assert validate_spec(spec) == spec
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["float", "", 42, {"list": "int", "map": "str"}, {"set": "int"},
+         {"list": "bogus"}, None],
+    )
+    def test_invalid_specs(self, spec):
+        with pytest.raises(TypeCheckError):
+            validate_spec(spec)
+
+
+class TestCheckType:
+    def test_scalars(self):
+        check_type("int", 5)
+        check_type("str", "s")
+        check_type("bytes", b"b")
+        check_type("bool", True)
+        check_type("null", None)
+
+    def test_scalar_mismatches(self):
+        with pytest.raises(TypeCheckError):
+            check_type("int", "5")
+        with pytest.raises(TypeCheckError):
+            check_type("str", 5)
+        with pytest.raises(TypeCheckError):
+            check_type("bytes", "s")
+        with pytest.raises(TypeCheckError):
+            check_type("null", 0)
+
+    def test_bool_is_not_int_and_int_is_not_bool(self):
+        with pytest.raises(TypeCheckError):
+            check_type("int", True)
+        with pytest.raises(TypeCheckError):
+            check_type("bool", 1)
+
+    def test_homogeneous_list(self):
+        check_type({"list": "int"}, [1, 2, 3])
+        with pytest.raises(TypeCheckError):
+            check_type({"list": "int"}, [1, "2"])
+
+    def test_homogeneous_map(self):
+        check_type({"map": "str"}, {"k": "v"})
+        with pytest.raises(TypeCheckError):
+            check_type({"map": "str"}, {"k": 1})
+
+    def test_any_accepts_wire_values_only(self):
+        check_type("any", {"nested": [1, "x", b"y", None, True]})
+        with pytest.raises(TypeCheckError):
+            check_type("any", 1.5)
+        with pytest.raises(TypeCheckError):
+            check_type("any", {1: "non-string key"})
+
+    def test_nested_composite(self):
+        spec = {"list": {"map": "int"}}
+        check_type(spec, [{"a": 1}, {"b": 2}])
+        with pytest.raises(TypeCheckError):
+            check_type(spec, [{"a": "x"}])
+
+
+class TestPermissions:
+    def test_explicit_role_grant(self):
+        p = Permissions({"add": ["medic"]})
+        assert p.allows("medic", "add")
+        assert not p.allows("sensor", "add")
+
+    def test_wildcard_grant(self):
+        p = Permissions({"add": "*"})
+        assert p.allows("anyone", "add")
+
+    def test_unlisted_op_denied(self):
+        p = Permissions({"add": "*"})
+        assert not p.allows("medic", "remove")
+
+    def test_owner_always_allowed(self):
+        p = Permissions({})
+        assert p.allows("owner", "anything")
+
+    def test_allow_all_constructor(self):
+        p = Permissions.allow_all(("add", "remove"))
+        assert p.allows("x", "add")
+        assert p.allows("x", "remove")
+
+    def test_wire_roundtrip(self):
+        p = Permissions({"add": ["medic", "sensor"], "remove": "*"})
+        assert Permissions.from_wire(p.to_wire()) == p
+
+    def test_invalid_role_in_grant_rejected(self):
+        with pytest.raises(ValueError):
+            Permissions({"add": ["Not Valid"]})
+
+
+class TestSchema:
+    def test_roundtrip(self):
+        schema = Schema({"list": "int"}, Permissions({"add": ["medic"]}))
+        restored = Schema.from_wire(schema.to_wire())
+        assert restored == schema
+
+    def test_defaults(self):
+        schema = Schema()
+        assert schema.element_spec == "any"
+        assert not schema.permissions.allows("medic", "add")
+
+    def test_invalid_element_spec_rejected(self):
+        with pytest.raises(TypeCheckError):
+            Schema("floaty")

@@ -1,0 +1,159 @@
+"""RGA sequence CRDT tests."""
+
+import random
+
+import pytest
+
+from repro.crdt.base import InvalidOperation
+from repro.crdt.sequence import HEAD, RGASequence
+
+from tests.crdt.helpers import ctx, replay_in_order
+
+
+class TestBasicEditing:
+    def test_insert_at_head(self):
+        seq = RGASequence("str")
+        seq.apply("insert", [HEAD, "a"], ctx(op=0))
+        assert seq.value() == ["a"]
+
+    def test_insert_after(self):
+        seq = RGASequence("str")
+        a_ctx = ctx(op=0)
+        seq.apply("insert", [HEAD, "a"], a_ctx)
+        seq.apply("insert", [a_ctx.op_id, "b"], ctx(op=1))
+        assert seq.value() == ["a", "b"]
+
+    def test_build_word(self):
+        seq = RGASequence("str")
+        previous = HEAD
+        for i, char in enumerate("vegvisir"):
+            context = ctx(op=i)
+            seq.apply("insert", [previous, char], context)
+            previous = context.op_id
+        assert "".join(seq.value()) == "vegvisir"
+
+    def test_delete(self):
+        seq = RGASequence("str")
+        a_ctx, b_ctx = ctx(op=0), ctx(op=1)
+        seq.apply("insert", [HEAD, "a"], a_ctx)
+        seq.apply("insert", [a_ctx.op_id, "b"], b_ctx)
+        seq.apply("delete", [a_ctx.op_id], ctx(op=2))
+        assert seq.value() == ["b"]
+        assert len(seq) == 1
+
+    def test_insert_after_deleted_element_works(self):
+        # Tombstones keep their place so later causal inserts anchor.
+        seq = RGASequence("str")
+        a_ctx = ctx(op=0)
+        seq.apply("insert", [HEAD, "a"], a_ctx)
+        seq.apply("delete", [a_ctx.op_id], ctx(op=1))
+        seq.apply("insert", [a_ctx.op_id, "b"], ctx(op=2))
+        assert seq.value() == ["b"]
+
+    def test_op_id_addressing(self):
+        seq = RGASequence("str")
+        previous = HEAD
+        for i, char in enumerate("abc"):
+            context = ctx(op=i)
+            seq.apply("insert", [previous, char], context)
+            previous = context.op_id
+        middle = seq.op_id_at(1)
+        seq.apply("delete", [middle], ctx(op=9))
+        assert seq.value() == ["a", "c"]
+
+    def test_bad_args_rejected(self):
+        seq = RGASequence("str")
+        with pytest.raises(InvalidOperation):
+            seq.apply("insert", ["not-bytes", "a"], ctx())
+        with pytest.raises(InvalidOperation):
+            seq.apply("delete", ["not-bytes"], ctx())
+
+
+class TestConcurrency:
+    def test_concurrent_inserts_same_position_deterministic(self):
+        left_ctx = ctx(actor=1, ts=100, op=0)
+        right_ctx = ctx(actor=2, ts=100, op=1)
+        ops = [
+            ("insert", [HEAD, "L"], left_ctx),
+            ("insert", [HEAD, "R"], right_ctx),
+        ]
+        results = set()
+        for order in ([0, 1], [1, 0]):
+            seq = replay_in_order(lambda: RGASequence("str"), ops, order)
+            results.add("".join(seq.value()))
+        assert len(results) == 1
+
+    def test_interleaving_preserves_each_writers_order(self):
+        # Two writers each type a word at the head concurrently; each
+        # word must appear in its own order (no character shuffling
+        # *within* a writer's run that was typed causally).
+        ops = []
+        for actor, word in ((1, "abc"), (2, "xyz")):
+            previous = HEAD
+            for i, char in enumerate(word):
+                context = ctx(actor=actor, ts=100 + i, op=actor * 10 + i)
+                ops.append(("insert", [previous, char], context))
+                previous = context.op_id
+        seq = replay_in_order(lambda: RGASequence("str"), ops,
+                              range(len(ops)))
+        text = "".join(seq.value())
+        assert "".join(c for c in text if c in "abc") == "abc"
+        assert "".join(c for c in text if c in "xyz") == "xyz"
+
+    def test_random_orders_converge(self):
+        rng = random.Random(5)
+        ops = []
+        anchors = [HEAD]
+        for i in range(20):
+            context = ctx(actor=i % 3, ts=100 + i, op=i)
+            # Non-causal shuffles still converge thanks to orphan
+            # buffering; anchor on any known op.
+            anchor = rng.choice(anchors)
+            ops.append(("insert", [anchor, f"e{i}"], context))
+            anchors.append(context.op_id)
+        baseline = replay_in_order(lambda: RGASequence("str"), ops,
+                                   range(len(ops)))
+        for seed in range(6):
+            order = list(range(len(ops)))
+            random.Random(seed).shuffle(order)
+            shuffled = replay_in_order(lambda: RGASequence("str"), ops,
+                                       order)
+            assert shuffled.value() == baseline.value()
+            assert shuffled.state_digest() == baseline.state_digest()
+
+    def test_delete_before_insert_tombstones(self):
+        seq = RGASequence("str")
+        a_ctx = ctx(op=0)
+        seq.apply("delete", [a_ctx.op_id], ctx(op=1))
+        seq.apply("insert", [HEAD, "a"], a_ctx)
+        assert seq.value() == []
+
+    def test_orphan_insert_attaches_when_anchor_arrives(self):
+        seq = RGASequence("str")
+        a_ctx = ctx(op=0)
+        b_ctx = ctx(op=1)
+        seq.apply("insert", [a_ctx.op_id, "b"], b_ctx)  # anchor missing
+        assert seq.value() == []
+        seq.apply("insert", [HEAD, "a"], a_ctx)
+        assert seq.value() == ["a", "b"]
+
+
+class TestNodeIntegration:
+    def test_collaborative_editing_over_gossip(self, deployment):
+        from repro.reconcile.frontier import FrontierProtocol
+
+        left = deployment.node(0)
+        right = deployment.node(1)
+        left.create_crdt("doc", "rga_sequence", "str",
+                         {"insert": "*", "delete": "*"})
+        FrontierProtocol().run(right, left)
+        left.append_transactions(
+            [left.crdt_op("doc", "insert", HEAD, "h")]
+        )
+        # Concurrent edit on the other replica.
+        right.append_transactions(
+            [right.crdt_op("doc", "insert", HEAD, "w")]
+        )
+        FrontierProtocol().run(left, right)
+        assert left.crdt_value("doc") == right.crdt_value("doc")
+        assert sorted(left.crdt_value("doc")) == ["h", "w"]

@@ -1,0 +1,190 @@
+"""G-Set, 2P-Set, and OR-Set tests."""
+
+import pytest
+
+from repro.crdt.base import InvalidOperation, TypeCheckError
+from repro.crdt.gset import GSet
+from repro.crdt.orset import ORSet
+from repro.crdt.twophase import TwoPhaseSet
+
+from tests.crdt.helpers import assert_concurrent_ops_commute, ctx
+
+
+class TestGSet:
+    def test_add_and_contains(self):
+        s = GSet("str")
+        s.apply("add", ["a"], ctx())
+        assert "a" in s
+        assert "b" not in s
+
+    def test_value_sorted_deterministically(self):
+        s = GSet("str")
+        for i, element in enumerate(["zebra", "apple", "mango"]):
+            s.apply("add", [element], ctx(op=i))
+        assert s.value() == sorted(["zebra", "apple", "mango"])
+
+    def test_duplicate_adds_idempotent(self):
+        s = GSet("int")
+        s.apply("add", [5], ctx(actor=1))
+        s.apply("add", [5], ctx(actor=2))
+        assert len(s) == 1
+
+    def test_type_check_enforced(self):
+        s = GSet("int")
+        with pytest.raises(TypeCheckError):
+            s.apply("add", ["not an int"], ctx())
+
+    def test_bool_is_not_int(self):
+        s = GSet("int")
+        with pytest.raises(TypeCheckError):
+            s.apply("add", [True], ctx())
+
+    def test_unknown_op_rejected(self):
+        s = GSet()
+        with pytest.raises(InvalidOperation):
+            s.apply("remove", ["x"], ctx())
+
+    def test_wrong_arity_rejected(self):
+        s = GSet()
+        with pytest.raises(InvalidOperation):
+            s.apply("add", ["a", "b"], ctx())
+
+    def test_composite_elements(self):
+        s = GSet({"map": "any"})
+        element = {"patient": "p1", "reason": "triage"}
+        s.apply("add", [element], ctx())
+        assert s.contains(element)
+        assert s.value() == [element]
+
+    def test_adds_commute(self):
+        ops = [("add", [f"e{i}"], ctx(actor=i, op=i)) for i in range(8)]
+        assert_concurrent_ops_commute(lambda: GSet("str"), ops)
+
+    def test_state_digest_equal_for_equal_sets(self):
+        a, b = GSet("str"), GSet("str")
+        a.apply("add", ["x"], ctx(actor=1))
+        b.apply("add", ["x"], ctx(actor=2))
+        assert a.state_digest() == b.state_digest()
+
+
+class TestTwoPhaseSet:
+    def test_add_then_remove(self):
+        s = TwoPhaseSet("str")
+        s.apply("add", ["a"], ctx(op=0))
+        assert "a" in s
+        s.apply("remove", ["a"], ctx(op=1))
+        assert "a" not in s
+        assert s.was_removed("a")
+
+    def test_no_re_add(self):
+        s = TwoPhaseSet("str")
+        s.apply("add", ["a"], ctx(op=0))
+        s.apply("remove", ["a"], ctx(op=1))
+        s.apply("add", ["a"], ctx(op=2))
+        assert "a" not in s
+
+    def test_remove_before_add_poisons(self):
+        # Revocation-in-advance: remove an element never added.
+        s = TwoPhaseSet("str")
+        s.apply("remove", ["a"], ctx(op=0))
+        s.apply("add", ["a"], ctx(op=1))
+        assert "a" not in s
+
+    def test_added_value_includes_removed(self):
+        s = TwoPhaseSet("str")
+        s.apply("add", ["a"], ctx(op=0))
+        s.apply("remove", ["a"], ctx(op=1))
+        assert s.added_value() == ["a"]
+        assert s.value() == []
+
+    def test_len_counts_live_only(self):
+        s = TwoPhaseSet("str")
+        s.apply("add", ["a"], ctx(op=0))
+        s.apply("add", ["b"], ctx(op=1))
+        s.apply("remove", ["a"], ctx(op=2))
+        assert len(s) == 1
+
+    def test_concurrent_add_remove_remove_wins(self):
+        ops = [
+            ("add", ["x"], ctx(actor=1, op=0)),
+            ("remove", ["x"], ctx(actor=2, op=1)),
+        ]
+        for order in ([0, 1], [1, 0]):
+            s = TwoPhaseSet("str")
+            for i in order:
+                s.apply(ops[i][0], ops[i][1], ops[i][2])
+            assert "x" not in s
+
+    def test_mixed_ops_commute(self):
+        ops = (
+            [("add", [f"e{i}"], ctx(actor=i, op=i)) for i in range(6)]
+            + [("remove", [f"e{i}"], ctx(actor=9, op=10 + i))
+               for i in range(0, 6, 2)]
+        )
+        assert_concurrent_ops_commute(lambda: TwoPhaseSet("str"), ops)
+
+
+class TestORSet:
+    def test_add_and_observed_remove(self):
+        s = ORSet("str")
+        add_ctx = ctx(actor=1, op=0)
+        s.apply("add", ["a"], add_ctx)
+        tags = s.observed_tags("a")
+        assert tags == [add_ctx.op_id]
+        s.apply("remove", ["a", tags], ctx(actor=2, op=1))
+        assert "a" not in s
+
+    def test_add_wins_over_concurrent_remove(self):
+        # Replica 1 adds twice (two tags); replica 2 observed only the
+        # first and removes it; the concurrent second add survives.
+        s = ORSet("str")
+        first = ctx(actor=1, ts=100, op=0)
+        second = ctx(actor=1, ts=200, op=1)
+        s.apply("add", ["a"], first)
+        s.apply("add", ["a"], second)
+        s.apply("remove", ["a", [first.op_id]], ctx(actor=2, op=2))
+        assert "a" in s
+        assert s.observed_tags("a") == sorted([second.op_id])
+
+    def test_re_add_after_remove_allowed(self):
+        s = ORSet("str")
+        first = ctx(actor=1, op=0)
+        s.apply("add", ["a"], first)
+        s.apply("remove", ["a", [first.op_id]], ctx(actor=1, op=1))
+        assert "a" not in s
+        s.apply("add", ["a"], ctx(actor=1, op=2))
+        assert "a" in s
+
+    def test_remove_then_late_add_of_removed_tag_stays_dead(self):
+        # Tombstone: a remove replayed before its observed add (possible
+        # during state restores) must not let the add resurrect.
+        s = ORSet("str")
+        add_ctx = ctx(actor=1, op=0)
+        s.apply("remove", ["a", [add_ctx.op_id]], ctx(actor=2, op=1))
+        s.apply("add", ["a"], add_ctx)
+        assert "a" not in s
+
+    def test_remove_with_empty_observed_is_noop(self):
+        s = ORSet("str")
+        s.apply("add", ["a"], ctx(op=0))
+        s.apply("remove", ["a", []], ctx(op=1))
+        assert "a" in s
+
+    def test_bad_observed_tags_rejected(self):
+        s = ORSet("str")
+        with pytest.raises(InvalidOperation):
+            s.apply("remove", ["a", ["not-bytes"]], ctx())
+
+    def test_value_lists_elements_once(self):
+        s = ORSet("str")
+        s.apply("add", ["a"], ctx(actor=1, op=0))
+        s.apply("add", ["a"], ctx(actor=2, op=1))
+        assert s.value() == ["a"]
+
+    def test_concurrent_ops_commute(self):
+        adds = [("add", [f"e{i % 3}"], ctx(actor=i, op=i)) for i in range(6)]
+        removes = [
+            ("remove", [f"e{i}", [adds[i][2].op_id]], ctx(actor=7, op=10 + i))
+            for i in range(2)
+        ]
+        assert_concurrent_ops_commute(lambda: ORSet("str"), adds + removes)

@@ -1,0 +1,140 @@
+"""Ed25519 tests, including the RFC 8032 section 7.1 test vectors."""
+
+import pytest
+
+from repro.crypto import ed25519
+from repro.crypto.ed25519 import PrivateKey, PublicKey, SignatureError
+
+# RFC 8032, section 7.1 — (secret, public, message, signature).
+RFC8032_VECTORS = [
+    (
+        "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a",
+        "",
+        "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+        "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b",
+    ),
+    (
+        "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c",
+        "72",
+        "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+        "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00",
+    ),
+    (
+        "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+        "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+        "af82",
+        "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+        "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a",
+    ),
+]
+
+
+class TestRfc8032Vectors:
+    @pytest.mark.parametrize("secret,public,message,signature", RFC8032_VECTORS)
+    def test_public_key_derivation(self, secret, public, message, signature):
+        key = PrivateKey(bytes.fromhex(secret))
+        assert key.public_key.data == bytes.fromhex(public)
+
+    @pytest.mark.parametrize("secret,public,message,signature", RFC8032_VECTORS)
+    def test_signature_matches_vector(self, secret, public, message, signature):
+        key = PrivateKey(bytes.fromhex(secret))
+        assert key.sign(bytes.fromhex(message)) == bytes.fromhex(signature)
+
+    @pytest.mark.parametrize("secret,public,message,signature", RFC8032_VECTORS)
+    def test_signature_verifies(self, secret, public, message, signature):
+        key = PublicKey(bytes.fromhex(public))
+        assert key.verify(bytes.fromhex(message), bytes.fromhex(signature))
+
+
+class TestSignVerify:
+    def test_roundtrip(self):
+        key = PrivateKey.from_seed_int(1)
+        message = b"partition-tolerant blockchain"
+        signature = key.sign(message)
+        assert key.public_key.verify(message, signature)
+
+    def test_wrong_message_rejected(self):
+        key = PrivateKey.from_seed_int(2)
+        signature = key.sign(b"original")
+        assert not key.public_key.verify(b"tampered", signature)
+
+    def test_wrong_key_rejected(self):
+        alice = PrivateKey.from_seed_int(3)
+        mallory = PrivateKey.from_seed_int(4)
+        signature = alice.sign(b"message")
+        assert not mallory.public_key.verify(b"message", signature)
+
+    def test_flipped_bit_rejected(self):
+        key = PrivateKey.from_seed_int(5)
+        message = b"bit flip"
+        signature = bytearray(key.sign(message))
+        for index in [0, 31, 32, 63]:
+            corrupted = bytearray(signature)
+            corrupted[index] ^= 0x01
+            assert not key.public_key.verify(message, bytes(corrupted))
+
+    def test_empty_message(self):
+        key = PrivateKey.from_seed_int(6)
+        assert key.public_key.verify(b"", key.sign(b""))
+
+    def test_large_message(self):
+        key = PrivateKey.from_seed_int(7)
+        message = bytes(range(256)) * 64
+        assert key.public_key.verify(message, key.sign(message))
+
+    def test_signature_is_deterministic(self):
+        key = PrivateKey.from_seed_int(8)
+        assert key.sign(b"x") == key.sign(b"x")
+
+
+class TestMalformedInputs:
+    def test_short_signature_rejected(self):
+        key = PrivateKey.from_seed_int(9)
+        assert not key.public_key.verify(b"m", b"\x00" * 63)
+
+    def test_long_signature_rejected(self):
+        key = PrivateKey.from_seed_int(10)
+        assert not key.public_key.verify(b"m", b"\x00" * 65)
+
+    def test_scalar_out_of_range_rejected(self):
+        key = PrivateKey.from_seed_int(11)
+        signature = bytearray(key.sign(b"m"))
+        signature[32:] = b"\xff" * 32  # s >= L
+        assert not key.public_key.verify(b"m", bytes(signature))
+
+    def test_invalid_r_point_rejected(self):
+        key = PrivateKey.from_seed_int(12)
+        signature = bytearray(key.sign(b"m"))
+        signature[:32] = b"\xff" * 32
+        assert not key.public_key.verify(b"m", bytes(signature))
+
+    def test_bad_private_key_length(self):
+        with pytest.raises(SignatureError):
+            PrivateKey(b"short")
+
+    def test_bad_public_key_length(self):
+        with pytest.raises(SignatureError):
+            PublicKey(b"short")
+
+    def test_invalid_public_point_rejected_on_verify(self):
+        key = PublicKey(b"\xff" * 32)
+        assert not key.verify(b"m", b"\x00" * 64)
+
+
+class TestKeyEquality:
+    def test_equal_keys(self):
+        a = PrivateKey.from_seed_int(13).public_key
+        b = PrivateKey.from_seed_int(13).public_key
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_distinct_keys(self):
+        a = PrivateKey.from_seed_int(14).public_key
+        b = PrivateKey.from_seed_int(15).public_key
+        assert a != b
+
+    def test_signature_size_constant(self):
+        key = PrivateKey.from_seed_int(16)
+        assert len(key.sign(b"m")) == ed25519.SIGNATURE_SIZE

@@ -1,0 +1,35 @@
+"""KeyPair tests."""
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.sha import Hash
+
+
+class TestKeyPair:
+    def test_deterministic_reproducible(self):
+        assert KeyPair.deterministic(7).user_id == (
+            KeyPair.deterministic(7).user_id
+        )
+
+    def test_deterministic_distinct(self):
+        assert KeyPair.deterministic(1).user_id != (
+            KeyPair.deterministic(2).user_id
+        )
+
+    def test_generate_produces_distinct_keys(self):
+        assert KeyPair.generate().user_id != KeyPair.generate().user_id
+
+    def test_user_id_is_public_key_hash(self):
+        key = KeyPair.deterministic(3)
+        assert key.user_id == Hash.of_bytes(key.public_key.data)
+
+    def test_sign_verify_through_pair(self):
+        key = KeyPair.deterministic(4)
+        signature = key.sign(b"message")
+        assert key.public_key.verify(b"message", signature)
+
+    def test_repr_shows_short_id_not_secrets(self):
+        key = KeyPair.deterministic(5)
+        rendered = repr(key)
+        assert key.user_id.short() in rendered
+        assert key.private_key.seed.hex() not in rendered
+        assert "hidden" in repr(key.private_key)

@@ -1,0 +1,67 @@
+"""Stream cipher (SHA-256-CTR + HMAC) tests."""
+
+import pytest
+
+from repro.crypto import stream
+
+
+KEY = b"company-secret-key"
+NONCE = bytes(range(16))
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self):
+        sealed = stream.encrypt(KEY, NONCE, b"telemetry sample")
+        assert stream.decrypt(KEY, sealed) == b"telemetry sample"
+
+    def test_empty_plaintext(self):
+        sealed = stream.encrypt(KEY, NONCE, b"")
+        assert stream.decrypt(KEY, sealed) == b""
+
+    def test_large_plaintext(self):
+        plaintext = bytes(range(256)) * 100
+        sealed = stream.encrypt(KEY, NONCE, plaintext)
+        assert stream.decrypt(KEY, sealed) == plaintext
+
+    def test_ciphertext_differs_from_plaintext(self):
+        plaintext = b"A" * 64
+        sealed = stream.encrypt(KEY, NONCE, plaintext)
+        assert plaintext not in sealed
+
+    def test_different_nonces_different_ciphertexts(self):
+        a = stream.encrypt(KEY, bytes(16), b"same message")
+        b = stream.encrypt(KEY, bytes(15) + b"\x01", b"same message")
+        assert a != b
+
+    def test_bad_nonce_length_rejected(self):
+        with pytest.raises(ValueError):
+            stream.encrypt(KEY, b"short", b"m")
+
+
+class TestAuthentication:
+    def test_wrong_key_rejected(self):
+        sealed = stream.encrypt(KEY, NONCE, b"secret")
+        with pytest.raises(stream.AuthenticationError):
+            stream.decrypt(b"wrong key", sealed)
+
+    def test_flipped_ciphertext_bit_rejected(self):
+        sealed = bytearray(stream.encrypt(KEY, NONCE, b"secret"))
+        sealed[stream.NONCE_SIZE] ^= 0x01
+        with pytest.raises(stream.AuthenticationError):
+            stream.decrypt(KEY, bytes(sealed))
+
+    def test_flipped_tag_bit_rejected(self):
+        sealed = bytearray(stream.encrypt(KEY, NONCE, b"secret"))
+        sealed[-1] ^= 0x01
+        with pytest.raises(stream.AuthenticationError):
+            stream.decrypt(KEY, bytes(sealed))
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(stream.AuthenticationError):
+            stream.decrypt(KEY, b"\x00" * 10)
+
+    def test_flipped_nonce_rejected(self):
+        sealed = bytearray(stream.encrypt(KEY, NONCE, b"secret"))
+        sealed[0] ^= 0x01
+        with pytest.raises(stream.AuthenticationError):
+            stream.decrypt(KEY, bytes(sealed))

@@ -1,0 +1,161 @@
+"""Replay-order independence: the CSM's core invariant.
+
+Build one DAG with concurrent activity from several members (including
+membership changes and CRDT creations), then replay it into fresh state
+machines in many random topological orders.  All replicas must reach the
+same state digest and the same per-transaction verdicts.
+"""
+
+import random
+
+import pytest
+
+from repro.chain.block import Transaction
+from repro.csm.machine import CSMachine
+
+from tests.conftest import Deployment
+
+
+def _build_busy_dag(deployment: Deployment):
+    """Five members interleave work with periodic reconciliation."""
+    from repro.reconcile.frontier import FrontierProtocol
+
+    protocol = FrontierProtocol()
+    nodes = [deployment.owner_node()] + [
+        deployment.node(i) for i in range(4)
+    ]
+    owner = nodes[0]
+    owner.create_crdt("log", "append_log", "str", {"append": "*"})
+    owner.create_crdt("tally", "pn_counter", "int",
+                      {"increment": "*", "decrement": "*"})
+    owner.create_crdt("inventory", "or_map", "any",
+                      {"set": "*", "remove": "*"})
+    rng = random.Random(42)
+    for step in range(25):
+        node = nodes[rng.randrange(len(nodes))]
+        peer = nodes[rng.randrange(len(nodes))]
+        if node is not peer:
+            protocol.run(node, peer)
+        choice = step % 4
+        if node.csm.crdt_instance("log") is None:
+            continue
+        if choice == 0:
+            node.append_transactions(
+                [Transaction("log", "append", [f"s{step}"])]
+            )
+        elif choice == 1:
+            node.append_transactions(
+                [Transaction("tally", "increment", [step + 1])]
+            )
+        elif choice == 2:
+            node.append_transactions(
+                [Transaction("inventory", "set", [f"k{step % 5}", step])]
+            )
+        else:
+            node.append_witness_block()
+    # Everyone reconciles with everyone at the end.
+    for a in nodes:
+        for b in nodes:
+            if a is not b:
+                protocol.run(a, b)
+    return nodes
+
+
+@pytest.fixture(scope="module")
+def busy():
+    deployment = Deployment()
+    nodes = _build_busy_dag(deployment)
+    return deployment, nodes
+
+
+class TestReplayDeterminism:
+    def test_all_replicas_converged(self, busy):
+        _, nodes = busy
+        digests = {node.state_digest().hex() for node in nodes}
+        assert len(digests) == 1
+
+    def test_random_topological_replays_converge(self, busy):
+        deployment, nodes = busy
+        reference_node = nodes[0]
+        reference = reference_node.csm.state_digest()
+        dag = reference_node.dag
+        for seed in range(8):
+            machine = CSMachine.from_genesis(deployment.genesis)
+            order = dag.topological_order(rng=random.Random(seed))
+            for block_hash in order:
+                if block_hash == dag.genesis_hash:
+                    continue
+                machine.replay_block(dag.get(block_hash))
+            assert machine.state_digest() == reference, f"seed {seed}"
+
+    def test_verdicts_are_order_independent(self, busy):
+        deployment, nodes = busy
+        dag = nodes[0].dag
+        reference = {}
+        machine = CSMachine.from_genesis(deployment.genesis)
+        for block_hash in dag.topological_order():
+            if block_hash == dag.genesis_hash:
+                continue
+            outcomes = machine.replay_block(dag.get(block_hash))
+            reference[block_hash] = [
+                (o.applied, o.reason) for o in outcomes
+            ]
+        for seed in range(4):
+            other = CSMachine.from_genesis(deployment.genesis)
+            for block_hash in dag.topological_order(rng=random.Random(seed)):
+                if block_hash == dag.genesis_hash:
+                    continue
+                outcomes = other.replay_block(dag.get(block_hash))
+                assert [
+                    (o.applied, o.reason) for o in outcomes
+                ] == reference[block_hash]
+
+    def test_values_match_across_replicas(self, busy):
+        _, nodes = busy
+        for name in ("log", "tally", "inventory"):
+            values = {
+                repr(node.crdt_value(name)) for node in nodes
+            }
+            assert len(values) == 1, f"{name} diverged"
+
+
+class TestCausalCreateBinding:
+    def test_name_collision_resolved_deterministically(self, deployment):
+        """Two partitions create the same CRDT name concurrently."""
+        left = deployment.node(0)
+        right = deployment.node(1)
+        left.create_crdt("shared", "g_set", "str", {"add": "*"})
+        right.create_crdt("shared", "g_counter", "int", {"increment": "*"})
+        left.append_transactions([Transaction("shared", "add", ["x"])])
+        right.append_transactions([Transaction("shared", "increment", [5])])
+
+        from repro.reconcile.frontier import FrontierProtocol
+
+        protocol = FrontierProtocol()
+        protocol.run(left, right)
+        protocol.run(right, left)
+        assert left.state_digest() == right.state_digest()
+        # Both creations and both ops survive, bound to their own causal
+        # winner; reads resolve to the globally winning creation.
+        assert left.csm.collection().collisions() == {"shared": 2}
+        assert left.crdt_value("shared") == right.crdt_value("shared")
+
+    def test_ops_bind_to_causal_winner_not_global(self, deployment):
+        left = deployment.node(0)
+        right = deployment.node(1)
+        left.create_crdt("shared", "g_set", "str", {"add": "*"})
+        right.create_crdt("shared", "g_set", "str", {"add": "*"})
+        block = right.append_transactions(
+            [Transaction("shared", "add", ["from-right"])]
+        )
+        # Right's add applied against right's creation...
+        assert right.csm.outcomes(block.hash)[0].applied
+
+        from repro.reconcile.frontier import FrontierProtocol
+
+        FrontierProtocol().run(left, right)
+        FrontierProtocol().run(right, left)
+        # ...and stays applied after the merge on both replicas, no
+        # matter which creation globally wins the name.
+        assert left.csm.outcomes(block.hash)[0].applied
+        assert left.state_digest() == right.state_digest()

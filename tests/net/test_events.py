@@ -1,0 +1,90 @@
+"""Discrete-event loop tests."""
+
+import pytest
+
+from repro.net.events import EventLoop
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(30, lambda: fired.append(30))
+        loop.schedule_at(10, lambda: fired.append(10))
+        loop.schedule_at(20, lambda: fired.append(20))
+        loop.run_until(100)
+        assert fired == [10, 20, 30]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        loop = EventLoop()
+        fired = []
+        for tag in range(5):
+            loop.schedule_at(10, lambda t=tag: fired.append(t))
+        loop.run_until(10)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_now_advances_with_events(self):
+        loop = EventLoop()
+        observed = []
+        loop.schedule_at(25, lambda: observed.append(loop.now))
+        loop.run_until(50)
+        assert observed == [25]
+        assert loop.now == 50
+
+    def test_schedule_in_relative(self):
+        loop = EventLoop(start_ms=100)
+        fired = []
+        loop.schedule_in(50, lambda: fired.append(loop.now))
+        loop.run_until(200)
+        assert fired == [150]
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def recurring():
+            fired.append(loop.now)
+            if loop.now < 50:
+                loop.schedule_in(10, recurring)
+
+        loop.schedule_at(10, recurring)
+        loop.run_until(100)
+        assert fired == [10, 20, 30, 40, 50]
+
+    def test_run_until_boundary_inclusive(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(100, lambda: fired.append("edge"))
+        loop.run_until(100)
+        assert fired == ["edge"]
+
+    def test_events_beyond_horizon_stay_queued(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(200, lambda: fired.append("late"))
+        loop.run_until(100)
+        assert fired == []
+        assert loop.pending() == 1
+        loop.run_until(300)
+        assert fired == ["late"]
+
+    def test_scheduling_in_past_rejected(self):
+        loop = EventLoop(start_ms=100)
+        with pytest.raises(ValueError):
+            loop.schedule_at(50, lambda: None)
+        with pytest.raises(ValueError):
+            loop.schedule_in(-1, lambda: None)
+
+    def test_run_all_budget(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule_in(1, forever)
+
+        loop.schedule_in(1, forever)
+        with pytest.raises(RuntimeError):
+            loop.run_all(max_events=100)
+
+    def test_clock_callable(self):
+        loop = EventLoop(start_ms=42)
+        assert loop.clock() == 42

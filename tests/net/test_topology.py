@@ -1,0 +1,171 @@
+"""Topology, mobility, partition, and link tests."""
+
+import pytest
+
+from repro.net.links import LinkModel
+from repro.net.mobility import GridPlacement, RandomWaypoint, StaticPlacement
+from repro.net.partitions import PartitionSchedule, PartitionedTopology
+from repro.net.topology import (
+    FullMeshTopology,
+    GeometricTopology,
+    StaticTopology,
+)
+
+
+class TestStaticTopology:
+    def test_line_graph(self):
+        topo = StaticTopology.line(4)
+        assert topo.neighbors(0, 0) == [1]
+        assert topo.neighbors(1, 0) == [0, 2]
+        assert topo.neighbors(3, 0) == [2]
+
+    def test_ring_graph(self):
+        topo = StaticTopology.ring(5)
+        assert topo.neighbors(0, 0) == [1, 4]
+
+    def test_full_mesh(self):
+        topo = FullMeshTopology(4)
+        assert topo.neighbors(2, 0) == [0, 1, 3]
+
+    def test_self_loops_ignored(self):
+        topo = StaticTopology(3, [(0, 0), (0, 1)])
+        assert topo.neighbors(0, 0) == [1]
+
+    def test_out_of_range_node_rejected(self):
+        topo = StaticTopology.line(3)
+        with pytest.raises(ValueError):
+            topo.neighbors(5, 0)
+
+    def test_components(self):
+        topo = StaticTopology(5, [(0, 1), (2, 3)])
+        components = topo.components(0)
+        assert {frozenset(c) for c in components} == {
+            frozenset({0, 1}), frozenset({2, 3}), frozenset({4})
+        }
+
+
+class TestMobility:
+    def test_static_placement_never_moves(self):
+        model = StaticPlacement(5, 100, 100, seed=1)
+        assert model.position(2, 0) == model.position(2, 1_000_000)
+
+    def test_static_placement_within_bounds(self):
+        model = StaticPlacement(20, 50, 80, seed=2)
+        for node in range(20):
+            x, y = model.position(node, 0)
+            assert 0 <= x <= 50
+            assert 0 <= y <= 80
+
+    def test_grid_placement_spacing(self):
+        model = GridPlacement(4, 100, 100)
+        positions = {model.position(i, 0) for i in range(4)}
+        assert len(positions) == 4
+
+    def test_waypoint_deterministic(self):
+        a = RandomWaypoint(3, 100, 100, seed=7)
+        b = RandomWaypoint(3, 100, 100, seed=7)
+        for t in (0, 5_000, 60_000, 600_000):
+            for node in range(3):
+                assert a.position(node, t) == b.position(node, t)
+
+    def test_waypoint_moves(self):
+        model = RandomWaypoint(1, 1000, 1000, speed_mps=10, pause_ms=0,
+                               seed=3)
+        start = model.position(0, 0)
+        later = model.position(0, 120_000)
+        assert start != later
+
+    def test_waypoint_speed_bounded(self):
+        model = RandomWaypoint(1, 1000, 1000, speed_mps=2.0, pause_ms=0,
+                               seed=4)
+        previous = model.position(0, 0)
+        for t in range(1000, 60_000, 1000):
+            current = model.position(0, t)
+            dx = current[0] - previous[0]
+            dy = current[1] - previous[1]
+            assert (dx * dx + dy * dy) ** 0.5 <= 2.0 * 1.05 + 1e-6
+            previous = current
+
+    def test_waypoint_out_of_order_queries(self):
+        model = RandomWaypoint(1, 100, 100, seed=5)
+        late = model.position(0, 300_000)
+        early = model.position(0, 10_000)
+        assert model.position(0, 300_000) == late
+        assert model.position(0, 10_000) == early
+
+
+class TestGeometricTopology:
+    def test_range_cutoff(self):
+        model = GridPlacement(2, 100, 10)  # two nodes 50 m apart
+        near = GeometricTopology(model, radio_range_m=60)
+        far = GeometricTopology(model, radio_range_m=40)
+        assert near.neighbors(0, 0) == [1]
+        assert far.neighbors(0, 0) == []
+
+    def test_symmetry(self):
+        model = StaticPlacement(10, 200, 200, seed=6)
+        topo = GeometricTopology(model, radio_range_m=80)
+        for a in range(10):
+            for b in topo.neighbors(a, 0):
+                assert a in topo.neighbors(b, 0)
+
+
+class TestPartitions:
+    def test_groups_suppress_cross_links(self):
+        base = FullMeshTopology(6)
+        schedule = PartitionSchedule(
+            [(0, 1000, [{0, 1, 2}, {3, 4, 5}])]
+        )
+        topo = PartitionedTopology(base, schedule)
+        assert topo.neighbors(0, 500) == [1, 2]
+        assert topo.neighbors(4, 500) == [3, 5]
+
+    def test_heals_after_interval(self):
+        base = FullMeshTopology(4)
+        schedule = PartitionSchedule([(0, 1000, [{0, 1}, {2, 3}])])
+        topo = PartitionedTopology(base, schedule)
+        assert topo.neighbors(0, 1000) == [1, 2, 3]
+
+    def test_isolated_node(self):
+        base = FullMeshTopology(3)
+        schedule = PartitionSchedule([(0, 1000, [{0, 1}])])
+        topo = PartitionedTopology(base, schedule)
+        assert topo.neighbors(2, 500) == []
+
+    def test_overlapping_intervals_rejected(self):
+        schedule = PartitionSchedule([(0, 1000, [{0}])])
+        with pytest.raises(ValueError):
+            schedule.add(500, 1500, [{0}])
+
+    def test_non_disjoint_groups_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionSchedule([(0, 100, [{0, 1}, {1, 2}])])
+
+    def test_components_reflect_partition(self):
+        base = FullMeshTopology(4)
+        schedule = PartitionSchedule([(0, 1000, [{0, 1}, {2, 3}])])
+        topo = PartitionedTopology(base, schedule)
+        assert len(topo.components(500)) == 2
+        assert len(topo.components(2000)) == 1
+
+
+class TestLinkModel:
+    def test_zero_loss_always_succeeds(self):
+        link = LinkModel(loss_rate=0.0)
+        assert all(link.contact_succeeds() for _ in range(100))
+
+    def test_loss_rate_approximate(self):
+        link = LinkModel(loss_rate=0.3, seed=8)
+        successes = sum(link.contact_succeeds() for _ in range(10_000))
+        assert 0.65 < successes / 10_000 < 0.75
+
+    def test_transfer_duration_scales(self):
+        link = LinkModel(bandwidth_bytes_per_ms=100, setup_latency_ms=10)
+        assert link.transfer_duration_ms(1000) == 20
+        assert link.transfer_duration_ms(1000, round_trips=3) == 40
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LinkModel(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            LinkModel(bandwidth_bytes_per_ms=0)

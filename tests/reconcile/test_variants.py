@@ -1,0 +1,77 @@
+"""Protocol variants: hash-first frontier and the byte-transport adapter."""
+
+import pytest
+
+from repro.reconcile import ByteTransportProtocol, FrontierProtocol
+
+
+def _diverged(deployment, left_appends, right_appends):
+    left = deployment.node(0)
+    right = deployment.node(1)
+    shared = left.append_transactions([])
+    right.receive_block(shared)
+    for _ in range(left_appends):
+        left.append_transactions([])
+    for _ in range(right_appends):
+        right.append_transactions([])
+    return left, right
+
+
+class TestHashFirstFrontier:
+    def test_identical_replicas_cost_collapses(self, deployment):
+        left, right = _diverged(deployment, 0, 0)
+        FrontierProtocol().run(left, right)
+        plain = FrontierProtocol().run(left, right)
+        hash_first = FrontierProtocol(hash_first=True).run(left, right)
+        assert hash_first.converged
+        assert hash_first.total_bytes < plain.total_bytes
+        assert hash_first.blocks_transferred == 0
+
+    def test_divergence_still_converges(self, deployment):
+        left, right = _diverged(deployment, 3, 5)
+        stats = FrontierProtocol(hash_first=True).run(left, right)
+        assert stats.converged
+        assert left.state_digest() == right.state_digest()
+
+    def test_initiator_ahead_pushes_after_hash_round(self, deployment):
+        left, right = _diverged(deployment, 5, 0)
+        stats = FrontierProtocol(hash_first=True).run(left, right)
+        assert stats.converged
+        assert stats.blocks_pulled == 0
+        assert stats.blocks_pushed == 5
+        assert left.dag.hashes() == right.dag.hashes()
+
+    def test_hash_round_costs_one_extra_round_when_behind(self, deployment):
+        left_a, right_a = _diverged(deployment, 0, 4)
+        plain = FrontierProtocol().run(left_a, right_a)
+        deployment_b = type(deployment)()
+        left_b, right_b = _diverged(deployment_b, 0, 4)
+        hashed = FrontierProtocol(hash_first=True).run(left_b, right_b)
+        assert hashed.rounds == plain.rounds + 1
+
+
+class TestByteTransportAdapter:
+    def test_interchangeable_with_in_memory(self, deployment):
+        left, right = _diverged(deployment, 3, 4)
+        stats = ByteTransportProtocol().run(left, right)
+        assert stats.converged
+        assert left.state_digest() == right.state_digest()
+
+    def test_pull_only(self, deployment):
+        left, right = _diverged(deployment, 3, 4)
+        stats = ByteTransportProtocol(push=False).run(left, right)
+        assert stats.converged
+        assert stats.blocks_pushed == 0
+        assert right.dag.hashes() < left.dag.hashes()
+
+    def test_drives_a_whole_simulation(self):
+        from repro.sim import Scenario, Simulation
+
+        sim = Simulation(
+            Scenario(node_count=5, duration_ms=15_000,
+                     append_interval_ms=4_000,
+                     protocol_factory=ByteTransportProtocol, seed=31)
+        ).run()
+        sim.run_quiescence(15_000)
+        assert sim.converged()
+        assert sim.metrics.session_bytes > 0

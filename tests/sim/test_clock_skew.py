@@ -1,0 +1,69 @@
+"""Clock skew: the §IV-E timestamp checks under unsynchronized clocks.
+
+Ad hoc devices drift.  A block must carry a timestamp strictly above
+its parents' and at most the receiver's clock plus the skew allowance;
+appending nodes bump lagging clocks above their parents.  These tests
+check the fleet still converges under bounded skew, and that skew
+beyond the allowance causes rejections (the designed behaviour).
+"""
+
+import pytest
+
+from repro.chain.errors import TimestampError
+from repro.sim import Scenario, Simulation
+
+
+class TestSkewedFleet:
+    def test_converges_within_allowance(self):
+        # Default validator allowance is 5 s; 2 s of skew must be fine.
+        sim = Simulation(
+            Scenario(node_count=5, duration_ms=20_000,
+                     append_interval_ms=4_000, clock_skew_ms=2_000,
+                     seed=21)
+        ).run()
+        sim.run_quiescence(20_000)
+        assert sim.converged()
+        assert sim.metrics.propagation.mean_coverage() == 1.0
+
+    def test_skew_is_deterministic_per_seed(self):
+        def run(seed):
+            sim = Simulation(
+                Scenario(node_count=4, duration_ms=10_000,
+                         append_interval_ms=4_000, clock_skew_ms=1_500,
+                         seed=seed)
+            ).run()
+            return sim.node(0).state_digest().hex()
+
+        assert run(5) == run(5)
+
+
+class TestSkewBeyondAllowance:
+    def test_future_block_rejected_directly(self, deployment):
+        from repro.chain.block import Block
+
+        receiver = deployment.node(0)
+        # A peer whose clock runs 60 s ahead of the receiver's.
+        ahead = Block.create(
+            deployment.keys[1], [deployment.genesis.hash],
+            deployment.clock.now + 60_000,
+        )
+        with pytest.raises(TimestampError):
+            receiver.receive_block(ahead)
+
+    def test_lagging_appender_still_produces_valid_blocks(self, deployment):
+        # A node whose clock is far behind its parents must bump above
+        # them (§IV-E requires strictly increasing along edges).
+        fast = deployment.node(0)
+        late_block = None
+        for _ in range(3):
+            late_block = fast.append_transactions([])
+        slow = deployment.node(1, clock=lambda: 2)
+        slow.receive_block = slow.receive_block
+        for block in list(fast.dag.blocks()):
+            if block.hash != fast.chain_id:
+                slow.dag.add_block(block)
+                slow.csm.replay_block(block)
+        mine = slow.append_transactions([])
+        assert mine.timestamp > late_block.timestamp
+        # And the fast node accepts it.
+        fast.receive_block(mine)

@@ -1,0 +1,60 @@
+"""Location stamping from the mobility model (Fig. 2's location field)."""
+
+from repro.net.mobility import RandomWaypoint
+from repro.net.partitions import PartitionSchedule, PartitionedTopology
+from repro.net.topology import GeometricTopology
+from repro.sim import Scenario, Simulation
+
+
+def _geometric_factory(node_count):
+    mobility = RandomWaypoint(node_count, 200, 200, speed_mps=2.0, seed=3)
+    return GeometricTopology(mobility, radio_range_m=150)
+
+
+class TestLocationStamping:
+    def test_blocks_carry_locations_on_geometric_topologies(self):
+        sim = Simulation(
+            Scenario(node_count=4, duration_ms=15_000,
+                     append_interval_ms=4_000,
+                     topology_factory=_geometric_factory, seed=5)
+        ).run()
+        located = [
+            block for node in sim.fleet.nodes.values()
+            for block in node.dag.blocks()
+            if block.header.location is not None
+        ]
+        assert located, "no block carried a location"
+        for block in located:
+            x_mm, y_mm = block.header.location
+            assert 0 <= x_mm <= 200_000
+            assert 0 <= y_mm <= 200_000
+
+    def test_no_locations_on_abstract_topologies(self):
+        sim = Simulation(
+            Scenario(node_count=3, duration_ms=10_000,
+                     append_interval_ms=4_000, seed=6)
+        ).run()
+        for node in sim.fleet.nodes.values():
+            for block in node.dag.blocks():
+                assert block.header.location is None
+
+    def test_partitioned_geometric_still_stamps(self):
+        def factory(node_count):
+            schedule = PartitionSchedule(
+                [(0, 5_000, [set(range(node_count))])]
+            )
+            return PartitionedTopology(
+                _geometric_factory(node_count), schedule
+            )
+
+        sim = Simulation(
+            Scenario(node_count=3, duration_ms=10_000,
+                     append_interval_ms=3_000,
+                     topology_factory=factory, seed=7)
+        ).run()
+        located = [
+            block for node in sim.fleet.nodes.values()
+            for block in node.dag.blocks()
+            if block.header.location is not None
+        ]
+        assert located

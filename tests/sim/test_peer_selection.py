@@ -1,0 +1,55 @@
+"""Peer-selection strategy tests."""
+
+import pytest
+
+from repro.sim import Scenario, Simulation
+from repro.sim.gossip import (
+    PEER_SELECTORS,
+    SELECT_LEAST_RECENT,
+    SELECT_ROUND_ROBIN,
+)
+
+
+class TestSelectors:
+    @pytest.mark.parametrize("selector", PEER_SELECTORS)
+    def test_all_strategies_converge(self, selector):
+        sim = Simulation(
+            Scenario(node_count=5, duration_ms=15_000,
+                     append_interval_ms=4_000,
+                     peer_selector=selector, seed=61)
+        ).run()
+        sim.run_quiescence(15_000)
+        assert sim.converged(), selector
+
+    def test_unknown_selector_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation(
+                Scenario(node_count=2, peer_selector="psychic", seed=1)
+            )
+
+    def test_round_robin_cycles_neighbors(self):
+        sim = Simulation(
+            Scenario(node_count=4, duration_ms=1_000,
+                     append_interval_ms=None,
+                     peer_selector=SELECT_ROUND_ROBIN, seed=62)
+        )
+        sim.gossip.start()
+        neighbors = [1, 2, 3]
+        picks = [
+            sim.gossip._select_peer(0, neighbors) for _ in range(6)
+        ]
+        assert picks == [1, 2, 3, 1, 2, 3]
+
+    def test_least_recent_prefers_stale_pairs(self):
+        sim = Simulation(
+            Scenario(node_count=4, duration_ms=1_000,
+                     append_interval_ms=None,
+                     peer_selector=SELECT_LEAST_RECENT, seed=63)
+        )
+        sim.gossip.start()
+        sim.gossip.contact(0, 1)
+        # Pair (0,1) was just refreshed; 2 and 3 are equally stale and
+        # the lower id breaks the tie.
+        assert sim.gossip._select_peer(0, [1, 2, 3]) == 2
+        sim.gossip.contact(0, 2)
+        assert sim.gossip._select_peer(0, [1, 2, 3]) == 3

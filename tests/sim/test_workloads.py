@@ -1,0 +1,82 @@
+"""Workload generator tests."""
+
+import pytest
+
+from repro.sim import (
+    BurstyWorkload,
+    HotspotWorkload,
+    PeriodicWorkload,
+    Scenario,
+    Simulation,
+)
+from repro.sim.workload import WORKLOAD_CRDT
+
+
+def _run(workload, node_count=5, duration=25_000, seed=81):
+    sim = Simulation(
+        Scenario(node_count=node_count, duration_ms=duration,
+                 workload=workload, seed=seed)
+    ).run()
+    sim.run_quiescence(duration)
+    return sim
+
+
+class TestPeriodicWorkload:
+    def test_appends_and_converges(self):
+        workload = PeriodicWorkload(interval_ms=4_000, seed=1)
+        sim = _run(workload)
+        assert workload.appends > 5
+        assert sim.converged()
+        assert len(sim.node(0).crdt_value(WORKLOAD_CRDT)) == (
+            workload.appends
+        )
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicWorkload(interval_ms=0)
+
+    def test_stop_halts_appends(self):
+        workload = PeriodicWorkload(interval_ms=2_000, seed=2)
+        sim = _run(workload, duration=15_000)
+        after_stop = workload.appends
+        sim.loop.run_until(sim.loop.now + 20_000)
+        assert workload.appends == after_stop
+
+
+class TestBurstyWorkload:
+    def test_bursts_arrive_in_groups(self):
+        workload = BurstyWorkload(burst_interval_ms=8_000, burst_size=4,
+                                  seed=3)
+        sim = _run(workload, duration=30_000)
+        assert workload.bursts >= 2
+        assert workload.appends >= workload.bursts * 4 - 4
+        assert sim.converged()
+
+    def test_burst_appends_cluster_in_time(self):
+        workload = BurstyWorkload(burst_interval_ms=10_000, burst_size=5,
+                                  intra_burst_ms=20, seed=4)
+        sim = _run(workload, duration=25_000)
+        log = sim.node(0).csm.crdt_instance(WORKLOAD_CRDT)
+        stamps = [
+            record["timestamp"] for record in log.entries_with_metadata()
+        ]
+        assert stamps == sorted(stamps)
+        # Within a burst, consecutive entries are close; between bursts,
+        # far apart.  Check the gap distribution is bimodal-ish.
+        gaps = [b - a for a, b in zip(stamps, stamps[1:])]
+        assert gaps and min(gaps) < 500 < max(gaps)
+
+
+class TestHotspotWorkload:
+    def test_hotspot_dominates(self):
+        workload = HotspotWorkload(interval_ms=1_000, hotspot_share=0.8,
+                                   seed=5)
+        sim = _run(workload, duration=40_000)
+        entries = sim.node(0).crdt_value(WORKLOAD_CRDT)
+        from_hotspot = sum(1 for e in entries if e["node"] == 0)
+        assert from_hotspot / len(entries) > 0.6
+        assert sim.converged()
+
+    def test_share_bounds_validated(self):
+        with pytest.raises(ValueError):
+            HotspotWorkload(interval_ms=1_000, hotspot_share=1.5)

@@ -1,0 +1,91 @@
+"""Sealed fast-load tests: skip re-verification of self-validated stores."""
+
+import time
+
+import pytest
+
+from repro.storage import load_node, save_node
+from repro.storage.node_store import _seal_path
+
+
+def _busy_node(deployment, blocks=8):
+    node = deployment.node(0)
+    for _ in range(blocks):
+        node.append_transactions([])
+    return node
+
+
+class TestSeal:
+    def test_sealed_roundtrip(self, deployment, tmp_path):
+        node = _busy_node(deployment)
+        path = tmp_path / "replica.vgv"
+        save_node(node, path, seal_key=deployment.keys[0])
+        assert _seal_path(path).exists()
+        restored = load_node(
+            deployment.keys[0], path, clock=deployment.clock,
+            seal_key=deployment.keys[0],
+        )
+        assert restored.state_digest() == node.state_digest()
+
+    def test_missing_seal_falls_back(self, deployment, tmp_path):
+        node = _busy_node(deployment)
+        path = tmp_path / "replica.vgv"
+        save_node(node, path)  # no seal written
+        restored = load_node(
+            deployment.keys[0], path, clock=deployment.clock,
+            seal_key=deployment.keys[0],
+        )
+        assert restored.state_digest() == node.state_digest()
+
+    def test_wrong_key_seal_falls_back(self, deployment, tmp_path):
+        node = _busy_node(deployment)
+        path = tmp_path / "replica.vgv"
+        save_node(node, path, seal_key=deployment.keys[0])
+        # Loading with a different seal key: seal does not verify, so
+        # the slow path runs — still correct, just not fast.
+        restored = load_node(
+            deployment.keys[0], path, clock=deployment.clock,
+            seal_key=deployment.keys[1],
+        )
+        assert restored.state_digest() == node.state_digest()
+
+    def test_tampered_store_invalidates_seal(self, deployment, tmp_path):
+        """Appending to a sealed store breaks the seal, so the forged
+        tail is caught by full validation on load."""
+        from repro.chain.block import Block
+        from repro.chain.errors import ValidationError
+        from repro.crypto.keys import KeyPair
+        from repro.storage import BlockStore
+
+        node = _busy_node(deployment)
+        path = tmp_path / "replica.vgv"
+        save_node(node, path, seal_key=deployment.keys[0])
+        stranger = KeyPair.deterministic(7777)
+        forged = Block.create(
+            stranger, [deployment.genesis.hash], deployment.clock() + 1
+        )
+        BlockStore(path).append(forged)
+        with pytest.raises(ValidationError):
+            load_node(deployment.keys[0], path, clock=deployment.clock,
+                      seal_key=deployment.keys[0])
+
+    def test_sealed_load_is_faster(self, deployment, tmp_path):
+        node = _busy_node(deployment, blocks=25)
+        path = tmp_path / "replica.vgv"
+        save_node(node, path, seal_key=deployment.keys[0])
+
+        from repro.crypto import ed25519
+
+        def timed_load(seal):
+            ed25519._VERIFY_CACHE.clear()  # cold crypto, as at reboot
+            start = time.perf_counter()
+            load_node(deployment.keys[0], path, clock=deployment.clock,
+                      seal_key=seal)
+            return time.perf_counter() - start
+
+        slow = timed_load(seal=None)
+        fast = timed_load(seal=deployment.keys[0])
+        assert fast < slow, (
+            f"sealed load ({fast:.3f}s) not faster than full "
+            f"({slow:.3f}s)"
+        )

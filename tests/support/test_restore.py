@@ -1,0 +1,93 @@
+"""Replica bootstrap from the support chain (§IV-I recovery path)."""
+
+import pytest
+
+from repro.chain.block import Transaction
+from repro.reconcile.frontier import FrontierProtocol
+from repro.support import Superpeer, SupportChain, SupportChainError
+from repro.support.restore import bootstrap_from_support
+
+
+@pytest.fixture
+def archived_world(deployment):
+    """A busy chain fully archived by a superpeer."""
+    writer = deployment.node(0)
+    writer.create_crdt("log", "append_log", "str", {"append": "*"})
+    for i in range(6):
+        writer.append_transactions(
+            [Transaction("log", "append", [f"entry-{i}"])]
+        )
+    peer = deployment.node(3)
+    FrontierProtocol().run(peer, writer)
+    superpeer = Superpeer(peer)
+    superpeer.archive_new_blocks()
+    return deployment, writer, superpeer
+
+
+class TestBootstrap:
+    def test_fresh_replica_matches_original(self, archived_world):
+        deployment, writer, superpeer = archived_world
+        restored = bootstrap_from_support(
+            deployment.keys[1], deployment.genesis, superpeer.chain,
+            clock=deployment.clock,
+        )
+        assert restored.state_digest() == writer.state_digest()
+        assert restored.crdt_value("log") == writer.crdt_value("log")
+
+    def test_restored_replica_can_append(self, archived_world):
+        deployment, writer, superpeer = archived_world
+        restored = bootstrap_from_support(
+            deployment.keys[1], deployment.genesis, superpeer.chain,
+            clock=deployment.clock,
+        )
+        restored.append_transactions(
+            [Transaction("log", "append", ["post-restore"])]
+        )
+        assert "post-restore" in restored.crdt_value("log")
+
+    def test_restored_replica_reconciles_with_fleet(self, archived_world):
+        deployment, writer, superpeer = archived_world
+        restored = bootstrap_from_support(
+            deployment.keys[1], deployment.genesis, superpeer.chain,
+            clock=deployment.clock,
+        )
+        writer.append_transactions(
+            [Transaction("log", "append", ["newer"])]
+        )
+        stats = FrontierProtocol().run(restored, writer)
+        assert stats.converged
+        assert restored.state_digest() == writer.state_digest()
+
+    def test_wrong_genesis_rejected(self, archived_world):
+        deployment, writer, superpeer = archived_world
+        from repro.core.genesis import create_genesis
+        from repro.crypto.keys import KeyPair
+
+        other = create_genesis(KeyPair.deterministic(1300))
+        with pytest.raises(SupportChainError):
+            bootstrap_from_support(
+                deployment.keys[1], other, superpeer.chain,
+                clock=deployment.clock,
+            )
+
+    def test_empty_archive_gives_genesis_only(self, deployment):
+        chain = SupportChain(deployment.genesis.hash)
+        restored = bootstrap_from_support(
+            deployment.keys[0], deployment.genesis, chain,
+            clock=deployment.clock,
+        )
+        assert len(restored.dag) == 1
+
+    def test_partial_archive_gives_prefix(self, deployment):
+        writer = deployment.node(0)
+        blocks = [writer.append_transactions([]) for _ in range(4)]
+        chain = SupportChain(deployment.genesis.hash)
+        for block in blocks[:2]:
+            chain.append(block, deployment.keys[3], timestamp=10)
+        restored = bootstrap_from_support(
+            deployment.keys[1], deployment.genesis, chain,
+            clock=deployment.clock,
+        )
+        assert len(restored.dag) == 3  # genesis + 2 archived
+        assert restored.has_block(blocks[1].hash)
+        assert not restored.has_block(blocks[3].hash)

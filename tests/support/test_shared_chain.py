@@ -1,0 +1,56 @@
+"""Multiple superpeers sharing one support chain (§IV-I: the support
+blockchain "operates between the superpeers as well as in the cloud")."""
+
+from repro.reconcile.frontier import FrontierProtocol
+from repro.support import SupportChain, Superpeer
+from repro.support.restore import bootstrap_from_support
+
+
+class TestSharedSupportChain:
+    def test_two_superpeers_one_chain(self, deployment):
+        writer = deployment.node(0)
+        first_batch = [writer.append_transactions([]) for _ in range(3)]
+
+        shared = SupportChain(deployment.genesis.hash)
+        truck_a = Superpeer(deployment.node(2), chain=shared)
+        truck_b = Superpeer(deployment.node(3), chain=shared)
+
+        # Truck A meets the writer first and archives.
+        FrontierProtocol().run(truck_a.node, writer)
+        archived_a = truck_a.archive_new_blocks()
+        assert archived_a == 3
+
+        # More work happens; truck B (different archiver key!) catches
+        # up via gossip and extends the same chain.
+        second_batch = [writer.append_transactions([]) for _ in range(2)]
+        FrontierProtocol().run(truck_b.node, writer)
+        archived_b = truck_b.archive_new_blocks()
+        # Truck B saw all 5 writer blocks but skips the 3 truck A
+        # already archived on the shared chain.
+        assert archived_b == 2
+        assert len(shared) == 5
+
+        trusted = {
+            truck_a.node.user_id: truck_a.node.key_pair.public_key,
+            truck_b.node.user_id: truck_b.node.key_pair.public_key,
+        }
+        assert shared.verify(trusted)
+        # Verification fails if either archiver is distrusted.
+        assert not shared.verify({
+            truck_a.node.user_id: truck_a.node.key_pair.public_key,
+        })
+
+    def test_bootstrap_from_shared_chain(self, deployment):
+        writer = deployment.node(0)
+        for _ in range(4):
+            writer.append_transactions([])
+        shared = SupportChain(deployment.genesis.hash)
+        truck_a = Superpeer(deployment.node(2), chain=shared)
+        FrontierProtocol().run(truck_a.node, writer)
+        truck_a.archive_new_blocks()
+
+        fresh = bootstrap_from_support(
+            deployment.keys[1], deployment.genesis, shared,
+            clock=deployment.clock,
+        )
+        assert fresh.state_digest() == writer.state_digest()

@@ -1,0 +1,172 @@
+"""Support blockchain, superpeer, and offloading tests (§IV-I)."""
+
+import pytest
+
+from repro.reconcile.frontier import FrontierProtocol
+from repro.support import (
+    OffloadManager,
+    Superpeer,
+    SupportChain,
+    SupportChainError,
+)
+
+
+def _grow(node, blocks=5):
+    for _ in range(blocks):
+        node.append_transactions([])
+
+
+class TestSupportChain:
+    def test_topological_order_enforced(self, deployment):
+        node = deployment.node(0)
+        first = node.append_transactions([])
+        second = node.append_transactions([])
+        chain = SupportChain(node.chain_id)
+        with pytest.raises(SupportChainError):
+            chain.append(second, deployment.keys[3], timestamp=10)
+        chain.append(first, deployment.keys[3], timestamp=10)
+        chain.append(second, deployment.keys[3], timestamp=11)
+        assert chain.is_archived(second.hash)
+
+    def test_duplicate_archive_rejected(self, deployment):
+        node = deployment.node(0)
+        block = node.append_transactions([])
+        chain = SupportChain(node.chain_id)
+        chain.append(block, deployment.keys[3], 10)
+        with pytest.raises(SupportChainError):
+            chain.append(block, deployment.keys[3], 11)
+
+    def test_fetch_recovers_body(self, deployment):
+        node = deployment.node(0)
+        block = node.append_transactions([])
+        chain = SupportChain(node.chain_id)
+        chain.append(block, deployment.keys[3], 10)
+        assert chain.fetch(block.hash) == block
+
+    def test_fetch_unknown_raises(self, deployment):
+        node = deployment.node(0)
+        block = node.append_transactions([])
+        chain = SupportChain(node.chain_id)
+        with pytest.raises(SupportChainError):
+            chain.fetch(block.hash)
+
+    def test_verify_accepts_honest_chain(self, deployment):
+        node = deployment.node(0)
+        _grow(node, 4)
+        superpeer = Superpeer(node)
+        superpeer.archive_new_blocks()
+        trusted = {node.key_pair.user_id: node.key_pair.public_key}
+        assert superpeer.chain.verify(trusted)
+
+    def test_verify_rejects_untrusted_archiver(self, deployment):
+        node = deployment.node(0)
+        _grow(node, 2)
+        superpeer = Superpeer(node)
+        superpeer.archive_new_blocks()
+        stranger = deployment.keys[1]
+        assert not superpeer.chain.verify(
+            {stranger.user_id: stranger.public_key}
+        )
+
+
+class TestSuperpeer:
+    def test_archives_in_insertion_order(self, deployment):
+        node = deployment.node(0)
+        _grow(node, 6)
+        superpeer = Superpeer(node)
+        count = superpeer.archive_new_blocks()
+        assert count == 6
+        assert superpeer.archived_fraction() == 1.0
+
+    def test_incremental_archiving(self, deployment):
+        node = deployment.node(0)
+        _grow(node, 3)
+        superpeer = Superpeer(node)
+        assert superpeer.archive_new_blocks() == 3
+        _grow(node, 2)
+        assert superpeer.archive_new_blocks() == 2
+        assert superpeer.archive_new_blocks() == 0
+
+    def test_archives_gossiped_blocks(self, deployment):
+        device = deployment.node(0)
+        _grow(device, 4)
+        peer_node = deployment.node(3)
+        superpeer = Superpeer(peer_node)
+        FrontierProtocol().run(peer_node, device)
+        superpeer.archive_new_blocks()
+        for block in device.dag.blocks():
+            if block.hash != device.chain_id:
+                assert superpeer.chain.is_archived(block.hash)
+
+
+class TestOffloading:
+    def _device_and_superpeer(self, deployment, blocks=10):
+        device = deployment.node(0)
+        _grow(device, blocks)
+        peer_node = deployment.node(3)
+        FrontierProtocol().run(peer_node, device)
+        superpeer = Superpeer(peer_node)
+        superpeer.archive_new_blocks()
+        return device, superpeer
+
+    def test_offload_reduces_storage(self, deployment):
+        device, superpeer = self._device_and_superpeer(deployment)
+        manager = OffloadManager(device, max_bytes=1_500)
+        before = manager.stored_bytes()
+        dropped = manager.offload(superpeer)
+        assert dropped > 0
+        assert manager.stored_bytes() < before
+
+    def test_oldest_dropped_first(self, deployment):
+        device, superpeer = self._device_and_superpeer(deployment)
+        manager = OffloadManager(device, max_bytes=2_000)
+        manager.offload(superpeer)
+        dropped_heights = [
+            device.dag.height(h) for h in manager.dropped_hashes()
+        ]
+        kept_heights = [
+            device.dag.height(block.hash)
+            for block in device.dag.blocks()
+            if manager.holds_body(block.hash)
+            and block.hash != device.chain_id
+        ]
+        if dropped_heights and kept_heights:
+            assert max(dropped_heights) <= max(kept_heights)
+
+    def test_frontier_never_dropped(self, deployment):
+        device, superpeer = self._device_and_superpeer(deployment)
+        manager = OffloadManager(device, max_bytes=0)  # drop all it can
+        manager.offload(superpeer)
+        for frontier_hash in device.frontier():
+            assert manager.holds_body(frontier_hash)
+
+    def test_genesis_never_dropped(self, deployment):
+        device, superpeer = self._device_and_superpeer(deployment)
+        manager = OffloadManager(device, max_bytes=0)
+        manager.offload(superpeer)
+        assert manager.holds_body(device.chain_id)
+
+    def test_within_budget_no_drop(self, deployment):
+        device, superpeer = self._device_and_superpeer(deployment, blocks=2)
+        manager = OffloadManager(device, max_bytes=10_000_000)
+        assert manager.offload(superpeer) == 0
+
+    def test_restore_from_support_chain(self, deployment):
+        device, superpeer = self._device_and_superpeer(deployment)
+        manager = OffloadManager(device, max_bytes=1_500)
+        manager.offload(superpeer)
+        victim = next(iter(manager.dropped_hashes()))
+        manager.restore(victim, superpeer)
+        assert manager.holds_body(victim)
+
+    def test_unarchived_blocks_not_droppable(self, deployment):
+        device = deployment.node(0)
+        _grow(device, 5)
+        # A superpeer that never saw the blocks cannot enable dropping
+        # them... but offload() lets it archive from its own replica, so
+        # use a superpeer on a stale replica and skip its catch-up.
+        stale = deployment.node(3)
+        superpeer = Superpeer(stale)
+        manager = OffloadManager(device, max_bytes=0)
+        dropped = manager.offload(superpeer)
+        assert dropped == 0  # nothing archived ⇒ nothing droppable

@@ -1,0 +1,56 @@
+"""Witness-gated offloading: §IV-H persistence meets §IV-I storage."""
+
+from repro.reconcile.frontier import FrontierProtocol
+from repro.support import OffloadManager, Superpeer
+
+
+def _witnessed_world(deployment):
+    """Device with history; one peer has witnessed the early blocks."""
+    device = deployment.node(0)
+    early = [device.append_transactions([]) for _ in range(4)]
+    witness = deployment.node(1)
+    FrontierProtocol().run(witness, device)
+    witness.append_witness_block()
+    FrontierProtocol().run(device, witness)
+    late = [device.append_transactions([]) for _ in range(4)]
+    archive_host = deployment.node(3)
+    FrontierProtocol().run(archive_host, device)
+    superpeer = Superpeer(archive_host)
+    superpeer.archive_new_blocks()
+    return device, superpeer, early, late
+
+
+class TestWitnessGatedOffload:
+    def test_only_witnessed_blocks_dropped(self, deployment):
+        device, superpeer, early, late = _witnessed_world(deployment)
+        manager = OffloadManager(device, max_bytes=0, witness_quorum=1)
+        manager.offload(superpeer)
+        dropped = manager.dropped_hashes()
+        # The early blocks (witnessed by the peer) are droppable...
+        assert {b.hash for b in early} <= dropped
+        # ...the late blocks (witnessed by no one) are not.
+        assert not dropped & {b.hash for b in late}
+
+    def test_quorum_zero_ignores_witnessing(self, deployment):
+        device, superpeer, early, late = _witnessed_world(deployment)
+        manager = OffloadManager(device, max_bytes=0, witness_quorum=0)
+        manager.offload(superpeer)
+        # Everything archived and non-frontier is droppable.
+        dropped = manager.dropped_hashes()
+        assert {b.hash for b in early} <= dropped
+
+    def test_high_quorum_drops_nothing(self, deployment):
+        device, superpeer, early, late = _witnessed_world(deployment)
+        manager = OffloadManager(device, max_bytes=0, witness_quorum=5)
+        assert manager.offload(superpeer) == 0
+
+    def test_witnessed_offload_frees_less_but_safely(self, deployment):
+        device_a, superpeer_a, *_ = _witnessed_world(deployment)
+        strict = OffloadManager(device_a, max_bytes=0, witness_quorum=1)
+        strict.offload(superpeer_a)
+
+        deployment_b = type(deployment)()
+        device_b, superpeer_b, *_ = _witnessed_world(deployment_b)
+        lax = OffloadManager(device_b, max_bytes=0, witness_quorum=0)
+        lax.offload(superpeer_b)
+        assert strict.stored_bytes() >= lax.stored_bytes()

@@ -1,0 +1,151 @@
+"""CLI tests (driving main() in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestKeygen:
+    def test_writes_seed_and_prints_id(self, tmp_path, capsys):
+        path = tmp_path / "owner.key"
+        assert main(["keygen", str(path)]) == 0
+        assert len(path.read_bytes()) == 32
+        out = capsys.readouterr().out
+        assert "user id:" in out
+
+    def test_refuses_overwrite(self, tmp_path):
+        path = tmp_path / "owner.key"
+        main(["keygen", str(path)])
+        original = path.read_bytes()
+        assert main(["keygen", str(path)]) == 1
+        assert path.read_bytes() == original
+
+    def test_force_overwrites(self, tmp_path):
+        path = tmp_path / "owner.key"
+        main(["keygen", str(path)])
+        original = path.read_bytes()
+        assert main(["keygen", str(path), "--force"]) == 0
+        assert path.read_bytes() != original
+
+
+class TestInitAndInspect:
+    def test_init_then_inspect(self, tmp_path, capsys):
+        key = tmp_path / "owner.key"
+        store = tmp_path / "chain.vgv"
+        main(["keygen", str(key)])
+        assert main(["init", str(store), "--owner-key", str(key),
+                     "--name", "cli-test"]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "blocks:    1" in out
+        assert "role=owner" in out
+        assert "cli-test" in out
+
+    def test_inspect_empty_store_fails(self, tmp_path, capsys):
+        from repro.storage import BlockStore
+
+        store = tmp_path / "empty.vgv"
+        BlockStore(store)
+        assert main(["inspect", str(store)]) == 1
+
+    def test_bad_key_file_exits(self, tmp_path):
+        key = tmp_path / "short.key"
+        key.write_bytes(b"too short")
+        store = tmp_path / "chain.vgv"
+        with pytest.raises(SystemExit):
+            main(["init", str(store), "--owner-key", str(key)])
+
+
+class TestSimulateAndDemo:
+    def test_simulate_converges(self, capsys):
+        assert main(["simulate", "--nodes", "4",
+                     "--duration", "10000", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "True" in [
+            line.split()[-1] for line in out.splitlines()
+            if line.startswith("converged:")
+        ]
+        assert "energy:" in out
+
+    def test_simulate_with_partition(self, capsys):
+        code = main(["simulate", "--nodes", "4", "--duration", "12000",
+                     "--partition-until", "6000", "--seed", "4"])
+        assert code == 0
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "converged: True" in out
+        assert "hello from alice" in out
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestVerifyAndExport:
+    @staticmethod
+    def _make_store(tmp_path, deployment):
+        from repro.storage import save_node
+
+        node = deployment.node(0)
+        node.create_crdt("log", "append_log", "str", {"append": "*"})
+        node.append_transactions([node.crdt_op("log", "append", "entry")])
+        path = tmp_path / "chain.vgv"
+        save_node(node, path)
+        return path
+
+    def test_verify_ok(self, tmp_path, deployment, capsys):
+        path = self._make_store(tmp_path, deployment)
+        assert main(["verify", str(path)]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_verify_rejects_tampered_store(self, tmp_path, deployment,
+                                           capsys):
+        from repro.chain.block import Block
+        from repro.crypto.keys import KeyPair
+        from repro.storage import BlockStore
+
+        path = self._make_store(tmp_path, deployment)
+        stranger = KeyPair.deterministic(8888)
+        forged = Block.create(
+            stranger, [deployment.genesis.hash], deployment.clock() + 1
+        )
+        BlockStore(path).append(forged)
+        assert main(["verify", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_export_all(self, tmp_path, deployment, capsys):
+        import json
+
+        path = self._make_store(tmp_path, deployment)
+        assert main(["export", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["log"] == ["entry"]
+        assert payload["__chain_name__"] == "test-chain"
+
+    def test_export_single_crdt(self, tmp_path, deployment, capsys):
+        import json
+
+        path = self._make_store(tmp_path, deployment)
+        assert main(["export", str(path), "--crdt", "log"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"log": ["entry"]}
+
+    def test_export_unknown_crdt(self, tmp_path, deployment, capsys):
+        path = self._make_store(tmp_path, deployment)
+        assert main(["export", str(path), "--crdt", "ghost"]) == 1
+
+    def test_inspect_with_dag(self, tmp_path, deployment, capsys):
+        path = self._make_store(tmp_path, deployment)
+        assert main(["inspect", str(path), "--dag"]) == 0
+        out = capsys.readouterr().out
+        assert "genesis" in out
+        assert "frontier width" in out

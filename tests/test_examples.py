@@ -1,0 +1,64 @@
+"""Every example script must run to completion.
+
+Examples are the first thing a new user executes; a broken example is a
+broken front door.  Each runs in a subprocess with this repo's source
+tree, and key output lines are asserted so silent regressions (an
+example that "runs" but demonstrates the wrong thing) also fail.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": ["converged: ['alice was here', 'bob too']"],
+    "disaster_response.py": [
+        "record released: O-neg",
+        "FLAGGED: celebrity-jones",
+    ],
+    "digital_agriculture.py": [
+        "source animal: cow-0042",
+        "recalled;",
+    ],
+    "maritime_blackbox.py": [
+        "final position recovered: True",
+        "samples readable without the company key: 0",
+    ],
+    "device_lifecycle.py": [
+        "state intact",
+        "converged=True",
+    ],
+}
+
+
+def _run(script: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stderr[-2000:]}"
+    )
+    return result.stdout
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs(script):
+    stdout = _run(script)
+    for needle in EXPECTED_OUTPUT[script]:
+        assert needle in stdout, (
+            f"{script} output missing {needle!r}:\n{stdout}"
+        )
+
+
+def test_every_example_has_an_expectation():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT), (
+        "examples and expectations out of sync"
+    )

@@ -1,0 +1,78 @@
+"""DAG renderer and simulation report tests."""
+
+from repro.report import render_dag, simulation_report
+from repro.sim import Scenario, Simulation
+
+
+class TestRenderDag:
+    def test_genesis_only(self, deployment):
+        node = deployment.node(0)
+        text = render_dag(node.dag)
+        assert "genesis" in text
+        assert "1 blocks" in text
+        assert "frontier width 1" in text
+
+    def test_branches_visible(self, deployment):
+        a = deployment.node(0)
+        b = deployment.node(1)
+        block_a = a.append_transactions([])
+        block_b = b.append_transactions([])
+        a.receive_block(block_b)
+        text = render_dag(a.dag)
+        assert block_a.hash.short() in text
+        assert block_b.hash.short() in text
+        assert "frontier width 2" in text
+        # Both concurrent blocks share the h1 band.
+        h1_line = next(line for line in text.splitlines()
+                       if line.startswith("h1"))
+        assert block_a.hash.short() in h1_line
+        assert block_b.hash.short() in h1_line
+
+    def test_parent_pointers_shown(self, deployment):
+        node = deployment.node(0)
+        node.append_transactions([])
+        text = render_dag(node.dag)
+        assert f"<- {node.chain_id.short()}" in text
+
+    def test_band_overflow_elided(self, deployment):
+        nodes = [deployment.node(i) for i in range(4)]
+        owner = deployment.owner_node()
+        blocks = [n.append_transactions([]) for n in nodes]
+        blocks.append(owner.append_transactions([]))
+        collector = deployment.node(0)
+        for block in blocks:
+            if not collector.has_block(block.hash):
+                collector.receive_block(block)
+        text = render_dag(collector.dag, max_blocks_per_band=2)
+        assert "more)" in text
+
+    def test_frontier_marked(self, deployment):
+        node = deployment.node(0)
+        tip = node.append_transactions([])
+        text = render_dag(node.dag)
+        tip_line = next(line for line in text.splitlines()
+                        if tip.hash.short() in line)
+        assert "*" in tip_line
+
+
+class TestSimulationReport:
+    def test_report_fields(self):
+        sim = Simulation(
+            Scenario(node_count=4, duration_ms=15_000,
+                     append_interval_ms=4_000, seed=41)
+        ).run()
+        sim.run_quiescence(10_000)
+        text = simulation_report(sim)
+        for needle in ("fleet:", "blocks:", "sessions:", "contacts:",
+                       "coverage:", "energy:", "converged:"):
+            assert needle in text
+        assert "converged:        True" in text
+
+    def test_latency_percentiles_when_available(self):
+        sim = Simulation(
+            Scenario(node_count=4, duration_ms=20_000,
+                     append_interval_ms=4_000, seed=42)
+        ).run()
+        sim.run_quiescence(15_000)
+        text = simulation_report(sim)
+        assert "p50" in text and "p90" in text

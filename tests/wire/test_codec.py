@@ -1,0 +1,168 @@
+"""Unit tests for the canonical wire codec."""
+
+import pytest
+
+from repro import wire
+from repro.wire import DecodeError, EncodeError
+from repro.wire.codec import (
+    TAG_BYTES,
+    TAG_INT,
+    TAG_LIST,
+    TAG_MAP,
+    TAG_NULL,
+    TAG_STR,
+)
+
+
+class TestScalars:
+    def test_none_roundtrip(self):
+        assert wire.decode(wire.encode(None)) is None
+
+    def test_true_roundtrip(self):
+        assert wire.decode(wire.encode(True)) is True
+
+    def test_false_roundtrip(self):
+        assert wire.decode(wire.encode(False)) is False
+
+    def test_bool_not_encoded_as_int(self):
+        assert wire.encode(True) != wire.encode(1)
+        assert wire.encode(False) != wire.encode(0)
+
+    @pytest.mark.parametrize(
+        "value", [0, 1, -1, 127, 128, -128, 2**31, -(2**31), 2**200, -(2**200)]
+    )
+    def test_int_roundtrip(self, value):
+        assert wire.decode(wire.encode(value)) == value
+
+    def test_zero_encodes_to_two_bytes(self):
+        assert wire.encode(0) == bytes([TAG_INT, 0])
+
+    def test_bytes_roundtrip(self):
+        for value in [b"", b"\x00", b"hello", bytes(range(256))]:
+            assert wire.decode(wire.encode(value)) == value
+
+    def test_bytearray_and_memoryview_encode_like_bytes(self):
+        assert wire.encode(bytearray(b"abc")) == wire.encode(b"abc")
+        assert wire.encode(memoryview(b"abc")) == wire.encode(b"abc")
+
+    def test_str_roundtrip(self):
+        for value in ["", "hello", "blíðskinn", "日本語", "a" * 1000]:
+            assert wire.decode(wire.encode(value)) == value
+
+    def test_str_and_bytes_are_distinct(self):
+        assert wire.encode("abc") != wire.encode(b"abc")
+
+
+class TestContainers:
+    def test_empty_list(self):
+        assert wire.decode(wire.encode([])) == []
+
+    def test_nested_list(self):
+        value = [1, [2, [3, [4, []]]], "x", b"y", None, True]
+        assert wire.decode(wire.encode(value)) == value
+
+    def test_tuple_encodes_as_list(self):
+        assert wire.encode((1, 2)) == wire.encode([1, 2])
+        assert wire.decode(wire.encode((1, 2))) == [1, 2]
+
+    def test_empty_map(self):
+        assert wire.decode(wire.encode({})) == {}
+
+    def test_map_roundtrip(self):
+        value = {"b": 1, "a": [1, 2], "c": {"nested": b"bytes"}}
+        assert wire.decode(wire.encode(value)) == value
+
+    def test_map_key_order_is_canonical(self):
+        forward = wire.encode({"a": 1, "b": 2})
+        backward = wire.encode({"b": 2, "a": 1})
+        assert forward == backward
+
+    def test_non_string_map_key_rejected(self):
+        with pytest.raises(EncodeError):
+            wire.encode({1: "x"})
+
+    def test_deep_nesting_within_limit(self):
+        value = []
+        for _ in range(60):
+            value = [value]
+        assert wire.decode(wire.encode(value)) == value
+
+
+class TestEncodeErrors:
+    def test_float_rejected(self):
+        with pytest.raises(EncodeError):
+            wire.encode(1.5)
+
+    def test_set_rejected(self):
+        with pytest.raises(EncodeError):
+            wire.encode({1, 2})
+
+    def test_object_rejected(self):
+        with pytest.raises(EncodeError):
+            wire.encode(object())
+
+
+class TestDecodeErrors:
+    def test_empty_input(self):
+        with pytest.raises(DecodeError):
+            wire.decode(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(DecodeError):
+            wire.decode(b"\xff")
+
+    def test_trailing_bytes(self):
+        with pytest.raises(DecodeError):
+            wire.decode(wire.encode(1) + b"\x00")
+
+    def test_truncated_bytes_length(self):
+        with pytest.raises(DecodeError):
+            wire.decode(bytes([TAG_BYTES, 10]) + b"short")
+
+    def test_truncated_varint(self):
+        with pytest.raises(DecodeError):
+            wire.decode(bytes([TAG_INT, 0x80]))
+
+    def test_overlong_varint_rejected(self):
+        # 1 encoded as 0x82 0x00 (would decode to 2 via zigzag) is overlong.
+        with pytest.raises(DecodeError):
+            wire.decode(bytes([TAG_INT, 0x82, 0x00]))
+
+    def test_unsorted_map_keys_rejected(self):
+        # Hand-build a map with keys in the wrong order.
+        key_b = wire.encode("b")
+        key_a = wire.encode("a")
+        val = wire.encode(1)
+        raw = bytes([TAG_MAP, 2]) + key_b + val + key_a + val
+        with pytest.raises(DecodeError):
+            wire.decode(raw)
+
+    def test_duplicate_map_keys_rejected(self):
+        key = wire.encode("a")
+        val = wire.encode(1)
+        raw = bytes([TAG_MAP, 2]) + key + val + key + val
+        with pytest.raises(DecodeError):
+            wire.decode(raw)
+
+    def test_non_string_map_key_rejected_on_decode(self):
+        key = wire.encode(1)
+        val = wire.encode(2)
+        raw = bytes([TAG_MAP, 1]) + key + val
+        with pytest.raises(DecodeError):
+            wire.decode(raw)
+
+    def test_invalid_utf8_rejected(self):
+        raw = bytes([TAG_STR, 2]) + b"\xff\xfe"
+        with pytest.raises(DecodeError):
+            wire.decode(raw)
+
+    def test_excessive_nesting_rejected(self):
+        raw = bytes([TAG_LIST, 1]) * 100 + bytes([TAG_NULL])
+        with pytest.raises(DecodeError):
+            wire.decode(raw)
+
+
+class TestHelpers:
+    def test_encoded_size_matches_encode(self):
+        value = {"a": [1, 2, 3], "b": "text"}
+        assert wire.encoded_size(value) == len(wire.encode(value))

@@ -1,0 +1,58 @@
+"""Property-based tests for the wire codec.
+
+Two invariants define canonicity:
+
+1. ``decode(encode(v)) == v`` for every encodable value (round trip);
+2. ``encode(decode(b)) == b`` for every accepted byte string (uniqueness).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import wire
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**128), max_value=2**128),
+    st.binary(max_size=64),
+    st.text(max_size=64),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.dictionaries(st.text(max_size=8), children, max_size=6),
+    ),
+    max_leaves=25,
+)
+
+
+@given(_values)
+@settings(max_examples=300)
+def test_roundtrip(value):
+    assert wire.decode(wire.encode(value)) == value
+
+
+@given(_values)
+@settings(max_examples=300)
+def test_encoding_is_unique(value):
+    encoded = wire.encode(value)
+    assert wire.encode(wire.decode(encoded)) == encoded
+
+
+@given(_values, _values)
+def test_distinct_values_have_distinct_encodings(a, b):
+    if a != b:
+        assert wire.encode(a) != wire.encode(b)
+
+
+@given(st.binary(max_size=128))
+def test_decode_never_crashes_uncontrolled(data):
+    try:
+        value = wire.decode(data)
+    except wire.DecodeError:
+        return
+    # Anything accepted must re-encode to exactly the same bytes.
+    assert wire.encode(value) == data
