@@ -1,0 +1,157 @@
+"""Experiment A5 — observability overhead.
+
+The repro.obs layer promises that a simulation pays for tracing only
+when it is switched on: every instrumented hot path holds either an
+``Observability`` or ``None``, and the disabled branch is one
+``is not None`` check.  This experiment times the standard E3
+dissemination scenario (8 nodes, full mesh, 120 s simulated, gossip
+interval 1 s) in four configurations:
+
+* ``pre`` — a pre-instrumentation reference: the scheduler's per-tick
+  methods are monkeypatched back to copies without any observability
+  code, exactly the seed-state control flow;
+* ``off`` — the shipped default (observability detached);
+* ``ring`` — tracing on, events to an in-memory ring buffer;
+* ``jsonl`` — tracing on, events streamed to a JSONL file.
+
+Acceptance: ``off`` must stay within 5 % of ``pre``.  Runs are
+interleaved and the per-configuration minimum over several repetitions
+is compared, which suppresses scheduler/thermal noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.sim import Scenario, Simulation
+from repro.sim.gossip import GossipScheduler
+
+from benchmarks.bench_util import Table
+
+NODE_COUNT = 8
+DURATION_MS = 120_000
+REPETITIONS = 5
+
+
+def _bare_tick(self, node_id):
+    """GossipScheduler._tick as it was before instrumentation."""
+    self._schedule_next(node_id)
+    if not self.policy(node_id).initiates_gossip():
+        return
+    self._metrics.contacts_attempted += 1
+    if self.is_busy(node_id):
+        self._metrics.contacts_busy += 1
+        return
+    neighbors = self._topology.neighbors(node_id, self._loop.now)
+    if not neighbors:
+        self._metrics.contacts_no_neighbor += 1
+        return
+    peer_id = self._select_peer(node_id, neighbors)
+    if self.is_busy(peer_id):
+        self._metrics.contacts_busy += 1
+        return
+    if not self.policy(peer_id).responds_to_gossip():
+        self._metrics.contacts_refused += 1
+        return
+    if not self._link.contact_succeeds():
+        self._metrics.contacts_lost += 1
+        return
+    self.contact(node_id, peer_id)
+
+
+def _bare_select_peer(self, node_id, neighbors):
+    """GossipScheduler._select_peer without the selection counter."""
+    if self._peer_selector == "round_robin":
+        cursor = self._round_robin_cursor[node_id]
+        self._round_robin_cursor[node_id] = cursor + 1
+        return neighbors[cursor % len(neighbors)]
+    if self._peer_selector == "least_recent":
+        def last_seen(peer):
+            key = (min(node_id, peer), max(node_id, peer))
+            return (self._last_contact.get(key, -1), peer)
+        return min(neighbors, key=last_seen)
+    return neighbors[self._rng.randrange(len(neighbors))]
+
+
+def _scenario(**overrides):
+    options = dict(
+        node_count=NODE_COUNT,
+        duration_ms=DURATION_MS,
+        gossip_interval_ms=1_000,
+        append_interval_ms=4_000,
+        seed=5,
+    )
+    options.update(overrides)
+    return Scenario(**options)
+
+
+def _run_once(**overrides) -> Simulation:
+    simulation = Simulation(_scenario(**overrides))
+    simulation.run()
+    simulation.close()
+    return simulation
+
+
+def _timed(**overrides) -> float:
+    start = time.perf_counter()
+    _run_once(**overrides)
+    return time.perf_counter() - start
+
+
+def _timed_pre_instrumentation() -> float:
+    """Time the run with the seed-state (uninstrumented) tick path."""
+    saved_tick = GossipScheduler._tick
+    saved_select = GossipScheduler._select_peer
+    GossipScheduler._tick = _bare_tick
+    GossipScheduler._select_peer = _bare_select_peer
+    try:
+        return _timed()
+    finally:
+        GossipScheduler._tick = saved_tick
+        GossipScheduler._select_peer = saved_select
+
+
+def test_a5_obs_overhead(benchmark, results_dir, tmp_path):
+    # Same seed everywhere: every configuration performs identical
+    # simulation work, differing only in observability plumbing.
+    configs = {
+        "pre": _timed_pre_instrumentation,
+        "off": lambda: _timed(),
+        "ring": lambda: _timed(trace_ring=200_000),
+        "jsonl": lambda: _timed(trace_path=tmp_path / "a5.jsonl"),
+    }
+    best: dict[str, float] = {name: float("inf") for name in configs}
+    for _ in range(REPETITIONS):
+        for name, runner in configs.items():
+            best[name] = min(best[name], runner())
+
+    table = Table(
+        "A5: observability overhead on the E3 dissemination scenario "
+        f"({NODE_COUNT} nodes, {DURATION_MS // 1000} s simulated, "
+        f"best of {REPETITIONS})",
+        ["config", "runtime_s", "vs_pre"],
+    )
+    for name in configs:
+        table.add(name, f"{best[name]:.4f}",
+                  f"{100 * (best[name] / best['pre'] - 1):+.1f}%")
+    table.emit(results_dir, "a5_obs_overhead")
+
+    # Sanity: the observed runs really did record events and metrics.
+    traced = _run_once(trace_ring=200_000)
+    assert traced.obs is not None
+    assert len(traced.obs.events()) > 0
+    assert traced.registry().value("sim_sessions_total") == (
+        traced.metrics.sessions_completed
+    )
+    untraced = _run_once()
+    assert untraced.obs is None
+
+    # Acceptance: tracing off costs at most 5% over pre-instrumentation
+    # (small absolute floor guards against sub-millisecond jitter).
+    allowance = max(0.05 * best["pre"], 0.005)
+    assert best["off"] <= best["pre"] + allowance, (
+        f"disabled-observability path too slow: {best['off']:.4f}s vs "
+        f"pre-instrumentation {best['pre']:.4f}s"
+    )
+
+    benchmark(_timed)

@@ -8,7 +8,11 @@ Four subcommands cover the workflows a user reaches for first:
 * ``inspect STORE`` — summarize a persisted chain: blocks, members,
   CRDTs, frontier, per-CRDT values.
 * ``simulate`` — run a gossiping fleet (optionally partitioned) and
-  print the dissemination/energy summary.
+  print the dissemination/energy summary; ``--trace out.jsonl`` writes
+  a deterministic event trace, ``--metrics`` dumps the registry in
+  Prometheus text format.
+* ``analyze TRACE`` — recompute contact/session/propagation numbers
+  from a JSONL trace.
 * ``demo`` — the quickstart scenario end to end.
 
 Run as ``python -m repro <command>`` or via the ``vegvisir`` script.
@@ -193,13 +197,43 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         append_interval_ms=args.append_interval,
         topology_factory=topology_factory,
         seed=args.seed,
+        trace_path=args.trace,
+        metrics=args.metrics,
     )
     sim = Simulation(scenario).run()
     sim.run_quiescence(args.duration // 2)
-    from repro.report import simulation_report
+    sim.close()
+    from repro.report import metrics_report, simulation_report
 
     print(simulation_report(sim))
+    if args.trace:
+        print(f"trace:            written to {args.trace}")
+    if args.metrics:
+        print()
+        print(metrics_report(sim), end="")
     return 0 if sim.converged() else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Analyze a JSONL trace written by ``simulate --trace``."""
+    import json
+
+    from repro.obs.analyze import analyze_trace
+
+    path = pathlib.Path(args.trace)
+    if not path.exists():
+        print(f"no such trace file: {path}", file=sys.stderr)
+        return 1
+    try:
+        analysis = analyze_trace(path)
+    except json.JSONDecodeError as error:
+        print(f"not a JSONL trace: {path}: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(analysis.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(analysis.render())
+    return 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -286,7 +320,19 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--partition-until", type=int, default=0,
                           help="2-way partition until this time (ms)")
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--trace", metavar="PATH", default=None,
+                          help="write a JSONL event trace to PATH")
+    simulate.add_argument("--metrics", action="store_true",
+                          help="print the Prometheus-format metric dump")
     simulate.set_defaults(func=_cmd_simulate)
+
+    analyze = commands.add_parser(
+        "analyze", help="summarize a JSONL trace from simulate --trace"
+    )
+    analyze.add_argument("trace")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the analysis as JSON")
+    analyze.set_defaults(func=_cmd_analyze)
 
     demo = commands.add_parser("demo", help="run the quickstart scenario")
     demo.set_defaults(func=_cmd_demo)

@@ -19,6 +19,25 @@ class EventLoop:
         self._sequence = 0
         self._queue: list[tuple[int, int, Callable[[], Any]]] = []
         self._events_run = 0
+        # Observability is opt-in: with no observer attached the
+        # dispatch loops below run their pre-instrumentation bodies.
+        self._obs = None
+        self._c_dispatched = None
+        self._g_depth = None
+
+    def attach_obs(self, obs) -> None:
+        """Count dispatches and track queue depth in *obs*'s registry."""
+        if obs is None or not obs.enabled:
+            self._obs = None
+            return
+        self._obs = obs
+        self._c_dispatched = obs.registry.counter(
+            "loop_events_dispatched_total",
+            "events executed by the discrete-event loop",
+        )
+        self._g_depth = obs.registry.gauge(
+            "loop_queue_depth", "pending events after the last dispatch"
+        )
 
     @property
     def now(self) -> int:
@@ -52,6 +71,9 @@ class EventLoop:
     def run_until(self, end_ms: int) -> None:
         """Execute events with time <= *end_ms*, then set now = end_ms."""
         end_ms = int(end_ms)
+        if self._obs is not None:
+            self._run_until_observed(end_ms)
+            return
         while self._queue and self._queue[0][0] <= end_ms:
             when, _, callback = heapq.heappop(self._queue)
             self._now = when
@@ -59,9 +81,22 @@ class EventLoop:
             callback()
         self._now = max(self._now, end_ms)
 
+    def _run_until_observed(self, end_ms: int) -> None:
+        dispatched = self._c_dispatched
+        depth = self._g_depth
+        while self._queue and self._queue[0][0] <= end_ms:
+            when, _, callback = heapq.heappop(self._queue)
+            self._now = when
+            self._events_run += 1
+            dispatched.inc()
+            depth.set(len(self._queue))
+            callback()
+        self._now = max(self._now, end_ms)
+
     def run_all(self, max_events: int = 1_000_000) -> None:
         """Drain the queue completely (bounded against runaway loops)."""
         remaining = max_events
+        observed = self._obs is not None
         while self._queue:
             if remaining <= 0:
                 raise RuntimeError("event budget exhausted")
@@ -69,6 +104,9 @@ class EventLoop:
             self._now = when
             self._events_run += 1
             remaining -= 1
+            if observed:
+                self._c_dispatched.inc()
+                self._g_depth.set(len(self._queue))
             callback()
 
     def pending(self) -> int:

@@ -80,10 +80,29 @@ class PartitionedTopology(Topology):
         # Pass a geometric base's mobility model through, so location
         # stamping works under partitions too.
         self.mobility = getattr(base, "mobility", None)
+        self._obs = None
+        self._last_groups = None
+
+    def attach_obs(self, obs) -> None:
+        """Emit ``partition.change`` whenever the active groups flip."""
+        self._obs = obs if obs is not None and obs.enabled else None
 
     def neighbors(self, node_id: int, time_ms: int) -> list[int]:
         base_neighbors = self.base.neighbors(node_id, time_ms)
         group = self.schedule.group_of(node_id, time_ms)
+        if self._obs is not None:
+            self._observe_partition(time_ms)
         if group is None:
             return base_neighbors
         return [n for n in base_neighbors if n in group]
+
+    def _observe_partition(self, time_ms: int) -> None:
+        groups = self.schedule.active_groups(time_ms)
+        if groups == self._last_groups:
+            return
+        self._last_groups = groups
+        self._obs.bus.emit(
+            "partition.change",
+            active=groups is not None,
+            groups=[sorted(group) for group in groups or ()],
+        )

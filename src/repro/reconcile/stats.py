@@ -14,11 +14,20 @@ from repro import wire
 INITIATOR_TO_RESPONDER = "i->r"
 RESPONDER_TO_INITIATOR = "r->i"
 
+DIRECTIONS = (INITIATOR_TO_RESPONDER, RESPONDER_TO_INITIATOR)
+
 
 class ReconcileStats:
-    """Outcome of one pairwise reconciliation session."""
+    """Outcome of one pairwise reconciliation session.
 
-    def __init__(self, protocol: str):
+    With a :class:`~repro.obs.metrics.MetricsRegistry` passed (or bound
+    later via :meth:`bind_registry`), every recorded message is mirrored
+    live into the shared ``reconcile_bytes_total`` /
+    ``reconcile_messages_total`` instruments, making the stats object a
+    thin per-session view over the registry's running totals.
+    """
+
+    def __init__(self, protocol: str, registry=None):
         self.protocol = protocol
         self.rounds = 0
         self.messages = {INITIATOR_TO_RESPONDER: 0, RESPONDER_TO_INITIATOR: 0}
@@ -28,12 +37,50 @@ class ReconcileStats:
         self.duplicate_blocks = 0
         self.invalid_blocks = 0
         self.converged = False
+        self._mirror_bytes = None
+        self._mirror_messages = None
+        if registry is not None:
+            self.bind_registry(registry)
+
+    def bind_registry(self, registry) -> "ReconcileStats":
+        """Mirror future :meth:`record` calls into registry counters."""
+        byte_counter = registry.counter(
+            "reconcile_bytes_total",
+            "session bytes by protocol and direction",
+            labels=("protocol", "direction"),
+        )
+        message_counter = registry.counter(
+            "reconcile_messages_total",
+            "session messages by protocol and direction",
+            labels=("protocol", "direction"),
+        )
+        self._mirror_bytes = {
+            direction: byte_counter.labels(
+                protocol=self.protocol, direction=direction
+            )
+            for direction in DIRECTIONS
+        }
+        self._mirror_messages = {
+            direction: message_counter.labels(
+                protocol=self.protocol, direction=direction
+            )
+            for direction in DIRECTIONS
+        }
+        return self
 
     def record(self, direction: str, message: Any) -> int:
         """Charge one message; returns its encoded size in bytes."""
+        if direction not in self.messages:
+            raise ValueError(
+                f"unknown direction {direction!r}: expected one of "
+                f"{DIRECTIONS}"
+            )
         size = len(wire.encode(message))
         self.messages[direction] += 1
         self.bytes[direction] += size
+        if self._mirror_bytes is not None:
+            self._mirror_bytes[direction].inc(size)
+            self._mirror_messages[direction].inc()
         return size
 
     @property

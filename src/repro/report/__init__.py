@@ -7,6 +7,6 @@ EXPERIMENTS.md quotes numbers.
 """
 
 from repro.report.dagviz import render_dag
-from repro.report.summary import simulation_report
+from repro.report.summary import metrics_report, simulation_report
 
-__all__ = ["render_dag", "simulation_report"]
+__all__ = ["metrics_report", "render_dag", "simulation_report"]

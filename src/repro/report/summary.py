@@ -1,4 +1,12 @@
-"""Simulation run summaries."""
+"""Simulation run summaries, rendered from the metrics registry.
+
+``simulation_report`` no longer reaches into ``SimMetrics`` fields: it
+syncs the run's counters into a :class:`~repro.obs.metrics.MetricsRegistry`
+(the simulation's own when observability is on, a private one otherwise)
+and renders from the registry's series — the same numbers a Prometheus
+scrape or ``repro analyze`` would see.  ``metrics_report`` exposes the
+raw Prometheus text format.
+"""
 
 from __future__ import annotations
 
@@ -8,25 +16,32 @@ from repro.sim.runner import Simulation
 
 def simulation_report(sim: Simulation) -> str:
     """A multi-line summary of a finished simulation run."""
-    metrics = sim.metrics
-    propagation = metrics.propagation
+    registry = sim.metrics.sync_registry()
+    contacts = {
+        outcome: registry.value("sim_contacts_total", outcome=outcome)
+        for outcome in ("ok", "busy", "no_neighbor", "lost", "refused")
+    }
     lines = [
         f"fleet:            {sim.scenario.node_count} nodes, "
         f"{sim.loop.now} ms simulated",
         f"blocks:           {sim.total_blocks()} "
-        f"({metrics.blocks_created} workload appends)",
-        f"sessions:         {metrics.sessions_completed} completed, "
-        f"{metrics.session_bytes} bytes, "
-        f"{metrics.transfer_ms_total} ms on air",
-        f"contacts:         {metrics.contacts_attempted} attempted "
-        f"({metrics.contacts_no_neighbor} isolated, "
-        f"{metrics.contacts_lost} lost, "
-        f"{metrics.contacts_refused} refused, "
-        f"{metrics.contacts_busy} busy)",
-        f"coverage:         mean {propagation.mean_coverage():.3f}, "
-        f"fully covered {propagation.fully_covered_fraction():.3f}",
+        f"({registry.value('sim_blocks_created_total')} workload appends)",
+        f"sessions:         {registry.value('sim_sessions_total')} "
+        f"completed, "
+        f"{registry.value('sim_session_bytes_total')} bytes, "
+        f"{registry.value('sim_transfer_ms_total')} ms on air",
+        f"contacts:         "
+        f"{registry.value('sim_contacts_attempted_total')} attempted "
+        f"({contacts['no_neighbor']} isolated, "
+        f"{contacts['lost']} lost, "
+        f"{contacts['refused']} refused, "
+        f"{contacts['busy']} busy)",
+        f"coverage:         "
+        f"mean {registry.value('sim_mean_coverage'):.3f}, "
+        f"fully covered "
+        f"{registry.value('sim_fully_covered_fraction'):.3f}",
     ]
-    latencies = propagation.full_coverage_latencies()
+    latencies = sim.metrics.propagation.full_coverage_latencies()
     if latencies:
         lines.append(
             f"full-coverage:    p50 {percentile(latencies, 0.5)} ms, "
@@ -39,6 +54,11 @@ def simulation_report(sim: Simulation) -> str:
     )
     lines.append(f"converged:        {sim.converged()}")
     return "\n".join(lines)
+
+
+def metrics_report(sim: Simulation) -> str:
+    """The run's registry in Prometheus text exposition format."""
+    return sim.metrics.sync_registry().render_prometheus()
 
 
 def _breakdown(sim: Simulation) -> str:

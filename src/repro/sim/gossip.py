@@ -62,6 +62,7 @@ class GossipScheduler:
         jitter_ms: int = 200,
         seed: int = 0,
         peer_selector: str = SELECT_RANDOM,
+        obs=None,
     ):
         if peer_selector not in PEER_SELECTORS:
             raise ValueError(f"unknown peer selector {peer_selector!r}")
@@ -88,6 +89,45 @@ class GossipScheduler:
         self._round_robin_cursor = {node_id: 0 for node_id in nodes}
         self._last_contact: dict[tuple[int, int], int] = {}
         self._started = False
+        # Observability is opt-in; with no observer attached every
+        # instrumented site is a single ``is not None`` check.
+        self._obs = obs if obs is not None and obs.enabled else None
+        if self._obs is not None:
+            registry = self._obs.registry
+            self._c_reconcile_bytes = registry.counter(
+                "reconcile_bytes_total",
+                "session bytes by protocol and direction",
+                labels=("protocol", "direction"),
+            )
+            self._c_reconcile_messages = registry.counter(
+                "reconcile_messages_total",
+                "session messages by protocol and direction",
+                labels=("protocol", "direction"),
+            )
+            self._c_reconcile_rounds = registry.counter(
+                "reconcile_rounds_total",
+                "reconciliation round trips by protocol",
+                labels=("protocol",),
+            )
+            self._c_reconcile_sessions = registry.counter(
+                "reconcile_sessions_total",
+                "completed sessions by protocol", labels=("protocol",),
+            )
+            self._c_reconcile_blocks = registry.counter(
+                "reconcile_blocks_total",
+                "blocks moved by protocol and kind",
+                labels=("protocol", "kind"),
+            )
+            self._c_peer_selected = registry.counter(
+                "sim_peer_selections_total",
+                "peers drawn by the configured strategy",
+                labels=("selector",),
+            )
+            self._h_session_bytes = registry.histogram(
+                "sim_session_bytes",
+                "per-session byte cost distribution",
+                buckets=(64, 256, 1_024, 4_096, 16_384, 65_536, 262_144),
+            )
 
     def policy(self, node_id: int) -> AdversaryPolicy:
         return self._policies.get(node_id) or HonestPolicy()
@@ -125,27 +165,50 @@ class GossipScheduler:
         self._schedule_next(node_id)
         if not self.policy(node_id).initiates_gossip():
             return
+        obs = self._obs
         self._metrics.contacts_attempted += 1
+        if obs is not None:
+            obs.bus.emit("contact.attempt", node=node_id)
         if self.is_busy(node_id):
             self._metrics.contacts_busy += 1
+            if obs is not None:
+                obs.bus.emit("contact.outcome", node=node_id,
+                             outcome="busy")
             return
         neighbors = self._topology.neighbors(node_id, self._loop.now)
         if not neighbors:
             self._metrics.contacts_no_neighbor += 1
+            if obs is not None:
+                obs.bus.emit("contact.outcome", node=node_id,
+                             outcome="no_neighbor")
             return
         peer_id = self._select_peer(node_id, neighbors)
         if self.is_busy(peer_id):
             self._metrics.contacts_busy += 1
+            if obs is not None:
+                obs.bus.emit("contact.outcome", node=node_id,
+                             peer=peer_id, outcome="busy")
             return
         if not self.policy(peer_id).responds_to_gossip():
             self._metrics.contacts_refused += 1
+            if obs is not None:
+                obs.bus.emit("contact.outcome", node=node_id,
+                             peer=peer_id, outcome="refused")
             return
         if not self._link.contact_succeeds():
             self._metrics.contacts_lost += 1
+            if obs is not None:
+                obs.bus.emit("contact.outcome", node=node_id,
+                             peer=peer_id, outcome="lost")
             return
         self.contact(node_id, peer_id)
+        if obs is not None:
+            obs.bus.emit("contact.outcome", node=node_id, peer=peer_id,
+                         outcome="ok")
 
     def _select_peer(self, node_id: int, neighbors: list[int]) -> int:
+        if self._obs is not None:
+            self._c_peer_selected.labels(selector=self._peer_selector).inc()
         if self._peer_selector == SELECT_ROUND_ROBIN:
             cursor = self._round_robin_cursor[node_id]
             self._round_robin_cursor[node_id] = cursor + 1
@@ -164,6 +227,13 @@ class GossipScheduler:
             and self.policy(responder_id).accepts_pushes()
         )
         protocol = self._protocol_factory(push)
+        obs = self._obs
+        if obs is not None:
+            obs.bus.emit(
+                "session.start", initiator=initiator_id,
+                responder=responder_id,
+                protocol=getattr(protocol, "name", "?"),
+            )
         stats = protocol.run(
             self._nodes[initiator_id], self._nodes[responder_id]
         )
@@ -171,6 +241,10 @@ class GossipScheduler:
         duration = self._link.transfer_duration_ms(
             stats.total_bytes, round_trips=max(1, stats.rounds)
         )
+        if obs is not None:
+            self._observe_session(
+                initiator_id, responder_id, stats, duration
+            )
         busy_until = self._loop.now + duration
         self._busy_until[initiator_id] = busy_until
         self._busy_until[responder_id] = busy_until
@@ -190,6 +264,45 @@ class GossipScheduler:
         self.observe_local_blocks(initiator_id)
         self.observe_local_blocks(responder_id)
         return stats
+
+    def _observe_session(self, initiator_id: int, responder_id: int,
+                         stats: ReconcileStats, duration: int) -> None:
+        """Fold one finished session into the registry and trace."""
+        protocol = stats.protocol
+        for direction in (INITIATOR_TO_RESPONDER, RESPONDER_TO_INITIATOR):
+            self._c_reconcile_bytes.labels(
+                protocol=protocol, direction=direction
+            ).inc(stats.bytes[direction])
+            self._c_reconcile_messages.labels(
+                protocol=protocol, direction=direction
+            ).inc(stats.messages[direction])
+        self._c_reconcile_rounds.labels(protocol=protocol).inc(stats.rounds)
+        self._c_reconcile_sessions.labels(protocol=protocol).inc()
+        blocks = {
+            "pulled": stats.blocks_pulled,
+            "pushed": stats.blocks_pushed,
+            "duplicate": stats.duplicate_blocks,
+            "invalid": stats.invalid_blocks,
+        }
+        for kind, count in blocks.items():
+            if count:
+                self._c_reconcile_blocks.labels(
+                    protocol=protocol, kind=kind
+                ).inc(count)
+        self._h_session_bytes.observe(stats.total_bytes)
+        self._obs.bus.emit(
+            "session.end", initiator=initiator_id, responder=responder_id,
+            protocol=protocol, rounds=stats.rounds,
+            bytes_i2r=stats.bytes[INITIATOR_TO_RESPONDER],
+            bytes_r2i=stats.bytes[RESPONDER_TO_INITIATOR],
+            messages_i2r=stats.messages[INITIATOR_TO_RESPONDER],
+            messages_r2i=stats.messages[RESPONDER_TO_INITIATOR],
+            blocks_pulled=stats.blocks_pulled,
+            blocks_pushed=stats.blocks_pushed,
+            duplicates=stats.duplicate_blocks,
+            invalid=stats.invalid_blocks,
+            converged=stats.converged, duration_ms=duration,
+        )
 
     def observe_local_blocks(self, node_id: int) -> None:
         """Record first-delivery times for blocks new to this node.

@@ -25,22 +25,31 @@ def percentile(values: list[float], fraction: float) -> float:
 class PropagationTracker:
     """First-delivery times of every block at every node."""
 
-    def __init__(self, node_count: int):
+    def __init__(self, node_count: int, obs=None):
         self.node_count = node_count
         self._created: dict[Hash, tuple[int, int]] = {}  # hash -> (t, node)
         self._delivered: dict[Hash, dict[int, int]] = {}  # hash -> node -> t
+        self._obs = obs if obs is not None and obs.enabled else None
 
     def record_created(self, block_hash: Hash, node_id: int,
                        time_ms: int) -> None:
         if block_hash not in self._created:
             self._created[block_hash] = (time_ms, node_id)
             self._delivered.setdefault(block_hash, {})[node_id] = time_ms
+            if self._obs is not None:
+                self._obs.bus.emit(
+                    "block.created", block=block_hash, node=node_id
+                )
 
     def record_delivered(self, block_hash: Hash, node_id: int,
                          time_ms: int) -> None:
         deliveries = self._delivered.setdefault(block_hash, {})
         if node_id not in deliveries:
             deliveries[node_id] = time_ms
+            if self._obs is not None:
+                self._obs.bus.emit(
+                    "block.delivered", block=block_hash, node=node_id
+                )
 
     def blocks(self) -> list[Hash]:
         return sorted(self._created)
@@ -58,6 +67,10 @@ class PropagationTracker:
 
     def delivery_latencies(self, block_hash: Hash) -> list[int]:
         """Per-node latency from creation to first delivery."""
+        if block_hash not in self._created:
+            raise ValueError(
+                f"unknown block hash {block_hash!r}: no creation recorded"
+            )
         created_at, _ = self._created[block_hash]
         return [
             delivered_at - created_at
@@ -92,10 +105,18 @@ class PropagationTracker:
 
 
 class SimMetrics:
-    """Aggregate counters plus the propagation tracker."""
+    """Aggregate counters plus the propagation tracker.
 
-    def __init__(self, node_count: int):
-        self.propagation = PropagationTracker(node_count)
+    The counters stay plain integers (the gossip hot path bumps them
+    directly); :meth:`sync_registry` projects them into ``sim_*``
+    instruments of a :class:`~repro.obs.metrics.MetricsRegistry` on
+    demand, which is what reports and exporters read.
+    """
+
+    def __init__(self, node_count: int, obs=None):
+        self._obs = obs if obs is not None and obs.enabled else None
+        self._registry = None
+        self.propagation = PropagationTracker(node_count, obs=obs)
         self.contacts_attempted = 0
         self.contacts_no_neighbor = 0
         self.contacts_lost = 0
@@ -133,8 +154,69 @@ class SimMetrics:
             "contacts_busy": self.contacts_busy,
             "sessions_completed": self.sessions_completed,
             "session_bytes": self.session_bytes,
+            "session_messages": self.session_messages,
+            "transfer_ms_total": self.transfer_ms_total,
             "blocks_created": self.blocks_created,
             "mean_coverage": self.propagation.mean_coverage(),
             "fully_covered_fraction":
                 self.propagation.fully_covered_fraction(),
         }
+
+    def sync_registry(self, registry=None):
+        """Refresh ``sim_*`` instruments from the counters and return
+        the registry (the attached observability's, an explicit one, or
+        a lazily created private one)."""
+        if registry is None:
+            if self._obs is not None:
+                registry = self._obs.registry
+            else:
+                if self._registry is None:
+                    from repro.obs.metrics import MetricsRegistry
+                    self._registry = MetricsRegistry()
+                registry = self._registry
+        contacts = registry.counter(
+            "sim_contacts_total",
+            "gossip contact attempts by outcome", labels=("outcome",),
+        )
+        outcomes = {
+            "ok": self.sessions_completed,
+            "busy": self.contacts_busy,
+            "no_neighbor": self.contacts_no_neighbor,
+            "lost": self.contacts_lost,
+            "refused": self.contacts_refused,
+        }
+        for outcome, count in outcomes.items():
+            contacts.labels(outcome=outcome).value = count
+        simple = {
+            "sim_contacts_attempted_total":
+                ("contact attempts (ticks that tried to gossip)",
+                 self.contacts_attempted),
+            "sim_sessions_total":
+                ("completed reconciliation sessions",
+                 self.sessions_completed),
+            "sim_session_bytes_total":
+                ("bytes exchanged across all sessions",
+                 self.session_bytes),
+            "sim_session_messages_total":
+                ("messages exchanged across all sessions",
+                 self.session_messages),
+            "sim_transfer_ms_total":
+                ("milliseconds of radio airtime", self.transfer_ms_total),
+            "sim_blocks_created_total":
+                ("workload blocks appended", self.blocks_created),
+        }
+        for name, (help_text, count) in simple.items():
+            registry.counter(name, help_text)._unlabeled().value = count
+        gauges = {
+            "sim_mean_coverage":
+                ("mean fraction of nodes holding each block",
+                 self.propagation.mean_coverage()),
+            "sim_fully_covered_fraction":
+                ("fraction of blocks known to every node",
+                 self.propagation.fully_covered_fraction()),
+            "sim_frontier_width_max":
+                ("widest frontier sampled", self.max_frontier_width()),
+        }
+        for name, (help_text, value) in gauges.items():
+            registry.gauge(name, help_text).set(value)
+        return registry

@@ -28,12 +28,19 @@ class Simulation:
     def __init__(self, scenario: Scenario):
         self.scenario = scenario
         self.loop = EventLoop()
+        self.obs = self._build_obs(scenario)
+        if self.obs is not None:
+            self.loop.attach_obs(self.obs)
         self.topology = scenario.topology_factory(scenario.node_count)
+        if self.obs is not None:
+            attach = getattr(self.topology, "attach_obs", None)
+            if attach is not None:
+                attach(self.obs)
         # Geometric topologies expose their mobility model; nodes then
         # stamp their blocks with physical locations (Fig. 2).
         mobility = getattr(self.topology, "mobility", None)
         self.fleet = build_fleet(scenario, self.loop, mobility=mobility)
-        self.metrics = SimMetrics(scenario.node_count)
+        self.metrics = SimMetrics(scenario.node_count, obs=self.obs)
         self.energy = EnergyModel(scenario.energy_parameters)
         self._rng = random.Random(scenario.seed ^ 0xC0FFEE)
         link = scenario.link or LinkModel(seed=scenario.seed ^ 0x11)
@@ -50,9 +57,35 @@ class Simulation:
             jitter_ms=scenario.gossip_jitter_ms,
             seed=scenario.seed ^ 0x60551B,
             peer_selector=scenario.peer_selector,
+            obs=self.obs,
         )
         self._appended = 0
+        self._closed = False
         self._setup_workload_crdt()
+        if self.obs is not None:
+            self.obs.bus.emit(
+                "run.start", nodes=scenario.node_count,
+                seed=scenario.seed, duration_ms=scenario.duration_ms,
+            )
+
+    def _build_obs(self, scenario: Scenario):
+        """The run's Observability, clocked by the event loop — or None
+        (the default), leaving every instrumented site on its free
+        path."""
+        if scenario.obs is not None:
+            return scenario.obs if scenario.obs.enabled else None
+        if not scenario.observability_requested:
+            return None
+        from repro.obs import JsonlFileSink, Observability, RingBufferSink
+
+        sinks = []
+        if scenario.trace_ring is not None:
+            sinks.append(RingBufferSink(scenario.trace_ring))
+        if scenario.trace_path is not None:
+            sinks.append(JsonlFileSink(scenario.trace_path))
+        return Observability(
+            enabled=True, clock=self.loop.clock, sinks=sinks
+        )
 
     # ------------------------------------------------------------------
     # Workload
@@ -88,9 +121,14 @@ class Simulation:
             node = self.fleet.nodes[node_id]
             if node.csm.crdt_instance(WORKLOAD_CRDT) is None:
                 return  # creation block not seen here yet
-            self.metrics.sample_frontier_width(
-                self.loop.now, node.dag.frontier_width()
-            )
+            width = node.dag.frontier_width()
+            self.metrics.sample_frontier_width(self.loop.now, width)
+            if self.obs is not None:
+                self.obs.registry.histogram(
+                    "sim_frontier_width",
+                    "frontier width sampled at each append",
+                    buckets=(1, 2, 3, 4, 6, 8, 12, 16, 24, 32),
+                ).observe(width)
             payload = {
                 "node": node_id,
                 "seq": self._appended,
@@ -133,6 +171,17 @@ class Simulation:
 
     # ------------------------------------------------------------------
     # Results
+
+    def registry(self):
+        """The run's metrics registry, synced from the live counters."""
+        return self.metrics.sync_registry()
+
+    def close(self) -> None:
+        """Flush and close any trace sinks (safe to call repeatedly)."""
+        if self.obs is not None and not self._closed:
+            self._closed = True
+            self.obs.emit("run.end", events_run=self.loop.events_run)
+            self.obs.close()
 
     def honest_node_ids(self) -> list[int]:
         return [

@@ -46,6 +46,10 @@ class Scenario:
         clock_skew_ms: int = 0,
         peer_selector: str = "random",
         workload=None,
+        trace_path=None,
+        trace_ring: Optional[int] = None,
+        metrics: bool = False,
+        obs=None,
     ):
         if node_count < 1:
             raise ValueError("need at least one node")
@@ -74,6 +78,25 @@ class Scenario:
         # synchronized clocks, and the §IV-E timestamp checks must
         # tolerate bounded skew.
         self.clock_skew_ms = clock_skew_ms
+        # Observability (repro.obs).  ``trace_path`` streams every event
+        # to a JSONL file, ``trace_ring`` keeps the last N events in
+        # memory, ``metrics=True`` enables the registry without any
+        # trace sink, and ``obs`` injects a prebuilt Observability
+        # (overriding the other three).  All default off: the
+        # simulation then runs its uninstrumented fast path.
+        self.trace_path = trace_path
+        self.trace_ring = trace_ring
+        self.metrics = metrics
+        self.obs = obs
+
+    @property
+    def observability_requested(self) -> bool:
+        return (
+            self.obs is not None
+            or self.trace_path is not None
+            or self.trace_ring is not None
+            or self.metrics
+        )
 
     def role_of(self, node_id: int) -> str:
         if self.roles is None:

@@ -33,6 +33,12 @@ class StorageError(Exception):
     """The store file is unusable (bad magic, unreadable path)."""
 
 
+def _observability():
+    """The module-level observer, or None (the common, free path)."""
+    from repro import obs as obs_module
+    return obs_module.get()
+
+
 class BlockStore:
     """An append-only file of blocks."""
 
@@ -68,6 +74,15 @@ class BlockStore:
             handle.flush()
             if self._fsync:
                 os.fsync(handle.fileno())
+        observer = _observability()
+        if observer is not None:
+            observer.registry.counter(
+                "blockstore_appends_total", "blocks appended to disk"
+            ).inc()
+            observer.registry.counter(
+                "blockstore_bytes_written_total",
+                "record bytes written (length + checksum + payload)",
+            ).inc(len(record))
 
     def append_all(self, blocks) -> None:
         for block in blocks:
@@ -92,6 +107,12 @@ class BlockStore:
                     return  # torn record
                 if hashlib.sha256(payload).digest() != digest:
                     return  # corrupt/torn record: stop before it
+                observer = _observability()
+                if observer is not None:
+                    observer.registry.counter(
+                        "blockstore_blocks_read_total",
+                        "blocks decoded from disk",
+                    ).inc()
                 yield Block.from_bytes(payload)
 
     def count(self) -> int:

@@ -31,11 +31,15 @@ class OffloadManager:
     """A device-side storage budget over one replica."""
 
     def __init__(self, node: VegvisirNode, max_bytes: int,
-                 witness_quorum: int = 0):
+                 witness_quorum: int = 0, obs=None):
         """*witness_quorum* > 0 additionally requires a block to carry a
         proof-of-witness at that quorum (§IV-H) before its body may be
         dropped — the conservative policy: only provably-replicated
-        history leaves the device."""
+        history leaves the device.
+
+        *obs* is an :class:`repro.obs.Observability`; when omitted, the
+        module-level default (``repro.obs.get()``) is consulted at
+        eviction time."""
         if max_bytes < 0:
             raise ValueError("storage budget must be non-negative")
         self.node = node
@@ -45,6 +49,13 @@ class OffloadManager:
             WitnessTracker(node.dag) if witness_quorum > 0 else None
         )
         self._dropped: set[Hash] = set()
+        self._obs = obs
+
+    def _observability(self):
+        if self._obs is not None:
+            return self._obs if self._obs.enabled else None
+        from repro import obs as obs_module
+        return obs_module.get()
 
     def stored_bytes(self) -> int:
         """Bytes currently held: full bodies plus stubs for dropped ones."""
@@ -105,11 +116,25 @@ class OffloadManager:
         dropped = 0
         if not self.over_budget():
             return dropped
+        observer = self._observability()
         for block_hash in self._droppable(superpeer):
             if not self.over_budget():
                 break
             self._dropped.add(block_hash)
             dropped += 1
+            if observer is not None:
+                freed = self.node.dag.get(block_hash).wire_size - STUB_BYTES
+                observer.registry.counter(
+                    "offload_evicted_total", "block bodies dropped"
+                ).inc()
+                observer.registry.counter(
+                    "offload_bytes_freed_total",
+                    "payload bytes released by offloading",
+                ).inc(max(0, freed))
+                observer.bus.emit(
+                    "offload.evict", user=self.node.user_id,
+                    block=block_hash, freed=max(0, freed),
+                )
         return dropped
 
     def restore(self, block_hash: Hash, superpeer: Superpeer) -> None:

@@ -1,0 +1,167 @@
+"""Analyzer tests: trace totals must match the live run exactly."""
+
+import pytest
+
+from repro.obs.analyze import analyze_events, analyze_trace
+from repro.sim import Scenario, Simulation
+
+
+def _traced_run(tmp_path, **overrides):
+    options = dict(
+        node_count=5, duration_ms=15_000, append_interval_ms=3_000,
+        seed=23, trace_path=tmp_path / "run.jsonl",
+    )
+    options.update(overrides)
+    scenario = Scenario(**options)
+    simulation = Simulation(scenario).run()
+    simulation.run_quiescence(6_000)
+    simulation.close()
+    return simulation, tmp_path / "run.jsonl"
+
+
+class TestLiveParity:
+    """Acceptance: analyzer totals == live SimMetrics/registry values."""
+
+    def test_contact_and_session_totals_match(self, tmp_path):
+        simulation, trace = _traced_run(tmp_path)
+        metrics = simulation.metrics
+        analysis = analyze_trace(trace)
+        assert analysis.contact_attempts == metrics.contacts_attempted
+        assert analysis.outcome_counts.get("ok", 0) == (
+            metrics.sessions_completed
+        )
+        assert analysis.outcome_counts.get("busy", 0) == (
+            metrics.contacts_busy
+        )
+        assert analysis.outcome_counts.get("no_neighbor", 0) == (
+            metrics.contacts_no_neighbor
+        )
+        assert analysis.outcome_counts.get("lost", 0) == (
+            metrics.contacts_lost
+        )
+        assert analysis.outcome_counts.get("refused", 0) == (
+            metrics.contacts_refused
+        )
+        assert analysis.sessions_completed() == metrics.sessions_completed
+        assert analysis.total_bytes() == metrics.session_bytes
+        assert analysis.total_messages() == metrics.session_messages
+        assert analysis.transfer_ms_total() == metrics.transfer_ms_total
+
+    def test_totals_match_registry(self, tmp_path):
+        simulation, trace = _traced_run(tmp_path)
+        registry = simulation.registry()
+        analysis = analyze_trace(trace)
+        assert analysis.total_bytes() == registry.value(
+            "sim_session_bytes_total"
+        )
+        assert analysis.sessions_completed() == registry.value(
+            "reconcile_sessions_total", protocol="frontier"
+        )
+        per_direction = analysis.sessions_by_protocol["frontier"]
+        assert per_direction["bytes_i2r"] == registry.value(
+            "reconcile_bytes_total", protocol="frontier", direction="i->r"
+        )
+        assert per_direction["bytes_r2i"] == registry.value(
+            "reconcile_bytes_total", protocol="frontier", direction="r->i"
+        )
+
+    def test_lossy_run_parity(self, tmp_path):
+        from repro.net.links import LinkModel
+
+        simulation, trace = _traced_run(
+            tmp_path, link=LinkModel(loss_rate=0.4, seed=3), seed=5
+        )
+        metrics = simulation.metrics
+        analysis = analyze_trace(trace)
+        assert metrics.contacts_lost > 0
+        assert analysis.outcome_counts["lost"] == metrics.contacts_lost
+        assert analysis.total_bytes() == metrics.session_bytes
+
+
+class TestPropagationTimeline:
+    def test_created_and_delivered_counts(self, tmp_path):
+        simulation, trace = _traced_run(tmp_path)
+        analysis = analyze_trace(trace)
+        tracker = simulation.metrics.propagation
+        assert len(analysis.created) == len(tracker.blocks())
+        for block_hash in tracker.blocks():
+            deliveries = analysis.deliveries[block_hash.hex()]
+            assert len(deliveries) == round(
+                tracker.coverage(block_hash) * tracker.node_count
+            )
+
+    def test_timeline_and_latencies(self, tmp_path):
+        simulation, trace = _traced_run(tmp_path)
+        analysis = analyze_trace(trace)
+        block = next(iter(analysis.created))
+        timeline = analysis.block_timeline(block)
+        assert timeline == sorted(timeline)
+        latencies = analysis.delivery_latencies(block)
+        assert all(latency >= 0 for latency in latencies)
+
+    def test_unknown_block_rejected(self):
+        analysis = analyze_events([])
+        with pytest.raises(ValueError):
+            analysis.block_timeline("deadbeef")
+        with pytest.raises(ValueError):
+            analysis.delivery_latencies("deadbeef")
+
+
+class TestRendering:
+    def test_render_and_as_dict(self, tmp_path):
+        simulation, trace = _traced_run(tmp_path)
+        analysis = analyze_trace(trace)
+        text = analysis.render()
+        assert "contacts:" in text
+        assert "totals:" in text
+        summary = analysis.as_dict()
+        assert summary["node_count"] == 5
+        assert summary["totals"]["bytes"] == (
+            simulation.metrics.session_bytes
+        )
+
+    def test_success_rate(self, tmp_path):
+        simulation, trace = _traced_run(tmp_path)
+        analysis = analyze_trace(trace)
+        expected = (
+            simulation.metrics.sessions_completed
+            / simulation.metrics.contacts_attempted
+        )
+        assert analysis.success_rate() == pytest.approx(expected)
+        # Per-node rates exist for every node that attempted a contact.
+        for node in analysis.attempts_by_node:
+            assert 0.0 <= analysis.success_rate(node) <= 1.0
+
+
+class TestCliAnalyze:
+    def test_analyze_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _, trace = _traced_run(tmp_path)
+        assert main(["analyze", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "contacts:" in out
+        assert "totals:" in out
+
+    def test_analyze_json(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        _, trace = _traced_run(tmp_path)
+        assert main(["analyze", str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["contacts"]["attempted"] > 0
+
+    def test_analyze_missing_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", str(tmp_path / "nope.jsonl")]) == 1
+
+    def test_analyze_corrupt_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"t":0,"type":"run.start"}\nnot json\n')
+        assert main(["analyze", str(bad)]) == 1
+        assert "not a JSONL trace" in capsys.readouterr().err

@@ -1,0 +1,133 @@
+"""Metrics registry unit tests: instruments, labels, exporters."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsError,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "help text")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_never_decreases(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(MetricsError):
+            counter.inc(-1)
+
+    def test_labels_create_independent_children(self):
+        counter = MetricsRegistry().counter(
+            "bytes_total", labels=("direction",)
+        )
+        counter.labels(direction="i->r").inc(10)
+        counter.labels(direction="r->i").inc(3)
+        assert counter.labels(direction="i->r").value == 10
+        assert counter.labels(direction="r->i").value == 3
+        assert counter.total() == 13
+
+    def test_wrong_label_names_rejected(self):
+        counter = MetricsRegistry().counter("c", labels=("a",))
+        with pytest.raises(MetricsError):
+            counter.labels(b=1)
+        with pytest.raises(MetricsError):
+            counter.inc()  # labeled counter needs .labels()
+
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", labels=("x",))
+        again = registry.counter("c", labels=("x",))
+        assert first is again
+
+    def test_conflicting_registration_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        with pytest.raises(MetricsError):
+            registry.gauge("c")
+        with pytest.raises(MetricsError):
+            registry.counter("c", labels=("extra",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(7)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 8
+
+
+class TestHistogram:
+    def test_observe_counts_and_sum(self):
+        histogram = MetricsRegistry().histogram(
+            "latency_ms", buckets=(10, 100, 1000)
+        )
+        for value in (5, 50, 500, 5000):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == 5555
+
+    def test_buckets_are_cumulative(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(10, 100))
+        histogram.observe(5)
+        histogram.observe(50)
+        child = histogram._unlabeled()
+        # value 5 lands in both <=10 and <=100; 50 only in <=100/<=inf.
+        assert child.bucket_counts == [1, 2, 2]
+
+    def test_inf_bucket_appended(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1, 2))
+        assert histogram.buckets[-1] == float("inf")
+
+    def test_default_buckets_end_at_inf(self):
+        assert DEFAULT_BUCKETS[-1] == float("inf")
+
+
+class TestRegistryExport:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", "events seen").inc(3)
+        byte_counter = registry.counter(
+            "bytes_total", "bytes by direction", labels=("direction",)
+        )
+        byte_counter.labels(direction="i->r").inc(128)
+        registry.gauge("depth").set(4)
+        registry.histogram("width", buckets=(1, 2)).observe(2)
+        return registry
+
+    def test_as_dict_is_flat_and_sorted(self):
+        flattened = self._populated().as_dict()
+        assert flattened["events_total"] == 3
+        assert flattened['bytes_total{direction="i->r"}'] == 128
+        assert flattened["depth"] == 4
+        assert flattened["width"]["count"] == 1
+        assert list(flattened) == sorted(flattened)
+
+    def test_prometheus_format(self):
+        text = self._populated().render_prometheus()
+        assert "# TYPE events_total counter" in text
+        assert "# HELP events_total events seen" in text
+        assert 'bytes_total{direction="i->r"} 128' in text
+        assert "# TYPE depth gauge" in text
+        assert 'width_bucket{le="2"} 1' in text
+        assert 'width_bucket{le="+Inf"} 1' in text
+        assert "width_sum 2" in text
+        assert "width_count 1" in text
+        assert text.endswith("\n")
+
+    def test_render_is_deterministic(self):
+        one = self._populated().render_prometheus()
+        two = self._populated().render_prometheus()
+        assert one == two
+
+    def test_value_convenience(self):
+        registry = self._populated()
+        assert registry.value("events_total") == 3
+        assert registry.value("bytes_total", direction="i->r") == 128
+        assert registry.value("nonexistent") == 0

@@ -24,6 +24,22 @@ class TestPercentile:
     def test_unsorted_input(self):
         assert percentile([5, 1, 3], 0.5) == 3
 
+    def test_single_element_any_fraction(self):
+        for fraction in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert percentile([7], fraction) == 7
+
+    def test_unsorted_extremes(self):
+        values = [30, 10, 20]
+        assert percentile(values, 0.0) == 10
+        assert percentile(values, 1.0) == 30
+        assert values == [30, 10, 20]  # input not mutated
+
+    def test_two_elements(self):
+        assert percentile([4, 8], 0.0) == 4
+        assert percentile([8, 4], 1.0) == 8
+        # round() is banker's rounding: index round(0.5) == 0.
+        assert percentile([8, 4], 0.5) == 4
+
 
 class TestPropagationTracker:
     def _hash(self, i):
@@ -62,6 +78,69 @@ class TestPropagationTracker:
         tracker = PropagationTracker(3)
         assert tracker.mean_coverage() == 1.0
         assert tracker.fully_covered_fraction() == 1.0
+
+
+class TestPropagationGuards:
+    def test_delivery_latencies_unknown_hash(self):
+        tracker = PropagationTracker(2)
+        unknown = Hash.of_value(["never", "created"])
+        with pytest.raises(ValueError, match="unknown block hash"):
+            tracker.delivery_latencies(unknown)
+
+
+class TestSimMetricsDict:
+    def test_as_dict_includes_all_tracked_counters(self):
+        metrics = SimMetrics(node_count=3)
+        metrics.record_session(byte_count=100, message_count=4)
+        metrics.record_transfer_duration(250)
+        flattened = metrics.as_dict()
+        assert flattened["session_messages"] == 4
+        assert flattened["transfer_ms_total"] == 250
+        assert flattened["session_bytes"] == 100
+        assert flattened["sessions_completed"] == 1
+
+    def test_sync_registry_mirrors_counters(self):
+        metrics = SimMetrics(node_count=3)
+        metrics.contacts_attempted = 7
+        metrics.contacts_lost = 2
+        metrics.record_session(byte_count=64, message_count=2)
+        registry = metrics.sync_registry()
+        assert registry.value("sim_contacts_attempted_total") == 7
+        assert registry.value("sim_contacts_total", outcome="lost") == 2
+        assert registry.value("sim_session_bytes_total") == 64
+        assert registry.value("sim_session_messages_total") == 2
+        # Re-sync reflects new values, not double counts.
+        metrics.record_session(byte_count=36, message_count=1)
+        registry = metrics.sync_registry()
+        assert registry.value("sim_session_bytes_total") == 100
+
+
+class TestReconcileStatsGuards:
+    def test_unknown_direction_rejected(self):
+        from repro.reconcile.stats import ReconcileStats
+
+        stats = ReconcileStats("frontier")
+        with pytest.raises(ValueError, match="unknown direction"):
+            stats.record("sideways", {"type": "nope"})
+
+    def test_registry_mirroring(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.reconcile.stats import (
+            INITIATOR_TO_RESPONDER,
+            ReconcileStats,
+        )
+
+        registry = MetricsRegistry()
+        stats = ReconcileStats("frontier", registry=registry)
+        size = stats.record(INITIATOR_TO_RESPONDER, {"type": "ping"})
+        assert size > 0
+        assert registry.value(
+            "reconcile_bytes_total", protocol="frontier", direction="i->r"
+        ) == size
+        assert registry.value(
+            "reconcile_messages_total",
+            protocol="frontier", direction="i->r",
+        ) == 1
 
 
 class TestEnergyModel:

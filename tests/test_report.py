@@ -1,6 +1,6 @@
 """DAG renderer and simulation report tests."""
 
-from repro.report import render_dag, simulation_report
+from repro.report import metrics_report, render_dag, simulation_report
 from repro.sim import Scenario, Simulation
 
 
@@ -76,3 +76,37 @@ class TestSimulationReport:
         sim.run_quiescence(15_000)
         text = simulation_report(sim)
         assert "p50" in text and "p90" in text
+
+    def test_tiny_deterministic_run_values(self):
+        """The report's numbers come from the registry and equal the
+        live counters, run after run."""
+        def run():
+            sim = Simulation(
+                Scenario(node_count=2, duration_ms=6_000,
+                         append_interval_ms=2_000, seed=7)
+            ).run()
+            sim.run_quiescence(4_000)
+            return sim
+
+        first, second = run(), run()
+        assert simulation_report(first) == simulation_report(second)
+        text = simulation_report(first)
+        metrics = first.metrics
+        assert (f"sessions:         {metrics.sessions_completed} "
+                f"completed, {metrics.session_bytes} bytes, "
+                f"{metrics.transfer_ms_total} ms on air") in text
+        assert (f"contacts:         {metrics.contacts_attempted} "
+                f"attempted") in text
+        assert f"({metrics.blocks_created} workload appends)" in text
+        assert "fleet:            2 nodes" in text
+
+    def test_metrics_report_prometheus_format(self):
+        sim = Simulation(
+            Scenario(node_count=2, duration_ms=6_000,
+                     append_interval_ms=2_000, seed=7)
+        ).run()
+        text = metrics_report(sim)
+        assert "# TYPE sim_sessions_total counter" in text
+        assert (f"sim_session_bytes_total "
+                f"{sim.metrics.session_bytes}") in text
+        assert 'sim_contacts_total{outcome="ok"}' in text
