@@ -17,7 +17,6 @@ its cross-side *confirmations* stall during the partition.
 
 from __future__ import annotations
 
-import random
 
 from repro.baselines.nakamoto import NakamotoNetwork
 from repro.baselines.quorum import QuorumChain
@@ -84,7 +83,6 @@ def _nakamoto_partition_run(groups_count: int, seed: int = 0):
 
 
 def _tangle_partition_run(groups_count: int, seed: int = 0):
-    rng = random.Random(seed)
     tangles = [Tangle(seed=seed + g) for g in range(groups_count)]
     issued = 0
     first_ids = []

@@ -15,7 +15,6 @@ does not repair it.
 
 from __future__ import annotations
 
-import random
 
 from repro.chain.block import Block
 from repro.reconcile.frontier import FrontierProtocol
@@ -29,7 +28,6 @@ def _run_partitioned_appends(partitions: int, appends_per_node: int,
     node_count = 6
     _, genesis, nodes, clock = make_fleet(node_count, seed=seed)
     protocol = FrontierProtocol()
-    rng = random.Random(seed)
     groups = [
         [nodes[i] for i in range(node_count) if i % partitions == g]
         for g in range(partitions)

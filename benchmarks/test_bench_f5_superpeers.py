@@ -14,7 +14,6 @@ archive cursor only ever advances.
 
 from __future__ import annotations
 
-from repro.net.events import EventLoop
 from repro.sim import Scenario, Simulation
 from repro.support import Superpeer
 

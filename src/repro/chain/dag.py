@@ -41,6 +41,10 @@ class BlockDAG:
         # and persistence can stream blocks in an order that respects
         # parent-before-child.
         self._order: list[Hash] = [genesis.hash]
+        # Level-N frontier sets, memoized per level; reconciliation asks
+        # for levels 1, 2, 3, ... of an unchanged DAG in a tight loop.
+        # Any insertion can change every level, so add_block clears it.
+        self._frontier_levels: dict[int, frozenset[Hash]] = {}
 
     @property
     def genesis_hash(self) -> Hash:
@@ -75,6 +79,7 @@ class BlockDAG:
             height = max(height, self._heights[parent] + 1)
         self._heights[block.hash] = height
         self._frontier.add(block.hash)
+        self._frontier_levels.clear()
 
     def get(self, block_hash: Hash) -> Block:
         try:
@@ -117,6 +122,9 @@ class BlockDAG:
         """
         if level < 1:
             raise ValueError("frontier level must be >= 1")
+        cached = self._frontier_levels.get(level)
+        if cached is not None:
+            return set(cached)
         result = set(self._frontier)
         boundary = set(self._frontier)
         for _ in range(level - 1):
@@ -128,6 +136,7 @@ class BlockDAG:
                 break
             result |= new
             boundary = new
+        self._frontier_levels[level] = frozenset(result)
         return result
 
     def parents_of(self, block_hashes: Iterable[Hash]) -> set[Hash]:

@@ -197,6 +197,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         append_interval_ms=args.append_interval,
         topology_factory=topology_factory,
         seed=args.seed,
+        session_model=args.session_model,
         trace_path=args.trace,
         metrics=args.metrics,
     )
@@ -320,6 +321,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--partition-until", type=int, default=0,
                           help="2-way partition until this time (ms)")
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--session-model", choices=["atomic", "message"],
+                          default="atomic", dest="session_model",
+                          help="run sessions atomically at the contact "
+                               "instant, or message-by-message over the "
+                               "event loop (interruptible)")
     simulate.add_argument("--trace", metavar="PATH", default=None,
                           help="write a JSONL event trace to PATH")
     simulate.add_argument("--metrics", action="store_true",

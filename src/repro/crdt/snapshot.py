@@ -15,7 +15,6 @@ type in ``tests/crdt/test_snapshot.py``.
 
 from __future__ import annotations
 
-from typing import Any
 
 from repro.crdt.base import CRDT, CRDTError, crdt_type
 from repro.crdt.counters import GCounter, PNCounter

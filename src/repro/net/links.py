@@ -45,3 +45,16 @@ class LinkModel:
         payload_ms = byte_count / self.bandwidth_bytes_per_ms
         latency_ms = self.setup_latency_ms * max(1, round_trips)
         return max(1, int(payload_ms + latency_ms))
+
+    def message_latency_ms(self, byte_count: int) -> int:
+        """One-way delivery time for a single message of *byte_count*
+        bytes: serialisation at the link bandwidth plus the per-exchange
+        setup latency.  The message-level session model charges this for
+        every wire message, so a session's elapsed time emerges from its
+        actual message sequence instead of one end-of-session formula.
+        An ideal link (huge bandwidth, zero setup latency) yields 0,
+        which makes the message model step-for-step equivalent to the
+        atomic one."""
+        return int(
+            byte_count / self.bandwidth_bytes_per_ms + self.setup_latency_ms
+        )

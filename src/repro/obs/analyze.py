@@ -76,16 +76,21 @@ class TraceAnalysis:
         per_node = self.outcomes_by_node.setdefault(node, {})
         per_node[outcome] = per_node.get(outcome, 0) + 1
 
-    def _feed_session_end(self, record: dict) -> None:
-        protocol = record.get("protocol", "?")
-        entry = self.sessions_by_protocol.setdefault(protocol, {
+    def _session_entry(self, protocol: str) -> dict:
+        return self.sessions_by_protocol.setdefault(protocol, {
             "sessions": 0, "rounds": 0,
             "bytes_i2r": 0, "bytes_r2i": 0,
             "messages_i2r": 0, "messages_r2i": 0,
             "blocks_pulled": 0, "blocks_pushed": 0,
             "duplicates": 0, "invalid": 0,
             "duration_ms": 0, "converged": 0,
+            "interrupted": 0,
+            "partial_bytes_i2r": 0, "partial_bytes_r2i": 0,
+            "partial_messages": 0,
         })
+
+    def _feed_session_end(self, record: dict) -> None:
+        entry = self._session_entry(record.get("protocol", "?"))
         entry["sessions"] += 1
         for key in ("rounds", "bytes_i2r", "bytes_r2i", "messages_i2r",
                     "messages_r2i", "blocks_pulled", "blocks_pushed",
@@ -93,6 +98,19 @@ class TraceAnalysis:
             entry[key] += record.get(key, 0)
         if record.get("converged"):
             entry["converged"] += 1
+
+    def _feed_session_interrupted(self, record: dict) -> None:
+        # Torn sessions keep their partial bytes/messages out of the
+        # completed-session columns, but their elapsed airtime still
+        # counts (it matches SimMetrics.transfer_ms_total exactly).
+        entry = self._session_entry(record.get("protocol", "?"))
+        entry["interrupted"] += 1
+        entry["partial_bytes_i2r"] += record.get("bytes_i2r", 0)
+        entry["partial_bytes_r2i"] += record.get("bytes_r2i", 0)
+        entry["partial_messages"] += (
+            record.get("messages_i2r", 0) + record.get("messages_r2i", 0)
+        )
+        entry["duration_ms"] += record.get("duration_ms", 0)
 
     def _feed_block_created(self, record: dict) -> None:
         block = record["block"]
@@ -118,6 +136,7 @@ class TraceAnalysis:
         "contact.attempt": _feed_attempt,
         "contact.outcome": _feed_outcome,
         "session.end": _feed_session_end,
+        "session.interrupted": _feed_session_interrupted,
         "block.created": _feed_block_created,
         "block.delivered": _feed_block_delivered,
         "partition.change": _feed_partition_change,
@@ -147,6 +166,19 @@ class TraceAnalysis:
     def transfer_ms_total(self) -> int:
         return sum(
             entry["duration_ms"]
+            for entry in self.sessions_by_protocol.values()
+        )
+
+    def sessions_interrupted(self) -> int:
+        return sum(
+            entry["interrupted"]
+            for entry in self.sessions_by_protocol.values()
+        )
+
+    def partial_bytes_total(self) -> int:
+        """Bytes spent on sessions that were later torn mid-transfer."""
+        return sum(
+            entry["partial_bytes_i2r"] + entry["partial_bytes_r2i"]
             for entry in self.sessions_by_protocol.values()
         )
 
@@ -211,6 +243,8 @@ class TraceAnalysis:
                 "bytes": self.total_bytes(),
                 "messages": self.total_messages(),
                 "transfer_ms": self.transfer_ms_total(),
+                "interrupted": self.sessions_interrupted(),
+                "partial_bytes": self.partial_bytes_total(),
             },
             "blocks": {
                 "created": len(self.created),
@@ -261,6 +295,12 @@ class TraceAnalysis:
             f"{self.total_messages()} messages, "
             f"{self.transfer_ms_total()} ms on air"
         )
+        if self.sessions_interrupted():
+            lines.append(
+                f"interrupted:      {self.sessions_interrupted()} sessions "
+                f"torn mid-transfer, {self.partial_bytes_total()} "
+                f"partial bytes"
+            )
         lines.append(
             f"blocks:           {len(self.created)} created, "
             f"{sum(len(d) for d in self.deliveries.values())} deliveries"

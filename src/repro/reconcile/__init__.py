@@ -17,17 +17,30 @@ how they discover the difference:
 
 Every protocol counts the exact canonical-wire bytes and messages each
 direction, so the bandwidth experiments (F3, E5) measure real encodings.
+
+Each protocol describes its session as a *message generator*
+(:meth:`session`), which :mod:`repro.reconcile.engine` either drives to
+completion atomically (``protocol.run``) or suspends/resumes one wire
+message at a time (:class:`ReconcileSession`) — the basis of the
+simulator's message-level session model, where a session can be
+interrupted by mobility or partition onset between any two messages.
 """
 
 from repro.reconcile.adapters import ByteTransportProtocol
 from repro.reconcile.bloom import BloomFilter, BloomProtocol
 from repro.reconcile.endpoint import ReconcileEndpoint, RemoteSession
+from repro.reconcile.engine import (
+    ReconcileSession,
+    SessionStep,
+    drive_to_completion,
+)
 from repro.reconcile.frontier import FrontierProtocol
 from repro.reconcile.full import FullExchangeProtocol
 from repro.reconcile.session import (
     ReconcileError,
     merge_blocks,
     push_missing_blocks,
+    push_steps,
 )
 from repro.reconcile.skip import HeightSkipProtocol
 from repro.reconcile.stats import ReconcileStats
@@ -41,10 +54,14 @@ __all__ = [
     "HeightSkipProtocol",
     "ReconcileEndpoint",
     "ReconcileError",
+    "ReconcileSession",
     "ReconcileStats",
     "RemoteSession",
+    "SessionStep",
+    "drive_to_completion",
     "merge_blocks",
     "push_missing_blocks",
+    "push_steps",
 ]
 
 ALL_PROTOCOLS = (

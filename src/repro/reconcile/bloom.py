@@ -20,7 +20,8 @@ import hashlib
 import math
 
 from repro.core.node import VegvisirNode
-from repro.reconcile.session import merge_blocks, push_missing_blocks
+from repro.reconcile.engine import drive_to_completion
+from repro.reconcile.session import merge_blocks, push_steps
 from repro.reconcile.stats import (
     INITIATOR_TO_RESPONDER,
     RESPONDER_TO_INITIATOR,
@@ -103,9 +104,13 @@ class BloomProtocol:
 
     def run(self, initiator: VegvisirNode,
             responder: VegvisirNode) -> ReconcileStats:
-        stats = ReconcileStats(self.name)
+        return drive_to_completion(self, initiator, responder)
+
+    def session(self, initiator: VegvisirNode, responder: VegvisirNode,
+                stats: ReconcileStats):
+        """Yield the session's wire messages one at a time."""
         if initiator.chain_id != responder.chain_id:
-            return stats
+            return
         responder_frontier = sorted(responder.frontier())
 
         # Round 1: send the filter, receive probably-missing blocks plus
@@ -114,7 +119,7 @@ class BloomProtocol:
         digest = BloomFilter.for_capacity(len(initiator.dag), self._fp_rate)
         for block_hash in initiator.dag.hashes():
             digest.add(block_hash.digest)
-        stats.record(
+        yield (
             INITIATOR_TO_RESPONDER,
             {"type": "bloom", "filter": digest.to_wire()},
         )
@@ -122,7 +127,7 @@ class BloomProtocol:
             block for block in responder.dag.blocks()
             if block.hash.digest not in digest
         ]
-        stats.record(
+        yield (
             RESPONDER_TO_INITIATOR,
             {
                 "type": "bloom_blocks",
@@ -150,7 +155,7 @@ class BloomProtocol:
         missing = _missing_now(merged)
         while missing:
             stats.rounds += 1
-            stats.record(
+            yield (
                 INITIATOR_TO_RESPONDER,
                 {
                     "type": "get_blocks",
@@ -162,7 +167,7 @@ class BloomProtocol:
                 for h in missing
                 if responder.has_block(h)
             ]
-            stats.record(
+            yield (
                 RESPONDER_TO_INITIATOR,
                 {"type": "blocks", "blocks": [b.to_wire() for b in fetched]},
             )
@@ -179,7 +184,6 @@ class BloomProtocol:
             initiator.has_block(h) for h in responder_frontier
         )
         if stats.converged and self._push:
-            push_missing_blocks(
+            yield from push_steps(
                 initiator, responder, responder_frontier, stats
             )
-        return stats

@@ -1,0 +1,132 @@
+"""Resumable reconciliation sessions.
+
+The protocol classes in this package describe a session as a *generator*
+of wire messages: each ``yield (direction, message)`` is one message
+about to cross the radio, and the code between two yields is the
+receiving endpoint's processing of the previous message.  That single
+description serves two execution models:
+
+* **atomic** — :func:`drive_to_completion` exhausts the generator in one
+  call, exactly reproducing the historical blocking ``protocol.run``
+  behaviour (same messages, same byte accounting, same merges, in the
+  same order);
+* **message** — the gossip scheduler wraps the generator in a
+  :class:`ReconcileSession` and schedules every step as its own event on
+  the simulation loop, charging per-message latency and re-checking
+  connectivity before each delivery.  A session whose pair walks out of
+  radio range is :meth:`~ReconcileSession.abort`-ed between messages;
+  its :class:`~repro.reconcile.stats.ReconcileStats` keep the partial
+  totals charged so far and are flagged ``interrupted``.
+
+Interruption can never corrupt a replica: blocks are only ever inserted
+through :func:`~repro.reconcile.session.merge_blocks`, which adds a
+block if and only if all its parents are present (parent-closed
+batches).  Blocks still in flight — or received but awaiting parents —
+are simply dropped with the torn session.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.core.node import VegvisirNode
+from repro.reconcile.stats import INITIATOR_TO_RESPONDER, ReconcileStats
+
+#: One protocol step: the direction and wire message of one transmission.
+Step = Tuple[str, dict]
+
+
+class SessionStep:
+    """One wire message of a session, with its canonical encoded size."""
+
+    __slots__ = ("direction", "message", "size")
+
+    def __init__(self, direction: str, message: dict, size: int):
+        self.direction = direction
+        self.message = message
+        self.size = size
+
+    @property
+    def from_initiator(self) -> bool:
+        return self.direction == INITIATOR_TO_RESPONDER
+
+    def __repr__(self) -> str:
+        kind = self.message.get("type", "?")
+        return f"SessionStep({self.direction}, {kind!r}, {self.size} B)"
+
+
+class ReconcileSession:
+    """A suspended reconciliation between two replicas.
+
+    Pull wire messages one at a time with :meth:`next_step`; every call
+    delivers the previous message (running the receiving endpoint's
+    processing) and returns the next transmission, or ``None`` once the
+    protocol has finished.  :meth:`abort` tears the session down between
+    messages, keeping the partial byte/block totals in :attr:`stats`.
+    """
+
+    def __init__(self, protocol, initiator: VegvisirNode,
+                 responder: VegvisirNode):
+        self.protocol = protocol
+        self.initiator = initiator
+        self.responder = responder
+        self.stats = ReconcileStats(getattr(protocol, "name", "?"))
+        self._steps: Iterator[Step] = protocol.session(
+            initiator, responder, self.stats
+        )
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        """Has the session finished (completed or aborted)?"""
+        return self._done
+
+    @property
+    def interrupted(self) -> bool:
+        return self.stats.interrupted
+
+    def next_step(self) -> Optional[SessionStep]:
+        """Deliver the previous message and return the next one.
+
+        The returned step's bytes are charged to :attr:`stats` at this
+        point — transmission energy is spent whether or not the message
+        will ultimately be delivered.  Returns ``None`` when the
+        protocol is complete (or the session was already torn down).
+        """
+        if self._done:
+            return None
+        try:
+            direction, message = next(self._steps)
+        except StopIteration:
+            self._done = True
+            return None
+        size = self.stats.record(direction, message)
+        return SessionStep(direction, message, size)
+
+    def abort(self) -> None:
+        """Tear the session down between messages.
+
+        Idempotent, and a no-op on an already-completed session.  The
+        stats keep every byte and block charged so far and are flagged
+        ``interrupted``; no replica is left structurally invalid because
+        blocks only ever enter a DAG in parent-closed batches.
+        """
+        if self._done:
+            return
+        self._done = True
+        self.stats.interrupted = True
+        self._steps.close()
+
+
+def drive_to_completion(protocol, initiator: VegvisirNode,
+                        responder: VegvisirNode) -> ReconcileStats:
+    """Run a session generator to exhaustion at one instant.
+
+    This is the atomic execution model: identical message sequence and
+    accounting to the message-level model with an ideal (zero-latency,
+    uninterrupted) link, which the equivalence tests enforce.
+    """
+    session = ReconcileSession(protocol, initiator, responder)
+    while session.next_step() is not None:
+        pass
+    return session.stats

@@ -14,13 +14,20 @@ gossip layer relies on this).
 
 The responder sends full blocks for the *new* level and bare hashes for
 levels already transmitted, so the deepening loop does not resend data.
+
+The protocol is written as a message generator (see
+:mod:`repro.reconcile.engine`): :meth:`FrontierProtocol.session` yields
+one wire message per step and can be suspended or aborted between any
+two of them; :meth:`FrontierProtocol.run` drives it to completion
+atomically.
 """
 
 from __future__ import annotations
 
 from repro.chain.block import Block
 from repro.core.node import VegvisirNode
-from repro.reconcile.session import merge_blocks, push_missing_blocks
+from repro.reconcile.engine import drive_to_completion
+from repro.reconcile.session import merge_blocks, push_steps
 from repro.reconcile.stats import (
     INITIATOR_TO_RESPONDER,
     RESPONDER_TO_INITIATOR,
@@ -49,19 +56,21 @@ class FrontierProtocol:
 
     def run(self, initiator: VegvisirNode,
             responder: VegvisirNode) -> ReconcileStats:
-        stats = ReconcileStats(self.name)
+        return drive_to_completion(self, initiator, responder)
+
+    def session(self, initiator: VegvisirNode, responder: VegvisirNode,
+                stats: ReconcileStats):
+        """Yield the session's wire messages one at a time."""
         if initiator.chain_id != responder.chain_id:
             # Different genesis blocks: not the same blockchain (§IV-G).
-            return stats
+            return
 
         responder_frontier = sorted(responder.frontier())
 
         if self._hash_first:
             stats.rounds += 1
-            stats.record(
-                INITIATOR_TO_RESPONDER, {"type": "get_frontier_hashes"}
-            )
-            stats.record(
+            yield INITIATOR_TO_RESPONDER, {"type": "get_frontier_hashes"}
+            yield (
                 RESPONDER_TO_INITIATOR,
                 {
                     "type": "frontier_hashes",
@@ -71,16 +80,16 @@ class FrontierProtocol:
             if all(initiator.has_block(h) for h in responder_frontier):
                 stats.converged = True
                 if self._push:
-                    push_missing_blocks(
+                    yield from push_steps(
                         initiator, responder, responder_frontier, stats
                     )
-                return stats
+                return
         pending: list[Block] = []
         sent_hashes: set = set()
         level = 1
         while level <= self._max_level:
             stats.rounds += 1
-            stats.record(
+            yield (
                 INITIATOR_TO_RESPONDER,
                 {"type": "get_frontier", "level": level},
             )
@@ -91,7 +100,7 @@ class FrontierProtocol:
                 if h not in sent_hashes
             ]
             sent_hashes.update(level_hashes)
-            stats.record(
+            yield (
                 RESPONDER_TO_INITIATOR,
                 {
                     "type": "frontier_set",
@@ -122,7 +131,6 @@ class FrontierProtocol:
             level += 1
 
         if stats.converged and self._push:
-            push_missing_blocks(
+            yield from push_steps(
                 initiator, responder, responder_frontier, stats
             )
-        return stats

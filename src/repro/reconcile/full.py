@@ -6,12 +6,16 @@ responder ships every block it has, then the initiator pushes back the
 difference.  Bandwidth is proportional to chain length regardless of how
 little the replicas diverge, which is exactly what experiments F3/E5
 demonstrate.
+
+Written as a message generator (see :mod:`repro.reconcile.engine`);
+``run`` drives the generator atomically.
 """
 
 from __future__ import annotations
 
 from repro.core.node import VegvisirNode
-from repro.reconcile.session import merge_blocks, push_missing_blocks
+from repro.reconcile.engine import drive_to_completion
+from repro.reconcile.session import merge_blocks, push_steps
 from repro.reconcile.stats import (
     INITIATOR_TO_RESPONDER,
     RESPONDER_TO_INITIATOR,
@@ -29,15 +33,19 @@ class FullExchangeProtocol:
 
     def run(self, initiator: VegvisirNode,
             responder: VegvisirNode) -> ReconcileStats:
-        stats = ReconcileStats(self.name)
+        return drive_to_completion(self, initiator, responder)
+
+    def session(self, initiator: VegvisirNode, responder: VegvisirNode,
+                stats: ReconcileStats):
+        """Yield the session's wire messages one at a time."""
         if initiator.chain_id != responder.chain_id:
-            return stats
+            return
         responder_frontier = sorted(responder.frontier())
 
         stats.rounds = 1
-        stats.record(INITIATOR_TO_RESPONDER, {"type": "get_dag"})
+        yield INITIATOR_TO_RESPONDER, {"type": "get_dag"}
         blocks = list(responder.dag.blocks())
-        stats.record(
+        yield (
             RESPONDER_TO_INITIATOR,
             {"type": "dag", "blocks": [b.to_wire() for b in blocks]},
         )
@@ -48,7 +56,6 @@ class FullExchangeProtocol:
         stats.converged = merged.complete
 
         if stats.converged and self._push:
-            push_missing_blocks(
+            yield from push_steps(
                 initiator, responder, responder_frontier, stats
             )
-        return stats

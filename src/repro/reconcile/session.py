@@ -100,17 +100,18 @@ def responder_holdings(node: VegvisirNode,
     return holdings
 
 
-def push_missing_blocks(
+def push_steps(
     initiator: VegvisirNode,
     responder: VegvisirNode,
     responder_frontier: Sequence[Hash],
     stats: ReconcileStats,
-) -> None:
-    """Send the responder every block it lacks, in topological order.
+):
+    """The push half of a session, as message-generator steps.
 
-    Assumes the initiator has already pulled, so its DAG is a superset of
-    the responder's.  Charged to the initiator→responder direction via a
-    single block-batch message.
+    Sends the responder every block it lacks in topological order, as a
+    single initiator→responder block-batch message; the responder merges
+    it on delivery.  Assumes the initiator has already pulled, so its
+    DAG is a superset of the responder's holdings.
     """
     responder_has = responder_holdings(initiator, responder_frontier)
     missing = [
@@ -119,7 +120,7 @@ def push_missing_blocks(
     ]
     if not missing:
         return
-    stats.record(
+    yield (
         INITIATOR_TO_RESPONDER,
         {"type": "push_blocks", "blocks": [b.to_wire() for b in missing]},
     )
@@ -127,3 +128,16 @@ def push_missing_blocks(
     stats.blocks_pushed += len(merged.added)
     stats.duplicate_blocks += merged.duplicates
     stats.invalid_blocks += merged.invalid
+
+
+def push_missing_blocks(
+    initiator: VegvisirNode,
+    responder: VegvisirNode,
+    responder_frontier: Sequence[Hash],
+    stats: ReconcileStats,
+) -> None:
+    """Blocking form of :func:`push_steps` (records and delivers now)."""
+    for direction, message in push_steps(
+        initiator, responder, responder_frontier, stats
+    ):
+        stats.record(direction, message)

@@ -18,7 +18,8 @@ from collections import defaultdict
 from repro.chain.dag import BlockDAG
 from repro.core.node import VegvisirNode
 from repro.crypto.sha import Hash
-from repro.reconcile.session import merge_blocks, push_missing_blocks
+from repro.reconcile.engine import drive_to_completion
+from repro.reconcile.session import merge_blocks, push_steps
 from repro.reconcile.stats import (
     INITIATOR_TO_RESPONDER,
     RESPONDER_TO_INITIATOR,
@@ -47,14 +48,18 @@ class HeightSkipProtocol:
 
     def run(self, initiator: VegvisirNode,
             responder: VegvisirNode) -> ReconcileStats:
-        stats = ReconcileStats(self.name)
+        return drive_to_completion(self, initiator, responder)
+
+    def session(self, initiator: VegvisirNode, responder: VegvisirNode,
+                stats: ReconcileStats):
+        """Yield the session's wire messages one at a time."""
         if initiator.chain_id != responder.chain_id:
-            return stats
+            return
         responder_frontier = sorted(responder.frontier())
 
         stats.rounds += 1
         my_digests = height_digests(initiator.dag)
-        stats.record(
+        yield (
             INITIATOR_TO_RESPONDER,
             {"type": "height_digests", "digests": my_digests},
         )
@@ -62,7 +67,7 @@ class HeightSkipProtocol:
         their_digests = height_digests(responder.dag)
         split = _first_difference(my_digests, their_digests)
         if split is None:
-            stats.record(
+            yield (
                 RESPONDER_TO_INITIATOR,
                 {"type": "height_match", "frontier": [
                     h.digest for h in responder_frontier
@@ -74,7 +79,7 @@ class HeightSkipProtocol:
                 block for block in responder.dag.blocks()
                 if responder.dag.height(block.hash) >= split
             ]
-            stats.record(
+            yield (
                 RESPONDER_TO_INITIATOR,
                 {
                     "type": "height_blocks",
@@ -92,10 +97,9 @@ class HeightSkipProtocol:
             )
 
         if stats.converged and self._push:
-            push_missing_blocks(
+            yield from push_steps(
                 initiator, responder, responder_frontier, stats
             )
-        return stats
 
 
 def _first_difference(a: list[bytes], b: list[bytes]):

@@ -37,6 +37,10 @@ class ReconcileStats:
         self.duplicate_blocks = 0
         self.invalid_blocks = 0
         self.converged = False
+        # Set by the session engine when a message-level session was
+        # aborted mid-transfer; the counters above then hold the partial
+        # totals charged before the tear-down.
+        self.interrupted = False
         self._mirror_bytes = None
         self._mirror_messages = None
         if registry is not None:
@@ -106,6 +110,7 @@ class ReconcileStats:
             "duplicates": self.duplicate_blocks,
             "invalid": self.invalid_blocks,
             "converged": self.converged,
+            "interrupted": self.interrupted,
         }
 
     def __repr__(self) -> str:

@@ -30,6 +30,15 @@ def simulation_report(sim: Simulation) -> str:
         f"completed, "
         f"{registry.value('sim_session_bytes_total')} bytes, "
         f"{registry.value('sim_transfer_ms_total')} ms on air",
+    ]
+    interrupted = registry.value("sim_sessions_interrupted_total")
+    if interrupted:
+        lines.append(
+            f"interrupted:      {interrupted} sessions torn mid-transfer, "
+            f"{registry.value('sim_session_partial_bytes_total')} "
+            f"partial bytes"
+        )
+    lines += [
         f"contacts:         "
         f"{registry.value('sim_contacts_attempted_total')} attempted "
         f"({contacts['no_neighbor']} isolated, "

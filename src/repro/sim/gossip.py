@@ -8,10 +8,27 @@ link model, and — if the contact goes through — runs one reconciliation
 session, charging its bytes to the energy ledgers and its deliveries to
 the propagation tracker.
 
-A session is executed atomically at the contact instant (its duration is
-recorded, not simulated block-by-block); this is the standard epidemic-
-simulation simplification and affects none of the measured quantities
-except sub-contact-timescale latency.
+Two session execution models are supported (``session_model``):
+
+* ``"atomic"`` (default) — a session executes in full at the contact
+  instant; its duration is computed afterwards from the byte total and
+  charged as busy time.  This is the classic epidemic-simulation
+  simplification: cheap, but a session can never be cut short.
+* ``"message"`` — a session is a resumable
+  :class:`~repro.reconcile.engine.ReconcileSession` driven one wire
+  message at a time over the event loop.  Each message is its own
+  event, delayed by :meth:`LinkModel.message_latency_ms`; before every
+  delivery the scheduler re-checks ``Topology.neighbors`` (which is how
+  partitions and mobility manifest), and if the pair is no longer
+  connected the session is aborted mid-transfer with its partial byte
+  and block totals recorded as an ``interrupted`` outcome.  Blocks only
+  ever enter a DAG in parent-closed batches, so a torn session never
+  leaves a replica structurally invalid.
+
+With an ideal link (zero setup latency, effectively infinite bandwidth)
+and no interruptions the two models are equivalent: same final DAGs,
+same :class:`ReconcileStats` totals, same trace — a property enforced
+by ``tests/sim/test_session_models.py``.
 """
 
 from __future__ import annotations
@@ -23,6 +40,7 @@ from repro.core.node import VegvisirNode
 from repro.net.events import EventLoop
 from repro.net.links import LinkModel
 from repro.net.topology import Topology
+from repro.reconcile.engine import ReconcileSession
 from repro.reconcile.frontier import FrontierProtocol
 from repro.reconcile.stats import (
     INITIATOR_TO_RESPONDER,
@@ -44,6 +62,24 @@ SELECT_LEAST_RECENT = "least_recent"
 
 PEER_SELECTORS = (SELECT_RANDOM, SELECT_ROUND_ROBIN, SELECT_LEAST_RECENT)
 
+SESSION_ATOMIC = "atomic"
+SESSION_MESSAGE = "message"
+
+SESSION_MODELS = (SESSION_ATOMIC, SESSION_MESSAGE)
+
+
+class _ActiveSession:
+    """One in-flight message-level session occupying its two endpoints."""
+
+    __slots__ = ("session", "initiator_id", "responder_id", "start_ms")
+
+    def __init__(self, session: ReconcileSession, initiator_id: int,
+                 responder_id: int, start_ms: int):
+        self.session = session
+        self.initiator_id = initiator_id
+        self.responder_id = responder_id
+        self.start_ms = start_ms
+
 
 class GossipScheduler:
     """Periodic random-neighbor reconciliation over an event loop."""
@@ -62,10 +98,13 @@ class GossipScheduler:
         jitter_ms: int = 200,
         seed: int = 0,
         peer_selector: str = SELECT_RANDOM,
+        session_model: str = SESSION_ATOMIC,
         obs=None,
     ):
         if peer_selector not in PEER_SELECTORS:
             raise ValueError(f"unknown peer selector {peer_selector!r}")
+        if session_model not in SESSION_MODELS:
+            raise ValueError(f"unknown session model {session_model!r}")
         self._loop = loop
         self._topology = topology
         self._nodes = nodes
@@ -77,12 +116,16 @@ class GossipScheduler:
         self._interval_ms = interval_ms
         self._jitter_ms = jitter_ms
         self._rng = random.Random(seed)
+        self._session_model = session_model
         # Per-node cursor into the DAG insertion order, for delivery
         # tracking without rescanning whole DAGs.
         self._seen_counts = {node_id: 0 for node_id in nodes}
         # Radios are half-duplex: a session occupies both ends for its
         # transfer duration; ticks that land on a busy node are skipped.
+        # In the message model an in-flight session additionally pins
+        # both endpoints via ``_active`` until it completes or aborts.
         self._busy_until = {node_id: 0 for node_id in nodes}
+        self._active: dict[int, _ActiveSession] = {}
         # Peer selection state (§IV-G mandates only that a neighbor is
         # picked; the strategy is an ablation knob, experiment A3).
         self._peer_selector = peer_selector
@@ -118,6 +161,16 @@ class GossipScheduler:
                 "blocks moved by protocol and kind",
                 labels=("protocol", "kind"),
             )
+            self._c_sessions_interrupted = registry.counter(
+                "reconcile_sessions_interrupted_total",
+                "sessions aborted mid-transfer by link loss",
+                labels=("protocol",),
+            )
+            self._c_partial_bytes = registry.counter(
+                "reconcile_partial_bytes_total",
+                "bytes charged to sessions later interrupted",
+                labels=("protocol", "direction"),
+            )
             self._c_peer_selected = registry.counter(
                 "sim_peer_selections_total",
                 "peers drawn by the configured strategy",
@@ -131,6 +184,10 @@ class GossipScheduler:
 
     def policy(self, node_id: int) -> AdversaryPolicy:
         return self._policies.get(node_id) or HonestPolicy()
+
+    @property
+    def session_model(self) -> str:
+        return self._session_model
 
     def start(self) -> None:
         """Schedule every node's first tick at a random phase offset."""
@@ -159,7 +216,10 @@ class GossipScheduler:
         self._loop.schedule_in(delay, self._make_tick(node_id))
 
     def is_busy(self, node_id: int) -> bool:
-        return self._busy_until[node_id] > self._loop.now
+        return (
+            node_id in self._active
+            or self._busy_until[node_id] > self._loop.now
+        )
 
     def _tick(self, node_id: int) -> None:
         self._schedule_next(node_id)
@@ -201,10 +261,13 @@ class GossipScheduler:
                 obs.bus.emit("contact.outcome", node=node_id,
                              peer=peer_id, outcome="lost")
             return
-        self.contact(node_id, peer_id)
+        # "ok" means the contact was established and a session started;
+        # emitted before the session runs so atomic and message-level
+        # executions produce the same event order.
         if obs is not None:
             obs.bus.emit("contact.outcome", node=node_id, peer=peer_id,
                          outcome="ok")
+        self.contact(node_id, peer_id)
 
     def _select_peer(self, node_id: int, neighbors: list[int]) -> int:
         if self._obs is not None:
@@ -221,7 +284,13 @@ class GossipScheduler:
         return neighbors[self._rng.randrange(len(neighbors))]
 
     def contact(self, initiator_id: int, responder_id: int) -> ReconcileStats:
-        """Run one reconciliation session between two nodes, now."""
+        """Start one reconciliation session between two nodes, now.
+
+        In the atomic model the session has fully executed by the time
+        this returns.  In the message model the returned stats object is
+        *live*: the session continues message-by-message on the event
+        loop and the totals keep growing until it completes or aborts.
+        """
         push = (
             self.policy(initiator_id).responds_to_gossip()
             and self.policy(responder_id).accepts_pushes()
@@ -234,24 +303,141 @@ class GossipScheduler:
                 responder=responder_id,
                 protocol=getattr(protocol, "name", "?"),
             )
+        if (
+            self._session_model == SESSION_MESSAGE
+            and hasattr(protocol, "session")
+        ):
+            return self._contact_message(initiator_id, responder_id, protocol)
+        return self._contact_atomic(initiator_id, responder_id, protocol)
+
+    # -- atomic execution ----------------------------------------------
+
+    def _contact_atomic(self, initiator_id: int, responder_id: int,
+                        protocol) -> ReconcileStats:
         stats = protocol.run(
             self._nodes[initiator_id], self._nodes[responder_id]
         )
-        self._metrics.record_session(stats.total_bytes, stats.total_messages)
         duration = self._link.transfer_duration_ms(
             stats.total_bytes, round_trips=max(1, stats.rounds)
         )
-        if obs is not None:
+        self._settle_session(
+            initiator_id, responder_id, stats, self._loop.now, duration
+        )
+        return stats
+
+    # -- message-level execution ---------------------------------------
+
+    def _contact_message(self, initiator_id: int, responder_id: int,
+                         protocol) -> ReconcileStats:
+        session = ReconcileSession(
+            protocol, self._nodes[initiator_id], self._nodes[responder_id]
+        )
+        state = _ActiveSession(
+            session, initiator_id, responder_id, self._loop.now
+        )
+        self._active[initiator_id] = state
+        self._active[responder_id] = state
+        self._advance(state)
+        return session.stats
+
+    def _advance(self, state: _ActiveSession) -> None:
+        """Send messages until one takes time, then wait for it."""
+        while True:
+            step = state.session.next_step()
+            if step is None:
+                self._finish_message_session(state)
+                return
+            delay = self._link.message_latency_ms(step.size)
+            if delay > 0:
+                def deliver() -> None:
+                    self._deliver(state)
+                self._loop.schedule_in(delay, deliver)
+                return
+            # A zero-latency message arrives within the same simulated
+            # millisecond: no other event can run in between, so
+            # connectivity cannot have changed — deliver inline instead
+            # of round-tripping through the event loop.
+
+    def _deliver(self, state: _ActiveSession) -> None:
+        """One message arrives: re-check the link, then step on."""
+        if state.session.done:
+            return
+        if not self._topology.connected(
+            state.initiator_id, state.responder_id, self._loop.now
+        ):
+            self._interrupt(state)
+            return
+        self._advance(state)
+
+    def _finish_message_session(self, state: _ActiveSession) -> None:
+        stats = state.session.stats
+        self._active.pop(state.initiator_id, None)
+        self._active.pop(state.responder_id, None)
+        # Duration: the elapsed per-message time, floored by the atomic
+        # model's formula so an ideal link charges the identical airtime
+        # in both models.
+        modelled = self._link.transfer_duration_ms(
+            stats.total_bytes, round_trips=max(1, stats.rounds)
+        )
+        elapsed = self._loop.now - state.start_ms
+        self._settle_session(
+            state.initiator_id, state.responder_id, stats,
+            state.start_ms, max(elapsed, modelled),
+        )
+
+    def _interrupt(self, state: _ActiveSession) -> None:
+        """Abort an in-flight session whose pair lost connectivity."""
+        state.session.abort()
+        stats = state.session.stats
+        initiator_id = state.initiator_id
+        responder_id = state.responder_id
+        self._active.pop(initiator_id, None)
+        self._active.pop(responder_id, None)
+        elapsed = self._loop.now - state.start_ms
+        self._metrics.record_interrupted_session(
+            stats.total_bytes, stats.total_messages
+        )
+        self._metrics.record_transfer_duration(elapsed)
+        pair = (min(initiator_id, responder_id),
+                max(initiator_id, responder_id))
+        self._last_contact[pair] = state.start_ms
+        if self._energy is not None:
+            # Transmission energy was spent on every byte that crossed
+            # (or was on) the air, delivered or not.
+            self._energy.charge_transfer(
+                initiator_id, responder_id,
+                stats.bytes[INITIATOR_TO_RESPONDER],
+            )
+            self._energy.charge_transfer(
+                responder_id, initiator_id,
+                stats.bytes[RESPONDER_TO_INITIATOR],
+            )
+        # Blocks merged before the tear-down were genuinely delivered.
+        self.observe_local_blocks(initiator_id)
+        self.observe_local_blocks(responder_id)
+        if self._obs is not None:
+            self._observe_interrupted(
+                initiator_id, responder_id, stats, elapsed
+            )
+
+    # -- shared settlement ---------------------------------------------
+
+    def _settle_session(self, initiator_id: int, responder_id: int,
+                        stats: ReconcileStats, start_ms: int,
+                        duration: int) -> None:
+        """Fold one *completed* session into metrics, energy, busy time."""
+        self._metrics.record_session(stats.total_bytes, stats.total_messages)
+        if self._obs is not None:
             self._observe_session(
                 initiator_id, responder_id, stats, duration
             )
-        busy_until = self._loop.now + duration
+        busy_until = start_ms + duration
         self._busy_until[initiator_id] = busy_until
         self._busy_until[responder_id] = busy_until
         self._metrics.record_transfer_duration(duration)
         pair = (min(initiator_id, responder_id),
                 max(initiator_id, responder_id))
-        self._last_contact[pair] = self._loop.now
+        self._last_contact[pair] = start_ms
         if self._energy is not None:
             self._energy.charge_transfer(
                 initiator_id, responder_id,
@@ -263,7 +449,6 @@ class GossipScheduler:
             )
         self.observe_local_blocks(initiator_id)
         self.observe_local_blocks(responder_id)
-        return stats
 
     def _observe_session(self, initiator_id: int, responder_id: int,
                          stats: ReconcileStats, duration: int) -> None:
@@ -302,6 +487,29 @@ class GossipScheduler:
             duplicates=stats.duplicate_blocks,
             invalid=stats.invalid_blocks,
             converged=stats.converged, duration_ms=duration,
+        )
+
+    def _observe_interrupted(self, initiator_id: int, responder_id: int,
+                             stats: ReconcileStats, elapsed: int) -> None:
+        """Fold one torn session into the registry and trace."""
+        protocol = stats.protocol
+        self._c_sessions_interrupted.labels(protocol=protocol).inc()
+        for direction in (INITIATOR_TO_RESPONDER, RESPONDER_TO_INITIATOR):
+            self._c_partial_bytes.labels(
+                protocol=protocol, direction=direction
+            ).inc(stats.bytes[direction])
+        self._obs.bus.emit(
+            "session.interrupted", initiator=initiator_id,
+            responder=responder_id, protocol=protocol, rounds=stats.rounds,
+            bytes_i2r=stats.bytes[INITIATOR_TO_RESPONDER],
+            bytes_r2i=stats.bytes[RESPONDER_TO_INITIATOR],
+            messages_i2r=stats.messages[INITIATOR_TO_RESPONDER],
+            messages_r2i=stats.messages[RESPONDER_TO_INITIATOR],
+            blocks_pulled=stats.blocks_pulled,
+            blocks_pushed=stats.blocks_pushed,
+            duplicates=stats.duplicate_blocks,
+            invalid=stats.invalid_blocks,
+            duration_ms=elapsed,
         )
 
     def observe_local_blocks(self, node_id: int) -> None:

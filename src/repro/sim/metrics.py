@@ -125,6 +125,12 @@ class SimMetrics:
         self.sessions_completed = 0
         self.session_bytes = 0
         self.session_messages = 0
+        # Sessions torn mid-transfer (message-level model only): their
+        # bytes/messages were spent on the air but the session never
+        # settled, so they are accounted separately as "partial".
+        self.sessions_interrupted = 0
+        self.partial_bytes = 0
+        self.partial_messages = 0
         self.transfer_ms_total = 0
         self.blocks_created = 0
         self.frontier_width_samples: list[tuple[int, int]] = []
@@ -133,6 +139,12 @@ class SimMetrics:
         self.sessions_completed += 1
         self.session_bytes += byte_count
         self.session_messages += message_count
+
+    def record_interrupted_session(self, byte_count: int,
+                                   message_count: int) -> None:
+        self.sessions_interrupted += 1
+        self.partial_bytes += byte_count
+        self.partial_messages += message_count
 
     def record_transfer_duration(self, duration_ms: int) -> None:
         self.transfer_ms_total += duration_ms
@@ -155,6 +167,9 @@ class SimMetrics:
             "sessions_completed": self.sessions_completed,
             "session_bytes": self.session_bytes,
             "session_messages": self.session_messages,
+            "sessions_interrupted": self.sessions_interrupted,
+            "partial_bytes": self.partial_bytes,
+            "partial_messages": self.partial_messages,
             "transfer_ms_total": self.transfer_ms_total,
             "blocks_created": self.blocks_created,
             "mean_coverage": self.propagation.mean_coverage(),
@@ -184,6 +199,7 @@ class SimMetrics:
             "no_neighbor": self.contacts_no_neighbor,
             "lost": self.contacts_lost,
             "refused": self.contacts_refused,
+            "interrupted": self.sessions_interrupted,
         }
         for outcome, count in outcomes.items():
             contacts.labels(outcome=outcome).value = count
@@ -200,6 +216,15 @@ class SimMetrics:
             "sim_session_messages_total":
                 ("messages exchanged across all sessions",
                  self.session_messages),
+            "sim_sessions_interrupted_total":
+                ("sessions aborted mid-transfer by link loss",
+                 self.sessions_interrupted),
+            "sim_session_partial_bytes_total":
+                ("bytes spent on later-interrupted sessions",
+                 self.partial_bytes),
+            "sim_session_partial_messages_total":
+                ("messages spent on later-interrupted sessions",
+                 self.partial_messages),
             "sim_transfer_ms_total":
                 ("milliseconds of radio airtime", self.transfer_ms_total),
             "sim_blocks_created_total":

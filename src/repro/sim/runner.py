@@ -57,6 +57,7 @@ class Simulation:
             jitter_ms=scenario.gossip_jitter_ms,
             seed=scenario.seed ^ 0x60551B,
             peer_selector=scenario.peer_selector,
+            session_model=scenario.session_model,
             obs=self.obs,
         )
         self._appended = 0

@@ -45,6 +45,7 @@ class Scenario:
         chain_name: str = "sim",
         clock_skew_ms: int = 0,
         peer_selector: str = "random",
+        session_model: str = "atomic",
         workload=None,
         trace_path=None,
         trace_ring: Optional[int] = None,
@@ -70,6 +71,14 @@ class Scenario:
         self.seed = seed
         self.chain_name = chain_name
         self.peer_selector = peer_selector
+        # "atomic" runs each reconciliation session in full at the
+        # contact instant; "message" drives it one wire message at a
+        # time over the event loop, where partitions and mobility can
+        # interrupt it mid-transfer (see repro.sim.gossip).
+        from repro.sim.gossip import SESSION_MODELS
+        if session_model not in SESSION_MODELS:
+            raise ValueError(f"unknown session model {session_model!r}")
+        self.session_model = session_model
         # A Workload instance overrides the built-in periodic appender
         # (append_interval_ms is then ignored).
         self.workload = workload

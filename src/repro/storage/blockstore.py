@@ -40,11 +40,20 @@ def _observability():
 
 
 class BlockStore:
-    """An append-only file of blocks."""
+    """An append-only file of blocks.
+
+    Appends go through one persistent file handle, opened lazily on the
+    first :meth:`append` and kept until :meth:`close` — a fleet member
+    appending every few seconds should not pay an open/close per block.
+    The store works as a context manager (``with BlockStore(path) as
+    store: ...``) and closing is idempotent; a closed store reopens its
+    writer transparently on the next append.
+    """
 
     def __init__(self, path: Union[str, pathlib.Path], fsync: bool = True):
         self._path = pathlib.Path(path)
         self._fsync = fsync
+        self._writer = None
         if self._path.exists():
             with self._path.open("rb") as handle:
                 magic = handle.read(_HEADER)
@@ -61,6 +70,26 @@ class BlockStore:
     def path(self) -> pathlib.Path:
         return self._path
 
+    def _write_handle(self):
+        if self._writer is None or self._writer.closed:
+            self._writer = self._path.open("ab")
+        return self._writer
+
+    def close(self) -> None:
+        """Flush and close the persistent append handle (idempotent)."""
+        if self._writer is not None and not self._writer.closed:
+            self._writer.flush()
+            if self._fsync:
+                os.fsync(self._writer.fileno())
+            self._writer.close()
+        self._writer = None
+
+    def __enter__(self) -> "BlockStore":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
     def append(self, block: Block) -> None:
         """Durably append one block."""
         payload = block.to_bytes()
@@ -69,11 +98,11 @@ class BlockStore:
             + hashlib.sha256(payload).digest()
             + payload
         )
-        with self._path.open("ab") as handle:
-            handle.write(record)
-            handle.flush()
-            if self._fsync:
-                os.fsync(handle.fileno())
+        handle = self._write_handle()
+        handle.write(record)
+        handle.flush()
+        if self._fsync:
+            os.fsync(handle.fileno())
         observer = _observability()
         if observer is not None:
             observer.registry.counter(

@@ -56,6 +56,7 @@ def save_node(node: VegvisirNode, path: Union[str, pathlib.Path],
         path.unlink()
     store = BlockStore(path)
     store.append_all(node.dag.blocks())
+    store.close()  # the handle reopens transparently on a later append
     if seal_key is not None:
         _seal_path(path).write_bytes(
             _seal_digest(seal_key, path.read_bytes())

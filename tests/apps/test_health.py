@@ -3,7 +3,6 @@
 import pytest
 
 from repro.apps.health import HealthAccessLedger, RecordVault
-from repro.core.witness import WitnessTracker
 from repro.reconcile.frontier import FrontierProtocol
 
 

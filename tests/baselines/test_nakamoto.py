@@ -1,6 +1,5 @@
 """Nakamoto baseline tests: real mining, longest-chain, fork discard."""
 
-import pytest
 
 from repro.baselines.nakamoto import (
     NakamotoChain,

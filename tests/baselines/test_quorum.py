@@ -1,6 +1,5 @@
 """Majority-quorum chain baseline tests: safe but unavailable."""
 
-import pytest
 
 from repro.baselines.quorum import QuorumChain
 

@@ -177,6 +177,22 @@ class TestFrontierLevels:
             assert previous <= current
             previous = current
 
+    def test_memo_invalidated_by_add_block(self, key, genesis):
+        dag, c1, c2, tip_a, tip_b = self._chain_with_fork(key, genesis)
+        before = dag.frontier_level(2)  # primes the memo
+        assert dag.frontier_level(2) == before  # served from memo
+        child = _block(key, [tip_a], 5)
+        dag.add_block(child)
+        after = dag.frontier_level(2)
+        assert after != before
+        assert after == {child.hash, tip_b.hash, tip_a.hash, c2.hash}
+
+    def test_memo_returns_independent_copies(self, key, genesis):
+        dag, *_ = self._chain_with_fork(key, genesis)
+        first = dag.frontier_level(1)
+        first.clear()  # caller mutation must not poison the memo
+        assert dag.frontier_level(1) == dag.frontier()
+
 
 class TestTopologicalOrder:
     def _random_dag(self, key, genesis, block_count=30, seed=7):

@@ -113,3 +113,34 @@ def test_genesis_is_universal_ancestor(dag):
     for block in dag.blocks():
         if not block.is_genesis():
             assert dag.is_ancestor(dag.genesis_hash, block.hash)
+
+
+def _naive_frontier_level(dag: BlockDAG, level: int) -> set:
+    """The definitional recomputation, used to cross-check the memo."""
+    result = set(dag.frontier())
+    boundary = set(result)
+    for _ in range(level - 1):
+        parents = set()
+        for block_hash in boundary:
+            parents.update(dag.get(block_hash).parents)
+        new = parents - result
+        if not new:
+            break
+        result |= new
+        boundary = new
+    return result
+
+
+@given(_dag_strategy, st.lists(st.integers(1, 8), min_size=1, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_frontier_level_memo_matches_naive(dag, levels):
+    # Repeated and out-of-order queries (exercising the memo) always
+    # agree with the naive recomputation...
+    for level in levels + levels:
+        assert dag.frontier_level(level) == _naive_frontier_level(dag, level)
+    # ...including after an insertion invalidates every cached level.
+    tips = sorted(dag.frontier())
+    clock = 1 + max(block.timestamp for block in dag.blocks())
+    dag.add_block(Block.create(_KEY, tips, clock))
+    for level in levels:
+        assert dag.frontier_level(level) == _naive_frontier_level(dag, level)

@@ -1,6 +1,5 @@
 """Historical state queries: node.state_at and provenance interplay."""
 
-import pytest
 
 from repro.chain.block import Transaction
 from repro.reconcile.frontier import FrontierProtocol

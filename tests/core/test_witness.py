@@ -74,7 +74,7 @@ class TestWitnessing:
         a = deployment.node(0)
         b = deployment.node(1)
         tracker = WitnessTracker(a.dag)  # built early, updated as we go
-        block = a.append_transactions([])
+        a.append_transactions([])
         tracker.sync()
         _spread(b, a)
         b.append_witness_block()

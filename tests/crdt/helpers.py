@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 
-from repro.crdt.base import CRDT, OpContext
+from repro.crdt.base import OpContext
 from repro.crypto.sha import Hash
 
 

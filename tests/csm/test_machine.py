@@ -230,7 +230,7 @@ class TestReplayDiscipline:
 
     def test_replaying_out_of_order_raises(self, deployment):
         peer = deployment.node(1)
-        first = peer.append_transactions([])
+        peer.append_transactions([])
         second = peer.append_transactions([])
         machine = CSMachine.from_genesis(deployment.genesis)
         with pytest.raises(CSMError):

@@ -10,7 +10,7 @@ import pytest
 
 from repro import wire
 from repro.net.links import LinkModel
-from repro.reconcile import FrontierProtocol, ReconcileEndpoint, RemoteSession
+from repro.reconcile import ReconcileEndpoint, RemoteSession
 from repro.sim import Scenario, Simulation
 
 
@@ -65,7 +65,7 @@ class TestMidSessionCrash:
         left, right = _diverged(deployment)
         digest_before_blocks = len(left.dag)
         transport = CrashingTransport(ReconcileEndpoint(right), survive)
-        stats = RemoteSession(left, transport).sync()
+        RemoteSession(left, transport).sync()
         # Partial progress is fine; corruption is not: whatever merged
         # must validate and the CSM must still be internally consistent.
         assert len(left.dag) >= digest_before_blocks

@@ -1,6 +1,5 @@
 """Protocol variants: hash-first frontier and the byte-transport adapter."""
 
-import pytest
 
 from repro.reconcile import ByteTransportProtocol, FrontierProtocol
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.crypto.sha import Hash
 from repro.net.links import LinkModel
-from repro.sim.energy import EnergyLedger, EnergyModel, EnergyParameters
+from repro.sim.energy import EnergyModel, EnergyParameters
 from repro.sim.metrics import PropagationTracker, SimMetrics, percentile
 
 

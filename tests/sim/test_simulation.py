@@ -1,6 +1,5 @@
 """Simulation harness integration tests."""
 
-import pytest
 
 from repro.net.partitions import PartitionSchedule, PartitionedTopology
 from repro.net.topology import FullMeshTopology, StaticTopology

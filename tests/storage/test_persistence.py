@@ -61,6 +61,68 @@ class TestBlockStore:
         assert list(BlockStore(store_path).blocks()) == []
 
 
+class TestPersistentHandle:
+    """Appends reuse one file handle; close() is explicit and safe."""
+
+    def test_handle_reused_across_appends(self, deployment, store_path):
+        node = deployment.node(0)
+        store = BlockStore(store_path)
+        store.append(deployment.genesis)
+        handle = store._writer
+        assert handle is not None and not handle.closed
+        store.append(node.append_transactions([]))
+        assert store._writer is handle  # same handle, not reopened
+        assert store.count() == 2
+
+    def test_close_is_idempotent(self, deployment, store_path):
+        store = BlockStore(store_path)
+        store.close()  # nothing open yet
+        store.append(deployment.genesis)
+        store.close()
+        store.close()
+        assert store._writer is None
+
+    def test_append_after_close_reopens(self, deployment, store_path):
+        node = deployment.node(0)
+        store = BlockStore(store_path)
+        store.append(deployment.genesis)
+        store.close()
+        store.append(node.append_transactions([]))
+        assert BlockStore(store_path).count() == 2
+
+    def test_context_manager_closes(self, deployment, store_path):
+        with BlockStore(store_path) as store:
+            store.append(deployment.genesis)
+            handle = store._writer
+            assert not handle.closed
+        assert handle.closed
+        assert store._writer is None
+
+    def test_reads_see_unclosed_appends(self, deployment, store_path):
+        # Every append flushes, so a concurrent reader (or the same
+        # store's blocks()) sees all acknowledged records even while
+        # the writer handle stays open.
+        node = deployment.node(0)
+        store = BlockStore(store_path)
+        store.append(deployment.genesis)
+        store.append(node.append_transactions([]))
+        assert len(list(store.blocks())) == 2
+
+    def test_torn_tail_recovery_with_open_handle(self, deployment,
+                                                 store_path):
+        """The crash-recovery property survives the refactor: tear the
+        last record while the writer handle is still open."""
+        node = deployment.node(0)
+        store = BlockStore(store_path)
+        store.append(deployment.genesis)
+        store.append(node.append_transactions([]))
+        data = store_path.read_bytes()
+        store.close()
+        store_path.write_bytes(data[:-7])
+        survivors = list(BlockStore(store_path).blocks())
+        assert survivors == [deployment.genesis]
+
+
 class TestNodeSaveLoad:
     def test_state_survives_reboot(self, deployment, store_path):
         node = deployment.node(0)

@@ -9,7 +9,8 @@ from repro.support.restore import bootstrap_from_support
 class TestSharedSupportChain:
     def test_two_superpeers_one_chain(self, deployment):
         writer = deployment.node(0)
-        first_batch = [writer.append_transactions([]) for _ in range(3)]
+        for _ in range(3):
+            writer.append_transactions([])
 
         shared = SupportChain(deployment.genesis.hash)
         truck_a = Superpeer(deployment.node(2), chain=shared)
@@ -22,7 +23,8 @@ class TestSharedSupportChain:
 
         # More work happens; truck B (different archiver key!) catches
         # up via gossip and extends the same chain.
-        second_batch = [writer.append_transactions([]) for _ in range(2)]
+        for _ in range(2):
+            writer.append_transactions([])
         FrontierProtocol().run(truck_b.node, writer)
         archived_b = truck_b.archive_new_blocks()
         # Truck B saw all 5 writer blocks but skips the 3 truck A
