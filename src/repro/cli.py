@@ -191,15 +191,38 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 FullMeshTopology(node_count), schedule
             )
 
+    faults = None
+    session_model = args.session_model
+    if args.faults is not None:
+        from repro.faults.plan import FaultPlan, FaultPlanError
+
+        try:
+            faults = FaultPlan.load(args.faults)
+        except (OSError, FaultPlanError) as error:
+            print(f"cannot load fault plan: {error}", file=sys.stderr)
+            return 1
+        if session_model == "atomic":
+            print(
+                "--faults requires --session-model message",
+                file=sys.stderr,
+            )
+            return 1
+        # Unspecified model defaults to "message" when faults are given
+        # (they only exist at message granularity).
+        session_model = "message"
+    elif session_model is None:
+        session_model = "atomic"
+
     scenario = Scenario(
         node_count=args.nodes,
         duration_ms=args.duration,
         append_interval_ms=args.append_interval,
         topology_factory=topology_factory,
         seed=args.seed,
-        session_model=args.session_model,
+        session_model=session_model,
         trace_path=args.trace,
         metrics=args.metrics,
+        faults=faults,
     )
     sim = Simulation(scenario).run()
     sim.run_quiescence(args.duration // 2)
@@ -322,10 +345,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="2-way partition until this time (ms)")
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--session-model", choices=["atomic", "message"],
-                          default="atomic", dest="session_model",
+                          default=None, dest="session_model",
                           help="run sessions atomically at the contact "
                                "instant, or message-by-message over the "
-                               "event loop (interruptible)")
+                               "event loop (interruptible); defaults to "
+                               "atomic, or message when --faults is given")
+    simulate.add_argument("--faults", metavar="PATH", default=None,
+                          help="inject faults from a FaultPlan JSON file "
+                               "(implies --session-model message)")
     simulate.add_argument("--trace", metavar="PATH", default=None,
                           help="write a JSONL event trace to PATH")
     simulate.add_argument("--metrics", action="store_true",

@@ -78,6 +78,21 @@ class VegvisirNode:
     def now_ms(self) -> int:
         return self._clock()
 
+    @property
+    def clock(self):
+        """The clock callable, so a restarted replica can keep its
+        (possibly skewed) notion of time across a crash cycle."""
+        return self._clock
+
+    @clock.setter
+    def clock(self, clock) -> None:
+        self._clock = clock or _wall_clock_ms
+
+    @property
+    def location_provider(self):
+        """The location callable (same rationale as :attr:`clock`)."""
+        return self._location
+
     # ------------------------------------------------------------------
     # Appending (the write path)
 

@@ -1,0 +1,51 @@
+"""repro.faults — deterministic fault injection and chaos invariants.
+
+Vegvisir's headline claim is partition tolerance over unreliable
+channels (§III), but scripted partitions only model *whole-contact*
+loss.  This package injects faults at finer grain — individual wire
+messages dropped, duplicated, reordered, or byte-corrupted; links
+flapping; nodes crashing and recovering from their on-disk block store;
+clocks skewing — all driven by a seed-scripted :class:`FaultPlan` so
+every chaos run is bit-for-bit reproducible.
+
+Three pieces:
+
+* :mod:`repro.faults.plan` — the declarative, JSON-round-trippable
+  :class:`FaultPlan` (per-link probabilities, flap windows, crash
+  schedule, clock skew) plus :func:`FaultPlan.randomized` for seeded
+  chaos schedules;
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` hooked into
+  the message-level gossip path, drawing from its **own** RNG stream so
+  enabling faults never perturbs the link model's seeded behaviour, and
+  the :class:`CrashController` that persists replicas to a
+  :class:`~repro.storage.blockstore.BlockStore` and rebuilds them on
+  restart;
+* :mod:`repro.faults.invariants` — the chaos harness: run a fleet under
+  a fault plan and check the safety/liveness invariants (parent-closed
+  DAGs, corrupted frames never accepted, crash recovery from disk,
+  convergence once faults cease).  ``python -m repro.faults`` runs it
+  standalone for CI.
+"""
+
+from repro.faults.injector import CrashController, FaultCounters, FaultInjector
+from repro.faults.plan import (
+    CrashEvent,
+    FaultPlanError,
+    FlapWindow,
+    FaultPlan,
+    LinkFaults,
+)
+from repro.faults.invariants import ChaosReport, run_chaos
+
+__all__ = [
+    "ChaosReport",
+    "CrashController",
+    "CrashEvent",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FlapWindow",
+    "LinkFaults",
+    "run_chaos",
+]

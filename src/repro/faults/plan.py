@@ -1,0 +1,420 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` scripts every fault a chaos run will inject:
+per-link message fault probabilities (drop, duplicate, reorder,
+byte-corruption), link flap windows, a node crash/restart schedule, and
+per-node clock skew.  Plans are plain data — JSON-round-trippable so a
+failing nightly CI seed can upload its plan as an artifact and anyone
+can replay it locally with ``simulate --faults plan.json``.
+
+Time handling: all times are simulation milliseconds.  ``cease_ms``
+ends *all* fault activity (message faults and flaps) at that instant,
+which is what lets the chaos harness assert the liveness invariant —
+once faults cease, connected replicas converge.  Crash events are
+independent of ``cease_ms`` but every crash must name a restart time so
+a plan can never leave a node permanently dead.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+from typing import Optional, Union
+
+#: Clock skew injected by randomized plans stays well inside the
+#: validator's tolerance (§IV-E bounded-skew check) so skewed nodes'
+#: blocks remain acceptable and the convergence invariant is testable.
+MAX_RANDOM_SKEW_MS = 2_000
+
+
+class FaultPlanError(ValueError):
+    """The fault plan is malformed."""
+
+
+def _check_prob(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise FaultPlanError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def _check_span(name: str, span) -> tuple[int, int]:
+    try:
+        low, high = int(span[0]), int(span[1])
+    except (TypeError, ValueError, IndexError) as exc:
+        raise FaultPlanError(f"{name} must be a (low, high) pair") from exc
+    if low < 0 or high < low:
+        raise FaultPlanError(f"{name} must satisfy 0 <= low <= high")
+    return (low, high)
+
+
+class LinkFaults:
+    """Per-link message fault probabilities, drawn once per message."""
+
+    __slots__ = ("drop", "duplicate", "reorder", "corrupt",
+                 "reorder_delay_ms", "duplicate_delay_ms")
+
+    def __init__(
+        self,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        corrupt: float = 0.0,
+        reorder_delay_ms: tuple[int, int] = (5, 80),
+        duplicate_delay_ms: tuple[int, int] = (1, 30),
+    ):
+        self.drop = _check_prob("drop", drop)
+        self.duplicate = _check_prob("duplicate", duplicate)
+        self.reorder = _check_prob("reorder", reorder)
+        self.corrupt = _check_prob("corrupt", corrupt)
+        self.reorder_delay_ms = _check_span(
+            "reorder_delay_ms", reorder_delay_ms
+        )
+        self.duplicate_delay_ms = _check_span(
+            "duplicate_delay_ms", duplicate_delay_ms
+        )
+
+    def any(self) -> bool:
+        """Does this link configuration ever fire a fault?"""
+        return bool(
+            self.drop or self.duplicate or self.reorder or self.corrupt
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "drop": self.drop,
+            "duplicate": self.duplicate,
+            "reorder": self.reorder,
+            "corrupt": self.corrupt,
+            "reorder_delay_ms": list(self.reorder_delay_ms),
+            "duplicate_delay_ms": list(self.duplicate_delay_ms),
+        }
+
+    @classmethod
+    def from_json(cls, value: dict) -> "LinkFaults":
+        if not isinstance(value, dict):
+            raise FaultPlanError("link faults must be a JSON object")
+        known = {"drop", "duplicate", "reorder", "corrupt",
+                 "reorder_delay_ms", "duplicate_delay_ms"}
+        unknown = set(value) - known
+        if unknown:
+            raise FaultPlanError(f"unknown link fault keys {sorted(unknown)}")
+        return cls(**value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LinkFaults)
+            and self.to_json() == other.to_json()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkFaults(drop={self.drop}, duplicate={self.duplicate}, "
+            f"reorder={self.reorder}, corrupt={self.corrupt})"
+        )
+
+
+class FlapWindow:
+    """One interval during which a link (or every link) is down.
+
+    ``a``/``b`` are node ids, or ``"*"`` to match any endpoint — a
+    window with both wildcards blacks out the whole radio environment.
+    """
+
+    __slots__ = ("a", "b", "start_ms", "end_ms")
+
+    WILDCARD = "*"
+
+    def __init__(self, a: Union[int, str], b: Union[int, str],
+                 start_ms: int, end_ms: int):
+        self.a = a if a == self.WILDCARD else int(a)
+        self.b = b if b == self.WILDCARD else int(b)
+        self.start_ms = int(start_ms)
+        self.end_ms = int(end_ms)
+        if self.start_ms < 0 or self.end_ms <= self.start_ms:
+            raise FaultPlanError(
+                f"flap window needs 0 <= start < end, got "
+                f"[{self.start_ms}, {self.end_ms})"
+            )
+
+    def matches(self, a: int, b: int, now_ms: int) -> bool:
+        if not self.start_ms <= now_ms < self.end_ms:
+            return False
+        ends = {self.a, self.b}
+        if self.WILDCARD in ends:
+            named = ends - {self.WILDCARD}
+            return not named or bool(named & {a, b})
+        return ends == {a, b}
+
+    def to_json(self) -> dict:
+        return {"a": self.a, "b": self.b,
+                "start_ms": self.start_ms, "end_ms": self.end_ms}
+
+    @classmethod
+    def from_json(cls, value: dict) -> "FlapWindow":
+        try:
+            return cls(value["a"], value["b"],
+                       value["start_ms"], value["end_ms"])
+        except (KeyError, TypeError) as exc:
+            raise FaultPlanError(f"malformed flap window: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return (
+            f"FlapWindow({self.a}~{self.b}, "
+            f"[{self.start_ms}, {self.end_ms}))"
+        )
+
+
+class CrashEvent:
+    """A scheduled crash and restart of one node.
+
+    At ``at_ms`` the node loses its in-memory replica (any in-flight
+    session is torn); at ``restart_ms`` it reloads from its on-disk
+    block store and rejoins gossip.  Every crash must restart — a plan
+    cannot strand a node.
+    """
+
+    __slots__ = ("node", "at_ms", "restart_ms")
+
+    def __init__(self, node: int, at_ms: int, restart_ms: int):
+        self.node = int(node)
+        self.at_ms = int(at_ms)
+        self.restart_ms = int(restart_ms)
+        if self.at_ms < 0 or self.restart_ms <= self.at_ms:
+            raise FaultPlanError(
+                f"crash needs 0 <= at_ms < restart_ms, got "
+                f"({self.at_ms}, {self.restart_ms})"
+            )
+
+    def to_json(self) -> dict:
+        return {"node": self.node, "at_ms": self.at_ms,
+                "restart_ms": self.restart_ms}
+
+    @classmethod
+    def from_json(cls, value: dict) -> "CrashEvent":
+        try:
+            return cls(value["node"], value["at_ms"], value["restart_ms"])
+        except (KeyError, TypeError) as exc:
+            raise FaultPlanError(f"malformed crash event: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return f"CrashEvent(node={self.node}, {self.at_ms}->{self.restart_ms})"
+
+
+class FaultPlan:
+    """Everything a chaos run will inject, as declarative data."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        default_link: Optional[LinkFaults] = None,
+        links: Optional[dict[tuple[int, int], LinkFaults]] = None,
+        flaps: Optional[list[FlapWindow]] = None,
+        crashes: Optional[list[CrashEvent]] = None,
+        clock_skew_ms: Optional[dict[int, int]] = None,
+        cease_ms: Optional[int] = None,
+    ):
+        self.seed = int(seed)
+        self.default_link = default_link or LinkFaults()
+        self.links: dict[tuple[int, int], LinkFaults] = {}
+        for pair, faults in (links or {}).items():
+            a, b = int(pair[0]), int(pair[1])
+            if a == b:
+                raise FaultPlanError(f"link override names one node {a}")
+            self.links[(min(a, b), max(a, b))] = faults
+        self.flaps = list(flaps or [])
+        self.crashes = sorted(crashes or [], key=lambda c: c.at_ms)
+        nodes = [c.node for c in self.crashes]
+        if len(set(nodes)) != len(nodes):
+            raise FaultPlanError(
+                "at most one crash per node per plan (restart windows "
+                "would otherwise overlap ambiguously)"
+            )
+        self.clock_skew_ms = {
+            int(node): int(skew)
+            for node, skew in (clock_skew_ms or {}).items()
+        }
+        self.cease_ms = int(cease_ms) if cease_ms is not None else None
+        if self.cease_ms is not None and self.cease_ms < 0:
+            raise FaultPlanError("cease_ms must be non-negative")
+
+    # -- queries -------------------------------------------------------
+
+    def link_faults(self, a: int, b: int) -> LinkFaults:
+        """The effective fault configuration for one unordered link."""
+        return self.links.get((min(a, b), max(a, b)), self.default_link)
+
+    def is_zero(self) -> bool:
+        """Does this plan inject nothing at all?
+
+        A zero plan attached to a simulation must reproduce the
+        fault-free run byte-for-byte (trace, metrics, digests) — the
+        regression guarantee extending PR 2's model equivalence.
+        """
+        return (
+            not self.default_link.any()
+            and not any(link.any() for link in self.links.values())
+            and not self.flaps
+            and not self.crashes
+            and not self.clock_skew_ms
+        )
+
+    def active_at(self, now_ms: int) -> bool:
+        """Are message faults and flaps still being injected at *now*?"""
+        return self.cease_ms is None or now_ms < self.cease_ms
+
+    # -- serialization -------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "default_link": self.default_link.to_json(),
+            "links": [
+                {"a": a, "b": b, **faults.to_json()}
+                for (a, b), faults in sorted(self.links.items())
+            ],
+            "flaps": [window.to_json() for window in self.flaps],
+            "crashes": [crash.to_json() for crash in self.crashes],
+            "clock_skew_ms": {
+                str(node): skew
+                for node, skew in sorted(self.clock_skew_ms.items())
+            },
+            "cease_ms": self.cease_ms,
+        }
+
+    @classmethod
+    def from_json(cls, value: dict) -> "FaultPlan":
+        if not isinstance(value, dict):
+            raise FaultPlanError("fault plan must be a JSON object")
+        known = {"seed", "default_link", "links", "flaps", "crashes",
+                 "clock_skew_ms", "cease_ms"}
+        unknown = set(value) - known
+        if unknown:
+            raise FaultPlanError(f"unknown plan keys {sorted(unknown)}")
+        links = {}
+        for entry in value.get("links", []):
+            if not isinstance(entry, dict) or "a" not in entry or "b" not in entry:
+                raise FaultPlanError("link override needs 'a' and 'b'")
+            spec = {k: v for k, v in entry.items() if k not in ("a", "b")}
+            links[(entry["a"], entry["b"])] = LinkFaults.from_json(spec)
+        return cls(
+            seed=value.get("seed", 0),
+            default_link=LinkFaults.from_json(
+                value.get("default_link", {})
+            ),
+            links=links,
+            flaps=[FlapWindow.from_json(w) for w in value.get("flaps", [])],
+            crashes=[
+                CrashEvent.from_json(c) for c in value.get("crashes", [])
+            ],
+            clock_skew_ms=value.get("clock_skew_ms"),
+            cease_ms=value.get("cease_ms"),
+        )
+
+    def to_json_str(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+    def save(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(self.to_json_str() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "FaultPlan":
+        try:
+            value = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"{path} is not valid JSON: {exc}") from exc
+        return cls.from_json(value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultPlan) and self.to_json() == other.to_json()
+
+    def __repr__(self) -> str:
+        kinds = []
+        if self.default_link.any() or any(
+            link.any() for link in self.links.values()
+        ):
+            kinds.append("messages")
+        if self.flaps:
+            kinds.append(f"{len(self.flaps)} flaps")
+        if self.crashes:
+            kinds.append(f"{len(self.crashes)} crashes")
+        if self.clock_skew_ms:
+            kinds.append(f"{len(self.clock_skew_ms)} skews")
+        return f"FaultPlan(seed={self.seed}, {', '.join(kinds) or 'zero'})"
+
+    # -- generation ----------------------------------------------------
+
+    @classmethod
+    def randomized(cls, seed: int, node_count: int,
+                   duration_ms: int) -> "FaultPlan":
+        """A seeded chaos schedule for the invariant harness.
+
+        Probabilities and schedules are drawn from ``Random(seed)`` so
+        the same seed always yields the same plan.  All message faults
+        and flaps cease at ``duration_ms`` and every crash restarts
+        before then, making the post-cease convergence invariant
+        checkable; random clock skew stays inside the validator's
+        tolerance (see :data:`MAX_RANDOM_SKEW_MS`).
+        """
+        if node_count < 2:
+            raise FaultPlanError("randomized plans need at least 2 nodes")
+        if duration_ms < 4_000:
+            raise FaultPlanError("randomized plans need >= 4000 ms to act in")
+        rng = random.Random(seed)
+        default = LinkFaults(
+            drop=rng.uniform(0.0, 0.06),
+            duplicate=rng.uniform(0.0, 0.04),
+            reorder=rng.uniform(0.0, 0.05),
+            corrupt=rng.uniform(0.0, 0.04),
+        )
+        links = {}
+        if rng.random() < 0.5:
+            # One notably lossier link.
+            a = rng.randrange(node_count)
+            b = (a + 1 + rng.randrange(node_count - 1)) % node_count
+            links[(min(a, b), max(a, b))] = LinkFaults(
+                drop=rng.uniform(0.1, 0.3),
+                corrupt=rng.uniform(0.0, 0.1),
+            )
+        flaps = []
+        for _ in range(rng.randrange(3)):
+            start = rng.randrange(max(1, duration_ms - 2_000))
+            length = rng.randrange(300, 1_500)
+            end = min(start + length, duration_ms)
+            if end <= start:
+                continue
+            if rng.random() < 0.5:
+                flaps.append(FlapWindow("*", "*", start, end))
+            else:
+                flaps.append(
+                    FlapWindow(rng.randrange(node_count), "*", start, end)
+                )
+        crashes = []
+        crash_count = rng.randrange(3)
+        crashable = list(range(node_count))
+        rng.shuffle(crashable)
+        for node in crashable[:crash_count]:
+            at = rng.randrange(2_000, max(2_001, duration_ms - 2_000))
+            down = rng.randrange(500, 2_000)
+            restart = min(at + down, duration_ms - 1)
+            if restart <= at:
+                continue
+            crashes.append(CrashEvent(node, at, restart))
+        clock_skew = {}
+        for node in range(node_count):
+            if rng.random() < 0.3:
+                clock_skew[node] = rng.randint(
+                    -MAX_RANDOM_SKEW_MS, MAX_RANDOM_SKEW_MS
+                )
+        return cls(
+            seed=seed,
+            default_link=default,
+            links=links,
+            flaps=flaps,
+            crashes=crashes,
+            clock_skew_ms=clock_skew,
+            cease_ms=duration_ms,
+        )

@@ -46,6 +46,11 @@ class TraceAnalysis:
         # Misc events.
         self.partition_changes: list[dict] = []
         self.evictions: list[dict] = []
+        # Faults (repro.faults chaos runs).
+        self.faults_by_kind: dict[str, int] = {}
+        self.corrupt_classified: dict[str, int] = {}
+        self.crashes: list[dict] = []
+        self.restarts: list[dict] = []
 
     # -- ingestion -----------------------------------------------------
 
@@ -131,6 +136,21 @@ class TraceAnalysis:
     def _feed_offload_evict(self, record: dict) -> None:
         self.evictions.append(record)
 
+    def _feed_fault_injected(self, record: dict) -> None:
+        kind = record.get("kind", "?")
+        self.faults_by_kind[kind] = self.faults_by_kind.get(kind, 0) + 1
+        classified = record.get("classified")
+        if classified is not None:
+            self.corrupt_classified[classified] = (
+                self.corrupt_classified.get(classified, 0) + 1
+            )
+
+    def _feed_node_crashed(self, record: dict) -> None:
+        self.crashes.append(record)
+
+    def _feed_node_restarted(self, record: dict) -> None:
+        self.restarts.append(record)
+
     _HANDLERS = {
         "run.start": _feed_run_start,
         "contact.attempt": _feed_attempt,
@@ -141,6 +161,9 @@ class TraceAnalysis:
         "block.delivered": _feed_block_delivered,
         "partition.change": _feed_partition_change,
         "offload.evict": _feed_offload_evict,
+        "fault.injected": _feed_fault_injected,
+        "node.crashed": _feed_node_crashed,
+        "node.restarted": _feed_node_restarted,
     }
 
     # -- derived quantities --------------------------------------------
@@ -181,6 +204,9 @@ class TraceAnalysis:
             entry["partial_bytes_i2r"] + entry["partial_bytes_r2i"]
             for entry in self.sessions_by_protocol.values()
         )
+
+    def faults_injected(self) -> int:
+        return sum(self.faults_by_kind.values())
 
     def success_rate(self, node: Optional[int] = None) -> float:
         """Fraction of attempted contacts that ran a session."""
@@ -256,6 +282,15 @@ class TraceAnalysis:
             },
             "partition_changes": len(self.partition_changes),
             "offload_evictions": len(self.evictions),
+            "faults": {
+                "injected": self.faults_injected(),
+                "by_kind": dict(sorted(self.faults_by_kind.items())),
+                "corrupt_classified": dict(
+                    sorted(self.corrupt_classified.items())
+                ),
+                "crashes": len(self.crashes),
+                "restarts": len(self.restarts),
+            },
         }
 
     def render(self) -> str:
@@ -332,6 +367,29 @@ class TraceAnalysis:
             lines.append(
                 f"offload:          {len(self.evictions)} bodies evicted, "
                 f"{freed} bytes freed"
+            )
+        if self.faults_by_kind:
+            kinds = ", ".join(
+                f"{count} {kind}"
+                for kind, count in sorted(self.faults_by_kind.items())
+            )
+            lines.append(f"faults:           {kinds}")
+            if self.corrupt_classified:
+                classified = ", ".join(
+                    f"{count} {name}"
+                    for name, count in sorted(
+                        self.corrupt_classified.items()
+                    )
+                )
+                lines.append(f"corrupt rejected: {classified}")
+        if self.crashes:
+            cycle = ", ".join(
+                f"node {crash['node']} @{crash['t']} ms"
+                for crash in self.crashes
+            )
+            lines.append(
+                f"crashes:          {len(self.crashes)} "
+                f"({cycle}), {len(self.restarts)} restarted"
             )
         return "\n".join(lines)
 

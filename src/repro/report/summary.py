@@ -16,7 +16,7 @@ from repro.sim.runner import Simulation
 
 def simulation_report(sim: Simulation) -> str:
     """A multi-line summary of a finished simulation run."""
-    registry = sim.metrics.sync_registry()
+    registry = sim.registry()
     contacts = {
         outcome: registry.value("sim_contacts_total", outcome=outcome)
         for outcome in ("ok", "busy", "no_neighbor", "lost", "refused")
@@ -61,13 +61,31 @@ def simulation_report(sim: Simulation) -> str:
         f"energy:           {sim.energy.total_j():.4f} J total "
         f"({_breakdown(sim)})"
     )
+    if sim.fault_injector is not None:
+        counters = sim.fault_injector.counters
+        if counters.injected_total or counters.crashes:
+            lines.append(
+                f"faults:           {counters.injected_total} injected "
+                f"({counters.dropped} drop, {counters.duplicated} dup, "
+                f"{counters.reordered} reorder, "
+                f"{counters.corrupted} corrupt, {counters.flaps} flap), "
+                f"{counters.crashes} crashes / "
+                f"{counters.restarts} restarts"
+            )
+        if counters.corrupted:
+            lines.append(
+                f"corrupt rejected: "
+                f"{counters.wire_decode_errors} at wire decode, "
+                f"{counters.validation_rejects} at validation, "
+                f"{counters.corrupt_blocks_accepted} accepted"
+            )
     lines.append(f"converged:        {sim.converged()}")
     return "\n".join(lines)
 
 
 def metrics_report(sim: Simulation) -> str:
     """The run's registry in Prometheus text exposition format."""
-    return sim.metrics.sync_registry().render_prometheus()
+    return sim.registry().render_prometheus()
 
 
 def _breakdown(sim: Simulation) -> str:

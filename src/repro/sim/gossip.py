@@ -100,6 +100,8 @@ class GossipScheduler:
         peer_selector: str = SELECT_RANDOM,
         session_model: str = SESSION_ATOMIC,
         obs=None,
+        faults=None,
+        block_sink: Optional[Callable[[int, object], None]] = None,
     ):
         if peer_selector not in PEER_SELECTORS:
             raise ValueError(f"unknown peer selector {peer_selector!r}")
@@ -132,6 +134,17 @@ class GossipScheduler:
         self._round_robin_cursor = {node_id: 0 for node_id in nodes}
         self._last_contact: dict[tuple[int, int], int] = {}
         self._started = False
+        # Fault injection is opt-in the same way observability is: with
+        # no injector attached (or an all-zero plan) the hot path costs
+        # one ``is not None`` check and consumes no randomness, so the
+        # run is byte-identical to a fault-free one.  The injector keeps
+        # its own RNG stream — never ``self._rng`` or the link model's.
+        if faults is not None and session_model != SESSION_MESSAGE:
+            raise ValueError(
+                "fault injection requires session_model='message'"
+            )
+        self._faults = faults
+        self._block_sink = block_sink
         # Observability is opt-in; with no observer attached every
         # instrumented site is a single ``is not None`` check.
         self._obs = obs if obs is not None and obs.enabled else None
@@ -221,8 +234,33 @@ class GossipScheduler:
             or self._busy_until[node_id] > self._loop.now
         )
 
+    def set_block_sink(
+        self, sink: Optional[Callable[[int, object], None]]
+    ) -> None:
+        """Install a persistence hook fed every newly observed block."""
+        self._block_sink = sink
+
+    def interrupt_node(self, node_id: int, reason: str) -> None:
+        """Tear down this node's in-flight session, if any (crash path)."""
+        state = self._active.get(node_id)
+        if state is not None:
+            self._interrupt(state, reason=reason)
+
+    def resync_node_cursor(self, node_id: int) -> None:
+        """Re-anchor the delivery cursor after a restart replaced the
+        node object: recovered blocks were observed (and charged) before
+        the crash and must not be re-counted."""
+        self._seen_counts[node_id] = len(
+            self._nodes[node_id].dag.insertion_order()
+        )
+
     def _tick(self, node_id: int) -> None:
         self._schedule_next(node_id)
+        faults = self._faults
+        if faults is not None and faults.node_down(node_id):
+            # A crashed node's radio is off: no attempt, no metrics.
+            # The tick timer keeps running so gossip resumes on restart.
+            return
         if not self.policy(node_id).initiates_gossip():
             return
         obs = self._obs
@@ -243,6 +281,12 @@ class GossipScheduler:
                              outcome="no_neighbor")
             return
         peer_id = self._select_peer(node_id, neighbors)
+        if faults is not None and faults.node_down(peer_id):
+            self._metrics.contacts_crashed += 1
+            if obs is not None:
+                obs.bus.emit("contact.outcome", node=node_id,
+                             peer=peer_id, outcome="crashed")
+            return
         if self.is_busy(peer_id):
             self._metrics.contacts_busy += 1
             if obs is not None:
@@ -254,6 +298,17 @@ class GossipScheduler:
             if obs is not None:
                 obs.bus.emit("contact.outcome", node=node_id,
                              peer=peer_id, outcome="refused")
+            return
+        if faults is not None and faults.link_down(
+            node_id, peer_id, self._loop.now
+        ):
+            # Flapping link: the contact fails before the link model's
+            # loss draw (a flapped radio never reaches the channel).
+            faults.record_flap(node_id, peer_id, self._loop.now)
+            self._metrics.contacts_lost += 1
+            if obs is not None:
+                obs.bus.emit("contact.outcome", node=node_id,
+                             peer=peer_id, outcome="lost")
             return
         if not self._link.contact_succeeds():
             self._metrics.contacts_lost += 1
@@ -348,9 +403,17 @@ class GossipScheduler:
                 self._finish_message_session(state)
                 return
             delay = self._link.message_latency_ms(step.size)
-            if delay > 0:
-                def deliver() -> None:
-                    self._deliver(state)
+            fault = None
+            if self._faults is not None:
+                fault = self._faults.on_message(
+                    state.initiator_id, state.responder_id, step,
+                    self._loop.now,
+                )
+                if fault is not None:
+                    delay += fault.extra_delay_ms
+            if delay > 0 or fault is not None:
+                def deliver(step=step, fault=fault) -> None:
+                    self._deliver(state, step=step, fault=fault)
                 self._loop.schedule_in(delay, deliver)
                 return
             # A zero-latency message arrives within the same simulated
@@ -358,15 +421,37 @@ class GossipScheduler:
             # connectivity cannot have changed — deliver inline instead
             # of round-tripping through the event loop.
 
-    def _deliver(self, state: _ActiveSession) -> None:
+    def _deliver(self, state: _ActiveSession, step=None, fault=None) -> None:
         """One message arrives: re-check the link, then step on."""
         if state.session.done:
+            # The session was already torn down (endpoint crash, or an
+            # earlier fault killed it) while this frame was in flight.
+            return
+        faults = self._faults
+        now = self._loop.now
+        if faults is not None and faults.link_down(
+            state.initiator_id, state.responder_id, now
+        ):
+            faults.record_flap(state.initiator_id, state.responder_id, now)
+            self._interrupt(state, reason="flap")
             return
         if not self._topology.connected(
-            state.initiator_id, state.responder_id, self._loop.now
+            state.initiator_id, state.responder_id, now
         ):
             self._interrupt(state)
             return
+        if fault is not None:
+            receiver_id = (
+                state.responder_id if step.from_initiator
+                else state.initiator_id
+            )
+            killed = faults.apply(
+                fault, step, self._nodes[receiver_id],
+                state.initiator_id, state.responder_id,
+            )
+            if killed:
+                self._interrupt(state, reason=fault.kind)
+                return
         self._advance(state)
 
     def _finish_message_session(self, state: _ActiveSession) -> None:
@@ -385,7 +470,8 @@ class GossipScheduler:
             state.start_ms, max(elapsed, modelled),
         )
 
-    def _interrupt(self, state: _ActiveSession) -> None:
+    def _interrupt(self, state: _ActiveSession,
+                   reason: str = "partition") -> None:
         """Abort an in-flight session whose pair lost connectivity."""
         state.session.abort()
         stats = state.session.stats
@@ -417,7 +503,7 @@ class GossipScheduler:
         self.observe_local_blocks(responder_id)
         if self._obs is not None:
             self._observe_interrupted(
-                initiator_id, responder_id, stats, elapsed
+                initiator_id, responder_id, stats, elapsed, reason
             )
 
     # -- shared settlement ---------------------------------------------
@@ -490,7 +576,8 @@ class GossipScheduler:
         )
 
     def _observe_interrupted(self, initiator_id: int, responder_id: int,
-                             stats: ReconcileStats, elapsed: int) -> None:
+                             stats: ReconcileStats, elapsed: int,
+                             reason: str) -> None:
         """Fold one torn session into the registry and trace."""
         protocol = stats.protocol
         self._c_sessions_interrupted.labels(protocol=protocol).inc()
@@ -509,7 +596,7 @@ class GossipScheduler:
             blocks_pushed=stats.blocks_pushed,
             duplicates=stats.duplicate_blocks,
             invalid=stats.invalid_blocks,
-            duration_ms=elapsed,
+            duration_ms=elapsed, reason=reason,
         )
 
     def observe_local_blocks(self, node_id: int) -> None:
@@ -521,8 +608,11 @@ class GossipScheduler:
         node = self._nodes[node_id]
         order = node.dag.insertion_order()
         cursor = self._seen_counts[node_id]
+        sink = self._block_sink
         for block_hash in order[cursor:]:
             block = node.dag.get(block_hash)
+            if sink is not None:
+                sink(node_id, block)
             if block.user_id == node.user_id:
                 self._metrics.propagation.record_created(
                     block_hash, node_id, self._loop.now

@@ -122,6 +122,8 @@ class SimMetrics:
         self.contacts_lost = 0
         self.contacts_refused = 0
         self.contacts_busy = 0
+        # Contacts whose selected peer was crashed (fault injection).
+        self.contacts_crashed = 0
         self.sessions_completed = 0
         self.session_bytes = 0
         self.session_messages = 0
@@ -164,6 +166,7 @@ class SimMetrics:
             "contacts_lost": self.contacts_lost,
             "contacts_refused": self.contacts_refused,
             "contacts_busy": self.contacts_busy,
+            "contacts_crashed": self.contacts_crashed,
             "sessions_completed": self.sessions_completed,
             "session_bytes": self.session_bytes,
             "session_messages": self.session_messages,
@@ -199,6 +202,7 @@ class SimMetrics:
             "no_neighbor": self.contacts_no_neighbor,
             "lost": self.contacts_lost,
             "refused": self.contacts_refused,
+            "crashed": self.contacts_crashed,
             "interrupted": self.sessions_interrupted,
         }
         for outcome, count in outcomes.items():

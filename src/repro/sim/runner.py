@@ -44,6 +44,20 @@ class Simulation:
         self.energy = EnergyModel(scenario.energy_parameters)
         self._rng = random.Random(scenario.seed ^ 0xC0FFEE)
         link = scenario.link or LinkModel(seed=scenario.seed ^ 0x11)
+        # Fault injection (repro.faults): built even for an all-zero
+        # plan — its hot path is draw-free, and the zero-plan run must
+        # be byte-identical to a fault-free one (regression-tested).
+        self.fault_injector = None
+        self.crash_controller = None
+        if scenario.faults is not None:
+            from repro.faults.injector import CrashController, FaultInjector
+
+            self.fault_injector = FaultInjector(scenario.faults, obs=self.obs)
+            self._apply_fault_clock_skew(scenario.faults)
+            if scenario.faults.crashes:
+                self.crash_controller = CrashController(
+                    scenario.faults, self.fault_injector
+                )
         self.gossip = GossipScheduler(
             loop=self.loop,
             topology=self.topology,
@@ -59,14 +73,31 @@ class Simulation:
             peer_selector=scenario.peer_selector,
             session_model=scenario.session_model,
             obs=self.obs,
+            faults=self.fault_injector,
         )
         self._appended = 0
         self._closed = False
         self._setup_workload_crdt()
+        if self.crash_controller is not None:
+            self.crash_controller.install(self)
         if self.obs is not None:
             self.obs.bus.emit(
                 "run.start", nodes=scenario.node_count,
                 seed=scenario.seed, duration_ms=scenario.duration_ms,
+            )
+
+    def _apply_fault_clock_skew(self, plan) -> None:
+        """Offset the named nodes' clocks by the plan's per-node skew.
+
+        Layered on top of whatever clock ``build_fleet`` gave the node
+        (which may itself carry scenario-level skew), and clamped so a
+        skewed clock never reads before genesis.
+        """
+        for node_id, skew_ms in sorted(plan.clock_skew_ms.items()):
+            node = self.fleet.nodes[node_id]
+            base = node.clock
+            node.clock = (
+                lambda base=base, skew=skew_ms: max(1, base() + skew)
             )
 
     def _build_obs(self, scenario: Scenario):
@@ -119,6 +150,11 @@ class Simulation:
                 return  # workload stopped (quiescence phase)
             jitter = self._rng.randrange(max(1, interval // 4))
             self.loop.schedule_in(interval + jitter, self._make_append(node_id))
+            if (
+                self.fault_injector is not None
+                and self.fault_injector.node_down(node_id)
+            ):
+                return  # crashed nodes append nothing until restart
             node = self.fleet.nodes[node_id]
             if node.csm.crdt_instance(WORKLOAD_CRDT) is None:
                 return  # creation block not seen here yet
@@ -175,10 +211,16 @@ class Simulation:
 
     def registry(self):
         """The run's metrics registry, synced from the live counters."""
-        return self.metrics.sync_registry()
+        registry = self.metrics.sync_registry()
+        if self.fault_injector is not None:
+            self.fault_injector.sync_registry(registry)
+        return registry
 
     def close(self) -> None:
         """Flush and close any trace sinks (safe to call repeatedly)."""
+        if self.crash_controller is not None:
+            self.crash_controller.cleanup()
+            self.crash_controller = None
         if self.obs is not None and not self._closed:
             self._closed = True
             self.obs.emit("run.end", events_run=self.loop.events_run)

@@ -51,6 +51,7 @@ class Scenario:
         trace_ring: Optional[int] = None,
         metrics: bool = False,
         obs=None,
+        faults=None,
     ):
         if node_count < 1:
             raise ValueError("need at least one node")
@@ -97,6 +98,15 @@ class Scenario:
         self.trace_ring = trace_ring
         self.metrics = metrics
         self.obs = obs
+        # Fault injection (repro.faults).  A FaultPlan only makes sense
+        # against the message-level session model — atomic sessions have
+        # no individual wire messages to drop or corrupt.
+        if faults is not None and session_model != "message":
+            raise ValueError(
+                "faults require session_model='message' "
+                f"(got {session_model!r})"
+            )
+        self.faults = faults
 
     @property
     def observability_requested(self) -> bool:

@@ -1,0 +1,69 @@
+"""The chaos harness end-to-end, on the CI PR gate's fixed seeds."""
+
+import json
+
+import pytest
+
+from repro.faults import run_chaos
+from repro.faults.__main__ import main as faults_main
+from repro.faults.plan import FaultPlan
+
+# The same fixed seeds the CI chaos job runs on every PR.
+CI_SEEDS = (0, 1, 2)
+
+
+@pytest.mark.parametrize("seed", CI_SEEDS)
+def test_ci_seed_passes_all_invariants(seed):
+    report = run_chaos(seed)
+    assert report.ok, "\n".join(report.violations)
+    assert report.converged
+    assert report.blocks_total > 0
+    # Randomized plans always inject something at these sizes.
+    assert sum(report.counters.values()) > 0
+
+
+def test_report_is_replayable_json():
+    report = run_chaos(1, node_count=4, duration_ms=12_000)
+    payload = json.loads(json.dumps(report.as_dict()))
+    assert payload["seed"] == 1
+    # The embedded plan replays to the identical report.
+    plan = FaultPlan.from_json(payload["plan"])
+    replay = run_chaos(1, node_count=4, duration_ms=12_000, plan=plan)
+    assert replay.as_dict() == payload
+
+
+def test_cli_runs_fixed_seeds(capsys):
+    assert faults_main(
+        ["--seeds", "1", "--nodes", "4", "--duration", "12000"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "[PASS] chaos seed=1" in out
+    assert "1/1 seeds passed" in out
+
+
+def test_cli_writes_failure_artifact(tmp_path, monkeypatch):
+    # Force a violation by draining for zero budget: any plan whose
+    # faults delay convergence "fails", exercising the artifact path.
+    import repro.faults.__main__ as cli
+
+    real_run_chaos = cli.run_chaos
+
+    def hobbled(seed, **kwargs):
+        return real_run_chaos(seed, drain_budget_ms=0, **kwargs)
+
+    monkeypatch.setattr(cli, "run_chaos", hobbled)
+    code = cli.main([
+        "--seeds", "0", "--nodes", "4", "--duration", "12000",
+        "--out", str(tmp_path),
+    ])
+    artifact = tmp_path / "chaos_seed_0.json"
+    if code == 0:
+        # Seed happened to converge with no drain at all — the
+        # artifact path is then legitimately not taken.
+        assert not artifact.exists()
+        return
+    payload = json.loads(artifact.read_text())
+    assert payload["seed"] == 0
+    assert payload["violations"]
+    # The uploaded plan is loadable for local reproduction.
+    assert FaultPlan.from_json(payload["plan"]).seed == 0

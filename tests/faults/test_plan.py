@@ -1,0 +1,154 @@
+"""FaultPlan model: validation, JSON round-trip, seeded generation."""
+
+import pytest
+
+from repro.faults.plan import (
+    MAX_RANDOM_SKEW_MS,
+    CrashEvent,
+    FaultPlan,
+    FaultPlanError,
+    FlapWindow,
+    LinkFaults,
+)
+
+
+class TestLinkFaults:
+    def test_defaults_are_zero(self):
+        faults = LinkFaults()
+        assert not faults.any()
+
+    def test_any_fires_on_each_knob(self):
+        for knob in ("drop", "duplicate", "reorder", "corrupt"):
+            assert LinkFaults(**{knob: 0.5}).any()
+
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_probability_range_enforced(self, value):
+        with pytest.raises(FaultPlanError):
+            LinkFaults(drop=value)
+
+    def test_delay_span_validated(self):
+        with pytest.raises(FaultPlanError):
+            LinkFaults(reorder_delay_ms=(50, 10))
+
+    def test_json_roundtrip(self):
+        faults = LinkFaults(drop=0.1, corrupt=0.02,
+                            reorder_delay_ms=(10, 20))
+        assert LinkFaults.from_json(faults.to_json()) == faults
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(FaultPlanError):
+            LinkFaults.from_json({"drip": 0.1})
+
+
+class TestFlapWindow:
+    def test_exact_pair_matches_unordered(self):
+        window = FlapWindow(2, 5, 100, 200)
+        assert window.matches(5, 2, 150)
+        assert not window.matches(2, 3, 150)
+
+    def test_time_bounds_half_open(self):
+        window = FlapWindow(0, 1, 100, 200)
+        assert not window.matches(0, 1, 99)
+        assert window.matches(0, 1, 100)
+        assert not window.matches(0, 1, 200)
+
+    def test_single_wildcard_matches_either_end(self):
+        window = FlapWindow(3, "*", 0, 10)
+        assert window.matches(3, 7, 5)
+        assert window.matches(7, 3, 5)
+        assert not window.matches(1, 2, 5)
+
+    def test_double_wildcard_blacks_out_everything(self):
+        window = FlapWindow("*", "*", 0, 10)
+        assert window.matches(0, 1, 0)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FlapWindow(0, 1, 100, 100)
+
+
+class TestCrashEvent:
+    def test_restart_must_follow_crash(self):
+        with pytest.raises(FaultPlanError):
+            CrashEvent(0, 1_000, 1_000)
+
+    def test_roundtrip(self):
+        crash = CrashEvent(3, 1_000, 2_500)
+        restored = CrashEvent.from_json(crash.to_json())
+        assert (restored.node, restored.at_ms, restored.restart_ms) == (
+            3, 1_000, 2_500
+        )
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_zero(self):
+        assert FaultPlan().is_zero()
+
+    def test_any_knob_breaks_zero(self):
+        assert not FaultPlan(default_link=LinkFaults(drop=0.1)).is_zero()
+        assert not FaultPlan(clock_skew_ms={0: 100}).is_zero()
+        assert not FaultPlan(
+            crashes=[CrashEvent(0, 1_000, 2_000)]
+        ).is_zero()
+
+    def test_link_lookup_is_unordered_with_default_fallback(self):
+        lossy = LinkFaults(drop=0.5)
+        plan = FaultPlan(links={(4, 1): lossy})
+        assert plan.link_faults(1, 4) is lossy
+        assert plan.link_faults(4, 1) is lossy
+        assert plan.link_faults(0, 1) is plan.default_link
+
+    def test_self_link_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(links={(2, 2): LinkFaults(drop=0.1)})
+
+    def test_one_crash_per_node(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(crashes=[
+                CrashEvent(1, 1_000, 2_000), CrashEvent(1, 3_000, 4_000),
+            ])
+
+    def test_cease_gates_activity(self):
+        plan = FaultPlan(default_link=LinkFaults(drop=1.0), cease_ms=5_000)
+        assert plan.active_at(4_999)
+        assert not plan.active_at(5_000)
+
+    def test_json_roundtrip(self, tmp_path):
+        plan = FaultPlan(
+            seed=42,
+            default_link=LinkFaults(drop=0.05, corrupt=0.01),
+            links={(0, 3): LinkFaults(drop=0.3)},
+            flaps=[FlapWindow("*", 2, 1_000, 2_000)],
+            crashes=[CrashEvent(1, 4_000, 6_000)],
+            clock_skew_ms={2: -800, 4: 1_200},
+            cease_ms=20_000,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+
+    def test_unknown_plan_key_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json({"seed": 0, "chaos_level": 11})
+
+    def test_randomized_is_deterministic(self):
+        assert (
+            FaultPlan.randomized(9, 6, 25_000)
+            == FaultPlan.randomized(9, 6, 25_000)
+        )
+        assert (
+            FaultPlan.randomized(9, 6, 25_000)
+            != FaultPlan.randomized(10, 6, 25_000)
+        )
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_randomized_plans_are_well_formed(self, seed):
+        duration = 25_000
+        plan = FaultPlan.randomized(seed, 5, duration)
+        assert plan.cease_ms == duration
+        for crash in plan.crashes:
+            assert crash.restart_ms < duration
+        for skew in plan.clock_skew_ms.values():
+            assert abs(skew) <= MAX_RANDOM_SKEW_MS
+        # Round-trippable, so a nightly artifact can always be replayed.
+        assert FaultPlan.from_json(plan.to_json()) == plan

@@ -1,0 +1,55 @@
+"""The zero-plan regression guarantee (ISSUE 3 satellite bugfix).
+
+Fault injection draws from its own ``random.Random`` stream, so merely
+*attaching* an injector — with an all-zero plan — must reproduce the
+fault-free run byte-for-byte: same trace file, same metrics, same
+final state digests.  This extends PR 2's atomic/message equivalence
+guarantee and pins the independent-RNG-stream bugfix: sharing the link
+model's RNG would shift its draws and fail the trace comparison.
+"""
+
+import pytest
+
+from repro.faults.plan import FaultPlan, LinkFaults
+from repro.sim import Scenario, Simulation
+
+
+def _run(tmp_path, name, faults):
+    trace = tmp_path / f"{name}.jsonl"
+    scenario = Scenario(
+        node_count=6, duration_ms=20_000, append_interval_ms=4_000,
+        seed=3, session_model="message", trace_path=trace, faults=faults,
+    )
+    simulation = Simulation(scenario).run()
+    simulation.run_quiescence(5_000)
+    metrics = simulation.metrics.as_dict()
+    digests = {
+        node_id: simulation.fleet.nodes[node_id].state_digest().hex()
+        for node_id in simulation.fleet.nodes
+    }
+    simulation.close()
+    return trace.read_bytes(), metrics, digests
+
+
+def test_zero_plan_reproduces_fault_free_run_byte_for_byte(tmp_path):
+    baseline = _run(tmp_path, "baseline", faults=None)
+    zero = _run(tmp_path, "zero", faults=FaultPlan(seed=3))
+    assert zero[0] == baseline[0], "trace files differ"
+    assert zero[1] == baseline[1], "metrics differ"
+    assert zero[2] == baseline[2], "state digests differ"
+
+
+def test_zero_plan_injector_consumes_no_randomness(tmp_path):
+    # Different plan seeds must not matter either: a zero plan never
+    # reaches its RNG.
+    first = _run(tmp_path, "seed0", faults=FaultPlan(seed=0))
+    second = _run(tmp_path, "seed99", faults=FaultPlan(seed=99))
+    assert first == second
+
+
+def test_faults_require_message_session_model():
+    plan = FaultPlan(default_link=LinkFaults(drop=0.1))
+    with pytest.raises(ValueError, match="message"):
+        Scenario(session_model="atomic", faults=plan)
+    with pytest.raises(ValueError, match="message"):
+        Scenario(faults=plan)  # default model is atomic

@@ -73,6 +73,35 @@ class TestSimulateAndDemo:
                      "--partition-until", "6000", "--seed", "4"])
         assert code == 0
 
+    def test_simulate_with_faults(self, tmp_path, capsys):
+        from repro.faults.plan import FaultPlan, LinkFaults
+
+        plan_path = FaultPlan(
+            seed=3,
+            default_link=LinkFaults(drop=0.2, corrupt=0.1),
+            cease_ms=10_000,
+        ).save(tmp_path / "plan.json")
+        code = main(["simulate", "--nodes", "4", "--duration", "10000",
+                     "--seed", "3", "--faults", str(plan_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults:" in out
+
+    def test_simulate_faults_reject_atomic_model(self, tmp_path, capsys):
+        from repro.faults.plan import FaultPlan
+
+        plan_path = FaultPlan(seed=0).save(tmp_path / "plan.json")
+        code = main(["simulate", "--session-model", "atomic",
+                     "--faults", str(plan_path)])
+        assert code == 1
+        assert "message" in capsys.readouterr().err
+
+    def test_simulate_faults_bad_plan_file(self, tmp_path, capsys):
+        bad = tmp_path / "plan.json"
+        bad.write_text('{"chaos_level": 11}')
+        assert main(["simulate", "--faults", str(bad)]) == 1
+        assert "fault plan" in capsys.readouterr().err
+
     def test_demo(self, capsys):
         assert main(["demo"]) == 0
         out = capsys.readouterr().out
