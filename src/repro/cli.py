@@ -13,6 +13,9 @@ Four subcommands cover the workflows a user reaches for first:
   Prometheus text format.
 * ``analyze TRACE`` — recompute contact/session/propagation numbers
   from a JSONL trace.
+* ``serve STORE --key KEY`` — run a live node: listen for peers on TCP,
+  dial ``--peer host:port`` entries, and gossip until interrupted
+  (``python -m repro.live`` is a shortcut to this command).
 * ``demo`` — the quickstart scenario end to end.
 
 Run as ``python -m repro <command>`` or via the ``vegvisir`` script.
@@ -260,6 +263,67 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run a live node until interrupted (Ctrl-C exits cleanly)."""
+    import asyncio
+    import signal
+
+    from repro.live import LiveNode, PeerSpec
+
+    key = _load_key(args.key)
+    store = pathlib.Path(args.store)
+    if not store.exists():
+        print(f"no such store: {store} (create one with `init`)",
+              file=sys.stderr)
+        return 1
+    try:
+        peers = [PeerSpec.parse(entry) for entry in args.peer]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+
+    obs = None
+    if args.trace or args.metrics:
+        from repro.obs import JsonlFileSink, Observability
+
+        sinks = [JsonlFileSink(args.trace)] if args.trace else []
+        obs = Observability(sinks=sinks)
+    node = LiveNode(
+        key, store,
+        host=args.host, port=args.port, peers=peers, name=args.name,
+        protocol=args.protocol, interval_s=args.interval,
+        session_timeout_s=args.session_timeout, obs=obs,
+    )
+
+    async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, node.request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix event loops
+        await node.start()
+        print(f"serving chain {node.chain_id.hex()[:16]}… "
+              f"on {args.host}:{node.listen_port} "
+              f"({len(peers)} static peer(s), protocol={args.protocol})")
+        try:
+            await node._stop_requested.wait()
+        finally:
+            await node.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    print(f"stopped with {len(node.node.dag)} blocks "
+          f"(digest {node.dag_digest()[:16]}…)")
+    if obs is not None:
+        if args.metrics:
+            print(obs.registry.render_prometheus(), end="")
+        obs.close()
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.core.node import VegvisirNode
     from repro.membership.authority import CertificateAuthority
@@ -300,9 +364,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser with all subcommands."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="vegvisir",
         description="Vegvisir: a partition-tolerant blockchain for IoT",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -366,6 +435,33 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--json", action="store_true",
                          help="emit the analysis as JSON")
     analyze.set_defaults(func=_cmd_analyze)
+
+    serve = commands.add_parser(
+        "serve", help="run a live node over TCP until interrupted"
+    )
+    serve.add_argument("store", help="block store path (from `init`)")
+    serve.add_argument("--key", required=True,
+                       help="key seed file (from `keygen`)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--peer", action="append", default=[],
+                       metavar="HOST:PORT",
+                       help="static peer to dial (repeatable)")
+    serve.add_argument("--name", default=None,
+                       help="node name for logs and traces")
+    serve.add_argument("--protocol", choices=["frontier", "bloom"],
+                       default="frontier")
+    serve.add_argument("--interval", type=float, default=1.0,
+                       help="anti-entropy interval in seconds")
+    serve.add_argument("--session-timeout", type=float, default=30.0,
+                       dest="session_timeout",
+                       help="per-session deadline in seconds")
+    serve.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a JSONL event trace to PATH")
+    serve.add_argument("--metrics", action="store_true",
+                       help="print the metric dump on exit")
+    serve.set_defaults(func=_cmd_serve)
 
     demo = commands.add_parser("demo", help="run the quickstart scenario")
     demo.set_defaults(func=_cmd_demo)

@@ -1,0 +1,76 @@
+"""repro.live — the asyncio network runtime: real Vegvisir nodes on TCP.
+
+Everything below :mod:`repro.reconcile` in this repo is a pure model:
+protocols exchange *messages* and a driver shuttles them between two
+in-process replicas.  This package puts those same protocols on real
+sockets without changing a byte of what they say:
+
+* :mod:`repro.live.transport` — length-prefixed frame transports: a
+  real asyncio stream (:class:`StreamTransport`) and a deterministic
+  in-process pair (:class:`LoopbackTransport`) that carries identical
+  frames, for tests and benchmarks;
+* :mod:`repro.live.protocol` — the initiator/responder split of the
+  frontier and Bloom reconciliation protocols, written so the frame
+  payloads match the message-level generators byte for byte (the
+  parity tests hold them to it);
+* :mod:`repro.live.peers` — static peer lists, concurrent dial/accept,
+  exponential backoff with jitter, handshake and half-open timeouts;
+* :mod:`repro.live.antientropy` — the periodic gossip loop with
+  per-session deadlines and clean teardown on disconnect;
+* :mod:`repro.live.node` — :class:`LiveNode`, one replica with durable
+  :class:`~repro.storage.blockstore.BlockStore` persistence, metrics,
+  and traces behind a single ``serve()`` entry point.
+
+Run a node from the command line with ``repro.cli serve`` or
+``python -m repro.live``; ``examples/live_cluster.py`` boots a whole
+localhost cluster, partitions it, and shows the DAGs re-converge.
+"""
+
+from repro.live.antientropy import AntiEntropyLoop, serve_connection
+from repro.live.node import LiveNode
+from repro.live.peers import (
+    Backoff,
+    HandshakeError,
+    PeerManager,
+    PeerSpec,
+    handshake,
+)
+from repro.live.protocol import (
+    LIVE_PROTOCOLS,
+    LiveBloom,
+    LiveFrontier,
+    LiveProtocolError,
+    LiveResponder,
+    LiveSessionError,
+    make_protocol,
+)
+from repro.live.transport import (
+    FrameTransport,
+    LoopbackTransport,
+    StreamTransport,
+    TransportClosed,
+    TransportError,
+)
+
+__all__ = [
+    "AntiEntropyLoop",
+    "Backoff",
+    "FrameTransport",
+    "HandshakeError",
+    "LIVE_PROTOCOLS",
+    "LiveBloom",
+    "LiveFrontier",
+    "LiveNode",
+    "LiveProtocolError",
+    "LiveResponder",
+    "LiveSessionError",
+    "LoopbackTransport",
+    "PeerManager",
+    "PeerSpec",
+    "StreamTransport",
+    "TransportClosed",
+    "TransportError",
+    "handshake",
+    "make_protocol",
+    "serve_connection",
+]

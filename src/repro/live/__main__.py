@@ -1,0 +1,8 @@
+"""``python -m repro.live`` — shortcut to ``repro.cli serve``."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(["serve", *sys.argv[1:]]))

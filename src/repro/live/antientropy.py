@@ -1,0 +1,217 @@
+"""The anti-entropy loop: periodic reconciliation over live connections.
+
+One :class:`AntiEntropyLoop` per node plays the paper's §IV-G gossip
+role on real sockets: every interval (with jitter) it picks a random
+connected outbound peer and runs one initiator session
+(:class:`~repro.live.protocol.LiveFrontier` or
+:class:`~repro.live.protocol.LiveBloom`) under a per-session deadline.
+A session that times out, hits a transport error, or receives garbage
+is *interrupted*: its partial byte totals are kept, a
+``session.interrupted`` trace event is emitted, and the connection is
+closed so the peer manager's backoff can rebuild it.  Interruption
+never corrupts the replica — blocks only enter the DAG through
+parent-closed :func:`~repro.reconcile.session.merge_blocks` batches.
+
+The responder half, :func:`serve_connection`, answers one connection's
+requests until it closes, feeding every merged push batch to the
+persistence sink.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Callable, Optional
+
+from repro import wire
+from repro.core.node import VegvisirNode
+from repro.live.protocol import (
+    BlockSink,
+    LiveProtocolError,
+    LiveResponder,
+    LiveSessionError,
+    make_protocol,
+)
+from repro.live.transport import TransportClosed, TransportError
+from repro.reconcile.stats import (
+    INITIATOR_TO_RESPONDER,
+    RESPONDER_TO_INITIATOR,
+    ReconcileStats,
+)
+
+DEFAULT_INTERVAL = 1.0
+DEFAULT_JITTER = 0.2
+DEFAULT_SESSION_TIMEOUT = 30.0
+
+
+async def serve_connection(node: VegvisirNode, transport,
+                           on_blocks: Optional[BlockSink] = None,
+                           after_message: Optional[Callable[[], None]] = None,
+                           ) -> None:
+    """Serve reconciliation requests on one connection until it drops.
+
+    Malformed traffic gets one ``error`` frame (best effort) and the
+    connection is closed; the stream cannot be trusted past the first
+    bad frame.  *after_message* runs after each handled message — the
+    hook LiveNode uses to persist blocks a push batch merged.
+    """
+    responder = LiveResponder(node, on_blocks=on_blocks)
+    while True:
+        try:
+            payload = await transport.recv()
+        except TransportClosed:
+            return
+        try:
+            message = wire.decode(payload)
+            reply = responder.handle(message)
+        except (wire.DecodeError, LiveProtocolError) as exc:
+            try:
+                await transport.send(
+                    wire.encode({"type": "error", "reason": str(exc)})
+                )
+            except TransportError:
+                pass
+            await transport.close()
+            return
+        if reply is not None:
+            try:
+                await transport.send(wire.encode(reply))
+            except TransportClosed:
+                return
+        if after_message is not None:
+            after_message()
+
+
+class AntiEntropyLoop:
+    """Periodic initiator sessions against connected peers."""
+
+    def __init__(
+        self,
+        node: VegvisirNode,
+        peer_manager,
+        *,
+        protocol: str = "frontier",
+        protocol_kwargs: Optional[dict] = None,
+        interval_s: float = DEFAULT_INTERVAL,
+        jitter_s: float = DEFAULT_JITTER,
+        session_timeout_s: float = DEFAULT_SESSION_TIMEOUT,
+        on_blocks: Optional[BlockSink] = None,
+        seed: Optional[int] = None,
+        obs=None,
+    ):
+        self._node = node
+        self._peers = peer_manager
+        self._protocol_name = protocol
+        self._protocol_kwargs = dict(protocol_kwargs or {})
+        make_protocol(protocol, **self._protocol_kwargs)  # validate early
+        self._interval = interval_s
+        self._jitter = jitter_s
+        self._session_timeout = session_timeout_s
+        self._on_blocks = on_blocks
+        self._rng = random.Random(seed)
+        self._obs = obs if obs is not None and obs.enabled else None
+        self.sessions_completed = 0
+        self.sessions_interrupted = 0
+        if self._obs is not None:
+            registry = self._obs.registry
+            self._c_sessions = registry.counter(
+                "live_sessions_total",
+                "initiator sessions by protocol and outcome",
+                labels=("protocol", "outcome"),
+            )
+            self._c_bytes = registry.counter(
+                "live_session_bytes_total",
+                "session bytes by protocol and direction",
+                labels=("protocol", "direction"),
+            )
+            self._c_blocks = registry.counter(
+                "live_session_blocks_total",
+                "blocks moved by live sessions, by kind",
+                labels=("protocol", "kind"),
+            )
+
+    async def run(self) -> None:
+        """The periodic loop; runs until cancelled."""
+        while True:
+            delay = self._interval
+            if self._jitter:
+                delay += self._jitter * (2.0 * self._rng.random() - 1.0)
+            await asyncio.sleep(max(0.01, delay))
+            names = self._peers.connected_peers()
+            if not names:
+                continue
+            await self.run_once(names[self._rng.randrange(len(names))])
+
+    async def run_once(self, peer_name: str) -> Optional[ReconcileStats]:
+        """One session against *peer_name* now; None if not connected."""
+        transport = self._peers.connection(peer_name)
+        if transport is None:
+            return None
+        protocol = make_protocol(
+            self._protocol_name, **self._protocol_kwargs
+        )
+        stats = ReconcileStats(protocol.name)
+        if self._obs is not None:
+            self._obs.emit(
+                "session.start", peer=peer_name, protocol=protocol.name,
+            )
+        try:
+            await asyncio.wait_for(
+                protocol.run(
+                    self._node, transport, stats, on_blocks=self._on_blocks
+                ),
+                self._session_timeout,
+            )
+        except (TransportError, LiveSessionError,
+                asyncio.TimeoutError) as exc:
+            stats.interrupted = True
+            self.sessions_interrupted += 1
+            reason = (
+                "timeout" if isinstance(exc, asyncio.TimeoutError)
+                else "disconnect" if isinstance(exc, TransportError)
+                else "protocol"
+            )
+            self._observe(peer_name, stats, outcome="interrupted",
+                          reason=reason)
+            # The stream may hold a stale half-exchanged session; the
+            # only safe recovery is a fresh connection via backoff.
+            await transport.close()
+            return stats
+        self.sessions_completed += 1
+        self._observe(peer_name, stats, outcome="completed")
+        return stats
+
+    def _observe(self, peer_name: str, stats: ReconcileStats,
+                 outcome: str, reason: Optional[str] = None) -> None:
+        if self._obs is None:
+            return
+        self._c_sessions.labels(
+            protocol=stats.protocol, outcome=outcome
+        ).inc()
+        for direction in (INITIATOR_TO_RESPONDER, RESPONDER_TO_INITIATOR):
+            self._c_bytes.labels(
+                protocol=stats.protocol, direction=direction
+            ).inc(stats.bytes[direction])
+        for kind, count in (
+            ("pulled", stats.blocks_pulled),
+            ("pushed", stats.blocks_pushed),
+            ("duplicate", stats.duplicate_blocks),
+            ("invalid", stats.invalid_blocks),
+        ):
+            if count:
+                self._c_blocks.labels(
+                    protocol=stats.protocol, kind=kind
+                ).inc(count)
+        fields = dict(
+            peer=peer_name, protocol=stats.protocol, rounds=stats.rounds,
+            bytes_i2r=stats.bytes[INITIATOR_TO_RESPONDER],
+            bytes_r2i=stats.bytes[RESPONDER_TO_INITIATOR],
+            blocks_pulled=stats.blocks_pulled,
+            blocks_pushed=stats.blocks_pushed,
+        )
+        if outcome == "completed":
+            self._obs.emit(
+                "session.completed", converged=stats.converged, **fields
+            )
+        else:
+            self._obs.emit("session.interrupted", reason=reason, **fields)

@@ -1,0 +1,253 @@
+"""A Vegvisir node as a network process.
+
+:class:`LiveNode` assembles the whole live stack around one replica:
+
+* **identity** — the node's :class:`~repro.crypto.keys.KeyPair`;
+* **persistence** — every block the replica observes (created locally,
+  pulled, or pushed by a peer) is durably appended to a
+  :class:`~repro.storage.blockstore.BlockStore` the moment it enters
+  the DAG; on restart the replica is rebuilt from that store through
+  :func:`~repro.storage.load_node`'s full validation, so a crashed node
+  recovers exactly its persisted parent-closed prefix;
+* **networking** — a :class:`~repro.live.peers.PeerManager` for
+  connections and an :class:`~repro.live.antientropy.AntiEntropyLoop`
+  for sessions;
+* **observability** — optional metrics registry and trace events
+  (``peer.connected``, ``session.completed``, ``session.interrupted``)
+  through the standard :class:`~repro.obs.Observability` wiring.
+
+``serve()`` runs the node until :meth:`request_stop` (or cancellation);
+``start()``/``stop()`` give tests finer control.  Shutdown is complete:
+no asyncio task, server socket, or connection outlives :meth:`stop`,
+and the block store's write handle is closed — a property the cluster
+tests assert directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import time
+from typing import List, Optional, Union
+
+from repro.chain.block import Block, Transaction
+from repro.core.node import VegvisirNode
+from repro.crypto.keys import KeyPair
+from repro.crypto.sha import Hash
+from repro.live.antientropy import (
+    AntiEntropyLoop,
+    DEFAULT_INTERVAL,
+    DEFAULT_JITTER,
+    DEFAULT_SESSION_TIMEOUT,
+    serve_connection,
+)
+from repro.live.peers import (
+    DEFAULT_DIAL_TIMEOUT,
+    DEFAULT_HANDSHAKE_TIMEOUT,
+    PeerManager,
+    PeerSpec,
+)
+from repro.storage.blockstore import BlockStore
+from repro.storage.node_store import load_node
+
+
+def _wall_ms() -> int:
+    return int(time.time() * 1000)
+
+
+class LiveNode:
+    """One Vegvisir replica serving real peers over TCP."""
+
+    def __init__(
+        self,
+        key_pair: KeyPair,
+        store_path: Union[str, pathlib.Path],
+        *,
+        genesis: Optional[Block] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        peers: Optional[List[PeerSpec]] = None,
+        name: Optional[str] = None,
+        protocol: str = "frontier",
+        protocol_kwargs: Optional[dict] = None,
+        interval_s: float = DEFAULT_INTERVAL,
+        jitter_s: float = DEFAULT_JITTER,
+        session_timeout_s: float = DEFAULT_SESSION_TIMEOUT,
+        dial_timeout_s: float = DEFAULT_DIAL_TIMEOUT,
+        handshake_timeout_s: float = DEFAULT_HANDSHAKE_TIMEOUT,
+        max_frame_bytes: Optional[int] = None,
+        seed: Optional[int] = None,
+        clock=None,
+        fsync: bool = True,
+        obs=None,
+    ):
+        self._store_path = pathlib.Path(store_path)
+        clock = clock or _wall_ms
+        if self._store_path.exists() and BlockStore(
+            self._store_path, fsync=fsync
+        ).count() > 0:
+            # Restart: rebuild the replica from disk through full
+            # validation, then keep appending to the same store.
+            self.node = load_node(key_pair, self._store_path, clock=clock)
+        else:
+            if genesis is None:
+                raise ValueError(
+                    f"{self._store_path} holds no chain and no genesis "
+                    "block was provided"
+                )
+            self.node = VegvisirNode(key_pair, genesis, clock=clock)
+        self.store = BlockStore(self._store_path, fsync=fsync)
+        self._persisted = 0
+        if self.store.count() == 0:
+            self.store.append(self.node.dag.genesis)
+        self._persisted = len(self.node.dag.insertion_order())
+
+        self.name = name or key_pair.user_id.short()
+        self._host = host
+        self._port = port
+        self._obs = obs if obs is not None and obs.enabled else None
+        self.peer_manager = PeerManager(
+            self.node, self.name, list(peers or ()),
+            connection_handler=self._serve_peer,
+            dial_timeout_s=dial_timeout_s,
+            handshake_timeout_s=handshake_timeout_s,
+            max_frame_bytes=max_frame_bytes,
+            seed=None if seed is None else seed ^ 0xD1A1,
+            obs=obs,
+        )
+        self.antientropy = AntiEntropyLoop(
+            self.node, self.peer_manager,
+            protocol=protocol, protocol_kwargs=protocol_kwargs,
+            interval_s=interval_s, jitter_s=jitter_s,
+            session_timeout_s=session_timeout_s,
+            on_blocks=self._persist_blocks,
+            seed=None if seed is None else seed ^ 0x90551,
+            obs=obs,
+        )
+        self._loop_task: Optional[asyncio.Task] = None
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._started = False
+        if self._obs is not None:
+            self._c_persisted = self._obs.registry.counter(
+                "live_blocks_persisted_total",
+                "blocks durably appended to the node's store",
+            )
+        else:
+            self._c_persisted = None
+
+    # -- persistence ---------------------------------------------------
+
+    def _persist_blocks(self, _blocks=None) -> None:
+        """Append every not-yet-persisted DAG block to the store.
+
+        Driven by a cursor over the DAG's insertion order, which is
+        parent-closed by construction — so the on-disk prefix is always
+        a valid replica, whatever instant a crash hits.
+        """
+        order = self.node.dag.insertion_order()
+        for block_hash in order[self._persisted:]:
+            self.store.append(self.node.dag.get(block_hash))
+            if self._c_persisted is not None:
+                self._c_persisted.inc()
+        self._persisted = len(order)
+
+    def append_transactions(
+        self, transactions: List[Transaction] = ()
+    ) -> Block:
+        """Create a block locally and persist it durably."""
+        block = self.node.append_transactions(transactions)
+        self._persist_blocks()
+        return block
+
+    # -- identity / state ----------------------------------------------
+
+    @property
+    def chain_id(self) -> Hash:
+        return self.node.chain_id
+
+    @property
+    def listen_port(self) -> Optional[int]:
+        return self.peer_manager.listen_port
+
+    def dag_digest(self) -> str:
+        """Hex digest over the held block set — equal digests mean
+        identical DAGs (the cluster-convergence check)."""
+        return Hash.of_value(
+            sorted(h.digest for h in self.node.dag.hashes())
+        ).hex()
+
+    def state_digest(self) -> Hash:
+        return self.node.state_digest()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def _serve_peer(self, transport, hello: dict) -> None:
+        await serve_connection(
+            self.node, transport,
+            on_blocks=self._persist_blocks,
+            after_message=self._persist_blocks,
+        )
+
+    def add_peer(self, spec: PeerSpec) -> None:
+        self.peer_manager.add_peer(spec)
+
+    async def start(self) -> None:
+        """Bind the listener, start dialing peers and gossiping."""
+        if self._started:
+            raise RuntimeError("live node already started")
+        self._started = True
+        self._stop_requested = asyncio.Event()
+        await self.peer_manager.start(self._host, self._port)
+        self._loop_task = asyncio.ensure_future(self.antientropy.run())
+        if self._obs is not None:
+            self._obs.emit(
+                "node.started", node=self.name,
+                port=self.peer_manager.listen_port,
+            )
+
+    async def stop(self) -> None:
+        """Stop gossip, close every connection and socket, close the
+        store.  Idempotent; afterwards nothing of this node remains
+        running."""
+        if self._loop_task is not None:
+            self._loop_task.cancel()
+            try:
+                await self._loop_task
+            except asyncio.CancelledError:
+                pass
+            self._loop_task = None
+        await self.peer_manager.stop()
+        self._persist_blocks()
+        self.store.close()
+        self._started = False
+        if self._obs is not None:
+            self._obs.emit("node.stopped", node=self.name)
+
+    def request_stop(self) -> None:
+        """Ask a running :meth:`serve` to shut down and return."""
+        if self._stop_requested is not None:
+            self._stop_requested.set()
+
+    async def serve(self) -> None:
+        """Run the node until :meth:`request_stop` or cancellation."""
+        await self.start()
+        try:
+            await self._stop_requested.wait()
+        finally:
+            await self.stop()
+
+    # -- partitions (testing / chaos) ----------------------------------
+
+    async def isolate(self) -> None:
+        """Sever all connections and refuse new ones."""
+        await self.peer_manager.partition()
+
+    def rejoin(self) -> None:
+        """Come back from :meth:`isolate`; backoff redials take over."""
+        self.peer_manager.heal()
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveNode({self.name}, blocks={len(self.node.dag)}, "
+            f"port={self.listen_port})"
+        )

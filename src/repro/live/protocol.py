@@ -1,0 +1,399 @@
+"""Reconciliation split across a network boundary.
+
+The protocol classes in :mod:`repro.reconcile` describe a session as one
+generator holding *both* replicas — fine in a simulator, impossible over
+a socket where each endpoint owns only its own node.  This module splits
+the two production protocols (frontier/Algorithm 1 and Bloom) into:
+
+* an **initiator driver** (:class:`LiveFrontier`, :class:`LiveBloom`)
+  that sends requests and merges replies using only the local replica;
+* a **responder** (:class:`LiveResponder`) that answers each request
+  using only *its* local replica, carrying the one piece of per-session
+  state the frontier protocol needs (which hashes were already sent, so
+  deeper levels never resend block bodies — a ``get_frontier`` at level
+  1 starts a fresh session and resets it).
+
+The split is *byte-exact*: for the same pair of replica states, the
+sequence of frame payloads exchanged here equals the sequence of wire
+messages the sim's :class:`~repro.reconcile.engine.ReconcileSession`
+yields, message for message and byte for byte — the live/sim parity
+tests (``tests/live/test_parity.py``) enforce it.  That works because
+every decision the generator makes on the initiator side depends only
+on the initiator's replica and on previously received messages (the
+responder's frontier is recovered from the level-1 ``frontier_set`` /
+``frontier_hashes`` / ``bloom_blocks`` replies), and every responder
+computation depends only on the responder's replica plus the session's
+``sent_hashes`` memo.
+
+Nothing here trusts the peer: received blocks pass the full §IV-E
+validation inside :func:`~repro.reconcile.session.merge_blocks`, and a
+malformed or hostile reply raises :class:`LiveSessionError`, which the
+anti-entropy loop turns into a torn session — never a corrupted DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro import wire
+from repro.chain.block import Block
+from repro.chain.errors import MalformedBlockError
+from repro.core.node import VegvisirNode
+from repro.crypto.sha import Hash
+from repro.reconcile.bloom import BloomFilter
+from repro.reconcile.session import merge_blocks, responder_holdings
+from repro.reconcile.stats import (
+    INITIATOR_TO_RESPONDER,
+    RESPONDER_TO_INITIATOR,
+    ReconcileStats,
+)
+
+#: Called with each batch of blocks newly merged into the local replica
+#: (the persistence hook: LiveNode appends them to its BlockStore).
+BlockSink = Callable[[List[Block]], None]
+
+
+class LiveProtocolError(Exception):
+    """Base class for live-protocol failures."""
+
+
+class LiveSessionError(LiveProtocolError):
+    """The peer sent something unusable; the session must be torn down."""
+
+
+def _decoded_blocks(values) -> List[Block]:
+    try:
+        return [Block.from_wire(value) for value in values]
+    except MalformedBlockError as exc:
+        raise LiveSessionError(f"peer sent malformed block: {exc}") from exc
+
+
+async def _request(transport, stats: ReconcileStats, message: dict) -> dict:
+    """One request/response round trip, charged to *stats*."""
+    payload = wire.encode(message)
+    stats.record_raw(INITIATOR_TO_RESPONDER, len(payload))
+    await transport.send(payload)
+    reply_payload = await transport.recv()
+    stats.record_raw(RESPONDER_TO_INITIATOR, len(reply_payload))
+    try:
+        reply = wire.decode(reply_payload)
+    except wire.DecodeError as exc:
+        raise LiveSessionError(f"undecodable reply: {exc}") from exc
+    if not isinstance(reply, dict) or "type" not in reply:
+        raise LiveSessionError("reply is not a typed map")
+    if reply["type"] == "error":
+        raise LiveSessionError(
+            f"peer reported error: {reply.get('reason', '?')}"
+        )
+    return reply
+
+
+async def _send_oneway(transport, stats: ReconcileStats,
+                       message: dict) -> None:
+    """Send a message that has no reply (the push batch)."""
+    payload = wire.encode(message)
+    stats.record_raw(INITIATOR_TO_RESPONDER, len(payload))
+    await transport.send(payload)
+
+
+def _expect(reply: dict, wanted: str) -> dict:
+    if reply["type"] != wanted:
+        raise LiveSessionError(
+            f"expected {wanted!r} reply, got {reply['type']!r}"
+        )
+    return reply
+
+
+async def _push_phase(node: VegvisirNode, transport,
+                      responder_frontier: List[Hash],
+                      stats: ReconcileStats) -> None:
+    """Mirror of :func:`~repro.reconcile.session.push_steps`.
+
+    Computed entirely from the local replica: everything under the
+    responder's frontier is provably held by it (§IV-A provenance), the
+    rest is sent in one batch.  There is no acknowledgement — exactly
+    like the generator — so ``blocks_pushed`` counts blocks *sent*; an
+    honest responder merges them all.
+    """
+    responder_has = responder_holdings(node, responder_frontier)
+    missing = [
+        block for block in node.dag.blocks()
+        if block.hash not in responder_has
+    ]
+    if not missing:
+        return
+    await _send_oneway(transport, stats, {
+        "type": "push_blocks",
+        "blocks": [block.to_wire() for block in missing],
+    })
+    stats.blocks_pushed += len(missing)
+
+
+def _merge_into(node: VegvisirNode, blocks: List[Block],
+                stats: ReconcileStats, on_blocks: Optional[BlockSink]):
+    merged = merge_blocks(node, blocks)
+    stats.blocks_pulled += len(merged.added)
+    stats.duplicate_blocks += merged.duplicates
+    stats.invalid_blocks += merged.invalid
+    if on_blocks is not None and merged.added:
+        on_blocks(merged.added)
+    return merged
+
+
+class LiveFrontier:
+    """Initiator side of Algorithm 1 over a frame transport."""
+
+    name = "frontier"
+
+    def __init__(self, max_level: int = 10_000, push: bool = True,
+                 hash_first: bool = False):
+        self._max_level = max_level
+        self._push = push
+        self._hash_first = hash_first
+
+    async def run(self, node: VegvisirNode, transport,
+                  stats: Optional[ReconcileStats] = None,
+                  on_blocks: Optional[BlockSink] = None) -> ReconcileStats:
+        stats = stats if stats is not None else ReconcileStats(self.name)
+        responder_frontier: Optional[List[Hash]] = None
+
+        if self._hash_first:
+            stats.rounds += 1
+            reply = _expect(
+                await _request(
+                    transport, stats, {"type": "get_frontier_hashes"}
+                ),
+                "frontier_hashes",
+            )
+            responder_frontier = [
+                Hash(bytes(digest)) for digest in reply["hashes"]
+            ]
+            if all(node.has_block(h) for h in responder_frontier):
+                stats.converged = True
+                if self._push:
+                    await _push_phase(
+                        node, transport, responder_frontier, stats
+                    )
+                return stats
+
+        pending: List[Block] = []
+        level = 1
+        while level <= self._max_level:
+            stats.rounds += 1
+            reply = _expect(
+                await _request(
+                    transport, stats,
+                    {"type": "get_frontier", "level": level},
+                ),
+                "frontier_set",
+            )
+            new_blocks = _decoded_blocks(reply["blocks"])
+            if level == 1:
+                # Level 1 carries the full frontier (nothing was sent
+                # before it), which doubles as the responder-frontier
+                # snapshot the push phase needs.
+                level_hashes = [block.hash for block in new_blocks]
+                if responder_frontier is None:
+                    responder_frontier = level_hashes
+                if all(node.has_block(h) for h in level_hashes):
+                    stats.converged = True
+                    break
+            pending.extend(new_blocks)
+            merged = _merge_into(node, pending, stats, on_blocks)
+            if merged.complete:
+                stats.converged = True
+                break
+            pending = merged.unplaced
+            level += 1
+
+        if stats.converged and self._push and responder_frontier is not None:
+            await _push_phase(node, transport, responder_frontier, stats)
+        return stats
+
+
+class LiveBloom:
+    """Initiator side of the Bloom-digest protocol over a transport."""
+
+    name = "bloom"
+
+    def __init__(self, false_positive_rate: float = 0.01, push: bool = True):
+        self._fp_rate = false_positive_rate
+        self._push = push
+
+    async def run(self, node: VegvisirNode, transport,
+                  stats: Optional[ReconcileStats] = None,
+                  on_blocks: Optional[BlockSink] = None) -> ReconcileStats:
+        stats = stats if stats is not None else ReconcileStats(self.name)
+        stats.rounds += 1
+        digest = BloomFilter.for_capacity(len(node.dag), self._fp_rate)
+        for block_hash in node.dag.hashes():
+            digest.add(block_hash.digest)
+        reply = _expect(
+            await _request(
+                transport, stats,
+                {"type": "bloom", "filter": digest.to_wire()},
+            ),
+            "bloom_blocks",
+        )
+        responder_frontier = [
+            Hash(bytes(value)) for value in reply["frontier"]
+        ]
+        merged = _merge_into(
+            node, _decoded_blocks(reply["blocks"]), stats, on_blocks
+        )
+        pending = merged.unplaced
+
+        def _missing_now(merge_result) -> List[Hash]:
+            needed = set(merge_result.missing_parents)
+            needed.update(
+                h for h in responder_frontier if not node.has_block(h)
+            )
+            return sorted(needed)
+
+        missing = _missing_now(merged)
+        while missing:
+            stats.rounds += 1
+            reply = _expect(
+                await _request(
+                    transport, stats,
+                    {
+                        "type": "get_blocks",
+                        "hashes": [h.digest for h in missing],
+                    },
+                ),
+                "blocks",
+            )
+            fetched = _decoded_blocks(reply["blocks"])
+            if not fetched:
+                break
+            merged = _merge_into(node, fetched + pending, stats, on_blocks)
+            pending = merged.unplaced
+            missing = _missing_now(merged)
+
+        stats.converged = all(
+            node.has_block(h) for h in responder_frontier
+        )
+        if stats.converged and self._push:
+            await _push_phase(node, transport, responder_frontier, stats)
+        return stats
+
+
+LIVE_PROTOCOLS = {
+    LiveFrontier.name: LiveFrontier,
+    LiveBloom.name: LiveBloom,
+}
+
+
+def make_protocol(name: str, **kwargs):
+    """Build a live initiator driver by protocol name."""
+    try:
+        factory = LIVE_PROTOCOLS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown live protocol {name!r}: "
+            f"expected one of {sorted(LIVE_PROTOCOLS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+class LiveResponder:
+    """Responder state machine for one connection.
+
+    ``handle`` maps one decoded request to a reply dict, ``None`` for
+    fire-and-forget messages (the push batch), computing exactly what
+    the in-process generators compute on the responder's behalf.  Any
+    malformed input raises :class:`LiveProtocolError`; the serve loop
+    answers with an ``error`` frame and drops the connection.
+    """
+
+    def __init__(self, node: VegvisirNode,
+                 on_blocks: Optional[BlockSink] = None):
+        self._node = node
+        self._on_blocks = on_blocks
+        # Frontier-session memo: hashes whose bodies were already sent.
+        # Reset whenever a session restarts at level 1.
+        self._sent_hashes: set = set()
+        self.blocks_received = 0
+
+    def handle(self, message: dict) -> Optional[dict]:
+        if not isinstance(message, dict) or "type" not in message:
+            raise LiveProtocolError("request is not a typed map")
+        handler = getattr(self, f"_handle_{message['type']}", None)
+        if handler is None:
+            raise LiveProtocolError(
+                f"unknown request type {message['type']!r}"
+            )
+        try:
+            return handler(message)
+        except LiveProtocolError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LiveProtocolError(
+                f"malformed {message['type']}: {exc}"
+            ) from exc
+
+    # -- frontier ------------------------------------------------------
+
+    def _handle_get_frontier_hashes(self, message: dict) -> dict:
+        return {
+            "type": "frontier_hashes",
+            "hashes": [
+                h.digest for h in sorted(self._node.frontier())
+            ],
+        }
+
+    def _handle_get_frontier(self, message: dict) -> dict:
+        level = int(message["level"])
+        if level < 1:
+            raise LiveProtocolError("frontier level must be >= 1")
+        if level == 1:
+            self._sent_hashes = set()
+        level_hashes = sorted(self._node.dag.frontier_level(level))
+        new_blocks = [
+            self._node.dag.get(h)
+            for h in level_hashes
+            if h not in self._sent_hashes
+        ]
+        self._sent_hashes.update(level_hashes)
+        return {
+            "type": "frontier_set",
+            "level": level,
+            "blocks": [block.to_wire() for block in new_blocks],
+        }
+
+    # -- bloom ---------------------------------------------------------
+
+    def _handle_bloom(self, message: dict) -> dict:
+        digest = BloomFilter.from_wire(message["filter"])
+        probably_missing = [
+            block for block in self._node.dag.blocks()
+            if block.hash.digest not in digest
+        ]
+        return {
+            "type": "bloom_blocks",
+            "blocks": [block.to_wire() for block in probably_missing],
+            "frontier": [
+                h.digest for h in sorted(self._node.frontier())
+            ],
+        }
+
+    def _handle_get_blocks(self, message: dict) -> dict:
+        blocks = []
+        for digest in message["hashes"]:
+            block = self._node.dag.maybe_get(Hash(bytes(digest)))
+            if block is not None:
+                blocks.append(block.to_wire())
+        return {"type": "blocks", "blocks": blocks}
+
+    # -- push ----------------------------------------------------------
+
+    def _handle_push_blocks(self, message: dict) -> Optional[dict]:
+        try:
+            blocks = [Block.from_wire(b) for b in message["blocks"]]
+        except MalformedBlockError as exc:
+            raise LiveProtocolError(str(exc)) from exc
+        merged = merge_blocks(self._node, blocks)
+        self.blocks_received += len(merged.added)
+        if self._on_blocks is not None and merged.added:
+            self._on_blocks(merged.added)
+        return None

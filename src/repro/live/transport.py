@@ -1,0 +1,236 @@
+"""Frame transports: length-prefixed messages over a byte stream.
+
+Two implementations share one interface (:class:`FrameTransport`):
+
+* :class:`StreamTransport` wraps an asyncio ``StreamReader`` /
+  ``StreamWriter`` pair — a real TCP connection (or anything else that
+  speaks the stream protocol, e.g. a Unix socket);
+* :class:`LoopbackTransport` is a deterministic in-process pair for
+  tests and benchmarks: :meth:`LoopbackTransport.pair` returns two ends
+  whose bytes still travel through :func:`~repro.wire.framing.
+  encode_frame` and a :class:`~repro.wire.framing.FrameDecoder`, so the
+  frames observed over loopback are byte-for-byte the frames a socket
+  would carry.
+
+Payloads are opaque here; one level up they are canonical
+:mod:`repro.wire` encodings of reconciliation messages.  Every
+transport counts frames and bytes in both directions and accepts an
+optional ``tap`` callable ``(direction, payload)`` with direction
+``"send"`` or ``"recv"`` — the hook the byte-parity tests use to record
+exactly what crossed the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Callable, Optional, Tuple
+
+from repro.wire.framing import (
+    FrameDecoder,
+    FrameError,
+    MAX_FRAME_BYTES,
+    encode_frame,
+)
+
+
+class TransportError(Exception):
+    """The connection failed mid-operation."""
+
+
+class TransportClosed(TransportError):
+    """The peer closed the connection (or we did)."""
+
+
+class FrameTransport:
+    """Common bookkeeping for frame transports."""
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES,
+                 label: str = "?"):
+        self._max_frame_bytes = max_frame_bytes
+        self.label = label
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        #: Optional observer of every payload: ``tap(direction, payload)``
+        #: with direction ``"send"`` or ``"recv"``.
+        self.tap: Optional[Callable[[str, bytes], None]] = None
+        self._closed = False
+        self._closed_event = asyncio.Event()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def wait_closed(self) -> None:
+        """Block until the transport is closed (either side)."""
+        await self._closed_event.wait()
+
+    def _mark_closed(self) -> None:
+        self._closed = True
+        self._closed_event.set()
+
+    def _account_send(self, payload: bytes, frame_len: int) -> None:
+        self.frames_sent += 1
+        self.bytes_sent += frame_len
+        if self.tap is not None:
+            self.tap("send", payload)
+
+    def _account_recv(self, payload: bytes, frame_len: int) -> None:
+        self.frames_received += 1
+        self.bytes_received += frame_len
+        if self.tap is not None:
+            self.tap("recv", payload)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"{type(self).__name__}({self.label}, {state})"
+
+
+class StreamTransport(FrameTransport):
+    """Frames over an asyncio stream (TCP in production)."""
+
+    #: Read granularity; one frame may span many reads and vice versa.
+    READ_CHUNK = 64 * 1024
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 label: str = "?"):
+        super().__init__(max_frame_bytes, label)
+        self._reader = reader
+        self._writer = writer
+        self._decoder = FrameDecoder(max_frame_bytes)
+        self._ready: deque[bytes] = deque()
+
+    @property
+    def peername(self) -> Optional[Tuple[str, int]]:
+        try:
+            info = self._writer.get_extra_info("peername")
+        except Exception:  # pragma: no cover - defensive
+            return None
+        if isinstance(info, tuple) and len(info) >= 2:
+            return (info[0], info[1])
+        return None
+
+    async def send(self, payload: bytes) -> None:
+        if self._closed:
+            raise TransportClosed(f"{self.label}: send on closed transport")
+        frame = encode_frame(payload, self._max_frame_bytes)
+        try:
+            self._writer.write(frame)
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._mark_closed()
+            raise TransportClosed(f"{self.label}: peer gone: {exc}") from exc
+        self._account_send(payload, len(frame))
+
+    async def recv(self) -> bytes:
+        while not self._ready:
+            if self._closed:
+                raise TransportClosed(
+                    f"{self.label}: recv on closed transport"
+                )
+            try:
+                data = await self._reader.read(self.READ_CHUNK)
+            except (ConnectionError, OSError) as exc:
+                self._mark_closed()
+                raise TransportClosed(
+                    f"{self.label}: peer gone: {exc}"
+                ) from exc
+            if not data:
+                self._mark_closed()
+                raise TransportClosed(f"{self.label}: stream ended")
+            try:
+                self._ready.extend(self._decoder.feed(data))
+            except FrameError as exc:
+                # An oversize or garbled frame poisons the stream: there
+                # is no way to resynchronise, so the connection dies.
+                self._mark_closed()
+                raise TransportError(
+                    f"{self.label}: poisoned stream: {exc}"
+                ) from exc
+        payload = self._ready.popleft()
+        self._account_recv(payload, len(payload) + 4)
+        return payload
+
+    async def close(self) -> None:
+        """Close the underlying stream (idempotent)."""
+        if not self._closed:
+            self._mark_closed()
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # The stream's close waiter is one shared future; cancelling
+            # a task parked on it (shutdown kills serving tasks mid-
+            # close) cancels the future itself, and every later awaiter
+            # would trip over it.  The transport tears down regardless,
+            # so there is nothing left to wait for.
+            pass
+
+
+class LoopbackTransport(FrameTransport):
+    """One end of a deterministic in-process connection.
+
+    Created in pairs via :meth:`pair`.  Sent payloads are framed, fed
+    through the peer's :class:`FrameDecoder`, and queued on the peer —
+    so framing is exercised exactly as over a socket, without any I/O
+    nondeterminism: everything happens inline in the sending task.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES,
+                 label: str = "loopback"):
+        super().__init__(max_frame_bytes, label)
+        self._decoder = FrameDecoder(max_frame_bytes)
+        self._inbox: deque[bytes] = deque()
+        self._arrival = asyncio.Event()
+        self._peer: Optional["LoopbackTransport"] = None
+
+    @classmethod
+    def pair(
+        cls, max_frame_bytes: int = MAX_FRAME_BYTES,
+        labels: Tuple[str, str] = ("loopback-a", "loopback-b"),
+    ) -> Tuple["LoopbackTransport", "LoopbackTransport"]:
+        a = cls(max_frame_bytes, labels[0])
+        b = cls(max_frame_bytes, labels[1])
+        a._peer = b
+        b._peer = a
+        return a, b
+
+    async def send(self, payload: bytes) -> None:
+        peer = self._peer
+        if self._closed or peer is None or peer._closed:
+            raise TransportClosed(f"{self.label}: send on closed transport")
+        frame = encode_frame(payload, self._max_frame_bytes)
+        for received in peer._decoder.feed(frame):
+            peer._inbox.append(received)
+        peer._arrival.set()
+        self._account_send(payload, len(frame))
+
+    async def recv(self) -> bytes:
+        while not self._inbox:
+            if self._closed:
+                raise TransportClosed(
+                    f"{self.label}: recv on closed transport"
+                )
+            self._arrival.clear()
+            await self._arrival.wait()
+        payload = self._inbox.popleft()
+        self._account_recv(payload, len(payload) + 4)
+        return payload
+
+    async def close(self) -> None:
+        """Close both directions: the peer's pending recv wakes and — once
+        its inbox drains — raises :class:`TransportClosed`."""
+        if self._closed:
+            return
+        self._mark_closed()
+        self._arrival.set()
+        peer = self._peer
+        if peer is not None and not peer._closed:
+            peer._mark_closed()
+            peer._arrival.set()

@@ -28,7 +28,11 @@ interrupted by mobility or partition onset between any two messages.
 
 from repro.reconcile.adapters import ByteTransportProtocol
 from repro.reconcile.bloom import BloomFilter, BloomProtocol
-from repro.reconcile.endpoint import ReconcileEndpoint, RemoteSession
+from repro.reconcile.endpoint import (
+    FramedEndpoint,
+    ReconcileEndpoint,
+    RemoteSession,
+)
 from repro.reconcile.engine import (
     ReconcileSession,
     SessionStep,
@@ -49,6 +53,7 @@ __all__ = [
     "BloomFilter",
     "BloomProtocol",
     "ByteTransportProtocol",
+    "FramedEndpoint",
     "FrontierProtocol",
     "FullExchangeProtocol",
     "HeightSkipProtocol",

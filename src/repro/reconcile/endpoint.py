@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro import wire
+from repro.wire import framing
 from repro.chain.block import Block
 from repro.chain.errors import MalformedBlockError
 from repro.core.node import VegvisirNode
@@ -116,6 +117,42 @@ class ReconcileEndpoint:
             "added": len(result.added),
             "invalid": result.invalid,
         }
+
+
+class FramedEndpoint:
+    """A :class:`ReconcileEndpoint` behind stream framing.
+
+    Where :class:`ReconcileEndpoint` assumes someone already delimited
+    the request bytes, this adapter speaks a raw byte *stream* using the
+    shared length-prefixed framing (:mod:`repro.wire.framing`) — the
+    exact frames the live TCP transport carries.  Feed it whatever the
+    socket produced (partial frames, many frames at once) and it returns
+    the concatenated framed replies to write back.
+
+    An oversized announced frame raises :class:`~repro.wire.FrameError`;
+    the stream is then desynced beyond repair and the caller should drop
+    the connection.
+    """
+
+    def __init__(self, endpoint: ReconcileEndpoint,
+                 max_frame_bytes: int = framing.MAX_FRAME_BYTES):
+        self._endpoint = endpoint
+        self._decoder = framing.FrameDecoder(max_frame_bytes)
+        self._max_frame_bytes = max_frame_bytes
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for the rest of a request frame."""
+        return self._decoder.buffered
+
+    def feed(self, data: bytes) -> bytes:
+        """Absorb stream bytes; return framed replies (possibly empty)."""
+        replies = bytearray()
+        for request in self._decoder.feed(data):
+            replies += framing.encode_frame(
+                self._endpoint.handle(request), self._max_frame_bytes
+            )
+        return bytes(replies)
 
 
 class RemoteSession:

@@ -74,12 +74,21 @@ class ReconcileStats:
 
     def record(self, direction: str, message: Any) -> int:
         """Charge one message; returns its encoded size in bytes."""
+        return self.record_raw(direction, len(wire.encode(message)))
+
+    def record_raw(self, direction: str, size: int) -> int:
+        """Charge one already-encoded message of *size* bytes.
+
+        The live transport layer uses this: it holds the exact frame
+        payload that crossed the socket, so re-encoding the decoded
+        message just to measure it would be wasted work (the codec is
+        canonical, so the sizes are identical by construction).
+        """
         if direction not in self.messages:
             raise ValueError(
                 f"unknown direction {direction!r}: expected one of "
                 f"{DIRECTIONS}"
             )
-        size = len(wire.encode(message))
         self.messages[direction] += 1
         self.bytes[direction] += size
         if self._mirror_bytes is not None:

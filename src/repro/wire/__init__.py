@@ -8,13 +8,24 @@ strict canonicity checking on decode.
 """
 
 from repro.wire.codec import decode, encode, encoded_size
-from repro.wire.errors import DecodeError, EncodeError, WireError
+from repro.wire.errors import DecodeError, EncodeError, FrameError, WireError
+from repro.wire.framing import (
+    FrameDecoder,
+    MAX_FRAME_BYTES,
+    decode_frames,
+    encode_frame,
+)
 
 __all__ = [
     "DecodeError",
     "EncodeError",
+    "FrameDecoder",
+    "FrameError",
+    "MAX_FRAME_BYTES",
     "WireError",
     "decode",
+    "decode_frames",
     "encode",
+    "encode_frame",
     "encoded_size",
 ]

@@ -11,3 +11,7 @@ class EncodeError(WireError):
 
 class DecodeError(WireError):
     """The byte string is not a canonical encoding of any value."""
+
+
+class FrameError(WireError):
+    """A length-prefixed frame is oversized, truncated, or desynced."""

@@ -1,0 +1,118 @@
+"""Length-prefixed framing for byte-stream transports.
+
+A stream (TCP socket, Bluetooth RFCOMM channel, pipe) delivers bytes
+without message boundaries; this module restores them.  Every frame is::
+
+    length   4 bytes, big-endian    length of the payload
+    payload  <length> bytes         opaque (usually a wire-codec value)
+
+The format is deliberately the simplest thing that works — the payloads
+themselves are canonical :mod:`repro.wire` encodings, so no checksum or
+type tag is needed at this layer (the codec rejects corruption, and the
+block store adds its own SHA-256 per record for at-rest integrity).
+
+Both directions guard against resource exhaustion: :func:`encode_frame`
+refuses to build a frame larger than *max_frame_bytes*, and
+:class:`FrameDecoder` raises :class:`FrameError` as soon as a length
+prefix announces an oversized frame — before buffering a single payload
+byte, so a malicious peer cannot make a node allocate unbounded memory.
+
+:class:`FrameDecoder` is incremental: :meth:`~FrameDecoder.feed` accepts
+arbitrary chunks (a frame may arrive split across many reads, or many
+frames may arrive in one read) and returns the frames completed by that
+chunk.  A truncated trailing frame simply stays buffered until more
+bytes arrive; :attr:`~FrameDecoder.buffered` exposes how many.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.wire.errors import FrameError
+
+LENGTH_BYTES = 4
+
+#: Default ceiling on one frame's payload.  Generous for block batches
+#: (a full push of thousands of blocks), far below anything that could
+#: exhaust an IoT-class device's memory.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+def encode_frame(payload: bytes,
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Wrap *payload* in a length-prefixed frame."""
+    payload = bytes(payload)
+    if len(payload) > max_frame_bytes:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit"
+        )
+    return len(payload).to_bytes(LENGTH_BYTES, "big") + payload
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an unbounded byte stream.
+
+    Feed chunks as they arrive; each :meth:`feed` returns the payloads
+    of every frame the chunk completed (possibly none, possibly many).
+    The decoder never loses bytes across calls and never buffers more
+    than one frame's worth of payload plus one partial length prefix.
+    """
+
+    __slots__ = ("_buffer", "_max_frame_bytes")
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        if max_frame_bytes < 1:
+            raise ValueError("max_frame_bytes must be positive")
+        self._buffer = bytearray()
+        self._max_frame_bytes = max_frame_bytes
+
+    @property
+    def max_frame_bytes(self) -> int:
+        return self._max_frame_bytes
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held back waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Absorb a chunk; return the payloads it completed, in order.
+
+        Raises :class:`FrameError` the moment a length prefix announces
+        a payload over :attr:`max_frame_bytes`; the decoder is then
+        poisoned (the stream has lost sync) and the connection should be
+        dropped.
+        """
+        self._buffer.extend(data)
+        frames: List[bytes] = []
+        while True:
+            if len(self._buffer) < LENGTH_BYTES:
+                return frames
+            length = int.from_bytes(self._buffer[:LENGTH_BYTES], "big")
+            if length > self._max_frame_bytes:
+                raise FrameError(
+                    f"incoming frame announces {length} bytes, over the "
+                    f"{self._max_frame_bytes}-byte limit"
+                )
+            end = LENGTH_BYTES + length
+            if len(self._buffer) < end:
+                return frames
+            frames.append(bytes(self._buffer[LENGTH_BYTES:end]))
+            del self._buffer[:end]
+
+
+def decode_frames(data: bytes,
+                  max_frame_bytes: int = MAX_FRAME_BYTES) -> List[bytes]:
+    """Decode a byte string that must contain whole frames only.
+
+    A convenience for tests and batch processing; raises
+    :class:`FrameError` if the data ends mid-frame.
+    """
+    decoder = FrameDecoder(max_frame_bytes)
+    frames = decoder.feed(data)
+    if decoder.buffered:
+        raise FrameError(
+            f"{decoder.buffered} trailing bytes form an incomplete frame"
+        )
+    return frames

@@ -1,0 +1,208 @@
+"""Multi-node clusters on real TCP: convergence, partitions, clean
+shutdown with zero leaked tasks or sockets."""
+
+import asyncio
+
+from repro.live import LiveNode, PeerSpec
+from repro.obs import Observability, RingBufferSink
+
+from tests.conftest import Deployment
+
+FAST = dict(interval_s=0.04, jitter_s=0.01, session_timeout_s=5.0)
+
+
+def _make_node(deployment, tmp_path, index, **kwargs):
+    name = f"n{index}"
+    kwargs = {**FAST, **kwargs}
+    kwargs.setdefault("seed", index + 1)
+    return LiveNode(
+        deployment.keys[index], tmp_path / f"{name}.blocks",
+        genesis=deployment.genesis, name=name, **kwargs,
+    )
+
+
+async def _start_mesh(nodes):
+    """Start all nodes, then fully mesh them (every node dials every
+    other — port 0 means addresses are only known after start)."""
+    for node in nodes:
+        await node.start()
+    for node in nodes:
+        for other in nodes:
+            if other is not node:
+                node.add_peer(
+                    PeerSpec(other.name, "127.0.0.1", other.listen_port)
+                )
+
+
+async def _await_convergence(nodes, timeout_s=20.0, expect_blocks=None):
+    deadline = asyncio.get_running_loop().time() + timeout_s
+    while asyncio.get_running_loop().time() < deadline:
+        digests = {node.dag_digest() for node in nodes}
+        if len(digests) == 1 and (
+            expect_blocks is None
+            or len(nodes[0].node.dag) == expect_blocks
+        ):
+            return True
+        await asyncio.sleep(0.05)
+    return False
+
+
+class TestCluster:
+    def test_three_nodes_converge_from_divergent_start(self, tmp_path):
+        deployment = Deployment()
+
+        async def scenario():
+            nodes = [
+                _make_node(deployment, tmp_path, i) for i in range(3)
+            ]
+            # Diverge while offline: each node mints its own blocks.
+            for i, node in enumerate(nodes):
+                for _ in range(i + 1):
+                    node.append_transactions([])
+            assert len({n.dag_digest() for n in nodes}) == 3
+            await _start_mesh(nodes)
+            try:
+                # genesis + 1 + 2 + 3 local blocks
+                converged = await _await_convergence(
+                    nodes, expect_blocks=7
+                )
+            finally:
+                for node in nodes:
+                    await node.stop()
+            assert converged
+            return nodes
+
+        nodes = asyncio.run(scenario())
+        digests = {node.dag_digest() for node in nodes}
+        assert len(digests) == 1
+        assert len({node.state_digest() for node in nodes}) == 1
+
+    def test_partition_heals_and_reconverges(self, tmp_path):
+        deployment = Deployment()
+
+        async def scenario():
+            nodes = [
+                _make_node(deployment, tmp_path, i) for i in range(3)
+            ]
+            await _start_mesh(nodes)
+            try:
+                assert await _await_convergence(nodes, expect_blocks=1)
+                # Cut node 0 off, let both sides keep minting.
+                await nodes[0].isolate()
+                nodes[0].append_transactions([])
+                nodes[1].append_transactions([])
+                nodes[2].append_transactions([])
+                assert await _await_convergence(
+                    nodes[1:], expect_blocks=3
+                )
+                # The isolated node must NOT have learned anything.
+                assert len(nodes[0].node.dag) == 2
+                nodes[0].rejoin()
+                converged = await _await_convergence(
+                    nodes, expect_blocks=4
+                )
+            finally:
+                for node in nodes:
+                    await node.stop()
+            assert converged
+
+        asyncio.run(scenario())
+
+    def test_shutdown_leaks_nothing(self, tmp_path):
+        deployment = Deployment()
+
+        async def scenario():
+            baseline = set(asyncio.all_tasks())
+            nodes = [
+                _make_node(deployment, tmp_path, i) for i in range(3)
+            ]
+            await _start_mesh(nodes)
+            nodes[0].append_transactions([])
+            await _await_convergence(nodes, expect_blocks=2)
+            for node in nodes:
+                await node.stop()
+            # Give cancelled callbacks one tick to unwind, then verify
+            # nothing of the cluster survives.
+            await asyncio.sleep(0.05)
+            leaked = set(asyncio.all_tasks()) - baseline - {
+                asyncio.current_task()
+            }
+            assert leaked == set()
+            for node in nodes:
+                assert node.peer_manager.listen_port is None
+                assert node.peer_manager.connected_peers() == []
+
+        asyncio.run(scenario())
+
+    def test_stop_is_idempotent_and_serve_honors_request_stop(
+        self, tmp_path
+    ):
+        deployment = Deployment()
+
+        async def scenario():
+            node = _make_node(deployment, tmp_path, 0)
+            serve_task = asyncio.ensure_future(node.serve())
+            for _ in range(100):
+                if node.listen_port is not None:
+                    break
+                await asyncio.sleep(0.01)
+            assert node.listen_port is not None
+            node.request_stop()
+            await serve_task
+            await node.stop()  # second stop must be harmless
+
+        asyncio.run(scenario())
+
+    def test_trace_events_cover_connect_and_sessions(self, tmp_path):
+        deployment = Deployment()
+        ring = RingBufferSink()
+        obs = Observability(sinks=[ring])
+
+        async def scenario():
+            a = _make_node(deployment, tmp_path, 0, obs=obs)
+            b = _make_node(deployment, tmp_path, 1)
+            await a.start()
+            await b.start()
+            a.add_peer(PeerSpec("b", "127.0.0.1", b.listen_port))
+            b.append_transactions([])
+            try:
+                assert await _await_convergence([a, b], expect_blocks=2)
+                # Let at least one full session complete after convergence.
+                await asyncio.sleep(0.2)
+            finally:
+                await a.stop()
+                await b.stop()
+
+        asyncio.run(scenario())
+        kinds = {event.type for event in ring.events()}
+        assert "peer.connected" in kinds
+        assert "session.completed" in kinds
+        assert "node.started" in kinds
+        completed = [
+            e for e in ring.events() if e.type == "session.completed"
+        ]
+        assert any(e.fields["blocks_pulled"] > 0 for e in completed)
+
+    def test_metrics_registry_counts_sessions(self, tmp_path):
+        deployment = Deployment()
+        obs = Observability()
+
+        async def scenario():
+            a = _make_node(deployment, tmp_path, 0, obs=obs)
+            b = _make_node(deployment, tmp_path, 1)
+            await a.start()
+            await b.start()
+            a.add_peer(PeerSpec("b", "127.0.0.1", b.listen_port))
+            b.append_transactions([])
+            try:
+                assert await _await_convergence([a, b], expect_blocks=2)
+            finally:
+                await a.stop()
+                await b.stop()
+
+        asyncio.run(scenario())
+        rendered = obs.registry.render_prometheus()
+        assert "live_sessions_total" in rendered
+        assert 'outcome="completed"' in rendered
+        assert "live_dials_total" in rendered
+        assert "live_blocks_persisted_total" in rendered

@@ -1,0 +1,285 @@
+"""Peer management: specs, backoff, handshakes, dialing, teardown."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.genesis import create_genesis
+from repro.crypto.keys import KeyPair
+from repro.live.peers import (
+    Backoff,
+    HandshakeError,
+    PeerManager,
+    PeerSpec,
+    handshake,
+)
+from repro.live.transport import LoopbackTransport
+from repro import wire
+
+from tests.conftest import Deployment
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestPeerSpec:
+    def test_parse(self):
+        spec = PeerSpec.parse("10.0.0.7:9000")
+        assert (spec.host, spec.port) == ("10.0.0.7", 9000)
+        assert spec.name == "10.0.0.7:9000"
+
+    def test_parse_with_name(self):
+        spec = PeerSpec.parse("localhost:1234", name="gateway")
+        assert spec.name == "gateway"
+
+    @pytest.mark.parametrize("bad", ["nocolon", ":", "host:", ":123",
+                                     "host:port"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            PeerSpec.parse(bad)
+
+
+class TestBackoff:
+    def test_delays_grow_exponentially_to_cap(self):
+        backoff = Backoff(base_s=1.0, cap_s=8.0, jitter=0.0)
+        assert [backoff.next_delay() for _ in range(5)] == [
+            1.0, 2.0, 4.0, 8.0, 8.0
+        ]
+
+    def test_jitter_is_deterministic_with_seeded_rng(self):
+        a = Backoff(base_s=1.0, jitter=0.5, rng=random.Random(42))
+        b = Backoff(base_s=1.0, jitter=0.5, rng=random.Random(42))
+        assert [a.next_delay() for _ in range(6)] == [
+            b.next_delay() for _ in range(6)
+        ]
+
+    def test_jitter_only_shrinks_delays(self):
+        backoff = Backoff(base_s=2.0, jitter=0.5, rng=random.Random(7))
+        for expected_raw in [2.0, 4.0, 8.0]:
+            delay = backoff.next_delay()
+            assert expected_raw * 0.5 <= delay <= expected_raw
+
+    def test_reset_restarts_the_schedule(self):
+        backoff = Backoff(base_s=1.0, jitter=0.0)
+        backoff.next_delay()
+        backoff.next_delay()
+        backoff.reset()
+        assert backoff.next_delay() == 1.0
+
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(ValueError):
+            Backoff(jitter=1.5)
+
+
+class TestHandshake:
+    def test_same_chain_handshake_succeeds(self):
+        deployment = Deployment()
+        left = deployment.node(0)
+        right = deployment.node(1)
+
+        async def scenario():
+            a, b = LoopbackTransport.pair()
+            left_hello, right_hello = await asyncio.gather(
+                handshake(a, left, "left"),
+                handshake(b, right, "right"),
+            )
+            return left_hello, right_hello
+
+        left_hello, right_hello = run(scenario())
+        assert left_hello["name"] == "right"
+        assert right_hello["name"] == "left"
+        assert bytes(left_hello["chain"]) == left.chain_id.digest
+
+    def test_different_chain_refused(self):
+        deployment = Deployment()
+        left = deployment.node(0)
+        stranger_key = KeyPair.deterministic(77)
+        stranger = create_genesis(stranger_key, chain_name="other")
+        from repro.core.node import VegvisirNode
+
+        other = VegvisirNode(stranger_key, stranger)
+
+        async def scenario():
+            a, b = LoopbackTransport.pair()
+            results = await asyncio.gather(
+                handshake(a, left, "left"),
+                handshake(b, other, "other"),
+                return_exceptions=True,
+            )
+            return results
+
+        results = run(scenario())
+        assert all(
+            isinstance(result, HandshakeError) for result in results
+        )
+
+    def test_silent_peer_times_out(self):
+        deployment = Deployment()
+        left = deployment.node(0)
+
+        async def scenario():
+            a, _b = LoopbackTransport.pair()
+            with pytest.raises(HandshakeError, match="no hello"):
+                await handshake(a, left, "left", timeout_s=0.05)
+
+        run(scenario())
+
+    def test_garbage_hello_refused(self):
+        deployment = Deployment()
+        left = deployment.node(0)
+
+        async def scenario():
+            a, b = LoopbackTransport.pair()
+            await b.send(wire.encode({"type": "get_frontier", "level": 1}))
+            with pytest.raises(HandshakeError, match="not a live_hello"):
+                await handshake(a, left, "left", timeout_s=0.5)
+
+        run(scenario())
+
+
+class TestPeerManager:
+    def _manager(self, node, name, **kwargs):
+        kwargs.setdefault("handshake_timeout_s", 2.0)
+        kwargs.setdefault("backoff_base_s", 0.02)
+        kwargs.setdefault("seed", 1)
+        return PeerManager(node, name, **kwargs)
+
+    def test_dial_and_accept(self):
+        deployment = Deployment()
+        left, right = deployment.node(0), deployment.node(1)
+
+        async def scenario():
+            server = self._manager(right, "right")
+            client = self._manager(left, "left")
+            await server.start("127.0.0.1", 0)
+            await client.start("127.0.0.1", 0)
+            client.add_peer(
+                PeerSpec("right", "127.0.0.1", server.listen_port)
+            )
+            for _ in range(100):
+                if client.connected_peers() == ["right"]:
+                    break
+                await asyncio.sleep(0.02)
+            assert client.connected_peers() == ["right"]
+            assert client.connection("right") is not None
+            await client.stop()
+            await server.stop()
+            assert client.connected_peers() == []
+
+        run(scenario())
+
+    def test_dial_retries_until_peer_appears(self):
+        deployment = Deployment()
+        left, right = deployment.node(0), deployment.node(1)
+
+        async def scenario():
+            client = self._manager(left, "left")
+            await client.start("127.0.0.1", 0)
+            # Reserve a port by binding and closing a throwaway server.
+            probe = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            client.add_peer(PeerSpec("right", "127.0.0.1", port))
+            await asyncio.sleep(0.1)
+            assert client.connected_peers() == []
+            # Now the peer comes up on that port; backoff finds it.
+            server = self._manager(right, "right")
+            await server.start("127.0.0.1", port)
+            for _ in range(200):
+                if client.connected_peers() == ["right"]:
+                    break
+                await asyncio.sleep(0.02)
+            assert client.connected_peers() == ["right"]
+            await client.stop()
+            await server.stop()
+
+        run(scenario())
+
+    def test_foreign_chain_dial_rejected(self):
+        deployment = Deployment()
+        left = deployment.node(0)
+        stranger_key = KeyPair.deterministic(99)
+        from repro.core.node import VegvisirNode
+
+        other = VegvisirNode(
+            stranger_key, create_genesis(stranger_key, chain_name="other")
+        )
+
+        async def scenario():
+            server = self._manager(other, "other")
+            client = self._manager(left, "left")
+            await server.start("127.0.0.1", 0)
+            await client.start("127.0.0.1", 0)
+            client.add_peer(
+                PeerSpec("other", "127.0.0.1", server.listen_port)
+            )
+            await asyncio.sleep(0.3)
+            assert client.connected_peers() == []
+            await client.stop()
+            await server.stop()
+
+        run(scenario())
+
+    def test_partition_severs_and_heal_reconnects(self):
+        deployment = Deployment()
+        left, right = deployment.node(0), deployment.node(1)
+
+        async def scenario():
+            server = self._manager(right, "right")
+            client = self._manager(left, "left")
+            await server.start("127.0.0.1", 0)
+            await client.start("127.0.0.1", 0)
+            client.add_peer(
+                PeerSpec("right", "127.0.0.1", server.listen_port)
+            )
+            for _ in range(100):
+                if client.connected_peers():
+                    break
+                await asyncio.sleep(0.02)
+            assert client.connected_peers() == ["right"]
+
+            await client.partition()
+            assert client.partitioned
+            assert client.connected_peers() == []
+            await asyncio.sleep(0.1)
+            assert client.connected_peers() == []
+
+            client.heal()
+            for _ in range(200):
+                if client.connected_peers():
+                    break
+                await asyncio.sleep(0.02)
+            assert client.connected_peers() == ["right"]
+            await client.stop()
+            await server.stop()
+
+        run(scenario())
+
+    def test_stop_leaves_no_tasks_behind(self):
+        deployment = Deployment()
+        left, right = deployment.node(0), deployment.node(1)
+
+        async def scenario():
+            baseline = len(asyncio.all_tasks())
+            server = self._manager(right, "right")
+            client = self._manager(left, "left")
+            await server.start("127.0.0.1", 0)
+            await client.start("127.0.0.1", 0)
+            client.add_peer(
+                PeerSpec("right", "127.0.0.1", server.listen_port)
+            )
+            for _ in range(100):
+                if client.connected_peers():
+                    break
+                await asyncio.sleep(0.02)
+            await client.stop()
+            await server.stop()
+            await asyncio.sleep(0.05)
+            assert len(asyncio.all_tasks()) == baseline
+
+        run(scenario())

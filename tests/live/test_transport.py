@@ -1,0 +1,260 @@
+"""Frame transports: loopback determinism and real TCP streams."""
+
+import asyncio
+
+import pytest
+
+from repro.live.transport import (
+    LoopbackTransport,
+    StreamTransport,
+    TransportClosed,
+    TransportError,
+)
+from repro.wire.framing import LENGTH_BYTES, encode_frame
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLoopbackTransport:
+    def test_round_trip(self):
+        async def scenario():
+            a, b = LoopbackTransport.pair()
+            await a.send(b"hello")
+            assert await b.recv() == b"hello"
+            await b.send(b"world")
+            assert await a.recv() == b"world"
+
+        run(scenario())
+
+    def test_counters_count_framed_bytes(self):
+        async def scenario():
+            a, b = LoopbackTransport.pair()
+            await a.send(b"x" * 10)
+            await b.recv()
+            assert a.frames_sent == 1
+            assert a.bytes_sent == 10 + LENGTH_BYTES
+            assert b.frames_received == 1
+            assert b.bytes_received == 10 + LENGTH_BYTES
+
+        run(scenario())
+
+    def test_ordering_preserved(self):
+        async def scenario():
+            a, b = LoopbackTransport.pair()
+            for i in range(20):
+                await a.send(f"msg-{i}".encode())
+            got = [await b.recv() for _ in range(20)]
+            assert got == [f"msg-{i}".encode() for i in range(20)]
+
+        run(scenario())
+
+    def test_recv_blocks_until_send(self):
+        async def scenario():
+            a, b = LoopbackTransport.pair()
+
+            async def late_send():
+                await asyncio.sleep(0.01)
+                await a.send(b"late")
+
+            sender = asyncio.ensure_future(late_send())
+            assert await b.recv() == b"late"
+            await sender
+
+        run(scenario())
+
+    def test_close_wakes_pending_recv(self):
+        async def scenario():
+            a, b = LoopbackTransport.pair()
+            recv = asyncio.ensure_future(b.recv())
+            await asyncio.sleep(0)
+            await a.close()
+            with pytest.raises(TransportClosed):
+                await recv
+            assert a.closed and b.closed
+
+        run(scenario())
+
+    def test_close_drains_delivered_frames_first(self):
+        async def scenario():
+            a, b = LoopbackTransport.pair()
+            await a.send(b"one")
+            await a.send(b"two")
+            await a.close()
+            # Frames already delivered must still be readable.
+            assert await b.recv() == b"one"
+            assert await b.recv() == b"two"
+            with pytest.raises(TransportClosed):
+                await b.recv()
+
+        run(scenario())
+
+    def test_send_after_close_raises(self):
+        async def scenario():
+            a, b = LoopbackTransport.pair()
+            await a.close()
+            with pytest.raises(TransportClosed):
+                await a.send(b"nope")
+            with pytest.raises(TransportClosed):
+                await b.send(b"nope")
+
+        run(scenario())
+
+    def test_tap_sees_payloads(self):
+        async def scenario():
+            a, b = LoopbackTransport.pair()
+            seen = []
+            a.tap = lambda direction, payload: seen.append(
+                (direction, payload)
+            )
+            await a.send(b"ping")
+            b_payload = await b.recv()
+            await b.send(b_payload + b"!")
+            await a.recv()
+            assert seen == [("send", b"ping"), ("recv", b"ping!")]
+
+        run(scenario())
+
+    def test_wait_closed(self):
+        async def scenario():
+            a, b = LoopbackTransport.pair()
+            waiter = asyncio.ensure_future(b.wait_closed())
+            await asyncio.sleep(0)
+            assert not waiter.done()
+            await a.close()
+            await waiter
+
+        run(scenario())
+
+
+async def _tcp_pair():
+    """A connected (client, server) StreamTransport pair on localhost."""
+    accepted = asyncio.get_running_loop().create_future()
+
+    async def on_connect(reader, writer):
+        accepted.set_result(StreamTransport(reader, writer, label="server"))
+
+    server = await asyncio.start_server(on_connect, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    client = StreamTransport(reader, writer, label="client")
+    return client, await accepted, server
+
+
+class TestStreamTransport:
+    def test_round_trip_over_tcp(self):
+        async def scenario():
+            client, peer, server = await _tcp_pair()
+            try:
+                await client.send(b"over the wire")
+                assert await peer.recv() == b"over the wire"
+                await peer.send(b"and back")
+                assert await client.recv() == b"and back"
+            finally:
+                await client.close()
+                await peer.close()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_frame_split_across_writes_reassembles(self):
+        async def scenario():
+            client, peer, server = await _tcp_pair()
+            try:
+                frame = encode_frame(b"A" * 1000)
+                # Dribble the frame a few bytes at a time, straight
+                # through the writer under the transport.
+                for i in range(0, len(frame), 7):
+                    client._writer.write(frame[i:i + 7])
+                    await client._writer.drain()
+                assert await peer.recv() == b"A" * 1000
+            finally:
+                await client.close()
+                await peer.close()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_pipelined_frames_in_one_write(self):
+        async def scenario():
+            client, peer, server = await _tcp_pair()
+            try:
+                blob = encode_frame(b"first") + encode_frame(b"second")
+                client._writer.write(blob)
+                await client._writer.drain()
+                assert await peer.recv() == b"first"
+                assert await peer.recv() == b"second"
+            finally:
+                await client.close()
+                await peer.close()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_peer_disconnect_raises_transport_closed(self):
+        async def scenario():
+            client, peer, server = await _tcp_pair()
+            try:
+                await client.close()
+                with pytest.raises(TransportClosed):
+                    await peer.recv()
+                assert peer.closed
+            finally:
+                await peer.close()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_oversize_frame_poisons_connection(self):
+        async def scenario():
+            client, peer, server = await _tcp_pair()
+            try:
+                small_peer = StreamTransport(
+                    peer._reader, peer._writer,
+                    max_frame_bytes=64, label="tiny",
+                )
+                await client.send(b"B" * 1000)
+                with pytest.raises(TransportError, match="poisoned"):
+                    await small_peer.recv()
+                assert small_peer.closed
+            finally:
+                await client.close()
+                await peer.close()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_peername_reports_address(self):
+        async def scenario():
+            client, peer, server = await _tcp_pair()
+            try:
+                assert client.peername is not None
+                host, port = client.peername
+                assert host == "127.0.0.1"
+                assert port > 0
+            finally:
+                await client.close()
+                await peer.close()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_close_is_idempotent(self):
+        async def scenario():
+            client, peer, server = await _tcp_pair()
+            await client.close()
+            await client.close()
+            await peer.close()
+            server.close()
+            await server.wait_closed()
+            with pytest.raises(TransportClosed):
+                await client.send(b"late")
+
+        run(scenario())

@@ -153,3 +153,58 @@ class TestEndpointRobustness:
         assert response["type"] == "push_ack"
         assert response["added"] == 0
         assert response["invalid"] == 1
+
+
+class TestFramedEndpoint:
+    """The endpoint behind the shared stream framing (what TCP carries)."""
+
+    def _framed(self, deployment):
+        from repro.reconcile.endpoint import FramedEndpoint
+
+        left, right = _diverged(deployment)
+        return left, right, FramedEndpoint(ReconcileEndpoint(right))
+
+    def test_full_sync_through_frames(self, deployment):
+        from repro.wire.framing import decode_frames, encode_frame
+
+        left, right, framed = self._framed(deployment)
+
+        def transport(request: bytes) -> bytes:
+            replies = decode_frames(framed.feed(encode_frame(request)))
+            assert len(replies) == 1
+            return replies[0]
+
+        stats = RemoteSession(left, transport).sync()
+        assert stats.converged
+        assert left.state_digest() == right.state_digest()
+
+    def test_split_request_is_reassembled(self, deployment):
+        from repro.wire.framing import decode_frames, encode_frame
+
+        _, right, framed = self._framed(deployment)
+        request = encode_frame(
+            wire.encode({"type": "hello", "chain": right.chain_id.digest})
+        )
+        assert framed.feed(request[:3]) == b""
+        assert framed.buffered == 3
+        [reply] = decode_frames(framed.feed(request[3:]))
+        assert wire.decode(reply)["type"] == "hello_ack"
+        assert framed.buffered == 0
+
+    def test_pipelined_requests_get_pipelined_replies(self, deployment):
+        from repro.wire.framing import decode_frames, encode_frame
+
+        _, right, framed = self._framed(deployment)
+        hello = encode_frame(
+            wire.encode({"type": "hello", "chain": right.chain_id.digest})
+        )
+        replies = decode_frames(framed.feed(hello + hello))
+        assert [wire.decode(r)["type"] for r in replies] == [
+            "hello_ack", "hello_ack",
+        ]
+
+    def test_oversize_frame_poisons_the_stream(self, deployment):
+        _, _, framed = self._framed(deployment)
+        announcement = (2**31).to_bytes(4, "big")
+        with pytest.raises(wire.FrameError):
+            framed.feed(announcement)

@@ -118,6 +118,87 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"vegvisir {__version__}"
+
+    def test_version_matches_package_metadata(self):
+        from repro import __version__
+
+        # pyproject.toml is the single source of truth for the version.
+        import pathlib
+        import re
+
+        pyproject = pathlib.Path(__file__).resolve().parents[1] / (
+            "pyproject.toml"
+        )
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.M
+        )
+        assert match is not None
+        assert __version__ == match.group(1)
+
+
+class TestServe:
+    def _keyfile(self, tmp_path, seed=b"\x07" * 32):
+        key = tmp_path / "node.key"
+        key.write_bytes(seed)
+        return key
+
+    def test_serve_missing_store_fails(self, tmp_path, capsys):
+        key = self._keyfile(tmp_path)
+        code = main(["serve", str(tmp_path / "nope.blocks"),
+                     "--key", str(key)])
+        assert code == 1
+        assert "no such store" in capsys.readouterr().err
+
+    def test_serve_rejects_malformed_peer(self, tmp_path, capsys):
+        key = self._keyfile(tmp_path)
+        main(["keygen", str(tmp_path / "owner.key")])
+        store = tmp_path / "chain.vgv"
+        main(["init", str(store), "--owner-key",
+              str(tmp_path / "owner.key")])
+        capsys.readouterr()
+        code = main(["serve", str(store), "--key", str(key),
+                     "--peer", "not-an-address"])
+        assert code == 1
+        assert "host:port" in capsys.readouterr().err
+
+    def test_serve_runs_and_stops_on_request(self, tmp_path, capsys,
+                                             monkeypatch):
+        """Boot a real serve command; an in-loop timer plays the role of
+        the SIGINT handler and requests the stop."""
+        import asyncio
+
+        import repro.live
+        from repro.live import LiveNode
+
+        key = tmp_path / "owner.key"
+        main(["keygen", str(key)])
+        store = tmp_path / "chain.vgv"
+        main(["init", str(store), "--owner-key", str(key)])
+        capsys.readouterr()
+
+        class SelfStopping(LiveNode):
+            async def start(self):
+                await super().start()
+                asyncio.get_running_loop().call_later(
+                    0.1, self.request_stop
+                )
+
+        monkeypatch.setattr(repro.live, "LiveNode", SelfStopping)
+        code = main(["serve", str(store), "--key", str(key),
+                     "--metrics", "--name", "cli-node"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving chain" in out
+        assert "stopped with 1 blocks" in out
+        assert "live_" in out  # the metric dump made it out
+
 
 class TestVerifyAndExport:
     @staticmethod

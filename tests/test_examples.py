@@ -32,6 +32,10 @@ EXPECTED_OUTPUT = {
         "state intact",
         "converged=True",
     ],
+    "live_cluster.py": [
+        "gossip converged:",
+        "converged after heal: True",
+    ],
 }
 
 

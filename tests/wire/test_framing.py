@@ -1,0 +1,83 @@
+"""Length-prefixed framing: split, coalesced, truncated, oversized."""
+
+import pytest
+
+from repro import wire
+from repro.wire.framing import (
+    FrameDecoder,
+    LENGTH_BYTES,
+    decode_frames,
+    encode_frame,
+)
+
+
+class TestEncodeFrame:
+    def test_round_trip(self):
+        frame = encode_frame(b"hello")
+        assert frame == len(b"hello").to_bytes(LENGTH_BYTES, "big") + b"hello"
+        assert decode_frames(frame) == [b"hello"]
+
+    def test_empty_payload_is_legal(self):
+        assert decode_frames(encode_frame(b"")) == [b""]
+
+    def test_oversize_payload_refused(self):
+        with pytest.raises(wire.FrameError):
+            encode_frame(b"x" * 11, max_frame_bytes=10)
+
+    def test_at_limit_allowed(self):
+        frame = encode_frame(b"x" * 10, max_frame_bytes=10)
+        assert decode_frames(frame, max_frame_bytes=10) == [b"x" * 10]
+
+
+class TestFrameDecoder:
+    def test_many_frames_in_one_chunk(self):
+        data = b"".join(encode_frame(p) for p in (b"a", b"bb", b"ccc"))
+        decoder = FrameDecoder()
+        assert decoder.feed(data) == [b"a", b"bb", b"ccc"]
+        assert decoder.buffered == 0
+
+    def test_frame_split_byte_by_byte(self):
+        frame = encode_frame(b"payload")
+        decoder = FrameDecoder()
+        seen = []
+        for i in range(len(frame)):
+            seen.extend(decoder.feed(frame[i:i + 1]))
+        assert seen == [b"payload"]
+        assert decoder.buffered == 0
+
+    def test_split_inside_length_prefix(self):
+        frame = encode_frame(b"xy")
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:2]) == []
+        assert decoder.buffered == 2
+        assert decoder.feed(frame[2:]) == [b"xy"]
+
+    def test_truncated_frame_stays_buffered(self):
+        frame = encode_frame(b"incomplete")
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-3]) == []
+        assert decoder.buffered == len(frame) - 3
+        # The remainder completes it, plus a follow-up frame piggybacks.
+        assert decoder.feed(frame[-3:] + encode_frame(b"next")) == [
+            b"incomplete", b"next",
+        ]
+
+    def test_oversize_announcement_raises_before_buffering(self):
+        decoder = FrameDecoder(max_frame_bytes=64)
+        huge_prefix = (1_000_000).to_bytes(LENGTH_BYTES, "big")
+        with pytest.raises(wire.FrameError):
+            decoder.feed(huge_prefix)
+
+    def test_bad_max_rejected(self):
+        with pytest.raises(ValueError):
+            FrameDecoder(max_frame_bytes=0)
+
+
+class TestDecodeFrames:
+    def test_trailing_partial_frame_raises(self):
+        data = encode_frame(b"whole") + b"\x00\x00"
+        with pytest.raises(wire.FrameError):
+            decode_frames(data)
+
+    def test_empty_input_is_no_frames(self):
+        assert decode_frames(b"") == []
