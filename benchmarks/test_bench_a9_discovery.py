@@ -1,0 +1,114 @@
+"""Ablation A9 — peer discovery: contact latency and churn tracking.
+
+Vegvisir's deployment story leans on Google-Nearby-style broadcast
+discovery rather than configured peer lists.  This ablation measures
+what that buys and what it costs, on the deterministic sim driver
+(``repro.discovery.simdriver``): how fast a cold fleet reaches its
+first usable contact and a full directory as the beacon interval
+varies, and — under churn — how quickly the membership view sheds a
+crashed node and re-admits it after restart.  A static peer list is
+the baseline: it needs no convergence time at all, but it never
+notices the crash, so every dial at the dead node is wasted for the
+whole outage.
+"""
+
+from __future__ import annotations
+
+from repro.discovery import SimDiscovery
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.net.events import EventLoop
+from repro.net.topology import FullMeshTopology
+
+from benchmarks.bench_util import Table, make_fleet
+
+NODE_COUNT = 6
+INTERVALS_MS = (500, 1_000, 2_000)
+# The outage must outlast the expiry horizon (9x the beacon interval
+# with the default ttl/expiry multipliers), so the churn schedule
+# scales with the interval under test.
+CRASH_AFTER_TICKS = 8
+OUTAGE_TICKS = 14
+
+
+def _sim(interval_ms: int, seed: int, injector=None):
+    _, _, nodes, _ = make_fleet(NODE_COUNT, seed=seed)
+    keys = [node.key_pair for node in nodes]
+    loop = EventLoop()
+    sim = SimDiscovery(
+        loop, FullMeshTopology(NODE_COUNT), dict(enumerate(nodes)),
+        keys, interval_ms=interval_ms, seed=seed, faults=injector,
+    )
+    return loop, sim
+
+
+def _cold_start(interval_ms: int):
+    loop, sim = _sim(interval_ms, seed=interval_ms)
+    sim.start()
+    loop.run_until(30 * interval_ms)
+    assert sim.converged()
+    first_contact_ms = sim.deliveries[0][0]
+    return first_contact_ms, sim.time_to_full_directory()
+
+
+def _churn(interval_ms: int):
+    crash_ms = CRASH_AFTER_TICKS * interval_ms
+    restart_ms = crash_ms + OUTAGE_TICKS * interval_ms
+    injector = FaultInjector(FaultPlan(seed=1))
+    loop, sim = _sim(interval_ms, seed=1, injector=injector)
+    loop.schedule_at(crash_ms, lambda: injector.mark_crashed(0))
+    loop.schedule_at(restart_ms, lambda: injector.mark_restarted(0))
+    sim.start()
+    loop.run_until(restart_ms + 20 * interval_ms)
+
+    expired = [
+        event.at_ms
+        for node_id, directory in sim.directories.items()
+        if node_id != 0
+        for event in directory.events if event.kind == "expired"
+    ]
+    rejoined = [
+        event.at_ms
+        for node_id, directory in sim.directories.items()
+        if node_id != 0
+        for event in directory.events if event.kind == "rejoined"
+    ]
+    assert len(expired) == NODE_COUNT - 1, "not every node saw the crash"
+    assert len(rejoined) == NODE_COUNT - 1, "not every node saw the rejoin"
+    detect_ms = max(expired) - crash_ms
+    readmit_ms = max(rejoined) - restart_ms
+    return detect_ms, readmit_ms
+
+
+def test_a9_discovery(benchmark, results_dir):
+    table = Table(
+        f"A9: broadcast discovery vs static peer lists "
+        f"({NODE_COUNT} nodes, full-mesh radio)",
+        ["interval_ms", "mode", "first_contact_ms", "full_directory_ms",
+         "crash_detect_ms", "readmit_ms", "stale_dial_targets"],
+    )
+    for interval_ms in INTERVALS_MS:
+        first_contact_ms, full_ms = _cold_start(interval_ms)
+        detect_ms, readmit_ms = _churn(interval_ms)
+        table.add(interval_ms, "discovery", first_contact_ms, full_ms,
+                  detect_ms, readmit_ms, 0)
+    # The static baseline: contacts are free (configured up front), but
+    # the list is blind to churn — the crashed node stays a dial target
+    # for the entire outage.
+    table.add("-", "static", 0, 0, "never", "n/a", 1)
+    table.emit(results_dir, "a9_discovery")
+
+    # Latency scales with the beacon interval: a fleet beaconing 4x
+    # faster must not converge slower.
+    fast_contact, fast_full = _cold_start(INTERVALS_MS[0])
+    slow_contact, slow_full = _cold_start(INTERVALS_MS[-1])
+    assert fast_contact <= slow_contact
+    assert fast_full <= slow_full
+
+    def kernel():
+        loop, sim = _sim(1_000, seed=2)
+        sim.start()
+        loop.run_until(10_000)
+        assert sim.converged()
+
+    benchmark(kernel)

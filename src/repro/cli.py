@@ -15,7 +15,9 @@ Four subcommands cover the workflows a user reaches for first:
   from a JSONL trace.
 * ``serve STORE --key KEY`` — run a live node: listen for peers on TCP,
   dial ``--peer host:port`` entries, and gossip until interrupted
-  (``python -m repro.live`` is a shortcut to this command).
+  (``python -m repro.live`` is a shortcut to this command).  With
+  ``--discover`` the node announces itself via signed UDP multicast
+  beacons and dials whoever it hears — zero static configuration.
 * ``demo`` — the quickstart scenario end to end.
 
 Run as ``python -m repro <command>`` or via the ``vegvisir`` script.
@@ -268,7 +270,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
-    from repro.live import LiveNode, PeerSpec
+    from repro.live import ListenError, LiveNode, PeerSpec
 
     key = _load_key(args.key)
     store = pathlib.Path(args.store)
@@ -288,11 +290,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         sinks = [JsonlFileSink(args.trace)] if args.trace else []
         obs = Observability(sinks=sinks)
+    discovery = None
+    if args.discover:
+        from repro.discovery import DiscoveryConfig
+
+        discovery = DiscoveryConfig(
+            group=args.discovery_group, port=args.discovery_port,
+            beacon_interval_s=args.beacon_interval,
+        )
     node = LiveNode(
         key, store,
         host=args.host, port=args.port, peers=peers, name=args.name,
         protocol=args.protocol, interval_s=args.interval,
         session_timeout_s=args.session_timeout, obs=obs,
+        discovery=discovery,
     )
 
     async def _run() -> None:
@@ -303,9 +314,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             except (NotImplementedError, RuntimeError):
                 pass  # non-Unix event loops
         await node.start()
+        mode = (
+            f"discovering on {args.discovery_group}:{args.discovery_port}, "
+            f"{len(peers)} seed peer(s)"
+            if discovery is not None else f"{len(peers)} static peer(s)"
+        )
         print(f"serving chain {node.chain_id.hex()[:16]}… "
               f"on {args.host}:{node.listen_port} "
-              f"({len(peers)} static peer(s), protocol={args.protocol})")
+              f"({mode}, protocol={args.protocol})")
         try:
             await node._stop_requested.wait()
         finally:
@@ -315,6 +331,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         pass
+    except ListenError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(f"stopped with {len(node.node.dag)} blocks "
           f"(digest {node.dag_digest()[:16]}…)")
     if obs is not None:
@@ -447,7 +466,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="listen port (0 picks a free one)")
     serve.add_argument("--peer", action="append", default=[],
                        metavar="HOST:PORT",
-                       help="static peer to dial (repeatable)")
+                       help="static peer to dial (repeatable; with "
+                            "--discover these are optional seeds)")
+    serve.add_argument("--discover", action="store_true",
+                       help="announce and discover peers via signed "
+                            "UDP multicast beacons (no --peer needed)")
+    serve.add_argument("--beacon-interval", type=float, default=1.0,
+                       dest="beacon_interval", metavar="SECONDS",
+                       help="discovery beacon period (default 1.0)")
+    serve.add_argument("--discovery-group", default="239.86.71.86",
+                       dest="discovery_group", metavar="ADDR",
+                       help="multicast group for beacons")
+    serve.add_argument("--discovery-port", type=int, default=47474,
+                       dest="discovery_port", metavar="PORT",
+                       help="UDP port for beacons")
     serve.add_argument("--name", default=None,
                        help="node name for logs and traces")
     serve.add_argument("--protocol", choices=["frontier", "bloom"],

@@ -1,0 +1,331 @@
+"""The discovery directory: SWIM-style membership from beacons.
+
+A :class:`DiscoveryDirectory` is the state machine both runtimes share.
+It consumes beacon observations — real UDP datagrams on the live side,
+radio-range contact events on the sim side — and maintains a peer table
+with TTL-based liveness:
+
+::
+
+    (unknown) --beacon--> ALIVE --ttl expires--> SUSPECT
+         ^                  ^                      |
+         |                  +------beacon----------+   (recovered)
+         |                                         |
+         +--(epoch,seq) > tombstone-- EXPIRED <----+   (expiry passes)
+                  (rejoined)
+
+* A beacon from an unknown node id ⇒ **discovered**.
+* No beacon for ``ttl_ms`` ⇒ **suspected** (still dialable, but
+  flagged); a fresh beacon while suspect ⇒ **recovered**.
+* No beacon for ``expiry_ms`` ⇒ **expired**: the entry is dropped and a
+  tombstone keeps its last ``(epoch, seq)``.
+* A beacon strictly newer than the tombstone ⇒ **rejoined** (the node
+  restarted or came back into range); stale replays never resurrect an
+  expired peer.
+
+The directory is deterministic: it holds no clock of its own — every
+call takes ``now_ms`` — and appends every transition to ``self.events``
+in order, which is what the sim/live parity test compares.  Rejections
+(malformed, bad signature, foreign chain, stale stamp, our own echo)
+never touch the table and are individually accounted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.crypto.sha import Hash
+from repro.discovery.beacon import (
+    Beacon,
+    BeaconDecodeError,
+    BeaconSignatureError,
+    decode_beacon,
+)
+
+#: Peer states.
+ALIVE = "alive"
+SUSPECT = "suspect"
+
+#: Event kinds, in the order a peer typically walks through them.
+DISCOVERED = "discovered"
+SUSPECTED = "suspected"
+RECOVERED = "recovered"
+EXPIRED = "expired"
+REJOINED = "rejoined"
+
+#: Rejection reasons (the ``reason`` label on the rejected counter).
+REJECT_MALFORMED = "malformed"
+REJECT_BAD_SIGNATURE = "bad_signature"
+REJECT_FOREIGN_CHAIN = "foreign_chain"
+REJECT_STALE = "stale"
+REJECT_SELF = "self"
+
+REJECT_REASONS = (
+    REJECT_MALFORMED, REJECT_BAD_SIGNATURE, REJECT_FOREIGN_CHAIN,
+    REJECT_STALE, REJECT_SELF,
+)
+
+DEFAULT_TTL_MS = 3_000
+
+
+class PeerEntry:
+    """One known peer, as advertised by its latest accepted beacon."""
+
+    __slots__ = ("node_id", "name", "host", "port", "frontier",
+                 "epoch", "seq", "first_seen_ms", "last_seen_ms", "state")
+
+    def __init__(self, node_id: Hash, name: str, host: str, port: int,
+                 frontier: Hash, epoch: int, seq: int, now_ms: int):
+        self.node_id = node_id
+        self.name = name
+        self.host = host
+        self.port = port
+        self.frontier = frontier
+        self.epoch = epoch
+        self.seq = seq
+        self.first_seen_ms = now_ms
+        self.last_seen_ms = now_ms
+        self.state = ALIVE
+
+    @property
+    def stamp(self) -> Tuple[int, int]:
+        return (self.epoch, self.seq)
+
+    def __repr__(self) -> str:
+        return (
+            f"PeerEntry({self.name!r}, {self.host}:{self.port}, "
+            f"{self.state}, epoch={self.epoch}, seq={self.seq})"
+        )
+
+
+class DirectoryEvent:
+    """One membership transition, in deterministic order."""
+
+    __slots__ = ("kind", "at_ms", "node_id", "name", "host", "port",
+                 "epoch")
+
+    def __init__(self, kind: str, at_ms: int, node_id: Hash, name: str,
+                 host: str, port: int, epoch: int):
+        self.kind = kind
+        self.at_ms = at_ms
+        self.node_id = node_id
+        self.name = name
+        self.host = host
+        self.port = port
+        self.epoch = epoch
+
+    def key(self) -> tuple:
+        """The comparison key the parity tests use (host-independent)."""
+        return (self.at_ms, self.kind, self.node_id.hex(), self.epoch)
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectoryEvent({self.kind}, t={self.at_ms}, "
+            f"{self.name!r}, epoch={self.epoch})"
+        )
+
+
+class DiscoveryDirectory:
+    """Beacon-driven peer table with TTL liveness and rejoin handling."""
+
+    def __init__(
+        self,
+        chain: Hash,
+        self_id: Optional[Hash] = None,
+        *,
+        ttl_ms: int = DEFAULT_TTL_MS,
+        expiry_ms: Optional[int] = None,
+        node_label: str = "node",
+        obs=None,
+        on_event: Optional[Callable[[DirectoryEvent], None]] = None,
+    ):
+        if ttl_ms <= 0:
+            raise ValueError("ttl_ms must be positive")
+        self.chain = chain
+        self.self_id = self_id
+        self.ttl_ms = ttl_ms
+        self.expiry_ms = expiry_ms if expiry_ms is not None else 3 * ttl_ms
+        if self.expiry_ms < self.ttl_ms:
+            raise ValueError("expiry_ms must be >= ttl_ms")
+        self.node_label = node_label
+        self._on_event = on_event
+        self._entries: Dict[bytes, PeerEntry] = {}
+        self._tombstones: Dict[bytes, Tuple[int, int]] = {}
+        self.events: List[DirectoryEvent] = []
+        self.beacons_received = 0
+        self.rejections: Dict[str, int] = {
+            reason: 0 for reason in REJECT_REASONS
+        }
+        self._obs = obs if obs is not None and obs.enabled else None
+        if self._obs is not None:
+            registry = self._obs.registry
+            self._c_received = registry.counter(
+                "discovery_beacons_received_total",
+                "beacon datagrams/observations handled",
+                labels=("node",),
+            ).labels(node=node_label)
+            self._c_rejected = registry.counter(
+                "discovery_beacons_rejected_total",
+                "beacons refused before touching the peer table",
+                labels=("node", "reason"),
+            )
+            self._c_events = registry.counter(
+                "discovery_events_total",
+                "membership transitions by kind",
+                labels=("node", "kind"),
+            )
+            self._g_alive = registry.gauge(
+                "discovery_peers_alive",
+                "peers currently in the directory (alive or suspect)",
+                labels=("node",),
+            ).labels(node=node_label)
+
+    # -- ingestion -----------------------------------------------------
+
+    def ingest(self, datagram: bytes, host: str,
+               now_ms: int) -> List[DirectoryEvent]:
+        """Handle one raw datagram: verify, classify, observe.
+
+        This is the live path — corruption and forgery are caught here,
+        counted, and never reach the peer table.
+        """
+        self._count_received()
+        try:
+            beacon = decode_beacon(datagram)
+        except BeaconSignatureError:
+            self._reject(REJECT_BAD_SIGNATURE)
+            return []
+        except BeaconDecodeError:
+            self._reject(REJECT_MALFORMED)
+            return []
+        return self._observe_verified(beacon, host, now_ms)
+
+    def observe(self, beacon: Beacon, host: str,
+                now_ms: int) -> List[DirectoryEvent]:
+        """Handle one already-verified beacon (the sim fast path).
+
+        The simulator constructs :class:`Beacon` objects directly —
+        paying ~2 ms of pure-Python Ed25519 per delivery would dominate
+        the event loop — so this entry point skips signature checks but
+        applies exactly the same membership transitions as the live
+        path, which is what the parity test pins down.
+        """
+        self._count_received()
+        return self._observe_verified(beacon, host, now_ms)
+
+    def _observe_verified(self, beacon: Beacon, host: str,
+                          now_ms: int) -> List[DirectoryEvent]:
+        if beacon.chain != self.chain:
+            self._reject(REJECT_FOREIGN_CHAIN)
+            return []
+        if self.self_id is not None and beacon.node_id == self.self_id:
+            self._reject(REJECT_SELF)
+            return []
+        key = beacon.node_id.digest
+        entry = self._entries.get(key)
+        if entry is not None:
+            if beacon.stamp <= entry.stamp:
+                self._reject(REJECT_STALE)
+                return []
+            was_suspect = entry.state == SUSPECT
+            entry.name = beacon.name
+            entry.host = host
+            entry.port = beacon.port
+            entry.frontier = beacon.frontier
+            entry.epoch, entry.seq = beacon.stamp
+            entry.last_seen_ms = now_ms
+            entry.state = ALIVE
+            if was_suspect:
+                return [self._emit(RECOVERED, now_ms, entry)]
+            return []
+        tombstone = self._tombstones.get(key)
+        if tombstone is not None and beacon.stamp <= tombstone:
+            self._reject(REJECT_STALE)
+            return []
+        entry = PeerEntry(
+            beacon.node_id, beacon.name, host, beacon.port,
+            beacon.frontier, beacon.epoch, beacon.seq, now_ms,
+        )
+        self._entries[key] = entry
+        kind = REJOINED if tombstone is not None else DISCOVERED
+        if tombstone is not None:
+            del self._tombstones[key]
+        return [self._emit(kind, now_ms, entry)]
+
+    # -- liveness ------------------------------------------------------
+
+    def tick(self, now_ms: int) -> List[DirectoryEvent]:
+        """Advance liveness: mark silent peers suspect, expire the dead.
+
+        Deterministic: entries are walked in node-id order, so two
+        directories fed the same observations and ticks emit identical
+        event sequences.
+        """
+        events: List[DirectoryEvent] = []
+        for key in sorted(self._entries):
+            entry = self._entries[key]
+            silent_ms = now_ms - entry.last_seen_ms
+            if silent_ms >= self.expiry_ms:
+                self._tombstones[key] = entry.stamp
+                del self._entries[key]
+                events.append(self._emit(EXPIRED, now_ms, entry))
+            elif silent_ms >= self.ttl_ms and entry.state == ALIVE:
+                entry.state = SUSPECT
+                events.append(self._emit(SUSPECTED, now_ms, entry))
+        return events
+
+    # -- queries -------------------------------------------------------
+
+    def get(self, node_id: Hash) -> Optional[PeerEntry]:
+        return self._entries.get(node_id.digest)
+
+    def peers(self, include_suspect: bool = True) -> List[PeerEntry]:
+        """Current entries in node-id order."""
+        return [
+            self._entries[key] for key in sorted(self._entries)
+            if include_suspect or self._entries[key].state == ALIVE
+        ]
+
+    def alive_count(self) -> int:
+        return sum(
+            1 for entry in self._entries.values() if entry.state == ALIVE
+        )
+
+    def event_keys(self) -> List[tuple]:
+        """The full event sequence as comparison keys (parity tests)."""
+        return [event.key() for event in self.events]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- internals -----------------------------------------------------
+
+    def _count_received(self) -> None:
+        self.beacons_received += 1
+        if self._obs is not None:
+            self._c_received.inc()
+
+    def _reject(self, reason: str) -> None:
+        self.rejections[reason] += 1
+        if self._obs is not None:
+            self._c_rejected.labels(
+                node=self.node_label, reason=reason
+            ).inc()
+
+    def _emit(self, kind: str, now_ms: int,
+              entry: PeerEntry) -> DirectoryEvent:
+        event = DirectoryEvent(
+            kind, now_ms, entry.node_id, entry.name, entry.host,
+            entry.port, entry.epoch,
+        )
+        self.events.append(event)
+        if self._obs is not None:
+            self._c_events.labels(node=self.node_label, kind=kind).inc()
+            self._g_alive.set(len(self._entries))
+            self._obs.emit(
+                f"peer.{kind}", node=self.node_label, peer=entry.name,
+                peer_id=entry.node_id.hex()[:16], epoch=entry.epoch,
+            )
+        if self._on_event is not None:
+            self._on_event(event)
+        return event

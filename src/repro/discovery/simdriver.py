@@ -1,0 +1,203 @@
+"""Discovery in the simulator: the same directory, radio-range beacons.
+
+:class:`SimDiscovery` drives one
+:class:`~repro.discovery.directory.DiscoveryDirectory` per simulated
+node from the topology's contact structure: every ``interval_ms``
+(plus a seeded per-node phase offset) a node "broadcasts" a beacon
+that reaches exactly the nodes ``topology.neighbors()`` reports in
+range at that instant — the event-loop analogue of a UDP multicast
+only travelling as far as the radio does.
+
+Two delivery paths exist, mirroring the live service:
+
+* the **fast path** constructs a verified :class:`Beacon` and calls
+  ``directory.observe`` — no Ed25519 per delivery, which matters when
+  a fleet beacons thousands of times per run;
+* with a :class:`~repro.discovery.faults.BeaconFaultFilter` attached,
+  each broadcast is *encoded and signed once* and the raw bytes pass
+  through the filter per receiver, so corrupted beacons hit the real
+  decode/verify path and are classified exactly as live corruption
+  would be.
+
+Crash/restart schedules from a session-level
+:class:`~repro.faults.injector.FaultInjector` are honoured: a crashed
+node neither beacons nor receives, and its restart bumps the beacon
+epoch — which is precisely what makes the directory report
+``rejoined`` rather than resurrecting a stale entry.
+
+Every delivery is appended to ``self.deliveries`` so a test can replay
+the identical contact schedule through the live ingest path and assert
+event-sequence parity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.discovery.beacon import Beacon, encode_beacon, frontier_digest
+from repro.discovery.directory import DiscoveryDirectory
+from repro.discovery.faults import BeaconFaultFilter
+from repro.net.events import EventLoop
+from repro.net.topology import Topology
+
+#: RNG salt for beacon phase offsets (independent of every other
+#: stream in the simulator).
+SIM_DISCOVERY_SALT = 0xD15C
+
+
+class SimDiscovery:
+    """Beacon scheduler + per-node directories on the sim event loop."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        topology: Topology,
+        nodes: Dict[int, object],
+        keys: List[object],
+        *,
+        interval_ms: int = 1_000,
+        ttl_ms: Optional[int] = None,
+        expiry_ms: Optional[int] = None,
+        seed: int = 0,
+        obs=None,
+        faults=None,
+        beacon_filter: Optional[BeaconFaultFilter] = None,
+    ):
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        self.loop = loop
+        self.topology = topology
+        self.nodes = nodes
+        self.keys = keys
+        self.interval_ms = interval_ms
+        self.ttl_ms = ttl_ms if ttl_ms is not None else 3 * interval_ms
+        self.expiry_ms = (
+            expiry_ms if expiry_ms is not None else 3 * self.ttl_ms
+        )
+        self._rng = random.Random(seed ^ SIM_DISCOVERY_SALT)
+        self._faults = faults
+        self._filter = beacon_filter
+        self._obs = obs if obs is not None and obs.enabled else None
+        self.directories: Dict[int, DiscoveryDirectory] = {}
+        for node_id in sorted(nodes):
+            node = nodes[node_id]
+            self.directories[node_id] = DiscoveryDirectory(
+                node.chain_id, node.user_id,
+                ttl_ms=self.ttl_ms, expiry_ms=self.expiry_ms,
+                node_label=f"n{node_id}", obs=obs,
+            )
+        self._epoch: Dict[int, int] = {i: 1 for i in nodes}
+        self._seq: Dict[int, int] = {i: 0 for i in nodes}
+        self._was_down: Dict[int, bool] = {i: False for i in nodes}
+        self.beacons_sent = 0
+        #: Every accepted-path delivery as ``(now_ms, receiver, sender,
+        #: epoch, seq)`` — the contact schedule parity tests replay.
+        self.deliveries: List[Tuple[int, int, int, int, int]] = []
+        #: Every liveness tick as ``(now_ms, node_id)`` — replayed
+        #: alongside the deliveries so suspect/expiry timing matches.
+        self.ticks: List[Tuple[int, int]] = []
+
+    # -- scheduling ----------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule each node's first beacon with a seeded phase."""
+        for node_id in sorted(self.nodes):
+            offset = self._rng.randrange(max(1, self.interval_ms))
+            self.loop.schedule_in(offset, self._make_tick(node_id))
+
+    def _make_tick(self, node_id: int):
+        def tick() -> None:
+            self.loop.schedule_in(self.interval_ms, self._make_tick(node_id))
+            self._beacon_tick(node_id)
+        return tick
+
+    def _beacon_tick(self, node_id: int) -> None:
+        now = self.loop.now
+        if self._faults is not None and self._faults.node_down(node_id):
+            # A crashed node is radio-silent; note it so the restart
+            # bumps the epoch (rejoin semantics).
+            self._was_down[node_id] = True
+            return
+        if self._was_down[node_id]:
+            self._epoch[node_id] += 1
+            self._seq[node_id] = 0
+            self._was_down[node_id] = False
+        self._seq[node_id] += 1
+        self.beacons_sent += 1
+        epoch, seq = self._epoch[node_id], self._seq[node_id]
+        node = self.nodes[node_id]
+        frontier = frontier_digest(node)
+        datagram: Optional[bytes] = None
+        if self._filter is not None and self._filter.any():
+            datagram = encode_beacon(
+                self.keys[node_id], node.chain_id, 1 + node_id,
+                f"n{node_id}", frontier, epoch, seq,
+            )
+        beacon = Beacon(
+            node.chain_id, node.user_id, self.keys[node_id].public_key,
+            1 + node_id, f"n{node_id}", frontier, epoch, seq,
+        )
+        for neighbor in sorted(self.topology.neighbors(node_id, now)):
+            if neighbor == node_id or neighbor not in self.directories:
+                continue
+            if self._faults is not None and (
+                self._faults.node_down(neighbor)
+                or self._faults.link_down(node_id, neighbor, now)
+            ):
+                continue
+            self._deliver(node_id, neighbor, beacon, datagram, now)
+        # Each node's own directory advances liveness on its own tick.
+        self.ticks.append((now, node_id))
+        self.directories[node_id].tick(now)
+
+    def _deliver(self, sender: int, receiver: int, beacon: Beacon,
+                 datagram: Optional[bytes], now: int) -> None:
+        directory = self.directories[receiver]
+        if datagram is None:
+            self.deliveries.append(
+                (now, receiver, sender, beacon.epoch, beacon.seq)
+            )
+            directory.observe(beacon, f"sim:{sender}", now)
+            return
+        assert self._filter is not None
+        for delay_ms, payload in self._filter.apply(datagram):
+            self.deliveries.append(
+                (now + delay_ms, receiver, sender, beacon.epoch,
+                 beacon.seq)
+            )
+            if delay_ms <= 0:
+                directory.ingest(payload, f"sim:{sender}", now)
+            else:
+                self.loop.schedule_in(
+                    delay_ms,
+                    lambda p=payload, r=receiver, s=sender: (
+                        self.directories[r].ingest(
+                            p, f"sim:{s}", self.loop.now
+                        )
+                    ),
+                )
+
+    # -- results -------------------------------------------------------
+
+    def directory(self, node_id: int) -> DiscoveryDirectory:
+        return self.directories[node_id]
+
+    def converged(self) -> bool:
+        """Does every directory hold every other (non-crashed) node?"""
+        expected = len(self.nodes) - 1
+        return all(
+            len(directory) >= expected
+            for directory in self.directories.values()
+        )
+
+    def time_to_full_directory(self) -> Optional[int]:
+        """Sim time at which the last ``discovered`` event landed, if
+        every directory is full."""
+        if not self.converged():
+            return None
+        return max(
+            max(event.at_ms for event in directory.events)
+            for directory in self.directories.values()
+            if directory.events
+        )

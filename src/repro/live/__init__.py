@@ -31,6 +31,7 @@ from repro.live.node import LiveNode
 from repro.live.peers import (
     Backoff,
     HandshakeError,
+    ListenError,
     PeerManager,
     PeerSpec,
     handshake,
@@ -60,6 +61,7 @@ __all__ = [
     "LIVE_PROTOCOLS",
     "LiveBloom",
     "LiveFrontier",
+    "ListenError",
     "LiveNode",
     "LiveProtocolError",
     "LiveResponder",

@@ -47,6 +47,11 @@ from repro.live.peers import (
     PeerManager,
     PeerSpec,
 )
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported lazily at runtime (circular with live)
+    from repro.discovery.directory import DirectoryEvent
+    from repro.discovery.service import DiscoveryConfig, DiscoveryService
 from repro.storage.blockstore import BlockStore
 from repro.storage.node_store import load_node
 
@@ -80,8 +85,10 @@ class LiveNode:
         clock=None,
         fsync: bool = True,
         obs=None,
+        discovery: Optional["DiscoveryConfig"] = None,
     ):
         self._store_path = pathlib.Path(store_path)
+        self._key_pair = key_pair
         clock = clock or _wall_ms
         if self._store_path.exists() and BlockStore(
             self._store_path, fsync=fsync
@@ -124,6 +131,11 @@ class LiveNode:
             seed=None if seed is None else seed ^ 0x90551,
             obs=obs,
         )
+        # Dynamic peer discovery (repro.discovery): built lazily in
+        # start() so the UDP endpoint lands on the running loop.
+        self._discovery_config = discovery
+        self.discovery: Optional["DiscoveryService"] = None
+        self._raw_obs = obs
         self._loop_task: Optional[asyncio.Task] = None
         self._stop_requested: Optional[asyncio.Event] = None
         self._started = False
@@ -191,6 +203,37 @@ class LiveNode:
     def add_peer(self, spec: PeerSpec) -> None:
         self.peer_manager.add_peer(spec)
 
+    # -- discovery -----------------------------------------------------
+
+    def _dials_to(self, event: "DirectoryEvent") -> bool:
+        """The lowest-id-dials tie-break.
+
+        Both sides of a discovered pair see each other's beacons; if
+        both dialed, every pair would hold two redundant connections
+        and run duplicate sessions.  The node with the smaller user id
+        dials; the other side only accepts.  (Static ``--peer`` entries
+        are exempt — explicit configuration wins.)
+        """
+        return self.node.user_id.digest < event.node_id.digest
+
+    @staticmethod
+    def _dynamic_peer_name(event: "DirectoryEvent") -> str:
+        return f"d:{event.node_id.hex()[:16]}"
+
+    def _on_discovery_event(self, event: "DirectoryEvent") -> None:
+        from repro.discovery.directory import EXPIRED
+
+        name = self._dynamic_peer_name(event)
+        if event.kind == EXPIRED:
+            self.peer_manager.remove_peer(name)
+        elif self._dials_to(event):
+            # discovered / rejoined / recovered: (re)target the
+            # advertised address.  add_peer is a no-op if the peer is
+            # already maintained.
+            self.peer_manager.add_peer(
+                PeerSpec(name, event.host, event.port), dynamic=True
+            )
+
     async def start(self) -> None:
         """Bind the listener, start dialing peers and gossiping."""
         if self._started:
@@ -198,6 +241,17 @@ class LiveNode:
         self._started = True
         self._stop_requested = asyncio.Event()
         await self.peer_manager.start(self._host, self._port)
+        if self._discovery_config is not None:
+            from repro.discovery.service import DiscoveryService
+
+            self.discovery = DiscoveryService(
+                self._key_pair, self.node, self.name,
+                lambda: self.peer_manager.listen_port,
+                self._discovery_config,
+                obs=self._raw_obs,
+                on_event=self._on_discovery_event,
+            )
+            await self.discovery.start()
         self._loop_task = asyncio.ensure_future(self.antientropy.run())
         if self._obs is not None:
             self._obs.emit(
@@ -216,6 +270,9 @@ class LiveNode:
             except asyncio.CancelledError:
                 pass
             self._loop_task = None
+        if self.discovery is not None:
+            await self.discovery.stop()
+            self.discovery = None
         await self.peer_manager.stop()
         self._persist_blocks()
         self.store.close()

@@ -49,6 +49,15 @@ class HandshakeError(Exception):
     """The peer failed or refused the hello exchange."""
 
 
+class ListenError(RuntimeError):
+    """A network endpoint could not be bound (port in use, bad address).
+
+    Raised instead of the raw :class:`OSError` so callers (notably the
+    CLI) can print one clear line and exit non-zero rather than dumping
+    an asyncio traceback.
+    """
+
+
 class PeerSpec:
     """A statically configured peer address."""
 
@@ -180,6 +189,9 @@ class PeerManager:
         self._server: Optional[asyncio.base_events.Server] = None
         self._outbound: Dict[str, StreamTransport] = {}
         self._maintain_tasks: Dict[str, asyncio.Task] = {}
+        self._backoffs: Dict[str, Backoff] = {}
+        self._dynamic: set = set()
+        self._closing_tasks: set = set()
         self._inbound_tasks: set = set()
         self._inbound: List[StreamTransport] = []
         # Set while the node participates in the network; cleared by
@@ -221,16 +233,68 @@ class PeerManager:
 
     async def start(self, host: str = "127.0.0.1",
                     port: int = 0) -> None:
-        """Bind the listener and begin maintaining outbound peers."""
-        self._server = await asyncio.start_server(self._accept, host, port)
+        """Bind the listener and begin maintaining outbound peers.
+
+        Raises :class:`ListenError` when the address cannot be bound
+        (port already in use, bad host, ...).
+        """
+        try:
+            self._server = await asyncio.start_server(
+                self._accept, host, port
+            )
+        except OSError as exc:
+            raise ListenError(
+                f"cannot listen on {host}:{port}: {exc.strerror or exc}"
+            ) from exc
         for spec in self._peers:
             self._start_maintaining(spec)
 
-    def add_peer(self, spec: PeerSpec) -> None:
-        """Add (and immediately start dialing) one more peer."""
+    def add_peer(self, spec: PeerSpec, dynamic: bool = False) -> bool:
+        """Add (and immediately start dialing) one more peer.
+
+        Returns False without side effects when a peer of that name is
+        already maintained — discovery may re-announce a peer we hold.
+        ``dynamic`` marks peers learned from discovery, which
+        :meth:`remove_peer` may drop again on expiry.
+        """
+        if spec.name in self._maintain_tasks or any(
+            known.name == spec.name for known in self._peers
+        ):
+            return False
         self._peers.append(spec)
+        if dynamic:
+            self._dynamic.add(spec.name)
         if self._server is not None and not self._stopped:
             self._start_maintaining(spec)
+        return True
+
+    def remove_peer(self, name: str) -> bool:
+        """Stop maintaining a dynamic peer and close its connection.
+
+        Only peers added with ``dynamic=True`` are removable — static
+        configuration does not decay.  Returns whether a peer was
+        removed.
+        """
+        if name not in self._dynamic:
+            return False
+        self._dynamic.discard(name)
+        self._peers = [spec for spec in self._peers if spec.name != name]
+        task = self._maintain_tasks.pop(name, None)
+        if task is not None:
+            task.cancel()
+        self._backoffs.pop(name, None)
+        transport = self._outbound.pop(name, None)
+        if transport is not None and not transport.closed:
+            closer = asyncio.ensure_future(transport.close())
+            self._closing_tasks.add(closer)
+            closer.add_done_callback(self._closing_tasks.discard)
+        if self._obs is not None:
+            self._g_connected.set(len(self.connected_peers()))
+        return True
+
+    def dynamic_peers(self) -> List[str]:
+        """Names of currently maintained discovery-learned peers."""
+        return sorted(self._dynamic)
 
     def _start_maintaining(self, spec: PeerSpec) -> None:
         task = asyncio.ensure_future(self._maintain(spec))
@@ -243,8 +307,10 @@ class PeerManager:
             task.cancel()
         for task in list(self._inbound_tasks):
             task.cancel()
-        pending = list(self._maintain_tasks.values()) + list(
-            self._inbound_tasks
+        pending = (
+            list(self._maintain_tasks.values())
+            + list(self._inbound_tasks)
+            + list(self._closing_tasks)
         )
         for task in pending:
             try:
@@ -253,6 +319,8 @@ class PeerManager:
                 pass
         self._maintain_tasks.clear()
         self._inbound_tasks.clear()
+        self._closing_tasks.clear()
+        self._backoffs.clear()
         for transport in list(self._outbound.values()) + self._inbound:
             await transport.close()
         self._outbound.clear()
@@ -304,6 +372,7 @@ class PeerManager:
             base_s=self._backoff_base, cap_s=self._backoff_cap,
             rng=self._rng,
         )
+        self._backoffs[spec.name] = backoff
         while True:
             await self._running.wait()
             transport = await self._dial_once(spec)

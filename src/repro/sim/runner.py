@@ -75,6 +75,24 @@ class Simulation:
             obs=self.obs,
             faults=self.fault_injector,
         )
+        # Peer discovery (repro.discovery): entirely absent unless the
+        # scenario asks for it, so zero-discovery runs schedule nothing
+        # extra and stay trace-equivalent to pre-discovery behaviour.
+        self.discovery = None
+        if scenario.discovery_interval_ms is not None:
+            from repro.discovery.simdriver import SimDiscovery
+
+            self.discovery = SimDiscovery(
+                self.loop, self.topology, self.fleet.nodes,
+                self.fleet.keys,
+                interval_ms=scenario.discovery_interval_ms,
+                ttl_ms=scenario.discovery_ttl_ms,
+                expiry_ms=scenario.discovery_expiry_ms,
+                seed=scenario.seed,
+                obs=self.obs,
+                faults=self.fault_injector,
+                beacon_filter=scenario.discovery_beacon_faults,
+            )
         self._appended = 0
         self._closed = False
         self._setup_workload_crdt()
@@ -191,6 +209,8 @@ class Simulation:
     def run(self, duration_ms: Optional[int] = None) -> "Simulation":
         """Start gossip and workload, run the loop, return self."""
         self.gossip.start()
+        if self.discovery is not None:
+            self.discovery.start()
         if self.scenario.workload is not None:
             self.scenario.workload.start(self)
         else:

@@ -52,6 +52,10 @@ class Scenario:
         metrics: bool = False,
         obs=None,
         faults=None,
+        discovery_interval_ms: Optional[int] = None,
+        discovery_ttl_ms: Optional[int] = None,
+        discovery_expiry_ms: Optional[int] = None,
+        discovery_beacon_faults=None,
     ):
         if node_count < 1:
             raise ValueError("need at least one node")
@@ -107,6 +111,15 @@ class Scenario:
                 f"(got {session_model!r})"
             )
         self.faults = faults
+        # Peer discovery (repro.discovery).  With an interval set, each
+        # node runs a DiscoveryDirectory fed by radio-range beacon
+        # events — the sim half of the live --discover mode.  Default
+        # off: a zero-discovery run schedules nothing extra and stays
+        # byte-for-byte trace-equivalent to earlier behaviour.
+        self.discovery_interval_ms = discovery_interval_ms
+        self.discovery_ttl_ms = discovery_ttl_ms
+        self.discovery_expiry_ms = discovery_expiry_ms
+        self.discovery_beacon_faults = discovery_beacon_faults
 
     @property
     def observability_requested(self) -> bool:

@@ -1,0 +1,263 @@
+"""DiscoveryDirectory: the SWIM-style membership state machine."""
+
+import pytest
+
+from repro.crypto.sha import Hash
+from repro.discovery import (
+    ALIVE,
+    Beacon,
+    DISCOVERED,
+    DiscoveryDirectory,
+    EXPIRED,
+    RECOVERED,
+    REJOINED,
+    SUSPECT,
+    SUSPECTED,
+    encode_beacon,
+    frontier_digest,
+)
+from repro.obs import Observability, RingBufferSink
+
+from tests.conftest import Deployment
+
+
+def make_beacon(deployment, index=1, epoch=1, seq=1, port=None,
+                name=None, chain=None):
+    node = deployment.node(index)
+    return Beacon(
+        chain or node.chain_id,
+        deployment.keys[index].user_id,
+        deployment.keys[index].public_key,
+        port or 7000 + index,
+        name or f"n{index}",
+        frontier_digest(node),
+        epoch, seq,
+    )
+
+
+def directory_for(deployment, index=0, **kwargs):
+    kwargs.setdefault("ttl_ms", 300)
+    kwargs.setdefault("expiry_ms", 900)
+    node = deployment.node(index)
+    return DiscoveryDirectory(node.chain_id, node.user_id, **kwargs)
+
+
+class TestDiscovery:
+    def test_first_beacon_discovers(self):
+        deployment = Deployment()
+        directory = directory_for(deployment)
+        events = directory.observe(make_beacon(deployment), "10.0.0.2", 100)
+        assert [event.kind for event in events] == [DISCOVERED]
+        entry = directory.get(deployment.keys[1].user_id)
+        assert entry.state == ALIVE
+        assert (entry.host, entry.port) == ("10.0.0.2", 7001)
+
+    def test_fresh_beacon_updates_entry_silently(self):
+        deployment = Deployment()
+        directory = directory_for(deployment)
+        directory.observe(make_beacon(deployment, seq=1), "a", 100)
+        events = directory.observe(
+            make_beacon(deployment, seq=2, port=7999), "b", 200
+        )
+        assert events == []
+        entry = directory.get(deployment.keys[1].user_id)
+        assert (entry.host, entry.port) == ("b", 7999)
+        assert entry.last_seen_ms == 200
+
+    def test_stale_stamp_rejected(self):
+        deployment = Deployment()
+        directory = directory_for(deployment)
+        directory.observe(make_beacon(deployment, seq=5), "a", 100)
+        directory.observe(make_beacon(deployment, seq=5), "a", 150)
+        directory.observe(make_beacon(deployment, seq=4), "a", 160)
+        assert directory.rejections["stale"] == 2
+        assert directory.get(deployment.keys[1].user_id).seq == 5
+
+    def test_own_beacon_rejected_as_self(self):
+        deployment = Deployment()
+        directory = directory_for(deployment, index=1)
+        events = directory.observe(make_beacon(deployment), "lo", 100)
+        assert events == []
+        assert directory.rejections["self"] == 1
+        assert len(directory) == 0
+
+    def test_foreign_chain_never_admitted(self):
+        deployment = Deployment()
+        directory = directory_for(deployment)
+        foreign = make_beacon(
+            deployment, chain=Hash.of_bytes(b"another blockchain")
+        )
+        assert directory.observe(foreign, "a", 100) == []
+        assert directory.rejections["foreign_chain"] == 1
+        assert len(directory) == 0
+
+
+class TestLiveness:
+    def test_silence_walks_alive_suspect_expired(self):
+        deployment = Deployment()
+        directory = directory_for(deployment, ttl_ms=300, expiry_ms=900)
+        directory.observe(make_beacon(deployment), "a", 100)
+        assert directory.tick(300) == []  # still within ttl
+        suspected = directory.tick(450)
+        assert [event.kind for event in suspected] == [SUSPECTED]
+        assert directory.get(deployment.keys[1].user_id).state == SUSPECT
+        assert directory.tick(600) == []  # suspect only fires once
+        expired = directory.tick(1000)
+        assert [event.kind for event in expired] == [EXPIRED]
+        assert len(directory) == 0
+
+    def test_beacon_recovers_a_suspect(self):
+        deployment = Deployment()
+        directory = directory_for(deployment)
+        directory.observe(make_beacon(deployment, seq=1), "a", 100)
+        directory.tick(450)
+        events = directory.observe(make_beacon(deployment, seq=2), "a", 500)
+        assert [event.kind for event in events] == [RECOVERED]
+        assert directory.get(deployment.keys[1].user_id).state == ALIVE
+
+    def test_alive_count_excludes_suspects(self):
+        deployment = Deployment()
+        directory = directory_for(deployment)
+        directory.observe(make_beacon(deployment, index=1), "a", 100)
+        directory.observe(make_beacon(deployment, index=2), "b", 400)
+        directory.tick(450)  # n1 silent past ttl, n2 fresh
+        assert len(directory) == 2
+        assert directory.alive_count() == 1
+
+
+class TestRejoin:
+    def test_newer_epoch_rejoins_after_expiry(self):
+        deployment = Deployment()
+        directory = directory_for(deployment)
+        directory.observe(make_beacon(deployment, epoch=1, seq=9), "a", 100)
+        directory.tick(1200)  # expired, tombstone keeps (1, 9)
+        events = directory.observe(
+            make_beacon(deployment, epoch=2, seq=1), "a", 2000
+        )
+        assert [event.kind for event in events] == [REJOINED]
+        assert directory.get(deployment.keys[1].user_id).epoch == 2
+
+    def test_replayed_old_beacon_cannot_resurrect(self):
+        deployment = Deployment()
+        directory = directory_for(deployment)
+        directory.observe(make_beacon(deployment, epoch=1, seq=9), "a", 100)
+        directory.tick(1200)
+        events = directory.observe(
+            make_beacon(deployment, epoch=1, seq=9), "a", 2000
+        )
+        assert events == []
+        assert directory.rejections["stale"] == 1
+        assert len(directory) == 0
+
+    def test_same_epoch_higher_seq_also_rejoins(self):
+        # A long radio dropout without a restart: same epoch, but the
+        # seq kept climbing while we could not hear it.
+        deployment = Deployment()
+        directory = directory_for(deployment)
+        directory.observe(make_beacon(deployment, epoch=1, seq=9), "a", 100)
+        directory.tick(1200)
+        events = directory.observe(
+            make_beacon(deployment, epoch=1, seq=50), "a", 2000
+        )
+        assert [event.kind for event in events] == [REJOINED]
+
+
+class TestIngest:
+    def test_signed_datagram_round_trip(self):
+        deployment = Deployment()
+        directory = directory_for(deployment)
+        node = deployment.node(1)
+        datagram = encode_beacon(
+            deployment.keys[1], node.chain_id, 7001, "n1",
+            frontier_digest(node), 1, 1,
+        )
+        events = directory.ingest(datagram, "10.0.0.2", 100)
+        assert [event.kind for event in events] == [DISCOVERED]
+        assert directory.beacons_received == 1
+
+    def test_corrupt_datagram_counted_never_admitted(self):
+        deployment = Deployment()
+        directory = directory_for(deployment)
+        node = deployment.node(1)
+        datagram = encode_beacon(
+            deployment.keys[1], node.chain_id, 7001, "n1",
+            frontier_digest(node), 1, 1,
+        )
+        for index in range(0, len(datagram), 7):
+            mutated = bytearray(datagram)
+            mutated[index] ^= 0xA5
+            directory.ingest(bytes(mutated), "x", 100)
+        assert len(directory) == 0
+        rejected = (directory.rejections["malformed"]
+                    + directory.rejections["bad_signature"])
+        assert rejected == directory.beacons_received
+
+    def test_garbage_counted_as_malformed(self):
+        deployment = Deployment()
+        directory = directory_for(deployment)
+        assert directory.ingest(b"\xff\xfe\xfd", "x", 50) == []
+        assert directory.rejections["malformed"] == 1
+
+
+class TestDeterminismAndObservers:
+    def test_same_inputs_same_event_sequence(self):
+        deployment = Deployment()
+        schedule = [
+            ("observe", 1, 1, 1, 100), ("observe", 2, 1, 1, 150),
+            ("tick", None, None, None, 500), ("observe", 1, 1, 2, 600),
+            ("tick", None, None, None, 1600),
+            ("observe", 1, 2, 1, 2000),
+        ]
+
+        def run():
+            directory = directory_for(deployment)
+            for op, index, epoch, seq, at in schedule:
+                if op == "tick":
+                    directory.tick(at)
+                else:
+                    directory.observe(
+                        make_beacon(deployment, index=index,
+                                    epoch=epoch, seq=seq), "h", at,
+                    )
+            return directory.event_keys()
+
+        assert run() == run()
+        assert len(run()) > 0
+
+    def test_on_event_callback_sees_every_transition(self):
+        deployment = Deployment()
+        seen = []
+        directory = directory_for(deployment, on_event=seen.append)
+        directory.observe(make_beacon(deployment, seq=1), "a", 100)
+        directory.tick(450)
+        directory.tick(1100)
+        assert [event.kind for event in seen] == [
+            DISCOVERED, SUSPECTED, EXPIRED,
+        ]
+
+    def test_metrics_account_every_beacon_and_rejection(self):
+        deployment = Deployment()
+        obs = Observability(enabled=True, sinks=[RingBufferSink(64)])
+        directory = directory_for(deployment, node_label="n0", obs=obs)
+        directory.observe(make_beacon(deployment, seq=1), "a", 100)
+        directory.observe(make_beacon(deployment, seq=1), "a", 150)
+        directory.ingest(b"junk", "x", 160)
+        directory.tick(1200)
+        rendered = obs.registry.render_prometheus()
+        assert ('discovery_beacons_received_total{node="n0"} 3'
+                in rendered)
+        assert ('discovery_beacons_rejected_total{node="n0",'
+                'reason="stale"} 1' in rendered)
+        assert ('discovery_beacons_rejected_total{node="n0",'
+                'reason="malformed"} 1' in rendered)
+        assert ('discovery_events_total{node="n0",kind="discovered"} 1'
+                in rendered)
+        kinds = [event.type for event in obs.events()]
+        assert "peer.discovered" in kinds and "peer.expired" in kinds
+
+    def test_bad_parameters_rejected(self):
+        deployment = Deployment()
+        with pytest.raises(ValueError):
+            directory_for(deployment, ttl_ms=0)
+        with pytest.raises(ValueError):
+            directory_for(deployment, ttl_ms=500, expiry_ms=100)

@@ -1,0 +1,116 @@
+"""Beacon fault injection: classification, accounting, isolation."""
+
+from repro.discovery import BeaconFaultFilter, filter_from_plan
+from repro.discovery.beacon import frontier_digest, encode_beacon
+from repro.discovery.directory import DiscoveryDirectory
+from repro.faults.plan import FaultPlan, LinkFaults
+
+from tests.conftest import Deployment
+
+
+def _datagram(deployment, index=1, seq=1):
+    node = deployment.node(index)
+    return encode_beacon(
+        deployment.keys[index], node.chain_id, 7001, f"n{index}",
+        frontier_digest(node), 1, seq,
+    )
+
+
+class TestFilterMechanics:
+    def test_zero_filter_is_the_identity(self):
+        fault_filter = BeaconFaultFilter()
+        assert not fault_filter.any()
+        assert fault_filter.apply(b"abc") == [(0, b"abc")]
+        assert fault_filter.passed == 1
+
+    def test_drop_returns_nothing(self):
+        fault_filter = BeaconFaultFilter(drop=1.0, seed=3)
+        assert fault_filter.apply(b"abc") == []
+        assert fault_filter.dropped == 1
+
+    def test_duplicate_returns_two_deliveries(self):
+        fault_filter = BeaconFaultFilter(duplicate=1.0, seed=3)
+        deliveries = fault_filter.apply(b"abc")
+        assert len(deliveries) == 2
+        assert deliveries[0] == (0, b"abc")
+        delay_ms, payload = deliveries[1]
+        assert payload == b"abc" and delay_ms > 0
+
+    def test_corrupt_mutates_the_payload(self):
+        fault_filter = BeaconFaultFilter(corrupt=1.0, seed=3)
+        [(delay_ms, payload)] = fault_filter.apply(b"abcdefgh")
+        assert delay_ms == 0
+        assert payload != b"abcdefgh" and len(payload) == 8
+
+    def test_reorder_delays_the_payload(self):
+        fault_filter = BeaconFaultFilter(reorder=1.0, seed=3)
+        [(delay_ms, payload)] = fault_filter.apply(b"abc")
+        assert payload == b"abc" and delay_ms > 0
+        assert fault_filter.reordered == 1
+
+    def test_seeded_filters_are_deterministic(self):
+        def run(seed):
+            fault_filter = BeaconFaultFilter(
+                drop=0.2, duplicate=0.2, corrupt=0.2, reorder=0.2,
+                seed=seed,
+            )
+            out = [fault_filter.apply(bytes([i] * 8)) for i in range(64)]
+            return out, fault_filter.counters()
+
+        assert run(9) == run(9)
+        assert run(9) != run(10)
+
+    def test_probabilities_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BeaconFaultFilter(drop=1.5)
+
+    def test_filter_from_plan_uses_default_link(self):
+        plan = FaultPlan(
+            seed=4, default_link=LinkFaults(drop=0.3, corrupt=0.1),
+        )
+        fault_filter = filter_from_plan(plan)
+        assert fault_filter.drop == 0.3
+        assert fault_filter.corrupt == 0.1
+        assert fault_filter.any()
+
+
+class TestCorruptionNeverAdmitted:
+    def test_every_corrupted_beacon_is_rejected_and_counted(self):
+        deployment = Deployment()
+        node = deployment.node(0)
+        directory = DiscoveryDirectory(
+            node.chain_id, node.user_id, ttl_ms=1_000,
+        )
+        fault_filter = BeaconFaultFilter(corrupt=1.0, seed=11)
+        for seq in range(1, 40):
+            for delay_ms, payload in fault_filter.apply(
+                _datagram(deployment, seq=seq)
+            ):
+                directory.ingest(payload, "x", 100 + seq)
+        assert len(directory) == 0
+        rejected = (directory.rejections["malformed"]
+                    + directory.rejections["bad_signature"])
+        assert rejected == directory.beacons_received
+        assert rejected == fault_filter.corrupted
+
+    def test_drops_and_duplicates_converge_anyway(self):
+        deployment = Deployment()
+        node = deployment.node(0)
+        directory = DiscoveryDirectory(
+            node.chain_id, node.user_id, ttl_ms=10_000,
+        )
+        fault_filter = BeaconFaultFilter(
+            drop=0.4, duplicate=0.3, seed=5,
+        )
+        for seq in range(1, 30):
+            for delay_ms, payload in fault_filter.apply(
+                _datagram(deployment, seq=seq)
+            ):
+                directory.ingest(payload, "x", 100 + seq)
+        assert len(directory) == 1  # lossy but eventually heard
+        # Duplicates of an already-seen stamp are stale, never double-
+        # admitted.
+        assert directory.rejections["bad_signature"] == 0
+        assert directory.rejections["malformed"] == 0

@@ -10,6 +10,7 @@ from repro.crypto.keys import KeyPair
 from repro.live.peers import (
     Backoff,
     HandshakeError,
+    ListenError,
     PeerManager,
     PeerSpec,
     handshake,
@@ -71,6 +72,28 @@ class TestBackoff:
     def test_rejects_bad_jitter(self):
         with pytest.raises(ValueError):
             Backoff(jitter=1.5)
+
+    def test_cap_applies_before_jitter(self):
+        # Once raw delays saturate at the cap, jittered values stay in
+        # [cap * (1 - jitter), cap] — the cap bounds the raw schedule,
+        # jitter only ever shrinks it.
+        backoff = Backoff(base_s=1.0, cap_s=4.0, jitter=0.5,
+                          rng=random.Random(13))
+        delays = [backoff.next_delay() for _ in range(10)]
+        for delay in delays[3:]:  # attempts past the cap
+            assert 2.0 <= delay <= 4.0
+
+    def test_seeded_schedule_is_reproducible_end_to_end(self):
+        def schedule(seed):
+            backoff = Backoff(base_s=0.5, cap_s=6.0, jitter=0.5,
+                              rng=random.Random(seed))
+            out = [backoff.next_delay() for _ in range(4)]
+            backoff.reset()
+            out += [backoff.next_delay() for _ in range(4)]
+            return out
+
+        assert schedule(21) == schedule(21)
+        assert schedule(21) != schedule(22)
 
 
 class TestHandshake:
@@ -281,5 +304,98 @@ class TestPeerManager:
             await server.stop()
             await asyncio.sleep(0.05)
             assert len(asyncio.all_tasks()) == baseline
+
+        run(scenario())
+
+
+class TestListenError:
+    def test_bound_port_raises_one_line_listen_error(self):
+        deployment = Deployment()
+        left, right = deployment.node(0), deployment.node(1)
+
+        async def scenario():
+            first = PeerManager(left, "first")
+            await first.start("127.0.0.1", 0)
+            second = PeerManager(right, "second")
+            with pytest.raises(ListenError) as info:
+                await second.start("127.0.0.1", first.listen_port)
+            message = str(info.value)
+            assert f"127.0.0.1:{first.listen_port}" in message
+            assert "\n" not in message
+            await first.stop()
+
+        run(scenario())
+
+
+class TestDynamicPeers:
+    def _manager(self, node, name, **kwargs):
+        kwargs.setdefault("handshake_timeout_s", 2.0)
+        kwargs.setdefault("backoff_base_s", 0.02)
+        kwargs.setdefault("seed", 1)
+        return PeerManager(node, name, **kwargs)
+
+    def test_add_remove_and_duplicate_accounting(self):
+        deployment = Deployment()
+        left = deployment.node(0)
+
+        async def scenario():
+            manager = self._manager(left, "left")
+            await manager.start("127.0.0.1", 0)
+            spec = PeerSpec("d:abc", "127.0.0.1", 1)
+            assert manager.add_peer(spec, dynamic=True) is True
+            assert manager.add_peer(spec, dynamic=True) is False
+            assert manager.dynamic_peers() == ["d:abc"]
+            assert manager.remove_peer("d:abc") is True
+            assert manager.dynamic_peers() == []
+            assert manager.remove_peer("d:abc") is False
+            await manager.stop()
+
+        run(scenario())
+
+    def test_static_peers_cannot_be_removed(self):
+        deployment = Deployment()
+        left = deployment.node(0)
+
+        async def scenario():
+            manager = self._manager(left, "left")
+            await manager.start("127.0.0.1", 0)
+            manager.add_peer(PeerSpec("seed", "127.0.0.1", 1))
+            assert manager.remove_peer("seed") is False
+            assert manager.dynamic_peers() == []
+            await manager.stop()
+
+        run(scenario())
+
+    def test_backoff_resets_after_successful_handshake(self):
+        deployment = Deployment()
+        left, right = deployment.node(0), deployment.node(1)
+
+        async def scenario():
+            client = self._manager(left, "left")
+            await client.start("127.0.0.1", 0)
+            probe = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            client.add_peer(PeerSpec("right", "127.0.0.1", port))
+            for _ in range(100):
+                backoff = client._backoffs.get("right")
+                if backoff is not None and backoff.attempt >= 2:
+                    break
+                await asyncio.sleep(0.02)
+            assert client._backoffs["right"].attempt >= 2
+
+            server = self._manager(right, "right")
+            await server.start("127.0.0.1", port)
+            for _ in range(200):
+                if client.connected_peers() == ["right"]:
+                    break
+                await asyncio.sleep(0.02)
+            assert client.connected_peers() == ["right"]
+            assert client._backoffs["right"].attempt == 0
+            await client.stop()
+            await server.stop()
 
         run(scenario())

@@ -1,0 +1,159 @@
+"""Discovery in the deterministic simulator.
+
+Three guarantees: discovery converges and reacts to churn inside a
+``Scenario`` run, enabling it never perturbs the gossip/replication
+event stream, and beacon faults stay isolated from the gossip-path
+``FaultCounters`` the chaos harness invariant is written against.
+"""
+
+from repro.discovery import BeaconFaultFilter
+from repro.faults.plan import CrashEvent, FaultPlan
+from repro.sim import Scenario, Simulation
+
+
+class TestScenarioDiscovery:
+    def test_full_mesh_fleet_fills_every_directory(self):
+        sim = Simulation(
+            Scenario(node_count=5, duration_ms=12_000,
+                     append_interval_ms=4_000, seed=3,
+                     discovery_interval_ms=1_000)
+        ).run()
+        assert sim.discovery is not None
+        assert sim.discovery.converged()
+        first_full = sim.discovery.time_to_full_directory()
+        assert first_full is not None and first_full < 5_000
+        sim.close()
+
+    def test_deterministic_given_seed(self):
+        def event_keys(seed):
+            sim = Simulation(
+                Scenario(node_count=4, duration_ms=10_000,
+                         append_interval_ms=4_000, seed=seed,
+                         discovery_interval_ms=1_000)
+            ).run()
+            keys = {
+                node_id: directory.event_keys()
+                for node_id, directory in sim.discovery.directories.items()
+            }
+            sim.close()
+            return keys
+
+        assert event_keys(7) == event_keys(7)
+        assert event_keys(7) != event_keys(8)
+
+    def test_crash_expires_and_restart_rejoins(self):
+        plan = FaultPlan(
+            seed=5, crashes=[CrashEvent(node=2, at_ms=6_000,
+                                        restart_ms=22_000)],
+        )
+        sim = Simulation(
+            Scenario(node_count=4, duration_ms=32_000,
+                     append_interval_ms=8_000, seed=5,
+                     session_model="message", faults=plan,
+                     discovery_interval_ms=1_000,
+                     discovery_ttl_ms=2_500, discovery_expiry_ms=6_000)
+        ).run()
+        observer = sim.discovery.directories[0]
+        kinds = [event.kind for event in observer.events]
+        assert "discovered" in kinds
+        assert "expired" in kinds, kinds
+        assert "rejoined" in kinds, kinds
+        crashed = sim.fleet.keys[2].user_id
+        assert observer.get(crashed).epoch == 2  # bumped by the restart
+        sim.close()
+
+
+def _traced_run(tmp_path, name, **scenario_kwargs):
+    trace = tmp_path / f"{name}.jsonl"
+    scenario = Scenario(
+        node_count=5, duration_ms=15_000, append_interval_ms=4_000,
+        seed=11, trace_path=trace, **scenario_kwargs,
+    )
+    sim = Simulation(scenario).run()
+    digests = {
+        node_id: sim.fleet.nodes[node_id].state_digest().hex()
+        for node_id in sim.fleet.nodes
+    }
+    sim.close()
+    return trace.read_bytes(), digests
+
+
+class TestTraceEquivalence:
+    def test_discovery_adds_only_peer_events_to_the_trace(self, tmp_path):
+        baseline_trace, baseline_digests = _traced_run(tmp_path, "plain")
+        discovery_trace, discovery_digests = _traced_run(
+            tmp_path, "discover", discovery_interval_ms=1_000,
+        )
+        assert discovery_digests == baseline_digests
+        added = [
+            line for line in discovery_trace.splitlines(keepends=True)
+            if b'"type":"peer.' in line
+        ]
+        assert added, "discovery emitted no peer.* trace events"
+        # Beacon ticks are extra event-loop callbacks, so the run.end
+        # summary's events_run total legitimately grows; every other
+        # non-peer event must match the baseline byte for byte.
+        def comparable(raw):
+            return [
+                line for line in raw.splitlines(keepends=True)
+                if b'"type":"peer.' not in line
+                and b'"type":"run.end"' not in line
+            ]
+
+        assert comparable(discovery_trace) == comparable(baseline_trace)
+        assert any(
+            b'"type":"run.end"' in line
+            for line in discovery_trace.splitlines()
+        )
+
+    def test_zero_discovery_scenario_schedules_nothing(self, tmp_path):
+        sim = Simulation(
+            Scenario(node_count=3, duration_ms=5_000,
+                     append_interval_ms=2_000, seed=1)
+        ).run()
+        assert sim.discovery is None
+        sim.close()
+
+
+class TestBeaconFaultIsolation:
+    def test_beacon_faults_never_touch_gossip_fault_counters(self):
+        beacon_filter = BeaconFaultFilter(
+            drop=0.2, corrupt=0.3, duplicate=0.1, seed=9,
+        )
+        sim = Simulation(
+            Scenario(node_count=4, duration_ms=20_000,
+                     append_interval_ms=5_000, seed=9,
+                     session_model="message", faults=FaultPlan(seed=9),
+                     discovery_interval_ms=1_000,
+                     discovery_beacon_faults=beacon_filter)
+        ).run()
+        # The beacon filter did real damage...
+        assert beacon_filter.corrupted > 0
+        assert beacon_filter.dropped > 0
+        rejected = sum(
+            directory.rejections["malformed"]
+            + directory.rejections["bad_signature"]
+            for directory in sim.discovery.directories.values()
+        )
+        assert rejected > 0
+        # ...yet the gossip-path chaos counters never moved: the zero
+        # plan stayed zero, preserving the harness invariant
+        # corrupted == wire_decode_errors + validation_rejects.
+        counters = sim.fault_injector.counters
+        assert counters.corrupted == 0
+        assert counters.wire_decode_errors == 0
+        assert counters.validation_rejects == 0
+        assert counters.dropped == 0
+        sim.close()
+
+    def test_lossy_beacons_still_converge_directories(self):
+        sim = Simulation(
+            Scenario(node_count=4, duration_ms=20_000,
+                     append_interval_ms=5_000, seed=2,
+                     session_model="message", faults=FaultPlan(seed=2),
+                     discovery_interval_ms=1_000,
+                     discovery_beacon_faults=BeaconFaultFilter(
+                         drop=0.3, seed=2))
+        ).run()
+        assert sim.discovery.converged()
+        sim.close()

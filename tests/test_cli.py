@@ -199,6 +199,63 @@ class TestServe:
         assert "stopped with 1 blocks" in out
         assert "live_" in out  # the metric dump made it out
 
+    def test_serve_bound_port_prints_one_line_error(self, tmp_path,
+                                                    capsys):
+        import socket
+
+        key = tmp_path / "owner.key"
+        main(["keygen", str(key)])
+        store = tmp_path / "chain.vgv"
+        main(["init", str(store), "--owner-key", str(key)])
+        capsys.readouterr()
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            code = main(["serve", str(store), "--key", str(key),
+                         "--port", str(port)])
+        finally:
+            blocker.close()
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert f"127.0.0.1:{port}" in err
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_serve_discover_needs_no_static_peers(self, tmp_path,
+                                                  capsys, monkeypatch):
+        import asyncio
+        import os
+
+        import repro.live
+        from repro.live import LiveNode
+
+        key = tmp_path / "owner.key"
+        main(["keygen", str(key)])
+        store = tmp_path / "chain.vgv"
+        main(["init", str(store), "--owner-key", str(key)])
+        capsys.readouterr()
+
+        class SelfStopping(LiveNode):
+            async def start(self):
+                await super().start()
+                asyncio.get_running_loop().call_later(
+                    0.1, self.request_stop
+                )
+
+        monkeypatch.setattr(repro.live, "LiveNode", SelfStopping)
+        group = f"239.86.200.{1 + os.getpid() % 200}"
+        port = str(29_000 + os.getpid() % 10_000)
+        code = main(["serve", str(store), "--key", str(key),
+                     "--discover", "--beacon-interval", "0.2",
+                     "--discovery-group", group,
+                     "--discovery-port", port])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"discovering on {group}:{port}, 0 seed peer(s)" in out
+
 
 class TestVerifyAndExport:
     @staticmethod

@@ -36,6 +36,12 @@ EXPECTED_OUTPUT = {
         "gossip converged:",
         "converged after heal: True",
     ],
+    "discovery_cluster.py": [
+        "ZERO configured peers",
+        "every directory full",
+        "survivors expired it from their directories",
+        "re-converged at",
+    ],
 }
 
 

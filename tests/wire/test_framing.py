@@ -73,6 +73,53 @@ class TestFrameDecoder:
             FrameDecoder(max_frame_bytes=0)
 
 
+class TestIncrementalFuzz:
+    PAYLOADS = [
+        b"", b"x", b"yz", b"\x00" * 5, bytes(range(256)),
+        wire.encode({"type": "get_frontier", "level": 3}),
+        b"tail",
+    ]
+
+    def test_byte_at_a_time_across_frame_boundaries(self):
+        # The regression this pins: a decoder fed single bytes must
+        # emit each frame exactly when its final byte arrives — never
+        # early, never merged with the next frame — including
+        # zero-length payloads whose frames are all prefix.
+        stream = b"".join(encode_frame(p) for p in self.PAYLOADS)
+        boundaries = set()
+        offset = 0
+        for payload in self.PAYLOADS:
+            offset += LENGTH_BYTES + len(payload)
+            boundaries.add(offset)
+        decoder = FrameDecoder()
+        seen = []
+        for position in range(len(stream)):
+            out = decoder.feed(stream[position:position + 1])
+            if position + 1 in boundaries:
+                assert len(out) == 1, f"no frame at boundary {position + 1}"
+            else:
+                assert out == []
+            seen.extend(out)
+        assert seen == self.PAYLOADS
+        assert decoder.buffered == 0
+
+    def test_random_chunking_reassembles_identically(self):
+        import random
+
+        stream = b"".join(encode_frame(p) for p in self.PAYLOADS)
+        for seed in range(20):
+            rng = random.Random(seed)
+            decoder = FrameDecoder()
+            seen = []
+            position = 0
+            while position < len(stream):
+                step = rng.randint(1, 7)
+                seen.extend(decoder.feed(stream[position:position + step]))
+                position += step
+            assert seen == self.PAYLOADS, f"seed {seed}"
+            assert decoder.buffered == 0
+
+
 class TestDecodeFrames:
     def test_trailing_partial_frame_raises(self):
         data = encode_frame(b"whole") + b"\x00\x00"
