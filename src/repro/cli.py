@@ -12,12 +12,19 @@ Four subcommands cover the workflows a user reaches for first:
   a deterministic event trace, ``--metrics`` dumps the registry in
   Prometheus text format.
 * ``analyze TRACE`` — recompute contact/session/propagation numbers
-  from a JSONL trace.
+  from a JSONL trace (tolerates a truncated tail with a counted
+  warning).
 * ``serve STORE --key KEY`` — run a live node: listen for peers on TCP,
   dial ``--peer host:port`` entries, and gossip until interrupted
   (``python -m repro.live`` is a shortcut to this command).  With
   ``--discover`` the node announces itself via signed UDP multicast
   beacons and dials whoever it hears — zero static configuration.
+  ``--ops-port`` exposes ``/metrics``, ``/healthz``, ``/status`` over
+  HTTP; ``--profile`` times the hot path per phase.
+* ``trace-merge TRACE...`` — stitch per-node live traces into one
+  causally ordered timeline with clock-skew estimation.
+* ``top TARGET...`` — poll ``/status`` across a cluster and render a
+  one-line-per-node view (``--watch`` to refresh).
 * ``demo`` — the quickstart scenario end to end.
 
 Run as ``python -m repro <command>`` or via the ``vegvisir`` script.
@@ -253,11 +260,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if not path.exists():
         print(f"no such trace file: {path}", file=sys.stderr)
         return 1
-    try:
-        analysis = analyze_trace(path)
-    except json.JSONDecodeError as error:
-        print(f"not a JSONL trace: {path}: {error}", file=sys.stderr)
-        return 1
+    # Lenient read: a truncated or garbled line (crash mid-write) is
+    # skipped and counted, never a traceback.
+    analysis = analyze_trace(path)
     if args.json:
         print(json.dumps(analysis.as_dict(), indent=2, sort_keys=True))
     else:
@@ -265,12 +270,99 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_merge(args: argparse.Namespace) -> int:
+    """Merge per-node live traces into one causal timeline."""
+    import json
+
+    from repro.obs.merge import NodeTrace, merge_traces
+
+    traces = []
+    for entry in args.traces:
+        path = pathlib.Path(entry)
+        if not path.exists():
+            print(f"no such trace file: {path}", file=sys.stderr)
+            return 1
+        traces.append(NodeTrace.load(path))
+    try:
+        result = merge_traces(traces)
+    except ValueError as exc:
+        print(f"cannot merge: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        result.write(args.out)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+        if args.out:
+            print(f"timeline:         written to {args.out}")
+    return 0
+
+
+def _fetch_status(target: str, timeout_s: float) -> dict:
+    """GET /status from one ``host:port`` ops endpoint."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(
+            f"http://{target}/status", timeout=timeout_s
+        ) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        reason = getattr(exc, "reason", None) or exc
+        return {"error": str(reason)}
+
+
+def _render_top(targets, timeout_s: float) -> str:
+    lines = [
+        f"{'TARGET':<22} {'NODE':<14} {'BLOCKS':>7} {'PEERS':>5} "
+        f"{'SESS':>6} {'INT':>4}  FRONTIER"
+    ]
+    for target in targets:
+        status = _fetch_status(target, timeout_s)
+        if "error" in status:
+            lines.append(f"{target:<22} !! {status['error']}")
+            continue
+        sessions = status.get("sessions", {})
+        peers = status.get("peers", {})
+        lines.append(
+            f"{target:<22} {str(status.get('name', '?')):<14} "
+            f"{status.get('blocks', 0):>7} "
+            f"{len(peers.get('connected', ())):>5} "
+            f"{sessions.get('completed', 0):>6} "
+            f"{sessions.get('interrupted', 0):>4}  "
+            f"{str(status.get('frontier_digest', ''))[:16]}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """One-shot (or watch-mode) cluster view over the ops endpoints."""
+    import time
+
+    if not args.watch:
+        print(_render_top(args.target, args.timeout))
+        return 0
+    try:
+        while True:
+            print(f"-- {time.strftime('%H:%M:%S')}")
+            print(_render_top(args.target, args.timeout))
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run a live node until interrupted (Ctrl-C exits cleanly)."""
     import asyncio
     import signal
+    import time
 
     from repro.live import ListenError, LiveNode, PeerSpec
+    from repro.obs.live import OpsError
 
     key = _load_key(args.key)
     store = pathlib.Path(args.store)
@@ -285,11 +377,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 1
 
     obs = None
-    if args.trace or args.metrics:
+    if args.trace or args.metrics or args.ops_port is not None:
         from repro.obs import JsonlFileSink, Observability
 
         sinks = [JsonlFileSink(args.trace)] if args.trace else []
-        obs = Observability(sinks=sinks)
+        # Live traces are stamped with wall-clock ms so the cross-node
+        # merger (`vegvisir trace-merge`) can estimate clock skew.
+        obs = Observability(
+            sinks=sinks, clock=lambda: int(time.time() * 1000)
+        )
+    profiler = None
+    if args.profile or args.profile_dump:
+        from repro.obs.profiling import PhaseProfiler
+
+        profiler = PhaseProfiler()
     discovery = None
     if args.discover:
         from repro.discovery import DiscoveryConfig
@@ -304,6 +405,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         protocol=args.protocol, interval_s=args.interval,
         session_timeout_s=args.session_timeout, obs=obs,
         discovery=discovery,
+        ops_host=args.ops_host, ops_port=args.ops_port,
+        profiler=profiler,
     )
 
     async def _run() -> None:
@@ -322,20 +425,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serving chain {node.chain_id.hex()[:16]}… "
               f"on {args.host}:{node.listen_port} "
               f"({mode}, protocol={args.protocol})")
+        if node.ops is not None:
+            print(f"ops endpoint on http://{args.ops_host}:{node.ops.port} "
+                  "(/metrics /healthz /status)")
         try:
             await node._stop_requested.wait()
         finally:
             await node.stop()
 
+    cprofile = None
+    if args.profile_dump:
+        import cProfile
+
+        cprofile = cProfile.Profile()
     try:
-        asyncio.run(_run())
+        if cprofile is not None:
+            cprofile.enable()
+        try:
+            asyncio.run(_run())
+        finally:
+            if cprofile is not None:
+                cprofile.disable()
     except KeyboardInterrupt:
         pass
-    except ListenError as exc:
+    except (ListenError, OpsError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(f"stopped with {len(node.node.dag)} blocks "
           f"(digest {node.dag_digest()[:16]}…)")
+    if profiler is not None:
+        print(profiler.render())
+    if cprofile is not None:
+        cprofile.dump_stats(args.profile_dump)
+        print(f"cProfile stats written to {args.profile_dump}")
     if obs is not None:
         if args.metrics:
             print(obs.registry.render_prometheus(), end="")
@@ -455,6 +577,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the analysis as JSON")
     analyze.set_defaults(func=_cmd_analyze)
 
+    trace_merge = commands.add_parser(
+        "trace-merge",
+        help="merge per-node live traces into one causal timeline",
+    )
+    trace_merge.add_argument("traces", nargs="+", metavar="TRACE",
+                             help="per-node JSONL trace files")
+    trace_merge.add_argument("--out", metavar="PATH", default=None,
+                             help="write the merged timeline (JSONL)")
+    trace_merge.add_argument("--json", action="store_true",
+                             help="emit the merge summary as JSON")
+    trace_merge.set_defaults(func=_cmd_trace_merge)
+
+    top = commands.add_parser(
+        "top", help="poll /status across a cluster's ops endpoints"
+    )
+    top.add_argument("target", nargs="+", metavar="HOST:PORT",
+                     help="ops endpoints to poll")
+    top.add_argument("--watch", type=float, default=0.0, metavar="SECONDS",
+                     help="refresh every SECONDS (default: one shot)")
+    top.add_argument("--timeout", type=float, default=2.0,
+                     help="per-request timeout in seconds")
+    top.set_defaults(func=_cmd_top)
+
     serve = commands.add_parser(
         "serve", help="run a live node over TCP until interrupted"
     )
@@ -493,6 +638,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a JSONL event trace to PATH")
     serve.add_argument("--metrics", action="store_true",
                        help="print the metric dump on exit")
+    serve.add_argument("--ops-port", type=int, default=None,
+                       dest="ops_port", metavar="PORT",
+                       help="expose /metrics /healthz /status over HTTP "
+                            "on this port (0 picks a free one)")
+    serve.add_argument("--ops-host", default="127.0.0.1",
+                       dest="ops_host", metavar="ADDR",
+                       help="bind address for the ops endpoint")
+    serve.add_argument("--profile", action="store_true",
+                       help="time hot-path phases; print the profile "
+                            "on exit")
+    serve.add_argument("--profile-dump", metavar="PATH", default=None,
+                       dest="profile_dump",
+                       help="also write cProfile stats to PATH")
     serve.set_defaults(func=_cmd_serve)
 
     demo = commands.add_parser("demo", help="run the quickstart scenario")

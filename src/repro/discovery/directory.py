@@ -295,6 +295,27 @@ class DiscoveryDirectory:
         """The full event sequence as comparison keys (parity tests)."""
         return [event.key() for event in self.events]
 
+    def summary(self) -> dict:
+        """A compact operational snapshot (served under ``/status``)."""
+        return {
+            "peers": len(self._entries),
+            "alive": self.alive_count(),
+            "suspect": len(self._entries) - self.alive_count(),
+            "tombstones": len(self._tombstones),
+            "beacons_received": self.beacons_received,
+            "rejections": dict(self.rejections),
+            "entries": [
+                {
+                    "name": entry.name,
+                    "id": entry.node_id.hex()[:16],
+                    "addr": f"{entry.host}:{entry.port}",
+                    "state": entry.state,
+                    "epoch": entry.epoch,
+                }
+                for entry in self.peers()
+            ],
+        }
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -54,6 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="DIR",
         help="directory for failing-seed artifacts (created on demand)",
     )
+    parser.add_argument(
+        "--trace-dir", metavar="DIR", dest="trace_dir",
+        help="write one JSONL trace per seed to DIR "
+             "(chaos_seed_<seed>.jsonl) for `vegvisir trace-merge` "
+             "and `vegvisir analyze`",
+    )
     return parser
 
 
@@ -78,11 +84,18 @@ def main(argv=None) -> int:
     else:
         runs = [_load_artifact_plan(args.plan)]
     out_dir = pathlib.Path(args.out) if args.out else None
+    trace_dir = pathlib.Path(args.trace_dir) if args.trace_dir else None
+    if trace_dir is not None:
+        trace_dir.mkdir(parents=True, exist_ok=True)
     failures = 0
     for seed, plan in runs:
+        trace_path = (
+            trace_dir / f"chaos_seed_{seed}.jsonl"
+            if trace_dir is not None else None
+        )
         report = run_chaos(
             seed, node_count=args.nodes, duration_ms=args.duration,
-            plan=plan,
+            plan=plan, trace_path=trace_path,
         )
         print(report.render(), flush=True)
         if not report.ok:

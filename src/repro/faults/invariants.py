@@ -178,6 +178,7 @@ def run_chaos(
     duration_ms: int = 25_000,
     plan: Optional[FaultPlan] = None,
     drain_budget_ms: int = 120_000,
+    trace_path=None,
 ) -> ChaosReport:
     """One full chaos run: simulate under faults, then check invariants."""
     from repro.sim.runner import Simulation
@@ -192,6 +193,7 @@ def run_chaos(
         session_model="message",
         seed=seed,
         faults=plan,
+        trace_path=trace_path,
     )
     sim = Simulation(scenario)
     try:

@@ -33,6 +33,7 @@ from repro.live.protocol import (
     make_protocol,
 )
 from repro.live.transport import TransportClosed, TransportError
+from repro.obs.profiling import PHASE_CODEC, PHASE_SESSION, maybe_phase
 from repro.reconcile.stats import (
     INITIATOR_TO_RESPONDER,
     RESPONDER_TO_INITIATOR,
@@ -47,7 +48,7 @@ DEFAULT_SESSION_TIMEOUT = 30.0
 async def serve_connection(node: VegvisirNode, transport,
                            on_blocks: Optional[BlockSink] = None,
                            after_message: Optional[Callable[[], None]] = None,
-                           ) -> None:
+                           profiler=None) -> None:
     """Serve reconciliation requests on one connection until it drops.
 
     Malformed traffic gets one ``error`` frame (best effort) and the
@@ -55,14 +56,17 @@ async def serve_connection(node: VegvisirNode, transport,
     bad frame.  *after_message* runs after each handled message — the
     hook LiveNode uses to persist blocks a push batch merged.
     """
-    responder = LiveResponder(node, on_blocks=on_blocks)
+    responder = LiveResponder(node, on_blocks=on_blocks,
+                              profiler=profiler)
     while True:
         try:
             payload = await transport.recv()
         except TransportClosed:
             return
         try:
-            message = wire.decode(payload)
+            with maybe_phase(profiler, PHASE_CODEC) as ph:
+                message = wire.decode(payload)
+                ph.units += len(payload)
             reply = responder.handle(message)
         except (wire.DecodeError, LiveProtocolError) as exc:
             try:
@@ -74,8 +78,11 @@ async def serve_connection(node: VegvisirNode, transport,
             await transport.close()
             return
         if reply is not None:
+            with maybe_phase(profiler, PHASE_CODEC) as ph:
+                reply_payload = wire.encode(reply)
+                ph.units += len(reply_payload)
             try:
-                await transport.send(wire.encode(reply))
+                await transport.send(reply_payload)
             except TransportClosed:
                 return
         if after_message is not None:
@@ -96,8 +103,10 @@ class AntiEntropyLoop:
         jitter_s: float = DEFAULT_JITTER,
         session_timeout_s: float = DEFAULT_SESSION_TIMEOUT,
         on_blocks: Optional[BlockSink] = None,
+        block_sink_factory: Optional[Callable[[str], BlockSink]] = None,
         seed: Optional[int] = None,
         obs=None,
+        profiler=None,
     ):
         self._node = node
         self._peers = peer_manager
@@ -108,10 +117,20 @@ class AntiEntropyLoop:
         self._jitter = jitter_s
         self._session_timeout = session_timeout_s
         self._on_blocks = on_blocks
+        #: When set, each initiator session gets its own block sink
+        #: built from the peer name — LiveNode uses this to attribute
+        #: pulled blocks to ``pull:<peer>`` in the trace (trace-only;
+        #: no wire bytes change).
+        self._block_sink_factory = block_sink_factory
         self._rng = random.Random(seed)
         self._obs = obs if obs is not None and obs.enabled else None
+        self._profiler = profiler
         self.sessions_completed = 0
         self.sessions_interrupted = 0
+        #: Monotonic per-node session sequence number; stamped into the
+        #: session.start/completed/interrupted trace events so the
+        #: cross-node merger can line sessions up deterministically.
+        self._session_seq = 0
         if self._obs is not None:
             registry = self._obs.registry
             self._c_sessions = registry.counter(
@@ -151,17 +170,26 @@ class AntiEntropyLoop:
             self._protocol_name, **self._protocol_kwargs
         )
         stats = ReconcileStats(protocol.name)
+        seq = self._session_seq
+        self._session_seq += 1
         if self._obs is not None:
             self._obs.emit(
                 "session.start", peer=peer_name, protocol=protocol.name,
+                seq=seq,
             )
+        on_blocks = self._on_blocks
+        if self._block_sink_factory is not None:
+            on_blocks = self._block_sink_factory(peer_name)
         try:
-            await asyncio.wait_for(
-                protocol.run(
-                    self._node, transport, stats, on_blocks=self._on_blocks
-                ),
-                self._session_timeout,
-            )
+            with maybe_phase(self._profiler, PHASE_SESSION) as ph:
+                await asyncio.wait_for(
+                    protocol.run(
+                        self._node, transport, stats, on_blocks=on_blocks,
+                        profiler=self._profiler,
+                    ),
+                    self._session_timeout,
+                )
+                ph.units += 1
         except (TransportError, LiveSessionError,
                 asyncio.TimeoutError) as exc:
             stats.interrupted = True
@@ -171,17 +199,17 @@ class AntiEntropyLoop:
                 else "disconnect" if isinstance(exc, TransportError)
                 else "protocol"
             )
-            self._observe(peer_name, stats, outcome="interrupted",
+            self._observe(peer_name, stats, seq, outcome="interrupted",
                           reason=reason)
             # The stream may hold a stale half-exchanged session; the
             # only safe recovery is a fresh connection via backoff.
             await transport.close()
             return stats
         self.sessions_completed += 1
-        self._observe(peer_name, stats, outcome="completed")
+        self._observe(peer_name, stats, seq, outcome="completed")
         return stats
 
-    def _observe(self, peer_name: str, stats: ReconcileStats,
+    def _observe(self, peer_name: str, stats: ReconcileStats, seq: int,
                  outcome: str, reason: Optional[str] = None) -> None:
         if self._obs is None:
             return
@@ -203,7 +231,8 @@ class AntiEntropyLoop:
                     protocol=stats.protocol, kind=kind
                 ).inc(count)
         fields = dict(
-            peer=peer_name, protocol=stats.protocol, rounds=stats.rounds,
+            peer=peer_name, protocol=stats.protocol, seq=seq,
+            rounds=stats.rounds,
             bytes_i2r=stats.bytes[INITIATOR_TO_RESPONDER],
             bytes_r2i=stats.bytes[RESPONDER_TO_INITIATOR],
             blocks_pulled=stats.blocks_pulled,

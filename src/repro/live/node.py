@@ -47,6 +47,7 @@ from repro.live.peers import (
     PeerManager,
     PeerSpec,
 )
+from repro.obs.live import OpsError, OpsServer
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported lazily at runtime (circular with live)
@@ -86,6 +87,9 @@ class LiveNode:
         fsync: bool = True,
         obs=None,
         discovery: Optional["DiscoveryConfig"] = None,
+        ops_host: str = "127.0.0.1",
+        ops_port: Optional[int] = None,
+        profiler=None,
     ):
         self._store_path = pathlib.Path(store_path)
         self._key_pair = key_pair
@@ -113,6 +117,7 @@ class LiveNode:
         self._host = host
         self._port = port
         self._obs = obs if obs is not None and obs.enabled else None
+        self.profiler = profiler
         self.peer_manager = PeerManager(
             self.node, self.name, list(peers or ()),
             connection_handler=self._serve_peer,
@@ -121,6 +126,7 @@ class LiveNode:
             max_frame_bytes=max_frame_bytes,
             seed=None if seed is None else seed ^ 0xD1A1,
             obs=obs,
+            profiler=profiler,
         )
         self.antientropy = AntiEntropyLoop(
             self.node, self.peer_manager,
@@ -128,14 +134,19 @@ class LiveNode:
             interval_s=interval_s, jitter_s=jitter_s,
             session_timeout_s=session_timeout_s,
             on_blocks=self._persist_blocks,
+            block_sink_factory=self._pull_sink,
             seed=None if seed is None else seed ^ 0x90551,
             obs=obs,
+            profiler=profiler,
         )
         # Dynamic peer discovery (repro.discovery): built lazily in
         # start() so the UDP endpoint lands on the running loop.
         self._discovery_config = discovery
         self.discovery: Optional["DiscoveryService"] = None
         self._raw_obs = obs
+        self._ops_host = ops_host
+        self._ops_port = ops_port
+        self.ops: Optional[OpsServer] = None
         self._loop_task: Optional[asyncio.Task] = None
         self._stop_requested: Optional[asyncio.Event] = None
         self._started = False
@@ -149,25 +160,43 @@ class LiveNode:
 
     # -- persistence ---------------------------------------------------
 
-    def _persist_blocks(self, _blocks=None) -> None:
+    def _persist_blocks(self, _blocks=None, origin: str = "local") -> None:
         """Append every not-yet-persisted DAG block to the store.
 
         Driven by a cursor over the DAG's insertion order, which is
         parent-closed by construction — so the on-disk prefix is always
-        a valid replica, whatever instant a crash hits.
+        a valid replica, whatever instant a crash hits.  *origin* labels
+        the ``block.persisted`` trace event: ``"local"``,
+        ``"push:<peer>"``, or ``"pull:<peer>"`` — trace-only
+        attribution, no wire bytes involved.
         """
         order = self.node.dag.insertion_order()
         for block_hash in order[self._persisted:]:
             self.store.append(self.node.dag.get(block_hash))
             if self._c_persisted is not None:
                 self._c_persisted.inc()
+            if self._obs is not None:
+                self._obs.emit(
+                    "block.persisted", node=self.name,
+                    block=block_hash, origin=origin,
+                )
         self._persisted = len(order)
+
+    def _pull_sink(self, peer_name: str):
+        """A per-session persistence sink attributing pulls to *peer*."""
+        def sink(_blocks=None) -> None:
+            self._persist_blocks(_blocks, origin=f"pull:{peer_name}")
+        return sink
 
     def append_transactions(
         self, transactions: List[Transaction] = ()
     ) -> Block:
         """Create a block locally and persist it durably."""
         block = self.node.append_transactions(transactions)
+        if self._obs is not None:
+            self._obs.emit(
+                "block.created", node=self.name, block=block.hash,
+            )
         self._persist_blocks()
         return block
 
@@ -191,13 +220,51 @@ class LiveNode:
     def state_digest(self) -> Hash:
         return self.node.state_digest()
 
+    def frontier_digest(self) -> str:
+        """Hex digest over the DAG frontier (what beacons advertise)."""
+        from repro.discovery.beacon import frontier_digest
+
+        return frontier_digest(self.node).hex()
+
+    def status(self) -> dict:
+        """The node's operational state, as served by ``/status``."""
+        status = {
+            "name": self.name,
+            "id": self.node.user_id.hex(),
+            "chain": self.chain_id.hex(),
+            "blocks": len(self.node.dag),
+            "persisted": self._persisted,
+            "frontier_digest": self.frontier_digest(),
+            "dag_digest": self.dag_digest(),
+            "listen_port": self.listen_port,
+            "peers": {
+                "connected": self.peer_manager.connected_peers(),
+                "dynamic": self.peer_manager.dynamic_peers(),
+            },
+            "sessions": {
+                "completed": self.antientropy.sessions_completed,
+                "interrupted": self.antientropy.sessions_interrupted,
+            },
+        }
+        if self.discovery is not None:
+            status["discovery"] = self.discovery.directory.summary()
+        if self.ops is not None:
+            status["ops_port"] = self.ops.port
+        return status
+
     # -- lifecycle -----------------------------------------------------
 
     async def _serve_peer(self, transport, hello: dict) -> None:
+        peer_name = str(hello.get("name", "?"))
+
+        def persist_push(_blocks=None) -> None:
+            self._persist_blocks(_blocks, origin=f"push:{peer_name}")
+
         await serve_connection(
             self.node, transport,
-            on_blocks=self._persist_blocks,
-            after_message=self._persist_blocks,
+            on_blocks=persist_push,
+            after_message=persist_push,
+            profiler=self.profiler,
         )
 
     def add_peer(self, spec: PeerSpec) -> None:
@@ -252,10 +319,29 @@ class LiveNode:
                 on_event=self._on_discovery_event,
             )
             await self.discovery.start()
+        if self._ops_port is not None:
+            self.ops = OpsServer(
+                registry=None if self._obs is None else self._obs.registry,
+                status=self.status,
+                profiler=self.profiler,
+                host=self._ops_host,
+                port=self._ops_port,
+            )
+            try:
+                await self.ops.start()
+            except OpsError:
+                self.ops = None
+                if self.discovery is not None:
+                    await self.discovery.stop()
+                    self.discovery = None
+                await self.peer_manager.stop()
+                self._started = False
+                raise
         self._loop_task = asyncio.ensure_future(self.antientropy.run())
         if self._obs is not None:
             self._obs.emit(
                 "node.started", node=self.name,
+                id=self.node.user_id.hex(),
                 port=self.peer_manager.listen_port,
             )
 
@@ -273,6 +359,9 @@ class LiveNode:
         if self.discovery is not None:
             await self.discovery.stop()
             self.discovery = None
+        if self.ops is not None:
+            await self.ops.stop()
+            self.ops = None
         await self.peer_manager.stop()
         self._persist_blocks()
         self.store.close()

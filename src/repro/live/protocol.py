@@ -40,6 +40,7 @@ from repro.chain.block import Block
 from repro.chain.errors import MalformedBlockError
 from repro.core.node import VegvisirNode
 from repro.crypto.sha import Hash
+from repro.obs.profiling import PHASE_CODEC, PHASE_VERIFY, maybe_phase
 from repro.reconcile.bloom import BloomFilter
 from repro.reconcile.session import merge_blocks, responder_holdings
 from repro.reconcile.stats import (
@@ -68,15 +69,20 @@ def _decoded_blocks(values) -> List[Block]:
         raise LiveSessionError(f"peer sent malformed block: {exc}") from exc
 
 
-async def _request(transport, stats: ReconcileStats, message: dict) -> dict:
+async def _request(transport, stats: ReconcileStats, message: dict,
+                   profiler=None) -> dict:
     """One request/response round trip, charged to *stats*."""
-    payload = wire.encode(message)
+    with maybe_phase(profiler, PHASE_CODEC) as ph:
+        payload = wire.encode(message)
+        ph.units += len(payload)
     stats.record_raw(INITIATOR_TO_RESPONDER, len(payload))
     await transport.send(payload)
     reply_payload = await transport.recv()
     stats.record_raw(RESPONDER_TO_INITIATOR, len(reply_payload))
     try:
-        reply = wire.decode(reply_payload)
+        with maybe_phase(profiler, PHASE_CODEC) as ph:
+            reply = wire.decode(reply_payload)
+            ph.units += len(reply_payload)
     except wire.DecodeError as exc:
         raise LiveSessionError(f"undecodable reply: {exc}") from exc
     if not isinstance(reply, dict) or "type" not in reply:
@@ -89,9 +95,11 @@ async def _request(transport, stats: ReconcileStats, message: dict) -> dict:
 
 
 async def _send_oneway(transport, stats: ReconcileStats,
-                       message: dict) -> None:
+                       message: dict, profiler=None) -> None:
     """Send a message that has no reply (the push batch)."""
-    payload = wire.encode(message)
+    with maybe_phase(profiler, PHASE_CODEC) as ph:
+        payload = wire.encode(message)
+        ph.units += len(payload)
     stats.record_raw(INITIATOR_TO_RESPONDER, len(payload))
     await transport.send(payload)
 
@@ -106,7 +114,7 @@ def _expect(reply: dict, wanted: str) -> dict:
 
 async def _push_phase(node: VegvisirNode, transport,
                       responder_frontier: List[Hash],
-                      stats: ReconcileStats) -> None:
+                      stats: ReconcileStats, profiler=None) -> None:
     """Mirror of :func:`~repro.reconcile.session.push_steps`.
 
     Computed entirely from the local replica: everything under the
@@ -125,13 +133,16 @@ async def _push_phase(node: VegvisirNode, transport,
     await _send_oneway(transport, stats, {
         "type": "push_blocks",
         "blocks": [block.to_wire() for block in missing],
-    })
+    }, profiler=profiler)
     stats.blocks_pushed += len(missing)
 
 
 def _merge_into(node: VegvisirNode, blocks: List[Block],
-                stats: ReconcileStats, on_blocks: Optional[BlockSink]):
-    merged = merge_blocks(node, blocks)
+                stats: ReconcileStats, on_blocks: Optional[BlockSink],
+                profiler=None):
+    with maybe_phase(profiler, PHASE_VERIFY) as ph:
+        merged = merge_blocks(node, blocks)
+        ph.units += len(merged.added)
     stats.blocks_pulled += len(merged.added)
     stats.duplicate_blocks += merged.duplicates
     stats.invalid_blocks += merged.invalid
@@ -153,7 +164,8 @@ class LiveFrontier:
 
     async def run(self, node: VegvisirNode, transport,
                   stats: Optional[ReconcileStats] = None,
-                  on_blocks: Optional[BlockSink] = None) -> ReconcileStats:
+                  on_blocks: Optional[BlockSink] = None,
+                  profiler=None) -> ReconcileStats:
         stats = stats if stats is not None else ReconcileStats(self.name)
         responder_frontier: Optional[List[Hash]] = None
 
@@ -161,7 +173,8 @@ class LiveFrontier:
             stats.rounds += 1
             reply = _expect(
                 await _request(
-                    transport, stats, {"type": "get_frontier_hashes"}
+                    transport, stats, {"type": "get_frontier_hashes"},
+                    profiler=profiler,
                 ),
                 "frontier_hashes",
             )
@@ -172,7 +185,8 @@ class LiveFrontier:
                 stats.converged = True
                 if self._push:
                     await _push_phase(
-                        node, transport, responder_frontier, stats
+                        node, transport, responder_frontier, stats,
+                        profiler=profiler,
                     )
                 return stats
 
@@ -184,6 +198,7 @@ class LiveFrontier:
                 await _request(
                     transport, stats,
                     {"type": "get_frontier", "level": level},
+                    profiler=profiler,
                 ),
                 "frontier_set",
             )
@@ -199,7 +214,8 @@ class LiveFrontier:
                     stats.converged = True
                     break
             pending.extend(new_blocks)
-            merged = _merge_into(node, pending, stats, on_blocks)
+            merged = _merge_into(node, pending, stats, on_blocks,
+                                 profiler=profiler)
             if merged.complete:
                 stats.converged = True
                 break
@@ -207,7 +223,8 @@ class LiveFrontier:
             level += 1
 
         if stats.converged and self._push and responder_frontier is not None:
-            await _push_phase(node, transport, responder_frontier, stats)
+            await _push_phase(node, transport, responder_frontier, stats,
+                              profiler=profiler)
         return stats
 
 
@@ -222,7 +239,8 @@ class LiveBloom:
 
     async def run(self, node: VegvisirNode, transport,
                   stats: Optional[ReconcileStats] = None,
-                  on_blocks: Optional[BlockSink] = None) -> ReconcileStats:
+                  on_blocks: Optional[BlockSink] = None,
+                  profiler=None) -> ReconcileStats:
         stats = stats if stats is not None else ReconcileStats(self.name)
         stats.rounds += 1
         digest = BloomFilter.for_capacity(len(node.dag), self._fp_rate)
@@ -232,6 +250,7 @@ class LiveBloom:
             await _request(
                 transport, stats,
                 {"type": "bloom", "filter": digest.to_wire()},
+                profiler=profiler,
             ),
             "bloom_blocks",
         )
@@ -239,7 +258,8 @@ class LiveBloom:
             Hash(bytes(value)) for value in reply["frontier"]
         ]
         merged = _merge_into(
-            node, _decoded_blocks(reply["blocks"]), stats, on_blocks
+            node, _decoded_blocks(reply["blocks"]), stats, on_blocks,
+            profiler=profiler,
         )
         pending = merged.unplaced
 
@@ -260,13 +280,15 @@ class LiveBloom:
                         "type": "get_blocks",
                         "hashes": [h.digest for h in missing],
                     },
+                    profiler=profiler,
                 ),
                 "blocks",
             )
             fetched = _decoded_blocks(reply["blocks"])
             if not fetched:
                 break
-            merged = _merge_into(node, fetched + pending, stats, on_blocks)
+            merged = _merge_into(node, fetched + pending, stats, on_blocks,
+                                 profiler=profiler)
             pending = merged.unplaced
             missing = _missing_now(merged)
 
@@ -274,7 +296,8 @@ class LiveBloom:
             node.has_block(h) for h in responder_frontier
         )
         if stats.converged and self._push:
-            await _push_phase(node, transport, responder_frontier, stats)
+            await _push_phase(node, transport, responder_frontier, stats,
+                              profiler=profiler)
         return stats
 
 
@@ -307,9 +330,11 @@ class LiveResponder:
     """
 
     def __init__(self, node: VegvisirNode,
-                 on_blocks: Optional[BlockSink] = None):
+                 on_blocks: Optional[BlockSink] = None,
+                 profiler=None):
         self._node = node
         self._on_blocks = on_blocks
+        self._profiler = profiler
         # Frontier-session memo: hashes whose bodies were already sent.
         # Reset whenever a session restarts at level 1.
         self._sent_hashes: set = set()
@@ -392,7 +417,9 @@ class LiveResponder:
             blocks = [Block.from_wire(b) for b in message["blocks"]]
         except MalformedBlockError as exc:
             raise LiveProtocolError(str(exc)) from exc
-        merged = merge_blocks(self._node, blocks)
+        with maybe_phase(self._profiler, PHASE_VERIFY) as ph:
+            merged = merge_blocks(self._node, blocks)
+            ph.units += len(merged.added)
         self.blocks_received += len(merged.added)
         if self._on_blocks is not None and merged.added:
             self._on_blocks(merged.added)

@@ -26,6 +26,7 @@ import asyncio
 from collections import deque
 from typing import Callable, Optional, Tuple
 
+from repro.obs.profiling import PHASE_FRAME_IO, maybe_phase
 from repro.wire.framing import (
     FrameDecoder,
     FrameError,
@@ -56,6 +57,10 @@ class FrameTransport:
         #: Optional observer of every payload: ``tap(direction, payload)``
         #: with direction ``"send"`` or ``"recv"``.
         self.tap: Optional[Callable[[str, bytes], None]] = None
+        #: Optional :class:`~repro.obs.profiling.PhaseProfiler`; when
+        #: set, framing work is timed under the ``frame_io`` phase
+        #: (units = frame bytes).  Idle waiting is never counted.
+        self.profiler = None
         self._closed = False
         self._closed_event = asyncio.Event()
 
@@ -117,7 +122,9 @@ class StreamTransport(FrameTransport):
     async def send(self, payload: bytes) -> None:
         if self._closed:
             raise TransportClosed(f"{self.label}: send on closed transport")
-        frame = encode_frame(payload, self._max_frame_bytes)
+        with maybe_phase(self.profiler, PHASE_FRAME_IO) as ph:
+            frame = encode_frame(payload, self._max_frame_bytes)
+            ph.units += len(frame)
         try:
             self._writer.write(frame)
             await self._writer.drain()
@@ -143,7 +150,9 @@ class StreamTransport(FrameTransport):
                 self._mark_closed()
                 raise TransportClosed(f"{self.label}: stream ended")
             try:
-                self._ready.extend(self._decoder.feed(data))
+                with maybe_phase(self.profiler, PHASE_FRAME_IO) as ph:
+                    self._ready.extend(self._decoder.feed(data))
+                    ph.units += len(data)
             except FrameError as exc:
                 # An oversize or garbled frame poisons the stream: there
                 # is no way to resynchronise, so the connection dies.
@@ -205,9 +214,11 @@ class LoopbackTransport(FrameTransport):
         peer = self._peer
         if self._closed or peer is None or peer._closed:
             raise TransportClosed(f"{self.label}: send on closed transport")
-        frame = encode_frame(payload, self._max_frame_bytes)
-        for received in peer._decoder.feed(frame):
-            peer._inbox.append(received)
+        with maybe_phase(self.profiler, PHASE_FRAME_IO) as ph:
+            frame = encode_frame(payload, self._max_frame_bytes)
+            for received in peer._decoder.feed(frame):
+                peer._inbox.append(received)
+            ph.units += len(frame)
         peer._arrival.set()
         self._account_send(payload, len(frame))
 

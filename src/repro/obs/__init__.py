@@ -13,6 +13,17 @@ Three dependency-free pieces:
   success rates, per-protocol byte breakdowns, and block propagation
   timelines.
 
+Three more pieces serve the **live** fleet:
+
+* :mod:`repro.obs.live` — the per-node HTTP ops endpoint
+  (``/metrics``, ``/healthz``, ``/status``, ``/profile``);
+* :mod:`repro.obs.merge` — the causal cross-node trace merger behind
+  ``vegvisir trace-merge`` (happens-before stitching with pairwise
+  clock-skew estimation, zero wire bytes added);
+* :mod:`repro.obs.profiling` — per-phase wall/CPU timers for the live
+  hot path (verify, codec, frame I/O, session drive) reporting
+  verify/s and codec MB/s.
+
 The two wiring styles:
 
 * **Per-simulation** — ``Scenario(trace_path=..., metrics=True)`` makes
@@ -32,7 +43,7 @@ with no sink or registry calls, measured at ≤5 % overhead by
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Union
+from typing import Callable, Iterable, Optional
 
 from repro.obs.metrics import (
     Counter,
@@ -48,7 +59,11 @@ from repro.obs.trace import (
     TraceBus,
     TraceEvent,
     read_jsonl,
+    read_jsonl_lenient,
 )
+from repro.obs.live import OpsError, OpsServer
+from repro.obs.merge import MergeResult, NodeTrace, merge_traces
+from repro.obs.profiling import PhaseProfiler, maybe_phase
 
 
 class Observability:
@@ -122,14 +137,22 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JsonlFileSink",
+    "MergeResult",
     "MetricsError",
     "MetricsRegistry",
+    "NodeTrace",
     "NullSink",
     "Observability",
+    "OpsError",
+    "OpsServer",
+    "PhaseProfiler",
     "RingBufferSink",
     "TraceBus",
     "TraceEvent",
     "configure",
     "get",
+    "maybe_phase",
+    "merge_traces",
     "read_jsonl",
+    "read_jsonl_lenient",
 ]

@@ -14,7 +14,7 @@ from __future__ import annotations
 import pathlib
 from typing import Iterable, Optional, Union
 
-from repro.obs.trace import TraceEvent, read_jsonl
+from repro.obs.trace import TraceEvent, read_jsonl_lenient
 
 CONTACT_OUTCOMES = ("ok", "busy", "no_neighbor", "lost", "refused")
 
@@ -33,6 +33,8 @@ class TraceAnalysis:
         self.seed: Optional[int] = None
         self.last_time_ms = 0
         self.event_count = 0
+        #: Non-empty lines that failed to parse (crash-mid-write tails).
+        self.malformed_lines = 0
         # Contacts.
         self.contact_attempts = 0
         self.attempts_by_node: dict[int, int] = {}
@@ -280,6 +282,7 @@ class TraceAnalysis:
                     and len(self.deliveries.get(block, ())) >= self.node_count
                 ),
             },
+            "malformed_lines": self.malformed_lines,
             "partition_changes": len(self.partition_changes),
             "offload_evictions": len(self.evictions),
             "faults": {
@@ -299,6 +302,11 @@ class TraceAnalysis:
             f"trace:            {self.event_count} events, "
             f"{self.last_time_ms} ms simulated",
         ]
+        if self.malformed_lines:
+            lines.append(
+                f"warning:          skipped {self.malformed_lines} "
+                "malformed line(s) (truncated or garbled trace tail)"
+            )
         if self.node_count is not None:
             lines.append(f"fleet:            {self.node_count} nodes"
                          + (f" (seed {self.seed})"
@@ -405,5 +413,13 @@ def analyze_events(
 
 
 def analyze_trace(path: Union[str, pathlib.Path]) -> TraceAnalysis:
-    """Read a JSONL trace file and analyze it."""
-    return analyze_events(read_jsonl(path))
+    """Read a JSONL trace file and analyze it.
+
+    Malformed lines (a node crashed mid-write, corruption) are skipped
+    and counted in :attr:`TraceAnalysis.malformed_lines` rather than
+    raising — the chaos sweep produces such files by design.
+    """
+    events, skipped = read_jsonl_lenient(path)
+    analysis = analyze_events(events)
+    analysis.malformed_lines = skipped
+    return analysis

@@ -1,0 +1,453 @@
+"""Causal cross-node trace merging.
+
+Each live node writes its own JSONL trace, stamped with its own wall
+clock.  ``vegvisir trace-merge`` feeds those per-node files through
+:func:`merge_traces`, which stitches them into **one happens-before
+ordered timeline** — using only information already in the traces, so
+the gossip wire format carries zero extra bytes for this to work.
+
+Causal edges recovered from trace content:
+
+* **program order** — events within one node's file stay in file order;
+* **handshakes** — the k-th outbound ``peer.connected`` at A toward B
+  pairs with the k-th inbound ``peer.connected`` at B from A; the two
+  stamps bracket one TCP handshake, so their difference is a clock-skew
+  sample for the pair;
+* **block hashes** — ``block.created`` of hash *h* at its minting node
+  precedes every other node's ``block.persisted`` of *h*; and a
+  ``block.persisted`` whose ``origin`` attributes the block to a peer
+  (``push:<name>`` / ``pull:<name>``) is preceded by that peer's own
+  first event bearing *h*;
+* **sessions** — the k-th pushing ``session.completed`` at initiator A
+  toward responder B precedes the responder-side ``block.persisted``
+  events its push batch produced (matched in order by the
+  ``blocks_pushed`` count — both ends observe one FIFO TCP stream);
+* **beacons** — a ``peer.discovered``/``peer.rejoined`` of X at Y is
+  preceded by X's ``node.started`` (X announced before Y heard it).
+
+Pairwise clock skew is estimated as the median of a pair's handshake
+samples; offsets are propagated from a reference node (the
+lexicographically smallest name) across the connectivity graph.  The
+merge itself is a deterministic constrained sort: among the head events
+of every node's stream whose causal predecessors have all been
+emitted, the one with the smallest ``(adjusted time, node, index)`` key
+goes next.  The output is therefore **byte-identical for the same
+input files in any argument order**, and every causal edge holds in
+the merged order even when raw clocks disagree.
+
+Input files are read leniently: a truncated or garbled trailing line
+(a crash-mid-write artifact from the chaos sweep) is counted and
+skipped, never a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.obs.trace import read_jsonl_lenient
+
+#: Events whose ``origin`` field attributes merged blocks to a peer.
+_PUSH_PREFIX = "push:"
+_PULL_PREFIX = "pull:"
+
+
+class NodeTrace:
+    """One node's trace: its name, identity, and events in file order."""
+
+    __slots__ = ("name", "path", "events", "malformed_lines", "node_id")
+
+    def __init__(self, name: str, events: List[dict],
+                 path: Optional[pathlib.Path] = None,
+                 malformed_lines: int = 0,
+                 node_id: Optional[str] = None):
+        self.name = name
+        self.path = path
+        self.events = events
+        self.malformed_lines = malformed_lines
+        self.node_id = node_id
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "NodeTrace":
+        """Read one per-node JSONL trace, tolerating a torn tail."""
+        path = pathlib.Path(path)
+        events, malformed = read_jsonl_lenient(path)
+        name = None
+        node_id = None
+        for record in events:
+            if record.get("type") == "node.started":
+                name = name or record.get("node")
+                node_id = node_id or record.get("id")
+            if name is not None and node_id is not None:
+                break
+        return cls(name or path.stem, events, path=path,
+                   malformed_lines=malformed, node_id=node_id)
+
+
+class MergeResult:
+    """The merged timeline plus everything learned building it."""
+
+    def __init__(self):
+        self.nodes: List[str] = []
+        self.events: List[dict] = []
+        self.offsets_ms: Dict[str, int] = {}
+        self.skew_samples: Dict[Tuple[str, str], List[int]] = {}
+        self.edge_count = 0
+        self.order_violations = 0
+        self.malformed_lines = 0
+        self.warnings: List[str] = []
+
+    def to_jsonl(self) -> str:
+        """The merged timeline as canonical JSONL (one event per line)."""
+        return "".join(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            + "\n"
+            for record in self.events
+        )
+
+    def write(self, path: Union[str, pathlib.Path]) -> None:
+        pathlib.Path(path).write_text(self.to_jsonl(), encoding="utf-8")
+
+    def as_dict(self) -> dict:
+        return {
+            "nodes": list(self.nodes),
+            "events": len(self.events),
+            "offsets_ms": dict(sorted(self.offsets_ms.items())),
+            "skew_samples": {
+                f"{a}|{b}": list(samples)
+                for (a, b), samples in sorted(self.skew_samples.items())
+            },
+            "causal_edges": self.edge_count,
+            "order_violations": self.order_violations,
+            "malformed_lines": self.malformed_lines,
+            "warnings": list(self.warnings),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"merged:           {len(self.events)} events from "
+            f"{len(self.nodes)} node(s): {', '.join(self.nodes)}",
+            f"causal edges:     {self.edge_count}",
+        ]
+        for node in self.nodes:
+            offset = self.offsets_ms.get(node, 0)
+            lines.append(f"clock offset:     {node}: {offset:+d} ms")
+        if self.order_violations:
+            lines.append(
+                f"order violations: {self.order_violations} events "
+                "released out of causal order (cycle in edges)"
+            )
+        if self.malformed_lines:
+            lines.append(
+                f"warning:          skipped {self.malformed_lines} "
+                "malformed trace line(s)"
+            )
+        for warning in self.warnings:
+            lines.append(f"warning:          {warning}")
+        return "\n".join(lines)
+
+
+def _median(samples: List[int]) -> int:
+    ordered = sorted(samples)
+    return ordered[(len(ordered) - 1) // 2]
+
+
+class _Merger:
+    def __init__(self, traces: List[NodeTrace]):
+        # Canonical node order: sorted by name, so argument order never
+        # changes the output.
+        self.traces = sorted(traces, key=lambda trace: trace.name)
+        names = [trace.name for trace in self.traces]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names in traces: {names}")
+        self.result = MergeResult()
+        self.result.nodes = names
+        self.result.malformed_lines = sum(
+            trace.malformed_lines for trace in self.traces
+        )
+        if self.result.malformed_lines:
+            self.result.warnings.append(
+                f"{self.result.malformed_lines} malformed line(s) skipped "
+                "while reading traces"
+            )
+        self._by_name = {trace.name: trace for trace in self.traces}
+        # (node, index) -> list of predecessor (node, index) pairs.
+        self._preds: Dict[Tuple[str, int], List[Tuple[str, int]]] = {}
+
+    # -- peer-name resolution ------------------------------------------
+
+    def _resolve_peer(self, value) -> Optional[str]:
+        """Map a trace ``peer`` field to a node name in this merge.
+
+        Static peers are configured under the remote node's display
+        name; discovery-learned peers appear as ``d:<node-id prefix>``,
+        resolved against each trace's ``node.started`` identity.
+        """
+        if not isinstance(value, str):
+            return None
+        if value in self._by_name:
+            return value
+        if value.startswith("d:"):
+            prefix = value[2:]
+            for trace in self.traces:
+                if trace.node_id is not None and (
+                    trace.node_id.startswith(prefix)
+                ):
+                    return trace.name
+        return None
+
+    def _add_edge(self, pred: Tuple[str, int],
+                  succ: Tuple[str, int]) -> None:
+        self._preds.setdefault(succ, []).append(pred)
+        self.result.edge_count += 1
+
+    # -- skew estimation -----------------------------------------------
+
+    def _collect_handshake_samples(self) -> None:
+        """Pair outbound/inbound ``peer.connected`` events per (A, B)."""
+        connects: Dict[Tuple[str, str, str], List[int]] = {}
+        for trace in self.traces:
+            for record in trace.events:
+                if record.get("type") != "peer.connected":
+                    continue
+                peer = self._resolve_peer(record.get("peer"))
+                direction = record.get("direction")
+                if peer is None or direction not in (
+                    "outbound", "inbound"
+                ):
+                    continue
+                connects.setdefault(
+                    (trace.name, peer, direction), []
+                ).append(record.get("t", 0))
+        for (dialer, acceptor, direction), stamps in sorted(
+            connects.items()
+        ):
+            if direction != "outbound":
+                continue
+            answered = connects.get((acceptor, dialer, "inbound"), [])
+            pair = tuple(sorted((dialer, acceptor)))
+            samples = self.result.skew_samples.setdefault(pair, [])
+            for t_dial, t_accept in zip(stamps, answered):
+                # Sample: (first-named node's clock) - (second's).
+                if pair[0] == dialer:
+                    samples.append(t_dial - t_accept)
+                else:
+                    samples.append(t_accept - t_dial)
+
+    def _estimate_offsets(self) -> None:
+        """Propagate pairwise medians from the reference node outward."""
+        offsets = {self.result.nodes[0]: 0}
+        pair_offset = {
+            pair: _median(samples)
+            for pair, samples in self.result.skew_samples.items()
+            if samples
+        }
+        changed = True
+        while changed:
+            changed = False
+            for (a, b), delta in sorted(pair_offset.items()):
+                # delta = clock(a) - clock(b)
+                if a in offsets and b not in offsets:
+                    offsets[b] = offsets[a] - delta
+                    changed = True
+                elif b in offsets and a not in offsets:
+                    offsets[a] = offsets[b] + delta
+                    changed = True
+        for name in self.result.nodes:
+            offsets.setdefault(name, 0)
+        self.result.offsets_ms = offsets
+
+    # -- causal edges --------------------------------------------------
+
+    def _collect_block_edges(self) -> None:
+        # First event bearing each hash per node, plus minting events.
+        first_seen: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        created: Dict[str, Tuple[str, int]] = {}
+        persists: List[Tuple[str, int, str, str]] = []
+        for trace in self.traces:
+            for index, record in enumerate(trace.events):
+                block = record.get("block")
+                if not isinstance(block, str):
+                    continue
+                kind = record.get("type")
+                key = (trace.name, block)
+                if key not in first_seen:
+                    first_seen[key] = (trace.name, index)
+                if kind == "block.created" and block not in created:
+                    created[block] = (trace.name, index)
+                elif kind == "block.persisted":
+                    persists.append(
+                        (trace.name, index, block,
+                         str(record.get("origin", "")))
+                    )
+        for node, index, block, origin in persists:
+            mint = created.get(block)
+            if mint is not None and mint[0] != node:
+                self._add_edge(mint, (node, index))
+            source = None
+            if origin.startswith(_PUSH_PREFIX):
+                source = self._resolve_peer(origin[len(_PUSH_PREFIX):])
+            elif origin.startswith(_PULL_PREFIX):
+                source = self._resolve_peer(origin[len(_PULL_PREFIX):])
+            if source is not None and source != node:
+                held = first_seen.get((source, block))
+                if held is not None and held != (node, index):
+                    self._add_edge(held, (node, index))
+
+    def _collect_session_edges(self) -> None:
+        """k-th pushing session at A -> its merge events at B."""
+        pushes: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
+        merges: Dict[Tuple[str, str], List[int]] = {}
+        for trace in self.traces:
+            for index, record in enumerate(trace.events):
+                kind = record.get("type")
+                if kind == "session.completed":
+                    peer = self._resolve_peer(record.get("peer"))
+                    count = record.get("blocks_pushed", 0)
+                    if peer is not None and count:
+                        pushes.setdefault(
+                            (trace.name, peer), []
+                        ).append((index, count))
+                elif kind == "block.persisted":
+                    origin = str(record.get("origin", ""))
+                    if origin.startswith(_PUSH_PREFIX):
+                        source = self._resolve_peer(
+                            origin[len(_PUSH_PREFIX):]
+                        )
+                        if source is not None:
+                            merges.setdefault(
+                                (source, trace.name), []
+                            ).append(index)
+        for (initiator, responder), sessions in sorted(pushes.items()):
+            batch = merges.get((initiator, responder), [])
+            cursor = 0
+            for index, count in sessions:
+                for merge_index in batch[cursor:cursor + count]:
+                    self._add_edge(
+                        (initiator, index), (responder, merge_index)
+                    )
+                cursor += count
+            if cursor < len(batch):
+                self.result.warnings.append(
+                    f"{len(batch) - cursor} merged block(s) at "
+                    f"{responder} exceed {initiator}'s pushed counts "
+                    "(interrupted push?); left time-ordered"
+                )
+
+    def _collect_beacon_edges(self) -> None:
+        """X announced (node.started) before anyone discovered X."""
+        started: Dict[str, Tuple[str, int]] = {}
+        for trace in self.traces:
+            for index, record in enumerate(trace.events):
+                if record.get("type") == "node.started":
+                    started.setdefault(trace.name, (trace.name, index))
+        for trace in self.traces:
+            for index, record in enumerate(trace.events):
+                if record.get("type") not in (
+                    "peer.discovered", "peer.rejoined"
+                ):
+                    continue
+                peer = self._resolve_peer(
+                    record.get("peer")
+                ) or self._resolve_peer("d:" + str(record.get(
+                    "peer_id", ""
+                )))
+                if peer is None or peer == trace.name:
+                    continue
+                origin = started.get(peer)
+                if origin is not None:
+                    self._add_edge(origin, (trace.name, index))
+
+    # -- the constrained merge -----------------------------------------
+
+    def run(self) -> MergeResult:
+        self._collect_handshake_samples()
+        self._estimate_offsets()
+        self._collect_block_edges()
+        self._collect_session_edges()
+        self._collect_beacon_edges()
+
+        offsets = self.result.offsets_ms
+        emitted: set = set()
+        cursors = {trace.name: 0 for trace in self.traces}
+        remaining = sum(len(trace.events) for trace in self.traces)
+
+        def key_of(name: str, index: int) -> tuple:
+            record = self._by_name[name].events[index]
+            return (record.get("t", 0) - offsets[name], name, index)
+
+        while remaining:
+            best = None
+            fallback = None
+            for trace in self.traces:
+                index = cursors[trace.name]
+                if index >= len(trace.events):
+                    continue
+                key = key_of(trace.name, index)
+                if fallback is None or key < fallback[0]:
+                    fallback = (key, trace.name, index)
+                blocked = any(
+                    pred not in emitted
+                    for pred in self._preds.get((trace.name, index), ())
+                )
+                if not blocked and (best is None or key < best[0]):
+                    best = (key, trace.name, index)
+            if best is None:
+                # A cycle in the recovered edges (possible when push
+                # attribution mis-pairs under interruption): release
+                # the earliest head deterministically and count it.
+                best = fallback
+                self.result.order_violations += 1
+            _, name, index = best
+            cursors[name] = index + 1
+            emitted.add((name, index))
+            remaining -= 1
+            record = dict(self._by_name[name].events[index])
+            raw_t = record.get("t", 0)
+            record["t_raw"] = raw_t
+            record["t"] = raw_t - offsets[name]
+            record.setdefault("node", name)
+            record["src"] = name
+            self.result.events.append(record)
+        return self.result
+
+
+def merge_traces(
+    traces: Iterable[Union[NodeTrace, str, pathlib.Path]],
+) -> MergeResult:
+    """Merge per-node traces into one causally ordered timeline.
+
+    Accepts :class:`NodeTrace` objects or paths to JSONL files.  The
+    result is independent of input order.
+    """
+    loaded = [
+        trace if isinstance(trace, NodeTrace) else NodeTrace.load(trace)
+        for trace in traces
+    ]
+    if not loaded:
+        raise ValueError("merge_traces needs at least one trace")
+    return _Merger(loaded).run()
+
+
+def estimate_pair_skew(
+    trace_a: NodeTrace, trace_b: NodeTrace
+) -> Optional[int]:
+    """The estimated clock skew ``clock(a) - clock(b)`` in ms, or None
+    when the two traces share no handshake to compare."""
+    merger = _Merger([trace_a, trace_b])
+    merger._collect_handshake_samples()
+    pair = tuple(sorted((trace_a.name, trace_b.name)))
+    samples = merger.result.skew_samples.get(pair)
+    if not samples:
+        return None
+    skew = _median(samples)
+    return skew if pair[0] == trace_a.name else -skew
+
+
+__all__ = [
+    "MergeResult",
+    "NodeTrace",
+    "estimate_pair_skew",
+    "merge_traces",
+]

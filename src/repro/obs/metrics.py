@@ -219,11 +219,30 @@ class Histogram(_Instrument):
         return self._unlabeled().sum
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format.
+
+    Backslash, double-quote, and line-feed are the three characters the
+    format requires escaping inside a quoted label value; anything else
+    passes through verbatim.
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring (backslash and line-feed only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _series_name(name: str, labelnames: tuple, labelvalues: tuple) -> str:
     if not labelnames:
         return name
     rendered = ",".join(
-        f'{label}="{value}"'
+        f'{label}="{_escape_label_value(value)}"'
         for label, value in zip(labelnames, labelvalues)
     )
     return f"{name}{{{rendered}}}"
@@ -299,12 +318,20 @@ class MetricsRegistry:
         return result
 
     def render_prometheus(self) -> str:
-        """The Prometheus text exposition format (sorted, deterministic)."""
+        """The Prometheus text exposition format (sorted, deterministic).
+
+        Exactly one ``# HELP`` (when a help string exists) and one
+        ``# TYPE`` line per metric family, before any of its samples;
+        label values escape backslash, quote, and newline per the
+        exposition grammar.
+        """
         lines: list[str] = []
         for name in self.names():
             instrument = self._instruments[name]
             if instrument.help:
-                lines.append(f"# HELP {name} {instrument.help}")
+                lines.append(
+                    f"# HELP {name} {_escape_help(instrument.help)}"
+                )
             lines.append(f"# TYPE {name} {instrument.kind}")
             for labelvalues, child in instrument.children():
                 if isinstance(child, HistogramChild):

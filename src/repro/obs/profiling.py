@@ -1,0 +1,170 @@
+"""Per-phase profiling hooks for the live runtime.
+
+A :class:`PhaseProfiler` accumulates wall-clock and CPU time for named
+*phases* of the live hot path — ``verify`` (block validation inside
+merges), ``codec`` (wire encode/decode), ``frame_io`` (transport
+send/recv), ``session`` (whole initiator session drives) — plus a unit
+count per phase (blocks verified, bytes coded, bytes framed, sessions
+driven), from which it derives the throughput numbers the ROADMAP's
+hot-path work needs as its baseline: **verify/s** and **codec MB/s**.
+
+Usage at an instrumented call site::
+
+    with profiler.phase("verify") as ph:
+        merged = merge_blocks(node, blocks)
+        ph.units += len(blocks)
+
+Call sites hold either a profiler or ``None``; :func:`maybe_phase`
+returns a shared no-op context when the profiler is absent, so the
+disabled path costs one ``is None`` check and no timer reads.
+
+The profiler is wall-clock based and therefore *not* deterministic —
+it never feeds the trace bus or the sim.  It reports through
+:meth:`report` (a plain dict) and :meth:`render` (the text block
+``vegvisir serve --profile`` prints on exit).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+#: Phase names the live stack uses (callers may add their own).
+PHASE_VERIFY = "verify"
+PHASE_CODEC = "codec"
+PHASE_FRAME_IO = "frame_io"
+PHASE_SESSION = "session"
+
+
+class _PhaseTotals:
+    """Accumulated calls/units/wall/CPU for one phase."""
+
+    __slots__ = ("calls", "units", "wall_ns", "cpu_ns")
+
+    def __init__(self):
+        self.calls = 0
+        self.units = 0
+        self.wall_ns = 0
+        self.cpu_ns = 0
+
+
+class _PhaseTimer:
+    """One timed section; created by :meth:`PhaseProfiler.phase`."""
+
+    __slots__ = ("_totals", "units", "_wall0", "_cpu0")
+
+    def __init__(self, totals: _PhaseTotals):
+        self._totals = totals
+        self.units = 0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._wall0 = time.perf_counter_ns()
+        self._cpu0 = time.process_time_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        totals = self._totals
+        totals.calls += 1
+        totals.units += self.units
+        totals.wall_ns += time.perf_counter_ns() - self._wall0
+        totals.cpu_ns += time.process_time_ns() - self._cpu0
+
+
+class _NullPhase:
+    """The do-nothing stand-in :func:`maybe_phase` hands out."""
+
+    __slots__ = ("units",)
+
+    def __init__(self):
+        self.units = 0
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_PHASE = _NullPhase()
+
+
+def maybe_phase(profiler: Optional["PhaseProfiler"], name: str):
+    """``profiler.phase(name)`` or a shared no-op when profiler is None."""
+    if profiler is None:
+        return _NULL_PHASE
+    return profiler.phase(name)
+
+
+class PhaseProfiler:
+    """Wall/CPU timers and unit counters keyed by phase name."""
+
+    __slots__ = ("_phases",)
+
+    def __init__(self):
+        self._phases: dict[str, _PhaseTotals] = {}
+
+    def phase(self, name: str) -> _PhaseTimer:
+        totals = self._phases.get(name)
+        if totals is None:
+            totals = _PhaseTotals()
+            self._phases[name] = totals
+        return _PhaseTimer(totals)
+
+    def count(self, name: str, units: int = 1) -> None:
+        """Add *units* to a phase without timing anything."""
+        totals = self._phases.get(name)
+        if totals is None:
+            totals = _PhaseTotals()
+            self._phases[name] = totals
+        totals.units += units
+
+    # -- reporting -----------------------------------------------------
+
+    def report(self) -> dict:
+        """Per-phase totals plus the derived throughput numbers."""
+        phases = {}
+        for name in sorted(self._phases):
+            totals = self._phases[name]
+            wall_s = totals.wall_ns / 1e9
+            entry = {
+                "calls": totals.calls,
+                "units": totals.units,
+                "wall_ms": round(totals.wall_ns / 1e6, 3),
+                "cpu_ms": round(totals.cpu_ns / 1e6, 3),
+            }
+            if wall_s > 0:
+                entry["units_per_s"] = round(totals.units / wall_s, 1)
+            phases[name] = entry
+        report = {"phases": phases}
+        verify = self._phases.get(PHASE_VERIFY)
+        if verify is not None and verify.wall_ns > 0:
+            report["verify_per_s"] = round(
+                verify.units / (verify.wall_ns / 1e9), 1
+            )
+        codec = self._phases.get(PHASE_CODEC)
+        if codec is not None and codec.wall_ns > 0:
+            report["codec_mb_per_s"] = round(
+                codec.units / (codec.wall_ns / 1e9) / 1e6, 3
+            )
+        return report
+
+    def render(self) -> str:
+        """The human-readable profile block (``serve --profile``)."""
+        report = self.report()
+        lines = ["profile:"]
+        for name, entry in report["phases"].items():
+            rate = entry.get("units_per_s")
+            lines.append(
+                f"  {name:<10} {entry['calls']:>7} calls  "
+                f"{entry['units']:>9} units  "
+                f"wall {entry['wall_ms']:>10.3f} ms  "
+                f"cpu {entry['cpu_ms']:>10.3f} ms"
+                + (f"  ({rate:,.1f} units/s)" if rate is not None else "")
+            )
+        if "verify_per_s" in report:
+            lines.append(f"  verify/s:    {report['verify_per_s']:,.1f}")
+        if "codec_mb_per_s" in report:
+            lines.append(f"  codec MB/s:  {report['codec_mb_per_s']:,.3f}")
+        if len(lines) == 1:
+            lines.append("  (no phases recorded)")
+        return "\n".join(lines)

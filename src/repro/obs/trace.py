@@ -177,3 +177,36 @@ def read_jsonl(path: Union[str, pathlib.Path]) -> Iterator[dict]:
             line = line.strip()
             if line:
                 yield json.loads(line)
+
+
+def read_jsonl_lenient(
+    path: Union[str, pathlib.Path]
+) -> tuple[list[dict], int]:
+    """Read a JSONL trace, skipping lines that don't parse.
+
+    A node killed mid-write (the chaos sweep does this on purpose)
+    leaves a truncated final line; later corruption can garble any
+    line.  Returns ``(events, skipped)`` where *skipped* counts lines
+    that were non-empty but not valid JSON objects — the callers
+    (``vegvisir analyze`` and the trace merger) surface it as a counted
+    warning instead of a traceback.
+    """
+    events: list[dict] = []
+    skipped = 0
+    with pathlib.Path(path).open(
+        "r", encoding="utf-8", errors="replace"
+    ) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(record, dict):
+                events.append(record)
+            else:
+                skipped += 1
+    return events, skipped

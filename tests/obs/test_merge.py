@@ -1,0 +1,248 @@
+"""Causal cross-node trace merging: skew estimation, determinism,
+happens-before ordering, lenient input handling."""
+
+import itertools
+import json
+import random
+
+import pytest
+
+from repro.obs.merge import (
+    NodeTrace,
+    estimate_pair_skew,
+    merge_traces,
+)
+
+
+def _handshake(events_a, events_b, t_a, t_b, a="a", b="b"):
+    """One TCP handshake: *a* dials *b* at local times t_a / t_b."""
+    events_a.append({"t": t_a, "type": "peer.connected",
+                     "peer": b, "direction": "outbound", "node": a})
+    events_b.append({"t": t_b, "type": "peer.connected",
+                     "peer": a, "direction": "inbound", "node": b})
+
+
+def _two_node_traces(skew_b=500):
+    """Node b's clock runs *skew_b* ms ahead of a's true time."""
+    h1 = "ab" * 32
+    a = [{"t": 0, "type": "node.started", "node": "a", "id": "aa" * 32}]
+    b = [{"t": skew_b, "type": "node.started", "node": "b",
+          "id": "bb" * 32}]
+    _handshake(a, b, 100, 100 + skew_b)
+    a.append({"t": 150, "type": "block.created", "node": "a", "block": h1})
+    a.append({"t": 151, "type": "block.persisted", "node": "a",
+              "block": h1, "origin": "local"})
+    a.append({"t": 200, "type": "session.completed", "node": "a",
+              "peer": "b", "protocol": "frontier", "seq": 0, "rounds": 1,
+              "bytes_i2r": 64, "bytes_r2i": 64, "blocks_pulled": 0,
+              "blocks_pushed": 1, "converged": True})
+    b.append({"t": 205 + skew_b, "type": "block.persisted", "node": "b",
+              "block": h1, "origin": "push:a"})
+    return (
+        NodeTrace("a", a, node_id="aa" * 32),
+        NodeTrace("b", b, node_id="bb" * 32),
+    )
+
+
+class TestSkewEstimation:
+    def test_single_handshake_recovers_offset(self):
+        trace_a, trace_b = _two_node_traces(skew_b=500)
+        assert estimate_pair_skew(trace_a, trace_b) == -500
+        assert estimate_pair_skew(trace_b, trace_a) == 500
+
+    def test_no_handshake_means_no_estimate(self):
+        a = NodeTrace("a", [{"t": 0, "type": "node.started", "node": "a"}])
+        b = NodeTrace("b", [{"t": 0, "type": "node.started", "node": "b"}])
+        assert estimate_pair_skew(a, b) is None
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_injected_skew_recovered_within_noise(self, seed):
+        """Property: median over noisy handshakes recovers the true
+        offset to within the noise bound."""
+        rng = random.Random(seed)
+        true_skew = rng.randrange(-5_000, 5_000)
+        noise = 20
+        a_events, b_events = [], []
+        for k in range(9):
+            t_a = 1_000 * (k + 1)
+            jitter = rng.randrange(0, noise + 1)
+            _handshake(a_events, b_events, t_a, t_a + true_skew + jitter)
+        estimate = estimate_pair_skew(
+            NodeTrace("a", a_events), NodeTrace("b", b_events)
+        )
+        assert estimate is not None
+        assert abs(estimate - (-true_skew)) <= noise
+
+    def test_offsets_propagate_through_chain(self):
+        """a—b and b—c handshakes place c relative to a transitively."""
+        a, b, c = [], [], []
+        for node_events, name in ((a, "a"), (b, "b"), (c, "c")):
+            node_events.append(
+                {"t": 0, "type": "node.started", "node": name}
+            )
+        _handshake(a, b, 100, 400)          # clock(b) = clock(a) + 300
+        _handshake(b, c, 600, 800, "b", "c")  # clock(c) = clock(b) + 200
+        result = merge_traces([
+            NodeTrace("a", a), NodeTrace("b", b), NodeTrace("c", c),
+        ])
+        assert result.offsets_ms == {"a": 0, "b": 300, "c": 500}
+
+
+class TestMergeDeterminism:
+    def test_any_input_order_gives_byte_identical_timeline(self):
+        traces = list(_two_node_traces())
+        outputs = set()
+        for ordering in itertools.permutations(traces):
+            outputs.add(merge_traces(list(ordering)).to_jsonl())
+        assert len(outputs) == 1
+
+    def test_three_way_orderings_agree(self, tmp_path):
+        trace_a, trace_b = _two_node_traces()
+        c = NodeTrace("c", [
+            {"t": 40, "type": "node.started", "node": "c"},
+        ])
+        outputs = {
+            merge_traces(list(ordering)).to_jsonl()
+            for ordering in itertools.permutations([trace_a, trace_b, c])
+        }
+        assert len(outputs) == 1
+
+    def test_duplicate_node_names_rejected(self):
+        trace_a, _ = _two_node_traces()
+        with pytest.raises(ValueError, match="duplicate"):
+            merge_traces([trace_a, trace_a])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            merge_traces([])
+
+
+class TestCausalOrder:
+    def test_push_session_precedes_responder_persist(self):
+        """Even with wild skew the initiator's session.completed comes
+        before the responder's attributed block.persisted."""
+        for skew in (-10_000, 0, 10_000):
+            result = merge_traces(list(_two_node_traces(skew_b=skew)))
+            order = [
+                (record["type"], record["src"])
+                for record in result.events
+            ]
+            sess = order.index(("session.completed", "a"))
+            persist = order.index(("block.persisted", "b"))
+            assert sess < persist, f"skew={skew}: {order}"
+            assert result.order_violations == 0
+
+    def test_created_precedes_remote_persist(self):
+        trace_a, trace_b = _two_node_traces(skew_b=-3_000)
+        result = merge_traces([trace_a, trace_b])
+        created = next(
+            i for i, r in enumerate(result.events)
+            if r["type"] == "block.created"
+        )
+        persisted_remote = next(
+            i for i, r in enumerate(result.events)
+            if r["type"] == "block.persisted" and r["src"] == "b"
+        )
+        assert created < persisted_remote
+
+    def test_discovery_peer_names_resolve_via_node_id(self):
+        """Dynamic peers appear as d:<id-prefix>; edges still form."""
+        h1 = "cd" * 32
+        a_id, b_id = "aa" * 32, "bb" * 32
+        a = [
+            {"t": 0, "type": "node.started", "node": "a", "id": a_id},
+            {"t": 100, "type": "peer.connected",
+             "peer": f"d:{b_id[:16]}", "direction": "outbound",
+             "node": "a"},
+            {"t": 120, "type": "block.created", "node": "a", "block": h1},
+            {"t": 200, "type": "session.completed", "node": "a",
+             "peer": f"d:{b_id[:16]}", "protocol": "frontier", "seq": 0,
+             "rounds": 1, "bytes_i2r": 1, "bytes_r2i": 1,
+             "blocks_pulled": 0, "blocks_pushed": 1, "converged": True},
+        ]
+        b = [
+            {"t": 5_000, "type": "node.started", "node": "b", "id": b_id},
+            {"t": 5_100, "type": "peer.connected", "peer": "a",
+             "direction": "inbound", "node": "b"},
+            {"t": 5_210, "type": "block.persisted", "node": "b",
+             "block": h1, "origin": f"push:d:{a_id[:16]}"},
+        ]
+        # b's trace attributes the push to a's *dynamic* name; resolve
+        # it against a's node.started identity.
+        b[2]["origin"] = f"push:d:{a_id[:16]}"
+        result = merge_traces([
+            NodeTrace("a", a, node_id=a_id),
+            NodeTrace("b", b, node_id=b_id),
+        ])
+        types = [(r["type"], r["src"]) for r in result.events]
+        assert types.index(("session.completed", "a")) < types.index(
+            ("block.persisted", "b")
+        )
+
+    def test_beacon_edge_orders_start_before_discovery(self):
+        a_id = "aa" * 32
+        a = [{"t": 9_000, "type": "node.started", "node": "a",
+              "id": a_id}]
+        b = [
+            {"t": 0, "type": "node.started", "node": "b", "id": "bb" * 32},
+            {"t": 10, "type": "peer.discovered", "node": "b",
+             "peer": f"d:{a_id[:16]}", "peer_id": a_id[:16], "epoch": 1},
+        ]
+        result = merge_traces([
+            NodeTrace("a", a, node_id=a_id),
+            NodeTrace("b", b, node_id="bb" * 32),
+        ])
+        order = [(r["type"], r["src"]) for r in result.events]
+        assert order.index(("node.started", "a")) < order.index(
+            ("peer.discovered", "b")
+        )
+
+
+class TestLenientInput:
+    def test_torn_tail_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        lines = [
+            json.dumps({"t": 0, "type": "node.started", "node": "a"}),
+            json.dumps({"t": 5, "type": "block.created", "node": "a",
+                        "block": "ee" * 32}),
+            '{"t": 9, "type": "block.per',  # torn mid-write
+        ]
+        path.write_text("\n".join(lines), encoding="utf-8")
+        trace = NodeTrace.load(path)
+        assert trace.name == "a"
+        assert len(trace.events) == 2
+        assert trace.malformed_lines == 1
+        result = merge_traces([trace])
+        assert result.malformed_lines == 1
+        assert any("malformed" in w for w in result.warnings)
+
+    def test_load_extracts_name_and_id_from_node_started(self, tmp_path):
+        path = tmp_path / "whatever.jsonl"
+        path.write_text(json.dumps(
+            {"t": 0, "type": "node.started", "node": "n7",
+             "id": "cc" * 32}
+        ) + "\n", encoding="utf-8")
+        trace = NodeTrace.load(path)
+        assert trace.name == "n7"
+        assert trace.node_id == "cc" * 32
+
+    def test_write_and_reload_roundtrip(self, tmp_path):
+        result = merge_traces(list(_two_node_traces()))
+        out = tmp_path / "merged.jsonl"
+        result.write(out)
+        reloaded = [
+            json.loads(line)
+            for line in out.read_text().splitlines() if line
+        ]
+        assert len(reloaded) == len(result.events)
+        assert all("t_raw" in record and "src" in record
+                   for record in reloaded)
+
+    def test_render_and_as_dict(self):
+        result = merge_traces(list(_two_node_traces()))
+        rendered = result.render()
+        assert "merged:" in rendered
+        assert "causal edges:" in rendered
+        as_dict = result.as_dict()
+        assert as_dict["nodes"] == ["a", "b"]
+        assert as_dict["causal_edges"] == result.edge_count

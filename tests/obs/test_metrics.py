@@ -131,3 +131,109 @@ class TestRegistryExport:
         assert registry.value("events_total") == 3
         assert registry.value("bytes_total", direction="i->r") == 128
         assert registry.value("nonexistent") == 0
+
+
+# -- Prometheus text exposition conformance ---------------------------
+
+import re  # noqa: E402
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+# A quoted label value: any run of escaped (\\, \", \n) or plain chars.
+_LABEL_VALUE = r'"(?:\\[\\"n]|[^"\\\n])*"'
+_LABELS = rf"\{{(?:{_LABEL_NAME}={_LABEL_VALUE}(?:,{_LABEL_NAME}={_LABEL_VALUE})*)?\}}"
+_NUMBER = r"(?:[+-]?(?:\d+(?:\.\d+)?(?:e[+-]?\d+)?|Inf|NaN))"
+_SAMPLE_RE = re.compile(
+    rf"^({_METRIC_NAME})(?:{_LABELS})? {_NUMBER}$"
+)
+_HELP_RE = re.compile(rf"^# HELP ({_METRIC_NAME}) .*$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE ({_METRIC_NAME}) (counter|gauge|histogram|summary|untyped)$"
+)
+
+
+def assert_valid_exposition(text: str) -> None:
+    """Validate *text* against the Prometheus exposition grammar.
+
+    Checks every line parses as a HELP/TYPE comment or a sample, that
+    each family's TYPE (and optional HELP) appears exactly once and
+    before any of its samples, and that label values are correctly
+    escaped (the sample regex refuses raw quotes/newlines/backslashes).
+    """
+    assert text == "" or text.endswith("\n"), "must end with a newline"
+    typed: set = set()
+    helped: set = set()
+    sampled: set = set()
+
+    def family_of(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if base in typed:
+                    return base
+        return sample_name
+
+    for line in text.splitlines():
+        help_match = _HELP_RE.match(line)
+        if help_match:
+            name = help_match.group(1)
+            assert name not in helped, f"duplicate HELP for {name}"
+            assert name not in sampled, f"HELP after samples of {name}"
+            helped.add(name)
+            continue
+        type_match = _TYPE_RE.match(line)
+        if type_match:
+            name = type_match.group(1)
+            assert name not in typed, f"duplicate TYPE for {name}"
+            assert name not in sampled, f"TYPE after samples of {name}"
+            typed.add(name)
+            continue
+        sample_match = _SAMPLE_RE.match(line)
+        assert sample_match, f"unparseable exposition line: {line!r}"
+        sampled.add(family_of(sample_match.group(1)))
+    assert sampled <= typed, (
+        f"samples without a TYPE line: {sampled - typed}"
+    )
+
+
+class TestExpositionConformance:
+    def test_populated_registry_conforms(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", "events seen").inc(3)
+        counter = registry.counter(
+            "bytes_total", "bytes by direction", labels=("direction",)
+        )
+        counter.labels(direction="i->r").inc(128)
+        registry.gauge("depth").set(4)
+        registry.histogram("width", buckets=(1, 2)).observe(2)
+        assert_valid_exposition(registry.render_prometheus())
+
+    def test_empty_registry_conforms(self):
+        assert_valid_exposition(MetricsRegistry().render_prometheus())
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("odd_total", labels=("path",))
+        counter.labels(path='C:\\tmp\n"quoted"').inc()
+        text = registry.render_prometheus()
+        assert '\\\\tmp' in text
+        assert '\\n' in text
+        assert '\\"quoted\\"' in text
+        assert_valid_exposition(text)
+
+    def test_help_text_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "line one\nline \\ two").inc()
+        text = registry.render_prometheus()
+        assert "# HELP c_total line one\\nline \\\\ two" in text
+        assert_valid_exposition(text)
+
+    def test_type_line_exactly_once_per_family(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("multi_total", "m", labels=("k",))
+        for key in ("a", "b", "c"):
+            counter.labels(k=key).inc()
+        text = registry.render_prometheus()
+        assert text.count("# TYPE multi_total counter") == 1
+        assert text.count("# HELP multi_total") == 1
+        assert_valid_exposition(text)

@@ -1,0 +1,76 @@
+"""Per-phase profiler: timers, unit counters, derived throughput."""
+
+import pytest
+
+from repro.obs.profiling import (
+    PHASE_CODEC,
+    PHASE_VERIFY,
+    PhaseProfiler,
+    _NULL_PHASE,
+    maybe_phase,
+)
+
+
+class TestPhaseProfiler:
+    def test_phase_accumulates_calls_units_and_time(self):
+        profiler = PhaseProfiler()
+        for _ in range(3):
+            with profiler.phase(PHASE_VERIFY) as ph:
+                ph.units += 5
+        report = profiler.report()
+        entry = report["phases"][PHASE_VERIFY]
+        assert entry["calls"] == 3
+        assert entry["units"] == 15
+        assert entry["wall_ms"] >= 0
+        assert entry["cpu_ms"] >= 0
+
+    def test_derived_throughput_numbers(self):
+        profiler = PhaseProfiler()
+        with profiler.phase(PHASE_VERIFY) as ph:
+            total = sum(range(50_000))  # burn measurable wall time
+            assert total > 0
+            ph.units += 100
+        with profiler.phase(PHASE_CODEC) as ph:
+            total = sum(range(50_000))
+            assert total > 0
+            ph.units += 1_000_000
+        report = profiler.report()
+        assert report["verify_per_s"] > 0
+        assert report["codec_mb_per_s"] > 0
+
+    def test_count_without_timing(self):
+        profiler = PhaseProfiler()
+        profiler.count("extra", 7)
+        profiler.count("extra")
+        assert profiler.report()["phases"]["extra"]["units"] == 8
+
+    def test_render_mentions_each_phase(self):
+        profiler = PhaseProfiler()
+        with profiler.phase(PHASE_VERIFY) as ph:
+            ph.units += 1
+        rendered = profiler.render()
+        assert "profile:" in rendered
+        assert "verify" in rendered
+
+    def test_render_empty(self):
+        assert "no phases recorded" in PhaseProfiler().render()
+
+    def test_exception_inside_phase_still_accounted(self):
+        profiler = PhaseProfiler()
+        with pytest.raises(ValueError):
+            with profiler.phase(PHASE_VERIFY):
+                raise ValueError("boom")
+        assert profiler.report()["phases"][PHASE_VERIFY]["calls"] == 1
+
+
+class TestMaybePhase:
+    def test_none_profiler_returns_shared_noop(self):
+        assert maybe_phase(None, PHASE_VERIFY) is _NULL_PHASE
+        with maybe_phase(None, PHASE_VERIFY) as ph:
+            ph.units += 10  # must be writable and discarded
+
+    def test_real_profiler_records(self):
+        profiler = PhaseProfiler()
+        with maybe_phase(profiler, PHASE_CODEC) as ph:
+            ph.units += 2
+        assert profiler.report()["phases"][PHASE_CODEC]["units"] == 2

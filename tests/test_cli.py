@@ -316,3 +316,220 @@ class TestVerifyAndExport:
         out = capsys.readouterr().out
         assert "genesis" in out
         assert "frontier width" in out
+
+
+class TestServeOps:
+    def test_serve_with_ops_profile_and_trace(self, tmp_path, capsys,
+                                              monkeypatch):
+        import asyncio
+        import json
+
+        import repro.live
+        from repro.live import LiveNode
+
+        key = tmp_path / "owner.key"
+        main(["keygen", str(key)])
+        store = tmp_path / "chain.vgv"
+        main(["init", str(store), "--owner-key", str(key)])
+        capsys.readouterr()
+
+        class SelfStopping(LiveNode):
+            async def start(self):
+                await super().start()
+                asyncio.get_running_loop().call_later(
+                    0.1, self.request_stop
+                )
+
+        monkeypatch.setattr(repro.live, "LiveNode", SelfStopping)
+        trace = tmp_path / "live.jsonl"
+        dump = tmp_path / "serve.prof"
+        code = main(["serve", str(store), "--key", str(key),
+                     "--name", "ops-node", "--ops-port", "0",
+                     "--profile", "--profile-dump", str(dump),
+                     "--trace", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ops endpoint on http://127.0.0.1:" in out
+        assert "profile:" in out
+        assert dump.exists()
+        # The live trace is wall-clock stamped and carries the node id
+        # (what trace-merge keys on).
+        events = [
+            json.loads(line)
+            for line in trace.read_text().splitlines() if line
+        ]
+        started = next(
+            e for e in events if e["type"] == "node.started"
+        )
+        assert started["node"] == "ops-node"
+        assert started["id"]
+        assert started["t"] > 1_000_000_000_000  # wall-clock ms, not seq
+
+    def test_serve_ops_port_conflict_one_line_error(self, tmp_path,
+                                                    capsys):
+        import socket
+
+        key = tmp_path / "owner.key"
+        main(["keygen", str(key)])
+        store = tmp_path / "chain.vgv"
+        main(["init", str(store), "--owner-key", str(key)])
+        capsys.readouterr()
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            code = main(["serve", str(store), "--key", str(key),
+                         "--ops-port", str(port)])
+        finally:
+            blocker.close()
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "ops endpoint" in err
+        assert err.count("\n") == 1
+
+
+class TestTraceMerge:
+    def _write_traces(self, tmp_path):
+        import json
+
+        block = "ab" * 32
+        a = [
+            {"t": 0, "type": "node.started", "node": "a", "id": "aa" * 32},
+            {"t": 100, "type": "peer.connected", "peer": "b",
+             "direction": "outbound", "node": "a"},
+            {"t": 150, "type": "block.created", "node": "a",
+             "block": block},
+            {"t": 200, "type": "session.completed", "node": "a",
+             "peer": "b", "protocol": "frontier", "seq": 0, "rounds": 1,
+             "bytes_i2r": 1, "bytes_r2i": 1, "blocks_pulled": 0,
+             "blocks_pushed": 1, "converged": True},
+        ]
+        b = [
+            {"t": 5_000, "type": "node.started", "node": "b",
+             "id": "bb" * 32},
+            {"t": 5_100, "type": "peer.connected", "peer": "a",
+             "direction": "inbound", "node": "b"},
+            {"t": 5_205, "type": "block.persisted", "node": "b",
+             "block": block, "origin": "push:a"},
+        ]
+        paths = []
+        for name, events in (("a", a), ("b", b)):
+            path = tmp_path / f"{name}.jsonl"
+            path.write_text(
+                "".join(json.dumps(e) + "\n" for e in events)
+            )
+            paths.append(path)
+        return paths
+
+    def test_merge_renders_summary_and_writes_timeline(self, tmp_path,
+                                                       capsys):
+        import json
+
+        path_a, path_b = self._write_traces(tmp_path)
+        out = tmp_path / "merged.jsonl"
+        code = main(["trace-merge", str(path_a), str(path_b),
+                     "--out", str(out)])
+        assert code == 0
+        rendered = capsys.readouterr().out
+        assert "merged:           7 events from 2 node(s): a, b" in rendered
+        assert "clock offset:     b: +5000 ms" in rendered
+        merged = [
+            json.loads(line)
+            for line in out.read_text().splitlines() if line
+        ]
+        types = [(e["type"], e["src"]) for e in merged]
+        assert types.index(("session.completed", "a")) < types.index(
+            ("block.persisted", "b")
+        )
+
+    def test_merge_json_output(self, tmp_path, capsys):
+        import json
+
+        path_a, path_b = self._write_traces(tmp_path)
+        code = main(["trace-merge", str(path_a), str(path_b), "--json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["nodes"] == ["a", "b"]
+        assert summary["offsets_ms"] == {"a": 0, "b": 5000}
+
+    def test_merge_missing_file_fails(self, tmp_path, capsys):
+        code = main(["trace-merge", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_merge_duplicate_names_fails(self, tmp_path, capsys):
+        path_a, _ = self._write_traces(tmp_path)
+        code = main(["trace-merge", str(path_a), str(path_a)])
+        assert code == 1
+        assert "cannot merge" in capsys.readouterr().err
+
+
+class TestTop:
+    def _ops_server(self, status):
+        """A live OpsServer on a daemon thread; returns (port, stopper)."""
+        import asyncio
+        import threading
+
+        from repro.obs.live import OpsServer
+
+        started = threading.Event()
+        holder = {}
+
+        def run():
+            async def serve():
+                server = OpsServer(status=status)
+                await server.start()
+                holder["port"] = server.port
+                holder["stop"] = asyncio.Event()
+                started.set()
+                await holder["stop"].wait()
+                await server.stop()
+
+            loop = asyncio.new_event_loop()
+            holder["loop"] = loop
+            loop.run_until_complete(serve())
+            loop.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(5.0)
+
+        def stopper():
+            holder["loop"].call_soon_threadsafe(holder["stop"].set)
+            thread.join(5.0)
+
+        return holder["port"], stopper
+
+    def test_top_renders_cluster_rows(self, capsys):
+        status = {
+            "name": "n0", "blocks": 7,
+            "frontier_digest": "ab" * 32,
+            "peers": {"connected": ["n1", "n2"], "dynamic": []},
+            "sessions": {"completed": 12, "interrupted": 1},
+        }
+        port, stop = self._ops_server(lambda: status)
+        try:
+            code = main(["top", f"127.0.0.1:{port}"])
+        finally:
+            stop()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NODE" in out and "FRONTIER" in out
+        assert "n0" in out
+        assert "    12" in out
+
+    def test_top_reports_unreachable_target(self, capsys):
+        import socket
+
+        # A port that is certainly closed: bind-then-close.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = main(["top", f"127.0.0.1:{port}"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "!!" in out

@@ -36,6 +36,11 @@ EXPECTED_OUTPUT = {
         "gossip converged:",
         "converged after heal: True",
     ],
+    "fleet_ops.py": [
+        "every /healthz ok",
+        "causal merge clean:",
+        "0 order violations",
+    ],
     "discovery_cluster.py": [
         "ZERO configured peers",
         "every directory full",
