@@ -1,0 +1,171 @@
+"""Ablation A11 — planet-scale sim core: the scaling curve.
+
+The paper's evaluation tops out at 32 nodes; §VI asks for "more
+extensive simulations".  This ablation measures what the scale work
+(spatial-hash neighbor index, struct-of-arrays mobility, epoch-batched
+contact scheduling, lite fleets) buys:
+
+* **Neighbor-scan speedup** — one full all-nodes neighbor sweep,
+  spatial index vs the retained O(n²) brute-force oracle, at 100 / 1k /
+  10k nodes.  The acceptance bar is >=10x at 10k.
+* **Scaling curve** — wall-clock and peak RSS for a fixed simulated
+  window of the city scenario as the fleet grows, the numbers that
+  decide whether a 10k-node simulated day fits a nightly budget.
+
+By default only the 100-node points run (PR smoke).  Set ``A11_FULL=1``
+for the 1k and 10k points (nightly).
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import time
+
+from repro.net.mobility import RandomWaypoint
+from repro.net.topology import GeometricTopology
+from repro.sim import Simulation
+from repro.sim.city import city_field_side_m, city_scenario, draw_radio_ranges
+
+from benchmarks.bench_util import Table
+
+FULL = os.environ.get("A11_FULL", "") not in ("", "0")
+
+NODE_COUNTS = (100, 1_000, 10_000) if FULL else (100,)
+
+#: Simulated window per scaling-curve point (ms).
+SIM_WINDOW_MS = 600_000
+
+SAMPLE_TIMES_MS = (0, 120_000, 480_000)
+
+
+def city_topology(node_count: int, seed: int = 0) -> GeometricTopology:
+    side_m = city_field_side_m(node_count)
+    mobility = RandomWaypoint(
+        node_count, side_m, side_m, speed_mps=8.0, pause_ms=60_000,
+        seed=seed,
+    )
+    return GeometricTopology(
+        mobility, radio_ranges=draw_radio_ranges(node_count, seed=seed)
+    )
+
+
+#: Brute-force queries are O(n) each; at 10k nodes a full sweep is
+#: ~3e8 distance checks, so the oracle is timed on a node sample and
+#: costs are compared per query.  The index still sweeps every node.
+BRUTE_SAMPLE_NODES = 500
+
+
+def sweep_seconds_per_query(topology: GeometricTopology,
+                            brute: bool) -> float:
+    if brute:
+        query = topology.brute_force_neighbors
+        node_ids = range(min(topology.node_count, BRUTE_SAMPLE_NODES))
+    else:
+        query = topology.neighbors
+        node_ids = range(topology.node_count)
+    queries = 0
+    start = time.perf_counter()
+    for time_ms in SAMPLE_TIMES_MS:
+        for node_id in node_ids:
+            query(node_id, time_ms)
+            queries += 1
+    return (time.perf_counter() - start) / queries
+
+
+def peak_rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+
+
+def test_a11_scale(benchmark, results_dir):
+    table = Table(
+        "A11: planet-scale sim core — neighbor-index speedup and "
+        f"city scaling curve ({SIM_WINDOW_MS // 60_000} simulated "
+        "minutes per point)",
+        ["nodes", "brute_us_per_query", "index_us_per_query", "speedup",
+         "sim_wall_s", "sessions", "coverage", "peak_rss_mb"],
+    )
+    speedups = {}
+    for node_count in NODE_COUNTS:
+        topology = city_topology(node_count, seed=1)
+        brute_s = sweep_seconds_per_query(topology, brute=True)
+        index_s = sweep_seconds_per_query(topology, brute=False)
+        speedup = brute_s / index_s if index_s else float("inf")
+        speedups[node_count] = speedup
+
+        scenario = city_scenario(
+            node_count=node_count, duration_ms=SIM_WINDOW_MS, seed=1,
+            gossip_interval_ms=60_000, contact_epoch_ms=10_000,
+            append_interval_ms=120_000,
+        )
+        start = time.perf_counter()
+        sim = Simulation(scenario).run()
+        sim.run_quiescence(2 * scenario.gossip_interval_ms)
+        sim.close()
+        wall_s = time.perf_counter() - start
+
+        table.add(
+            node_count, f"{brute_s * 1e6:.1f}", f"{index_s * 1e6:.1f}",
+            f"{speedup:.1f}x", f"{wall_s:.1f}",
+            sim.metrics.sessions_completed,
+            f"{sim.metrics.propagation.mean_coverage():.3f}",
+            f"{peak_rss_mb():.0f}",
+        )
+        assert sim.metrics.sessions_completed > 0
+        assert sim.metrics.blocks_created > 0
+    table.emit(results_dir, "a11_scale")
+
+    # The index must never lose to brute force; at >=1k nodes the
+    # acceptance bar is a 10x win (it is typically far larger at 10k).
+    for node_count, speedup in speedups.items():
+        assert speedup > 1.0, (
+            f"index slower than brute force at {node_count} nodes"
+        )
+        if node_count >= 1_000:
+            assert speedup >= 10.0, (
+                f"{speedup:.1f}x at {node_count} nodes, need >=10x"
+            )
+
+    def kernel():
+        topology = city_topology(100, seed=2)
+        for node_id in range(100):
+            topology.neighbors(node_id, 60_000)
+
+    benchmark(kernel)
+
+
+def test_a11_city_day(results_dir):
+    """The headline run: a 10k-node city through one simulated day.
+
+    Nightly only (A11_FULL=1): ~6 minutes of wall clock.  Emits the
+    day-run summary next to the scaling curve.
+    """
+    if not FULL:
+        import pytest
+
+        pytest.skip("city day run is nightly-only (set A11_FULL=1)")
+
+    scenario = city_scenario(seed=0)
+    start = time.perf_counter()
+    sim = Simulation(scenario).run()
+    sim.run_quiescence(2 * scenario.gossip_interval_ms)
+    sim.close()
+    wall_s = time.perf_counter() - start
+
+    table = Table(
+        "A11: 10k-node city, one simulated day",
+        ["nodes", "sim_hours", "wall_s", "blocks", "sessions",
+         "coverage", "fully_covered", "energy_j", "peak_rss_mb"],
+    )
+    table.add(
+        scenario.node_count, 24, f"{wall_s:.0f}",
+        sim.metrics.blocks_created, sim.metrics.sessions_completed,
+        f"{sim.metrics.propagation.mean_coverage():.3f}",
+        f"{sim.metrics.propagation.fully_covered_fraction():.3f}",
+        f"{sim.energy.total_j():.1f}", f"{peak_rss_mb():.0f}",
+    )
+    table.emit(results_dir, "a11_city_day")
+
+    assert sim.metrics.blocks_created > 0
+    assert sim.metrics.sessions_completed > 0
+    assert sim.metrics.propagation.mean_coverage() > 0.5

@@ -191,6 +191,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.net.topology import FullMeshTopology
     from repro.sim import Scenario, Simulation
 
+    if args.scenario == "city":
+        return _simulate_city(args)
+
+    # Unset size knobs resolve to the classic small-fleet defaults here
+    # (the city scenario has its own, much larger ones).
+    nodes = args.nodes if args.nodes is not None else 8
+    duration = args.duration if args.duration is not None else 30_000
+
     topology_factory = FullMeshTopology
     if args.partition_until:
         def topology_factory(node_count):  # noqa: F811
@@ -202,6 +210,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             return PartitionedTopology(
                 FullMeshTopology(node_count), schedule
             )
+
+    contact_epoch = args.contact_epoch
+    if contact_epoch is not None and contact_epoch < 1:
+        print("--contact-epoch must be positive", file=sys.stderr)
+        return 1
 
     faults = None
     session_model = args.session_model
@@ -226,8 +239,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         session_model = "atomic"
 
     scenario = Scenario(
-        node_count=args.nodes,
-        duration_ms=args.duration,
+        node_count=nodes,
+        duration_ms=duration,
         append_interval_ms=args.append_interval,
         topology_factory=topology_factory,
         seed=args.seed,
@@ -235,9 +248,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         trace_path=args.trace,
         metrics=args.metrics,
         faults=faults,
+        contact_epoch_ms=contact_epoch,
     )
     sim = Simulation(scenario).run()
-    sim.run_quiescence(args.duration // 2)
+    sim.run_quiescence(args.quiescence if args.quiescence is not None
+                       else duration // 2)
     sim.close()
     from repro.report import metrics_report, simulation_report
 
@@ -248,6 +263,53 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print()
         print(metrics_report(sim), end="")
     return 0 if sim.converged() else 1
+
+
+def _simulate_city(args: argparse.Namespace) -> int:
+    """Run the city-scale scenario (see repro.sim.city, docs/scale.md)."""
+    from repro.sim import Simulation
+    from repro.sim.city import city_scenario
+
+    if args.partition_until or args.faults is not None:
+        print("--scenario city does not combine with --partition-until "
+              "or --faults", file=sys.stderr)
+        return 1
+    if args.session_model == "message":
+        print("--scenario city runs the atomic session model",
+              file=sys.stderr)
+        return 1
+    kwargs = {}
+    if args.nodes is not None:
+        kwargs["node_count"] = args.nodes
+    if args.duration is not None:
+        kwargs["duration_ms"] = args.duration
+    if args.contact_epoch is not None:
+        kwargs["contact_epoch_ms"] = args.contact_epoch
+    scenario = city_scenario(seed=args.seed, **kwargs)
+    scenario.trace_path = args.trace
+    scenario.metrics = args.metrics
+    sim = Simulation(scenario).run()
+    # A half-duration quiescence would double a day-long run; two gossip
+    # periods are enough for the last appends to make local progress.
+    quiescence = (
+        args.quiescence if args.quiescence is not None
+        else 2 * scenario.gossip_interval_ms
+    )
+    sim.run_quiescence(quiescence)
+    sim.close()
+    from repro.report import metrics_report, simulation_report
+
+    print(simulation_report(sim))
+    if args.trace:
+        print(f"trace:            written to {args.trace}")
+    if args.metrics:
+        print()
+        print(metrics_report(sim), end="")
+    # City runs are dissemination studies, not convergence gates: with
+    # sparse radios and a day of churn, full bit-identity across 10k
+    # nodes is not the success criterion — completing the schedule and
+    # reporting coverage is.
+    return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -547,9 +609,15 @@ def build_parser() -> argparse.ArgumentParser:
     export.set_defaults(func=_cmd_export)
 
     simulate = commands.add_parser("simulate", help="run a gossip fleet")
-    simulate.add_argument("--nodes", type=int, default=8)
-    simulate.add_argument("--duration", type=int, default=30_000,
-                          help="simulated ms")
+    simulate.add_argument("--scenario", choices=["default", "city"],
+                          default="default",
+                          help="'city' runs the 10k-node heterogeneous-"
+                               "radio mobile scenario (see docs/scale.md)")
+    simulate.add_argument("--nodes", type=int, default=None,
+                          help="fleet size (default 8; city: 10000)")
+    simulate.add_argument("--duration", type=int, default=None,
+                          help="simulated ms (default 30000; city: one "
+                               "day)")
     simulate.add_argument("--append-interval", type=int, default=4_000)
     simulate.add_argument("--partition-until", type=int, default=0,
                           help="2-way partition until this time (ms)")
@@ -567,6 +635,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write a JSONL event trace to PATH")
     simulate.add_argument("--metrics", action="store_true",
                           help="print the Prometheus-format metric dump")
+    simulate.add_argument("--contact-epoch", type=int, default=None,
+                          dest="contact_epoch", metavar="MS",
+                          help="batch gossip ticks into epochs of MS "
+                               "(default: off; city: 30000)")
+    simulate.add_argument("--quiescence", type=int, default=None,
+                          metavar="MS",
+                          help="post-workload drain time (default: half "
+                               "the duration; city: two gossip periods)")
     simulate.set_defaults(func=_cmd_simulate)
 
     analyze = commands.add_parser(

@@ -23,6 +23,7 @@ from repro.net.mobility import (
     StaticPlacement,
 )
 from repro.net.partitions import PartitionSchedule, PartitionedTopology
+from repro.net.spatial import NeighborIndex
 from repro.net.traces import Contact, TraceTopology, synthetic_encounter_trace
 from repro.net.topology import (
     FullMeshTopology,
@@ -39,6 +40,7 @@ __all__ = [
     "GridPlacement",
     "LinkModel",
     "MobilityModel",
+    "NeighborIndex",
     "PartitionSchedule",
     "PartitionedTopology",
     "RandomWaypoint",

@@ -3,6 +3,15 @@
 A classic calendar queue: events are ``(time, sequence, callback)``
 triples in a binary heap; the sequence number breaks ties so same-time
 events fire in scheduling order and runs are fully deterministic.
+
+For fleets where per-entity timers would swamp the calendar (10k nodes
+× one gossip tick each per interval), :class:`EpochTimers` coalesces
+many keyed timers into one loop event per *epoch*: keys fire at the
+first epoch boundary at or after their due time, in (due, insertion)
+order.  Because every key processed in one epoch observes the same
+``loop.now`` (the boundary), downstream consumers — notably the
+spatial neighbor index — get one shared position snapshot per epoch
+instead of one per timer.
 """
 
 from __future__ import annotations
@@ -111,3 +120,84 @@ class EventLoop:
 
     def pending(self) -> int:
         return len(self._queue)
+
+
+class EpochTimers:
+    """Many keyed timers, one event-loop entry per epoch boundary.
+
+    ``schedule_at(due_ms, key)`` registers *key* to fire (via the
+    ``fire`` callback) at the first multiple of ``epoch_ms`` at or
+    after *due_ms* — never early.  All keys due at a boundary fire in
+    (due_ms, insertion order), which keeps runs deterministic.  The
+    loop carries at most a handful of armed boundary events regardless
+    of how many keys are pending, cutting the calendar-queue volume
+    from O(keys) to O(1) per epoch.
+    """
+
+    def __init__(self, loop: EventLoop, epoch_ms: int,
+                 fire: Callable[[Any], None]):
+        if epoch_ms < 1:
+            raise ValueError("epoch must be positive")
+        self._loop = loop
+        self._epoch_ms = int(epoch_ms)
+        self._fire = fire
+        self._heap: list[tuple[int, int, Any]] = []
+        self._sequence = 0
+        # The one *live* boundary with a loop event armed, or None.
+        # Loop events cannot be cancelled, so arming an earlier
+        # boundary strands the later event; strands must die silently
+        # (``_run_epoch`` ignores events whose boundary is not the live
+        # one) or every strand would re-arm a successor and the
+        # calendar would grow instead of shrink.
+        self._armed: int | None = None
+        self.epochs_fired = 0
+
+    @property
+    def epoch_ms(self) -> int:
+        return self._epoch_ms
+
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def _boundary(self, time_ms: int) -> int:
+        """First epoch boundary at or after *time_ms* (never in the
+        past)."""
+        boundary = -(-time_ms // self._epoch_ms) * self._epoch_ms
+        return max(boundary, self._loop.now)
+
+    def schedule_at(self, due_ms: int, key: Any) -> None:
+        due_ms = int(due_ms)
+        if due_ms < self._loop.now:
+            raise ValueError(
+                f"cannot schedule at {due_ms} before now ({self._loop.now})"
+            )
+        heapq.heappush(self._heap, (due_ms, self._sequence, key))
+        self._sequence += 1
+        self._arm(due_ms)
+
+    def schedule_in(self, delay_ms: int, key: Any) -> None:
+        if delay_ms < 0:
+            raise ValueError("delay must be non-negative")
+        self.schedule_at(self._loop.now + int(delay_ms), key)
+
+    def _arm(self, due_ms: int) -> None:
+        boundary = self._boundary(due_ms)
+        if self._armed is not None and self._armed <= boundary:
+            return
+        self._armed = boundary
+        self._loop.schedule_at(
+            boundary, lambda: self._run_epoch(boundary)
+        )
+
+    def _run_epoch(self, boundary: int) -> None:
+        if self._armed != boundary:
+            return  # stranded by a later, earlier-boundary arm
+        self._armed = None
+        self.epochs_fired += 1
+        now = self._loop.now
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            _, _, key = heapq.heappop(heap)
+            self._fire(key)
+        if heap:
+            self._arm(heap[0][0])

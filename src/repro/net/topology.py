@@ -9,9 +9,10 @@ over a mobility model, and scripted partitions are interchangeable.
 from __future__ import annotations
 
 import abc
-from typing import Iterable
+from typing import Iterable, Optional, Sequence
 
 from repro.net.mobility import MobilityModel
+from repro.net.spatial import NeighborIndex
 
 
 class Topology(abc.ABC):
@@ -77,6 +78,12 @@ class StaticTopology(Topology):
                 continue
             self._adjacency[a].add(b)
             self._adjacency[b].add(a)
+        # Adjacency is immutable after construction, so the sorted
+        # neighbor lists are computed once here instead of on every
+        # query.  Callers must treat the returned lists as read-only.
+        self._sorted_neighbors = [
+            sorted(self._adjacency[node]) for node in range(node_count)
+        ]
 
     @classmethod
     def line(cls, node_count: int) -> "StaticTopology":
@@ -91,30 +98,101 @@ class StaticTopology(Topology):
 
     def neighbors(self, node_id: int, time_ms: int) -> list[int]:
         self._check_node(node_id)
-        return sorted(self._adjacency[node_id])
+        return self._sorted_neighbors[node_id]
 
 
 class GeometricTopology(Topology):
     """Radio-range connectivity over a mobility model.
 
-    Two nodes are neighbors when within *radio_range_m* of each other at
+    Two nodes are neighbors when within radio range of each other at
     the query time — the unit-disk model, the standard abstraction for
-    Bluetooth-class radios.
+    Bluetooth-class radios.  With per-node *radio_ranges*, a link
+    exists only when the distance is within both endpoints' ranges
+    (links stay symmetric, which the gossip layer requires).
+
+    Queries go through a :class:`~repro.net.spatial.NeighborIndex`
+    spatial-hash grid by default — O(local density) per node instead of
+    O(n) — with answers guaranteed identical to the O(n) scan, which
+    stays available as :meth:`brute_force_neighbors` (the reference
+    oracle; ``use_index=False`` routes all queries through it).
     """
 
-    def __init__(self, mobility: MobilityModel, radio_range_m: float):
+    def __init__(self, mobility: MobilityModel,
+                 radio_range_m: Optional[float] = None,
+                 radio_ranges: Optional[Sequence[float]] = None,
+                 use_index: bool = True):
         super().__init__(mobility.node_count)
+        if radio_ranges is not None:
+            if len(radio_ranges) != mobility.node_count:
+                raise ValueError(
+                    f"need one radio range per node "
+                    f"({len(radio_ranges)} != {mobility.node_count})"
+                )
+            if min(radio_ranges) <= 0:
+                raise ValueError("radio ranges must be positive")
+            self.radio_ranges: Optional[list[float]] = [
+                float(r) for r in radio_ranges
+            ]
+            radio_range_m = max(self.radio_ranges)
+        else:
+            self.radio_ranges = None
+            if radio_range_m is None:
+                raise ValueError(
+                    "either radio_range_m or radio_ranges is required"
+                )
         if radio_range_m <= 0:
             raise ValueError("radio range must be positive")
         self.mobility = mobility
         self.radio_range_m = float(radio_range_m)
+        self._index: Optional[NeighborIndex] = (
+            NeighborIndex(
+                mobility, self.radio_range_m, radio_ranges=self.radio_ranges
+            )
+            if use_index else None
+        )
+
+    @property
+    def index(self) -> Optional[NeighborIndex]:
+        """The backing spatial index (None when ``use_index=False``)."""
+        return self._index
+
+    def _pair_range(self, a: int, b: int) -> float:
+        if self.radio_ranges is None:
+            return self.radio_range_m
+        return min(self.radio_ranges[a], self.radio_ranges[b])
 
     def neighbors(self, node_id: int, time_ms: int) -> list[int]:
+        self._check_node(node_id)
+        if self._index is not None:
+            return self._index.neighbors(node_id, time_ms)
+        return self.brute_force_neighbors(node_id, time_ms)
+
+    def brute_force_neighbors(self, node_id: int,
+                              time_ms: int) -> list[int]:
+        """The O(n) pairwise scan — the index's reference oracle."""
         self._check_node(node_id)
         return sorted(
             other
             for other in range(self.node_count)
             if other != node_id
             and self.mobility.distance(node_id, other, time_ms)
-            <= self.radio_range_m
+            <= self._pair_range(node_id, other)
         )
+
+    def connected(self, a: int, b: int, time_ms: int) -> bool:
+        # One distance check, not a neighbor-list build — this sits on
+        # the per-message delivery path of the message-level gossip
+        # model.
+        self._check_node(a)
+        self._check_node(b)
+        if a == b:
+            return False
+        return (
+            self.mobility.distance(a, b, time_ms)
+            <= self._pair_range(a, b)
+        )
+
+    def components(self, time_ms: int) -> list[set[int]]:
+        if self._index is not None:
+            return self._index.components(time_ms)
+        return super().components(time_ms)

@@ -13,9 +13,14 @@ from repro.sim.adversary import (
     HonestPolicy,
     SilentAdversary,
 )
+from repro.sim.city import city_scenario
 from repro.sim.energy import EnergyLedger, EnergyModel, EnergyParameters
 from repro.sim.gossip import GossipScheduler
-from repro.sim.metrics import PropagationTracker, SimMetrics
+from repro.sim.metrics import (
+    AggregatePropagationTracker,
+    PropagationTracker,
+    SimMetrics,
+)
 from repro.sim.runner import Simulation
 from repro.sim.scenario import Scenario
 from repro.sim.workload import (
@@ -27,6 +32,7 @@ from repro.sim.workload import (
 
 __all__ = [
     "AdversaryPolicy",
+    "AggregatePropagationTracker",
     "BurstyWorkload",
     "HotspotWorkload",
     "PeriodicWorkload",
@@ -42,4 +48,5 @@ __all__ = [
     "SilentAdversary",
     "SimMetrics",
     "Simulation",
+    "city_scenario",
 ]

@@ -37,7 +37,7 @@ import random
 from typing import Callable, Optional
 
 from repro.core.node import VegvisirNode
-from repro.net.events import EventLoop
+from repro.net.events import EpochTimers, EventLoop
 from repro.net.links import LinkModel
 from repro.net.topology import Topology
 from repro.reconcile.engine import ReconcileSession
@@ -102,6 +102,7 @@ class GossipScheduler:
         obs=None,
         faults=None,
         block_sink: Optional[Callable[[int, object], None]] = None,
+        contact_epoch_ms: Optional[int] = None,
     ):
         if peer_selector not in PEER_SELECTORS:
             raise ValueError(f"unknown peer selector {peer_selector!r}")
@@ -134,6 +135,19 @@ class GossipScheduler:
         self._round_robin_cursor = {node_id: 0 for node_id in nodes}
         self._last_contact: dict[tuple[int, int], int] = {}
         self._started = False
+        # Batched contact-epoch scheduling (opt-in, for large fleets):
+        # per-node tick timers coalesce into one loop event per epoch
+        # boundary, and because every tick processed in an epoch sees
+        # the same ``loop.now``, the spatial neighbor index builds one
+        # position snapshot per epoch instead of one per tick.  Unset
+        # (the default), ticks are individual loop events and runs are
+        # byte-identical to pre-epoch behaviour.
+        if contact_epoch_ms is not None and contact_epoch_ms < 1:
+            raise ValueError("contact epoch must be positive")
+        self._timers: Optional[EpochTimers] = (
+            EpochTimers(loop, contact_epoch_ms, self._tick)
+            if contact_epoch_ms is not None else None
+        )
         # Fault injection is opt-in the same way observability is: with
         # no injector attached (or an all-zero plan) the hot path costs
         # one ``is not None`` check and consumes no randomness, so the
@@ -202,6 +216,12 @@ class GossipScheduler:
     def session_model(self) -> str:
         return self._session_model
 
+    @property
+    def contact_epoch_ms(self) -> Optional[int]:
+        """The batching epoch, or None when ticks are individual
+        events."""
+        return self._timers.epoch_ms if self._timers is not None else None
+
     def start(self) -> None:
         """Schedule every node's first tick at a random phase offset."""
         if self._started:
@@ -210,9 +230,12 @@ class GossipScheduler:
         for node_id in sorted(self._nodes):
             self.observe_local_blocks(node_id)
             offset = self._rng.randrange(max(1, self._interval_ms))
-            self._loop.schedule_in(
-                offset, self._make_tick(node_id)
-            )
+            if self._timers is not None:
+                self._timers.schedule_in(offset, node_id)
+            else:
+                self._loop.schedule_in(
+                    offset, self._make_tick(node_id)
+                )
 
     def _make_tick(self, node_id: int) -> Callable[[], None]:
         def tick() -> None:
@@ -226,7 +249,10 @@ class GossipScheduler:
             else 0
         )
         delay = max(1, self._interval_ms + jitter)
-        self._loop.schedule_in(delay, self._make_tick(node_id))
+        if self._timers is not None:
+            self._timers.schedule_in(delay, node_id)
+        else:
+            self._loop.schedule_in(delay, self._make_tick(node_id))
 
     def is_busy(self, node_id: int) -> bool:
         return (

@@ -104,6 +104,75 @@ class PropagationTracker:
         return result
 
 
+class AggregatePropagationTracker(PropagationTracker):
+    """Per-block aggregates instead of per-(block, node) times.
+
+    At city scale (10k nodes × hundreds of blocks) the full tracker's
+    hash → node → time map is the largest object in the simulation.
+    This variant keeps O(blocks) state — creation time, delivery count,
+    last-delivery time per block — which is enough for every quantity
+    the simulation report uses (coverage, fully-covered fraction,
+    full-coverage latencies).  Per-node latency distributions are the
+    one casualty: :meth:`delivery_latencies` raises.
+
+    It relies on the gossip layer's call discipline (upheld by the
+    insertion-order cursors in ``observe_local_blocks``): at most one
+    ``record_delivered`` per (block, node).
+    """
+
+    def __init__(self, node_count: int, obs=None):
+        super().__init__(node_count, obs=obs)
+        # hash -> [delivered_count, last_delivered_ms]
+        self._counts: dict[Hash, list[int]] = {}
+        self._delivered = None  # poison the parent's per-node map
+
+    def record_created(self, block_hash: Hash, node_id: int,
+                       time_ms: int) -> None:
+        if block_hash not in self._created:
+            self._created[block_hash] = (time_ms, node_id)
+            self._counts[block_hash] = [1, time_ms]
+            if self._obs is not None:
+                self._obs.bus.emit(
+                    "block.created", block=block_hash, node=node_id
+                )
+
+    def record_delivered(self, block_hash: Hash, node_id: int,
+                         time_ms: int) -> None:
+        entry = self._counts.setdefault(block_hash, [0, time_ms])
+        entry[0] += 1
+        if time_ms > entry[1]:
+            entry[1] = time_ms
+        if self._obs is not None:
+            self._obs.bus.emit(
+                "block.delivered", block=block_hash, node=node_id
+            )
+
+    def coverage(self, block_hash: Hash) -> float:
+        entry = self._counts.get(block_hash)
+        return (entry[0] if entry else 0) / self.node_count
+
+    def full_coverage_time(self, block_hash: Hash) -> Optional[int]:
+        entry = self._counts.get(block_hash)
+        if entry is None or entry[0] < self.node_count:
+            return None
+        return entry[1]
+
+    def delivery_latencies(self, block_hash: Hash) -> list[int]:
+        raise NotImplementedError(
+            "per-node delivery latencies are not tracked in aggregate "
+            "mode (Scenario(aggregate_propagation=True))"
+        )
+
+    def fully_covered_fraction(self) -> float:
+        if not self._created:
+            return 1.0
+        covered = sum(
+            1 for block_hash in self._created
+            if self._counts[block_hash][0] == self.node_count
+        )
+        return covered / len(self._created)
+
+
 class SimMetrics:
     """Aggregate counters plus the propagation tracker.
 
@@ -113,10 +182,15 @@ class SimMetrics:
     demand, which is what reports and exporters read.
     """
 
-    def __init__(self, node_count: int, obs=None):
+    def __init__(self, node_count: int, obs=None,
+                 aggregate_propagation: bool = False):
         self._obs = obs if obs is not None and obs.enabled else None
         self._registry = None
-        self.propagation = PropagationTracker(node_count, obs=obs)
+        tracker_cls = (
+            AggregatePropagationTracker if aggregate_propagation
+            else PropagationTracker
+        )
+        self.propagation = tracker_cls(node_count, obs=obs)
         self.contacts_attempted = 0
         self.contacts_no_neighbor = 0
         self.contacts_lost = 0

@@ -39,8 +39,16 @@ class Simulation:
         # Geometric topologies expose their mobility model; nodes then
         # stamp their blocks with physical locations (Fig. 2).
         mobility = getattr(self.topology, "mobility", None)
-        self.fleet = build_fleet(scenario, self.loop, mobility=mobility)
-        self.metrics = SimMetrics(scenario.node_count, obs=self.obs)
+        if scenario.fleet_factory is not None:
+            self.fleet = scenario.fleet_factory(
+                scenario, self.loop, mobility
+            )
+        else:
+            self.fleet = build_fleet(scenario, self.loop, mobility=mobility)
+        self.metrics = SimMetrics(
+            scenario.node_count, obs=self.obs,
+            aggregate_propagation=scenario.aggregate_propagation,
+        )
         self.energy = EnergyModel(scenario.energy_parameters)
         self._rng = random.Random(scenario.seed ^ 0xC0FFEE)
         link = scenario.link or LinkModel(seed=scenario.seed ^ 0x11)
@@ -74,6 +82,7 @@ class Simulation:
             session_model=scenario.session_model,
             obs=self.obs,
             faults=self.fault_injector,
+            contact_epoch_ms=scenario.contact_epoch_ms,
         )
         # Peer discovery (repro.discovery): entirely absent unless the
         # scenario asks for it, so zero-discovery runs schedule nothing
@@ -95,7 +104,10 @@ class Simulation:
             )
         self._appended = 0
         self._closed = False
-        self._setup_workload_crdt()
+        # Lite fleets (city scale) have no CSM; their workload appends
+        # lightweight blocks directly instead of CRDT transactions.
+        if not getattr(self.fleet, "lite", False):
+            self._setup_workload_crdt()
         if self.crash_controller is not None:
             self.crash_controller.install(self)
         if self.obs is not None:

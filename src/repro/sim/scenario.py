@@ -56,6 +56,9 @@ class Scenario:
         discovery_ttl_ms: Optional[int] = None,
         discovery_expiry_ms: Optional[int] = None,
         discovery_beacon_faults=None,
+        contact_epoch_ms: Optional[int] = None,
+        aggregate_propagation: bool = False,
+        fleet_factory: Optional[Callable] = None,
     ):
         if node_count < 1:
             raise ValueError("need at least one node")
@@ -120,6 +123,19 @@ class Scenario:
         self.discovery_ttl_ms = discovery_ttl_ms
         self.discovery_expiry_ms = discovery_expiry_ms
         self.discovery_beacon_faults = discovery_beacon_faults
+        # Scale knobs (see docs/scale.md).  ``contact_epoch_ms`` batches
+        # per-node gossip tick timers into one loop event per epoch
+        # boundary; ``aggregate_propagation`` swaps the per-(block,
+        # node) delivery map for O(blocks) aggregates; ``fleet_factory``
+        # replaces ``build_fleet`` entirely (city-scale runs build
+        # lightweight nodes instead of full crypto object graphs).  All
+        # default off: an unset scenario is byte-identical to
+        # pre-scale behaviour.
+        if contact_epoch_ms is not None and contact_epoch_ms < 1:
+            raise ValueError("contact epoch must be positive")
+        self.contact_epoch_ms = contact_epoch_ms
+        self.aggregate_propagation = aggregate_propagation
+        self.fleet_factory = fleet_factory
 
     @property
     def observability_requested(self) -> bool:

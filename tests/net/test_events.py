@@ -1,8 +1,10 @@
 """Discrete-event loop tests."""
 
+import random
+
 import pytest
 
-from repro.net.events import EventLoop
+from repro.net.events import EpochTimers, EventLoop
 
 
 class TestEventLoop:
@@ -88,3 +90,84 @@ class TestEventLoop:
     def test_clock_callable(self):
         loop = EventLoop(start_ms=42)
         assert loop.clock() == 42
+
+
+class TestEpochTimers:
+    def test_keys_fire_at_first_boundary_not_early(self):
+        loop = EventLoop()
+        order = []
+        timers = EpochTimers(loop, 10, lambda k: order.append((loop.now, k)))
+        timers.schedule_at(15, "a")
+        timers.schedule_at(5, "b")
+        timers.schedule_at(20, "c")
+        timers.schedule_at(17, "d")
+        loop.run_all()
+        # Within one boundary, keys fire in (due, insertion) order.
+        assert order == [(10, "b"), (20, "a"), (20, "d"), (20, "c")]
+
+    def test_due_on_boundary_fires_on_it(self):
+        loop = EventLoop()
+        order = []
+        timers = EpochTimers(loop, 10, lambda k: order.append(loop.now))
+        timers.schedule_at(30, "x")
+        loop.run_all()
+        assert order == [30]
+
+    def test_reschedule_from_fire_keeps_running(self):
+        loop = EventLoop()
+        fired = []
+        timers = EpochTimers(loop, 10, None)
+
+        def fire(key):
+            fired.append(loop.now)
+            if loop.now < 100:
+                timers.schedule_in(25, key)
+
+        timers._fire = fire
+        timers.schedule_in(5, "k")
+        loop.run_until(200)
+        assert fired == [10, 40, 70, 100]
+
+    def test_shared_now_within_epoch(self):
+        loop = EventLoop()
+        times = []
+        timers = EpochTimers(loop, 50, lambda k: times.append(loop.now))
+        for offset in (1, 13, 27, 44):
+            timers.schedule_at(offset, offset)
+        loop.run_all()
+        assert times == [50, 50, 50, 50]
+
+    def test_calendar_stays_small_under_churn(self):
+        # The whole point: N keys rescheduling forever must cost O(1)
+        # loop events per boundary, not O(N) — and stranded armed
+        # events must not replicate (regression: every stale firing
+        # used to arm a successor, growing the calendar without bound).
+        loop = EventLoop()
+        rng = random.Random(0)
+        timers = EpochTimers(loop, 10, None)
+        fired = [0]
+
+        def fire(key):
+            fired[0] += 1
+            timers.schedule_in(rng.randrange(50, 70), key)
+
+        timers._fire = fire
+        for key in range(300):
+            timers.schedule_in(rng.randrange(1, 60), key)
+        loop.run_until(10_000)
+        boundaries = 10_000 // 10
+        assert timers.epochs_fired <= boundaries
+        assert loop.events_run < 5 * boundaries
+        assert fired[0] > 40_000  # the keys did keep firing
+
+    def test_validation(self):
+        loop = EventLoop(start_ms=100)
+        with pytest.raises(ValueError):
+            EpochTimers(loop, 0, lambda k: None)
+        timers = EpochTimers(loop, 10, lambda k: None)
+        with pytest.raises(ValueError):
+            timers.schedule_at(50, "past")
+        with pytest.raises(ValueError):
+            timers.schedule_in(-1, "negative")
+        assert timers.epoch_ms == 10
+        assert timers.pending() == 0

@@ -1,0 +1,175 @@
+"""Spatial neighbor index: exactness against the brute-force oracle.
+
+The index is always on (``GeometricTopology`` routes ``neighbors``
+through it), so these tests are the load-bearing guarantee that
+indexing changes *nothing*: for every node at every sampled time, over
+mobile and static worlds, flat and heterogeneous radios, the grid
+answer must equal the O(n²) scan answer exactly — same membership,
+same order.
+"""
+
+import random
+
+import pytest
+
+from repro.net.mobility import RandomWaypoint, StaticPlacement
+from repro.net.spatial import NeighborIndex
+from repro.net.topology import GeometricTopology
+
+
+def assert_index_matches_oracle(topology, times):
+    for time_ms in times:
+        for node_id in range(topology.node_count):
+            indexed = topology.neighbors(node_id, time_ms)
+            brute = topology.brute_force_neighbors(node_id, time_ms)
+            assert indexed == brute, (
+                f"node {node_id} at t={time_ms}: "
+                f"index {indexed} != oracle {brute}"
+            )
+
+
+class TestIndexVersusOracle:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7, 23])
+    def test_random_waypoint_worlds(self, seed):
+        rng = random.Random(seed)
+        node_count = rng.randrange(20, 60)
+        width = rng.uniform(150, 600)
+        height = rng.uniform(150, 600)
+        mobility = RandomWaypoint(
+            node_count, width, height,
+            speed_mps=rng.uniform(1, 15),
+            pause_ms=rng.randrange(0, 5_000),
+            seed=seed,
+        )
+        radio = rng.uniform(30, 200)
+        topology = GeometricTopology(mobility, radio_range_m=radio)
+        times = sorted(rng.randrange(0, 120_000) for _ in range(6))
+        assert_index_matches_oracle(topology, times)
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_heterogeneous_radios(self, seed):
+        rng = random.Random(seed)
+        node_count = 40
+        mobility = RandomWaypoint(node_count, 400, 400, seed=seed)
+        ranges = [rng.choice([30.0, 80.0, 150.0])
+                  for _ in range(node_count)]
+        topology = GeometricTopology(mobility, radio_ranges=ranges)
+        times = [0, 10_000, 55_555, 90_001]
+        assert_index_matches_oracle(topology, times)
+        # Links are symmetric: min(r_a, r_b) governs both directions.
+        for time_ms in times:
+            for a in range(node_count):
+                for b in topology.neighbors(a, time_ms):
+                    assert a in topology.neighbors(b, time_ms)
+
+    def test_static_placement(self):
+        mobility = StaticPlacement(50, 300, 300, seed=9)
+        topology = GeometricTopology(mobility, radio_range_m=90)
+        assert_index_matches_oracle(topology, [0, 5_000, 99_999])
+        # Static worlds build exactly one snapshot, ever.
+        assert topology.index.snapshots_built == 1
+
+    def test_range_boundary_is_inclusive_in_both(self):
+        # Two nodes exactly radio_range apart: both paths must agree
+        # on the <= comparison (same floats, same operator).
+        class TwoPoints:
+            node_count = 2
+            positions_static = True
+
+            def position(self, node_id, time_ms):
+                return (0.0, 0.0) if node_id == 0 else (100.0, 0.0)
+
+            def positions_at(self, time_ms):
+                import array
+                return array.array("d", [0.0, 100.0]), \
+                    array.array("d", [0.0, 0.0])
+
+            def distance(self, a, b, time_ms):
+                import math
+                xa, ya = self.position(a, time_ms)
+                xb, yb = self.position(b, time_ms)
+                return math.hypot(xa - xb, ya - yb)
+
+        topology = GeometricTopology(TwoPoints(), radio_range_m=100.0)
+        assert topology.neighbors(0, 0) == [1]
+        assert topology.brute_force_neighbors(0, 0) == [1]
+
+
+class TestComponents:
+    @pytest.mark.parametrize("seed", [0, 5, 19])
+    def test_components_match_bfs_oracle(self, seed):
+        rng = random.Random(seed)
+        mobility = RandomWaypoint(35, 350, 350, seed=seed)
+        topology = GeometricTopology(mobility, radio_range_m=100)
+        for time_ms in (0, 20_000, 70_000):
+            fast = topology.components(time_ms)
+            slow = self._bfs_components(topology, time_ms)
+            assert fast == slow
+
+    def _bfs_components(self, topology, time_ms):
+        # Reimplementation of the Topology base-class walk over the
+        # oracle neighbor function.
+        unseen = set(range(topology.node_count))
+        components = []
+        while unseen:
+            start = min(unseen)
+            group = {start}
+            frontier = [start]
+            unseen.discard(start)
+            while frontier:
+                node = frontier.pop()
+                for peer in topology.brute_force_neighbors(node, time_ms):
+                    if peer in unseen:
+                        unseen.discard(peer)
+                        group.add(peer)
+                        frontier.append(peer)
+            components.append(group)
+        return components
+
+    def test_components_ordered_by_smallest_member(self):
+        mobility = StaticPlacement(30, 500, 500, seed=2)
+        topology = GeometricTopology(mobility, radio_range_m=60)
+        components = topology.components(0)
+        assert components == sorted(components, key=min)
+        assert sum(len(group) for group in components) == 30
+
+
+class TestNeighborIndex:
+    def test_snapshot_reuse_within_same_time(self):
+        mobility = RandomWaypoint(25, 300, 300, seed=4)
+        index = NeighborIndex(mobility, 80.0)
+        for node_id in range(25):
+            index.neighbors(node_id, 12_345)
+        assert index.snapshots_built == 1
+        index.neighbors(0, 12_346)
+        assert index.snapshots_built == 2
+
+    def test_connected_pairwise(self):
+        mobility = RandomWaypoint(30, 300, 300, seed=6)
+        index = NeighborIndex(mobility, 90.0)
+        for a in range(30):
+            neighbors = set(index.neighbors(a, 7_000))
+            for b in range(30):
+                assert index.connected(a, b, 7_000) == (b in neighbors)
+        assert not index.connected(3, 3, 7_000)
+
+    def test_rejects_bad_ranges(self):
+        mobility = StaticPlacement(4, 100, 100, seed=0)
+        with pytest.raises(ValueError):
+            NeighborIndex(mobility, 0)
+        with pytest.raises(ValueError):
+            NeighborIndex(mobility, 50.0, radio_ranges=[10.0, 20.0])
+        with pytest.raises(ValueError):
+            NeighborIndex(mobility, 50.0,
+                          radio_ranges=[10.0, 20.0, 0.0, 30.0])
+
+
+class TestStaticTopologyPrecomputedNeighbors:
+    def test_neighbors_sorted_and_stable(self):
+        from repro.net.topology import StaticTopology
+
+        topology = StaticTopology(5, [(4, 0), (0, 2), (2, 1)])
+        assert topology.neighbors(0, 0) == [2, 4]
+        # Same list object each call: precomputed, not re-sorted.
+        assert topology.neighbors(0, 0) is topology.neighbors(0, 99)
+        assert topology.neighbors(3, 0) == []

@@ -1,0 +1,245 @@
+"""City-scale plane: lite fleets, aggregate tracking, epoch gossip.
+
+Full-size city runs live in the nightly benchmark (A11); these tests
+exercise the same machinery at a few hundred nodes so the suite stays
+fast while covering every seam the scale knobs introduce.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.sim import Scenario, Simulation
+from repro.sim.city import (
+    CityWorkload,
+    LiteBlock,
+    LiteNode,
+    LiteSyncProtocol,
+    city_field_side_m,
+    city_scenario,
+    draw_radio_ranges,
+    lite_fleet_factory,
+)
+from repro.sim.metrics import AggregatePropagationTracker
+
+
+def small_city(seed=0, node_count=200, duration_ms=1_200_000):
+    return city_scenario(
+        node_count=node_count, duration_ms=duration_ms, seed=seed,
+        gossip_interval_ms=60_000, contact_epoch_ms=10_000,
+        append_interval_ms=240_000,
+    )
+
+
+def fleet_state_hash(sim):
+    states = sorted(
+        node.state_digest().hex() for node in sim.fleet.nodes.values()
+    )
+    return hashlib.sha256("".join(states).encode()).hexdigest()
+
+
+class TestLitePlane:
+    def test_lite_sync_pull_and_push(self):
+        registry = {}
+        a = LiteNode(0, registry)
+        b = LiteNode(1, registry)
+        a.append_block(LiteBlock(10, 0, wire_size=200))
+        b.append_block(LiteBlock(11, 1, wire_size=300))
+        b.append_block(LiteBlock(12, 1, wire_size=300))
+        stats = LiteSyncProtocol(push=True).run(a, b)
+        assert stats.blocks_pulled == 2
+        assert stats.blocks_pushed == 1
+        assert stats.converged
+        assert sorted(a.dag.insertion_order()) == [10, 11, 12]
+        assert sorted(b.dag.insertion_order()) == [10, 11, 12]
+        assert a.state_digest() == b.state_digest()
+        # Bytes: 2 summaries + each crossing block's body + overhead.
+        assert stats.total_bytes == 2 * 64 + (300 + 40) * 2 + (200 + 40)
+        assert stats.total_messages == 2 + 3
+
+    def test_lite_sync_without_push_is_one_way(self):
+        registry = {}
+        a = LiteNode(0, registry)
+        b = LiteNode(1, registry)
+        b.append_block(LiteBlock(5, 1))
+        stats = LiteSyncProtocol(push=False).run(a, b)
+        assert stats.blocks_pulled == 1
+        assert stats.blocks_pushed == 0
+        assert a.dag.has(5)
+
+    def test_lite_sync_idempotent(self):
+        registry = {}
+        a = LiteNode(0, registry)
+        b = LiteNode(1, registry)
+        a.append_block(LiteBlock(1, 0))
+        LiteSyncProtocol().run(a, b)
+        again = LiteSyncProtocol().run(a, b)
+        assert again.blocks_pulled == 0
+        assert again.blocks_pushed == 0
+        assert len(a.dag) == len(b.dag) == 1
+
+    def test_lite_fleet_factory_shares_registry(self):
+        scenario = Scenario(node_count=5, fleet_factory=lite_fleet_factory)
+        fleet = lite_fleet_factory(scenario, None, None)
+        assert fleet.lite
+        assert len(fleet.nodes) == 5
+        assert all(
+            node.dag._registry is fleet.registry
+            for node in fleet.nodes.values()
+        )
+
+
+class TestCityScenario:
+    def test_field_sizing_tracks_density(self):
+        assert city_field_side_m(10_000) == pytest.approx(5_000.0)
+        assert city_field_side_m(2_500) == pytest.approx(2_500.0)
+
+    def test_radio_ranges_heterogeneous_and_deterministic(self):
+        ranges = draw_radio_ranges(2_000, seed=1)
+        assert draw_radio_ranges(2_000, seed=1) == ranges
+        assert set(ranges) == {30.0, 80.0, 150.0}
+        # Roughly the intended 60/30/10 split.
+        assert ranges.count(30.0) > ranges.count(80.0) \
+            > ranges.count(150.0)
+
+    def test_defaults_are_planet_scale(self):
+        scenario = city_scenario()
+        assert scenario.node_count == 10_000
+        assert scenario.duration_ms == 86_400_000
+        assert scenario.contact_epoch_ms == 30_000
+        assert scenario.aggregate_propagation
+        assert scenario.fleet_factory is lite_fleet_factory
+
+    def test_small_city_run_disseminates(self):
+        sim = Simulation(small_city(seed=4)).run()
+        sim.run_quiescence(120_000)
+        sim.close()
+        assert sim.metrics.blocks_created > 0
+        assert sim.total_blocks() > 0
+        assert sim.metrics.sessions_completed > 0
+        assert sim.metrics.propagation.mean_coverage() > 0.3
+        assert sim.energy.total_j() > 0
+        # One position snapshot per epoch, not per tick.
+        assert (
+            sim.topology.index.snapshots_built
+            <= sim.gossip._timers.epochs_fired
+        )
+        assert sim.gossip._timers.epochs_fired < (
+            sim.metrics.contacts_attempted
+        )
+
+    def test_same_seed_reproduces_exactly(self):
+        def run(seed):
+            sim = Simulation(small_city(seed=seed, node_count=120,
+                                        duration_ms=600_000)).run()
+            sim.run_quiescence(60_000)
+            sim.close()
+            return fleet_state_hash(sim), sim.metrics.as_dict()
+
+        first = run(9)
+        second = run(9)
+        assert first == second
+        different = run(10)
+        assert different[0] != first[0]
+
+    def test_report_renders_for_lite_fleet(self):
+        from repro.report import simulation_report
+
+        sim = Simulation(small_city(seed=2, node_count=80,
+                                    duration_ms=600_000)).run()
+        sim.run_quiescence(60_000)
+        sim.close()
+        report = simulation_report(sim)
+        assert "80 nodes" in report
+        assert "coverage" in report
+
+    def test_cli_city_scenario(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "simulate", "--scenario", "city", "--nodes", "60",
+            "--duration", "900000", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "60 nodes" in out
+
+    def test_cli_city_rejects_faults_and_partitions(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "simulate", "--scenario", "city", "--partition-until", "5000",
+        ]) == 1
+        assert main([
+            "simulate", "--scenario", "city",
+            "--session-model", "message",
+        ]) == 1
+
+
+class TestAggregateTracker:
+    def test_matches_full_tracker_on_identical_run(self):
+        # Same seed, same scenario, only the tracker flag differs: the
+        # aggregate numbers must equal the full tracker's (the map is
+        # dropped, not approximated).
+        def run(aggregate):
+            scenario = Scenario(
+                node_count=6, duration_ms=15_000,
+                append_interval_ms=3_000, seed=21,
+                aggregate_propagation=aggregate,
+            )
+            sim = Simulation(scenario).run()
+            sim.run_quiescence(5_000)
+            sim.close()
+            return sim
+
+        full = run(False)
+        aggregate = run(True)
+        assert isinstance(
+            aggregate.metrics.propagation, AggregatePropagationTracker
+        )
+        assert fleet_state_hash(full) == fleet_state_hash(aggregate)
+        for tracker_a, tracker_b in ((full.metrics.propagation,
+                                      aggregate.metrics.propagation),):
+            assert tracker_a.blocks() == tracker_b.blocks()
+            assert tracker_a.mean_coverage() == tracker_b.mean_coverage()
+            assert (tracker_a.fully_covered_fraction()
+                    == tracker_b.fully_covered_fraction())
+            assert (sorted(tracker_a.full_coverage_latencies())
+                    == sorted(tracker_b.full_coverage_latencies()))
+
+    def test_per_node_latencies_unavailable(self):
+        tracker = AggregatePropagationTracker(4)
+        tracker.record_created("h", 0, 100)
+        with pytest.raises(NotImplementedError):
+            tracker.delivery_latencies("h")
+
+    def test_coverage_arithmetic(self):
+        tracker = AggregatePropagationTracker(4)
+        tracker.record_created("h", 0, 100)
+        assert tracker.coverage("h") == 0.25
+        tracker.record_delivered("h", 1, 200)
+        tracker.record_delivered("h", 2, 400)
+        assert tracker.coverage("h") == 0.75
+        assert tracker.full_coverage_time("h") is None
+        tracker.record_delivered("h", 3, 300)
+        assert tracker.full_coverage_time("h") == 400
+        assert tracker.fully_covered_fraction() == 1.0
+        assert tracker.full_coverage_latencies() == [300]
+
+
+class TestCityWorkload:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            CityWorkload([0], 0)
+
+    def test_writers_create_blocks_on_lite_fleet(self):
+        scenario = small_city(seed=6, node_count=50, duration_ms=600_000)
+        sim = Simulation(scenario).run()
+        sim.close()
+        workload = scenario.workload
+        assert workload.appends > 0
+        assert sim.metrics.blocks_created == workload.appends
+        created = {
+            block.user_id for block in sim.fleet.registry.values()
+        }
+        assert created <= set(workload.writer_ids)

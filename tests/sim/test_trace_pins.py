@@ -1,0 +1,97 @@
+"""Pinned-trace regression: the scale refactor changed nothing.
+
+The GOLDEN hashes below were captured on the pre-refactor tree (before
+the spatial index, struct-of-arrays mobility, epoch timers, and lite
+fleets existed) by running these exact scenarios and hashing (a) the
+raw bytes of the JSONL event trace and (b) the sorted per-node state
+digests.  Post-refactor runs must reproduce them byte for byte: the
+spatial index is always on for geometric topologies, so any float,
+ordering, or RNG drift it introduced would show up here immediately.
+
+If a future change *legitimately* alters simulation behaviour (a new
+event type in traces, a protocol change), re-capture the constants in
+the same commit and say so — never loosen the comparison.
+"""
+
+import hashlib
+import pathlib
+
+import pytest
+
+from repro.net.links import LinkModel
+from repro.net.mobility import RandomWaypoint, StaticPlacement
+from repro.net.topology import GeometricTopology
+from repro.sim import Scenario, Simulation
+
+GOLDEN = {
+    "geo_waypoint_atomic": (
+        "5c84d64fef061b3e94a8827789692eccedc95e72a5285934ecc81a52cc238a0d",
+        "7dc4b7dfda74ff39d96780e4e7b92a09e8a6a409561a87f530abf9d0b9d09408",
+    ),
+    "geo_waypoint_message": (
+        "ad47777e8f0d5ce8089e842954af705960e294be428190aeae4bd52340b82aff",
+        "ac693a0eb06e314decdc2f34442f3910a14adfd80c0123f0d8fba788b94aca13",
+    ),
+    "geo_static_message": (
+        "8c4e14ea39d53db8d8a63df31ab4e71109102cbb04aa5bc414968612268047ed",
+        "d0a537c656cd59b373936eebe2e6ff4a083866406e7d89f51168cee7fd984658",
+    ),
+}
+
+
+def geo_waypoint(node_count):
+    return GeometricTopology(
+        RandomWaypoint(node_count, 300, 300, speed_mps=8.0,
+                       pause_ms=2_000, seed=11),
+        radio_range_m=120,
+    )
+
+
+def geo_static(node_count):
+    return GeometricTopology(
+        StaticPlacement(node_count, 250, 250, seed=5), radio_range_m=110
+    )
+
+
+CASES = {
+    "geo_waypoint_atomic": dict(
+        node_count=8, duration_ms=20_000, append_interval_ms=4_000,
+        seed=3, topology_factory=geo_waypoint, session_model="atomic",
+    ),
+    "geo_waypoint_message": dict(
+        node_count=6, duration_ms=15_000, append_interval_ms=3_000,
+        seed=7, topology_factory=geo_waypoint, session_model="message",
+        link=LinkModel(bandwidth_bytes_per_ms=200, setup_latency_ms=5,
+                       seed=7 ^ 0x11),
+    ),
+    "geo_static_message": dict(
+        node_count=7, duration_ms=15_000, append_interval_ms=3_000,
+        seed=13, topology_factory=geo_static, session_model="message",
+    ),
+}
+
+
+def run_case(tmp_path: pathlib.Path, **kwargs) -> tuple[str, str]:
+    trace = tmp_path / "trace.jsonl"
+    scenario = Scenario(trace_path=trace, **kwargs)
+    sim = Simulation(scenario).run()
+    sim.run_quiescence(5_000)
+    sim.close()
+    trace_digest = hashlib.sha256(trace.read_bytes()).hexdigest()
+    states = sorted(
+        node.state_digest().hex() for node in sim.fleet.nodes.values()
+    )
+    state_digest = hashlib.sha256("".join(states).encode()).hexdigest()
+    return trace_digest, state_digest
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_trace_and_state_byte_identical_to_pre_refactor(name, tmp_path):
+    trace_digest, state_digest = run_case(tmp_path, **CASES[name])
+    expected_trace, expected_state = GOLDEN[name]
+    assert trace_digest == expected_trace, (
+        f"{name}: event trace diverged from the pre-refactor pin"
+    )
+    assert state_digest == expected_state, (
+        f"{name}: final node states diverged from the pre-refactor pin"
+    )
