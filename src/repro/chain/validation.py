@@ -17,7 +17,7 @@ validator does not depend on the CRDT state machine package.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import Optional, Protocol, Sequence
 
 from repro.chain.block import Block
 from repro.chain.dag import BlockDAG
@@ -28,6 +28,7 @@ from repro.chain.errors import (
     SignatureInvalidError,
     TimestampError,
 )
+from repro.chain.verifycache import VerifiedBlockCache, shared_cache
 from repro.crypto.ed25519 import PublicKey
 from repro.crypto.sha import Hash
 
@@ -57,10 +58,16 @@ class BlockValidator:
         dag: BlockDAG,
         resolve_member: MemberResolver,
         max_skew_ms: int = DEFAULT_MAX_SKEW_MS,
+        verify_cache: Optional[VerifiedBlockCache] = None,
     ):
         self._dag = dag
         self._resolve_member = resolve_member
         self._max_skew_ms = max_skew_ms
+        # Shared by default: blocks verified by any node or session in
+        # this process are verified once (see repro.chain.verifycache).
+        self._verify_cache = (
+            verify_cache if verify_cache is not None else shared_cache()
+        )
 
     def validate(self, block: Block, now_ms: int,
                  verify_signature: bool = True) -> None:
@@ -108,12 +115,46 @@ class BlockValidator:
             )
         if Hash.of_bytes(public_key.data) != block.user_id:
             raise SignatureInvalidError("header user id does not match key")
-        if verify_signature and not public_key.verify(
-            block.signing_payload(), block.signature
+        # The binding check above pins the key to a hash-covered header
+        # field, which is what makes the per-hash verdict cache sound.
+        if verify_signature and not self._verify_cache.verify_block(
+            public_key, block
         ):
             raise SignatureInvalidError(
                 f"signature of block {block.hash.short()} does not verify"
             )
+
+    def preverify(self, blocks: Sequence[Block]) -> None:
+        """Batch-verify the signatures of incoming blocks into the cache.
+
+        Best-effort: a block whose parents are not in the DAG yet, whose
+        creator cannot be resolved, or whose user-id binding fails is
+        simply skipped — :meth:`validate` reports the precise error when
+        its turn comes.  Blocks that survive the screen are verified in
+        one backend batch, so the validation loop that follows only sees
+        cache hits.
+        """
+        items = []
+        for block in blocks:
+            if block.hash.digest in self._verify_cache:
+                continue
+            if block.hash in self._dag or block.is_genesis():
+                continue
+            if any(parent not in self._dag for parent in block.parents):
+                continue
+            try:
+                public_key = self._resolve_member(
+                    block.user_id, block.parents
+                )
+            except Exception:
+                continue
+            if public_key is None:
+                continue
+            if Hash.of_bytes(public_key.data) != block.user_id:
+                continue
+            items.append((public_key, block))
+        if items:
+            self._verify_cache.preverify(items)
 
     def is_valid(self, block: Block, now_ms: int) -> bool:
         """Boolean form of :meth:`validate` (duplicates count as invalid)."""

@@ -38,6 +38,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core.genesis import create_genesis
+from repro.crypto.backend import BackendUnavailable
 from repro.crypto.keys import KeyPair
 from repro.crypto.ed25519 import PrivateKey
 
@@ -249,8 +250,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         metrics=args.metrics,
         faults=faults,
         contact_epoch_ms=contact_epoch,
+        crypto_backend=args.crypto_backend,
     )
-    sim = Simulation(scenario).run()
+    try:
+        sim = Simulation(scenario).run()
+    except BackendUnavailable as error:
+        print(f"crypto backend unavailable: {error}", file=sys.stderr)
+        return 1
     sim.run_quiescence(args.quiescence if args.quiescence is not None
                        else duration // 2)
     sim.close()
@@ -288,7 +294,12 @@ def _simulate_city(args: argparse.Namespace) -> int:
     scenario = city_scenario(seed=args.seed, **kwargs)
     scenario.trace_path = args.trace
     scenario.metrics = args.metrics
-    sim = Simulation(scenario).run()
+    scenario.crypto_backend = args.crypto_backend
+    try:
+        sim = Simulation(scenario).run()
+    except BackendUnavailable as error:
+        print(f"crypto backend unavailable: {error}", file=sys.stderr)
+        return 1
     # A half-duration quiescence would double a day-long run; two gossip
     # periods are enough for the last appends to make local progress.
     quiescence = (
@@ -426,6 +437,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.live import ListenError, LiveNode, PeerSpec
     from repro.obs.live import OpsError
 
+    if args.crypto_backend is not None:
+        from repro.crypto import backend as crypto_backend
+
+        try:
+            crypto_backend.set_backend(args.crypto_backend)
+        except BackendUnavailable as exc:
+            print(f"crypto backend unavailable: {exc}", file=sys.stderr)
+            return 1
     key = _load_key(args.key)
     store = pathlib.Path(args.store)
     if not store.exists():
@@ -465,7 +484,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         key, store,
         host=args.host, port=args.port, peers=peers, name=args.name,
         protocol=args.protocol, interval_s=args.interval,
-        session_timeout_s=args.session_timeout, obs=obs,
+        session_timeout_s=args.session_timeout,
+        pipeline=args.pipeline, obs=obs,
         discovery=discovery,
         ops_host=args.ops_host, ops_port=args.ops_port,
         profiler=profiler,
@@ -639,6 +659,11 @@ def build_parser() -> argparse.ArgumentParser:
                           dest="contact_epoch", metavar="MS",
                           help="batch gossip ticks into epochs of MS "
                                "(default: off; city: 30000)")
+    simulate.add_argument("--crypto-backend",
+                          choices=["pure", "cryptography", "auto"],
+                          default=None,
+                          help="Ed25519 backend for the run (default: "
+                               "process setting / VGV_CRYPTO_BACKEND)")
     simulate.add_argument("--quiescence", type=int, default=None,
                           metavar="MS",
                           help="post-workload drain time (default: half "
@@ -707,6 +732,14 @@ def build_parser() -> argparse.ArgumentParser:
                        default="frontier")
     serve.add_argument("--interval", type=float, default=1.0,
                        help="anti-entropy interval in seconds")
+    serve.add_argument("--pipeline", type=int, default=1,
+                       help="max concurrent anti-entropy sessions per "
+                            "tick, each to a distinct peer (default 1)")
+    serve.add_argument("--crypto-backend",
+                       choices=["pure", "cryptography", "auto"],
+                       default=None,
+                       help="Ed25519 backend (default: process setting / "
+                            "VGV_CRYPTO_BACKEND)")
     serve.add_argument("--session-timeout", type=float, default=30.0,
                        dest="session_timeout",
                        help="per-session deadline in seconds")

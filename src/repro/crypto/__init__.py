@@ -1,11 +1,20 @@
 """Cryptographic substrate (S2).
 
 Vegvisir blocks are content-addressed by SHA-256 and signed with Ed25519.
-The Ed25519 implementation is pure Python (RFC 8032) so the repository has
-no dependency on native crypto libraries; it is not constant-time and is
-meant for research use, exactly like the rest of this reproduction.
+The default Ed25519 implementation is pure Python (RFC 8032) so the
+repository has no dependency on native crypto libraries; it is not
+constant-time and is meant for research use, exactly like the rest of
+this reproduction.  An optional OpenSSL-accelerated backend (the
+``cryptography`` package, ``pip install repro[accel]``) can be selected
+through :mod:`repro.crypto.backend` — signatures and verdicts are
+byte-identical either way.
 """
 
+from repro.crypto.backend import (
+    BackendUnavailable,
+    available_backends,
+    set_backend,
+)
 from repro.crypto.ed25519 import (
     SIGNATURE_SIZE,
     PrivateKey,
@@ -18,13 +27,16 @@ from repro.crypto.keys import KeyPair
 from repro.crypto.sha import Hash, hash_value, sha256
 
 __all__ = [
+    "BackendUnavailable",
     "Hash",
     "KeyPair",
     "PrivateKey",
     "PublicKey",
     "SIGNATURE_SIZE",
     "SignatureError",
+    "available_backends",
     "hash_value",
+    "set_backend",
     "sha256",
     "sign",
     "verify",

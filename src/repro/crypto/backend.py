@@ -1,0 +1,294 @@
+"""Pluggable Ed25519 backends (the fast crypto plane).
+
+Every signature in the system flows through this module's dispatch
+functions.  Two interchangeable backends implement the primitive
+operations:
+
+* ``pure`` — the from-scratch RFC 8032 implementation in
+  :mod:`repro.crypto.ed25519`.  Dependency-free, auditable, and the
+  **reference oracle**: the accelerated backend must agree with it
+  byte-for-byte on signatures and verdict-for-verdict on verification
+  (including malformed encodings — the cross-backend property suite in
+  ``tests/crypto/test_backend.py`` enforces this).
+* ``cryptography`` — OpenSSL's Ed25519 via the ``cryptography`` wheel
+  (install with ``pip install repro[accel]``).  Two orders of magnitude
+  faster; Ed25519 signing is deterministic, so its signatures are
+  byte-identical to the pure backend's, and OpenSSL's RFC 8032 verifier
+  rejects exactly the encodings the pure one rejects (s >= L,
+  non-canonical point y-coordinates, wrong lengths).
+
+Selection happens once, at startup: the ``VGV_CRYPTO_BACKEND``
+environment variable (``pure`` | ``cryptography`` | ``auto``) or an
+explicit :func:`set_backend` call — ``Scenario(crypto_backend=...)``,
+``vegvisir simulate/serve --crypto-backend`` route through the latter.
+The default is ``pure`` so a bare checkout stays dependency-free and
+deterministic; ``auto`` picks ``cryptography`` when importable and
+falls back to ``pure``.
+
+On top of the raw primitives the module keeps a bounded
+signature-verdict memo shared by both backends (keyed by a hash of the
+``(key, signature, message)`` triple).  It serves the *non-block*
+verification sites — membership certificates replayed per node, signed
+discovery beacons, support-chain audits — where the same triple recurs
+across replicas in one process.  Block signatures use the cheaper
+verified-block LRU in :mod:`repro.chain.verifycache` instead, keyed by
+block hash, and never pass through this memo.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.crypto import ed25519 as _pure
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.crypto.ed25519 import PrivateKey, PublicKey
+
+PURE = "pure"
+CRYPTOGRAPHY = "cryptography"
+AUTO = "auto"
+
+#: Environment variable consulted the first time a backend is needed.
+ENV_VAR = "VGV_CRYPTO_BACKEND"
+
+
+class BackendUnavailable(Exception):
+    """The requested crypto backend cannot be constructed here."""
+
+
+class CryptoBackend:
+    """Primitive Ed25519 operations one backend provides."""
+
+    name = "?"
+
+    def sign(self, private: "PrivateKey", message: bytes) -> bytes:
+        raise NotImplementedError
+
+    def verify(self, public: "PublicKey", message: bytes,
+               signature: bytes) -> bool:
+        raise NotImplementedError
+
+    def derive_public(self, seed: bytes) -> bytes:
+        """The 32-byte public key for a 32-byte private seed."""
+        raise NotImplementedError
+
+    def verify_batch(
+        self, items: Sequence[tuple["PublicKey", bytes, bytes]]
+    ) -> list[bool]:
+        """Verdicts for a batch of ``(key, message, signature)`` triples.
+
+        Ed25519 has no aggregate verification that preserves per-item
+        verdicts, so both backends check items one by one — the batch
+        entry point exists so callers hand the whole session's blocks
+        over in one call and the backend amortizes its per-call setup
+        (and a future backend can parallelize).
+        """
+        return [
+            self.verify(key, message, signature)
+            for key, message, signature in items
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CryptoBackend {self.name}>"
+
+
+class PureEd25519(CryptoBackend):
+    """The RFC 8032 reference implementation (always available)."""
+
+    name = PURE
+
+    def sign(self, private: "PrivateKey", message: bytes) -> bytes:
+        return _pure.sign(private, message)
+
+    def verify(self, public: "PublicKey", message: bytes,
+               signature: bytes) -> bool:
+        return _pure.verify(public, message, signature)
+
+    def derive_public(self, seed: bytes) -> bytes:
+        return _pure.derive_public_bytes(seed)
+
+
+class CryptographyEd25519(CryptoBackend):
+    """OpenSSL Ed25519 through the ``cryptography`` package.
+
+    Private-key handles are cached per seed (OpenSSL key loading costs
+    as much as a signature), public-key handles per key instance.
+    """
+
+    name = CRYPTOGRAPHY
+
+    def __init__(self):
+        try:
+            from cryptography.hazmat.primitives.asymmetric import (
+                ed25519 as _crypt,
+            )
+        except ImportError as exc:  # pragma: no cover - env dependent
+            raise BackendUnavailable(
+                "the 'cryptography' package is not installed "
+                "(pip install repro[accel])"
+            ) from exc
+        self._crypt = _crypt
+        self._private_handles: dict[bytes, object] = {}
+        self._public_handles: dict[bytes, object] = {}
+
+    def _private_handle(self, seed: bytes):
+        handle = self._private_handles.get(seed)
+        if handle is None:
+            handle = self._crypt.Ed25519PrivateKey.from_private_bytes(seed)
+            if len(self._private_handles) >= 65_536:
+                self._private_handles.clear()
+            self._private_handles[seed] = handle
+        return handle
+
+    def _public_handle(self, data: bytes):
+        handle = self._public_handles.get(data)
+        if handle is None:
+            # Key loading validates lengths only; an off-curve point
+            # surfaces as a verification failure, matching the pure
+            # backend's False verdict.
+            handle = self._crypt.Ed25519PublicKey.from_public_bytes(data)
+            if len(self._public_handles) >= 65_536:
+                self._public_handles.clear()
+            self._public_handles[data] = handle
+        return handle
+
+    def sign(self, private: "PrivateKey", message: bytes) -> bytes:
+        return self._private_handle(private.seed).sign(bytes(message))
+
+    def verify(self, public: "PublicKey", message: bytes,
+               signature: bytes) -> bool:
+        if len(signature) != _pure.SIGNATURE_SIZE:
+            return False
+        try:
+            handle = self._public_handle(public.data)
+        except ValueError:
+            return False
+        try:
+            handle.verify(bytes(signature), bytes(message))
+        except Exception:
+            # cryptography raises InvalidSignature; any other failure
+            # mode equally means "does not verify".
+            return False
+        return True
+
+    def derive_public(self, seed: bytes) -> bytes:
+        return self._private_handle(seed).public_key().public_bytes_raw()
+
+
+_BACKENDS = {
+    PURE: PureEd25519,
+    CRYPTOGRAPHY: CryptographyEd25519,
+}
+
+_active: Optional[CryptoBackend] = None
+
+
+def available_backends() -> list[str]:
+    """Backend names constructible in this environment."""
+    names = [PURE]
+    try:
+        import cryptography  # noqa: F401
+    except ImportError:  # pragma: no cover - env dependent
+        return names
+    names.append(CRYPTOGRAPHY)
+    return names
+
+
+def get_backend(name: str) -> CryptoBackend:
+    """Construct a backend by name; raises :class:`BackendUnavailable`."""
+    if name == AUTO:
+        try:
+            return CryptographyEd25519()
+        except BackendUnavailable:
+            return PureEd25519()
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise BackendUnavailable(
+            f"unknown crypto backend {name!r}: expected one of "
+            f"{sorted(_BACKENDS)} or {AUTO!r}"
+        ) from None
+    return factory()
+
+
+def active() -> CryptoBackend:
+    """The process-wide backend, resolving ``VGV_CRYPTO_BACKEND`` once."""
+    global _active
+    if _active is None:
+        _active = get_backend(os.environ.get(ENV_VAR, PURE).strip() or PURE)
+    return _active
+
+
+def set_backend(backend) -> CryptoBackend:
+    """Install the process-wide backend (a name or an instance).
+
+    Meant for startup (Scenario/CLI); switching mid-run is safe for
+    correctness — both backends agree on every verdict — but clears the
+    verification memo.
+    """
+    global _active
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+    _active = backend
+    clear_memo()
+    return backend
+
+
+def reset_backend() -> None:
+    """Forget the selection; the next :func:`active` re-reads the env."""
+    global _active
+    _active = None
+    clear_memo()
+
+
+# -- memoized dispatch -----------------------------------------------------
+
+# Verdict memo for non-block signatures (certificates, beacons,
+# support-chain audits): in simulations every replica re-verifies the
+# same certificate triples, and verifying is pure, so memoizing is a
+# transparent speedup.  Energy accounting charges per verification
+# regardless (see repro.sim.energy).
+_MEMO: dict[bytes, bool] = {}
+_MEMO_LIMIT = 200_000
+
+
+def clear_memo() -> None:
+    """Drop every memoized verdict (tests, backend switches)."""
+    _MEMO.clear()
+
+
+def sign(private: "PrivateKey", message: bytes) -> bytes:
+    """Sign via the active backend (byte-identical across backends)."""
+    return active().sign(private, message)
+
+
+def verify(public: "PublicKey", message: bytes, signature: bytes) -> bool:
+    """Memoized verification via the active backend."""
+    if len(signature) != _pure.SIGNATURE_SIZE:
+        return False
+    memo_key = hashlib.sha256(
+        public.data + signature + message
+    ).digest()
+    cached = _MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+    result = active().verify(public, message, signature)
+    if len(_MEMO) >= _MEMO_LIMIT:
+        _MEMO.clear()
+    _MEMO[memo_key] = result
+    return result
+
+
+def verify_uncached(public: "PublicKey", message: bytes,
+                    signature: bytes) -> bool:
+    """Verification via the active backend, bypassing the memo."""
+    return active().verify(public, message, signature)
+
+
+def verify_batch(
+    items: Iterable[tuple["PublicKey", bytes, bytes]]
+) -> list[bool]:
+    """Batch verification via the active backend (no memo)."""
+    return active().verify_batch(list(items))

@@ -10,6 +10,13 @@ The implementation verifies against the RFC 8032 test vectors (see
 ``tests/crypto/test_ed25519.py``).  It is **not** constant-time and must
 not be used to protect real secrets; within this reproduction it provides
 the authentic sign/verify interface the Vegvisir protocol requires.
+
+The module-level :func:`sign` / :func:`verify` here are the **pure
+reference implementation** — unconditional, uncached, and always
+available.  The ``PrivateKey.sign`` / ``PublicKey.verify`` methods that
+the rest of the system calls dispatch through
+:mod:`repro.crypto.backend`, which selects between this implementation
+and the optional OpenSSL-accelerated one and adds verdict memoization.
 """
 
 from __future__ import annotations
@@ -160,7 +167,8 @@ class PublicKey:
         return self._point
 
     def verify(self, message: bytes, signature: bytes) -> bool:
-        return verify(self, message, signature)
+        """Backend-dispatched, memoized verification (the hot path)."""
+        return _backend.verify(self, message, signature)
 
     def __bytes__(self) -> bytes:
         return self._data
@@ -184,8 +192,7 @@ class PrivateKey:
         seed = bytes(seed)
         self._seed = seed
         self._scalar, self._prefix = _secret_expand(seed)
-        public_point = _scalar_mult(self._scalar, _BASE)
-        self._public = PublicKey(_point_compress(public_point))
+        self._public = None
 
     @classmethod
     def from_seed_int(cls, value: int) -> "PrivateKey":
@@ -198,10 +205,19 @@ class PrivateKey:
 
     @property
     def public_key(self) -> PublicKey:
+        # Derived lazily through the backend: the pure scalar
+        # multiplication is the single most expensive step of key
+        # construction, and the accelerated backend does it in
+        # microseconds.  Both produce the same 32 bytes.
+        if self._public is None:
+            self._public = PublicKey(
+                _backend.active().derive_public(self._seed)
+            )
         return self._public
 
     def sign(self, message: bytes) -> bytes:
-        return sign(self, message)
+        """Backend-dispatched signing (byte-identical across backends)."""
+        return _backend.sign(self, message)
 
     def __repr__(self) -> str:
         return "PrivateKey(<seed hidden>)"
@@ -220,12 +236,10 @@ def sign(key: PrivateKey, message: bytes) -> bytes:
     return r_bytes + s.to_bytes(32, "little")
 
 
-# Process-wide verification cache.  In simulations, every replica of a
-# block verifies the same (key, message, signature) triple; verifying is
-# pure, so memoizing is a transparent speedup.  Energy accounting charges
-# per verification regardless (see repro.sim.energy).
-_VERIFY_CACHE: dict[bytes, bool] = {}
-_VERIFY_CACHE_LIMIT = 200_000
+def derive_public_bytes(seed: bytes) -> bytes:
+    """Pure-reference public key (32 bytes) for a 32-byte seed."""
+    scalar, _ = _secret_expand(seed)
+    return _point_compress(_scalar_mult(scalar, _BASE))
 
 
 def verify(key: PublicKey, message: bytes, signature: bytes) -> bool:
@@ -233,22 +247,11 @@ def verify(key: PublicKey, message: bytes, signature: bytes) -> bool:
 
     Malformed inputs (wrong lengths, invalid point encodings, s >= L) also
     return ``False`` so callers can treat any bad signature uniformly.
+    This is the uncached pure-reference verdict; memoization lives in
+    :mod:`repro.crypto.backend`.
     """
     if len(signature) != SIGNATURE_SIZE:
         return False
-    cache_key = hashlib.sha256(key.data + signature + message).digest()
-    cached = _VERIFY_CACHE.get(cache_key)
-    if cached is not None:
-        return cached
-    result = _verify_uncached(key, message, signature)
-    if len(_VERIFY_CACHE) >= _VERIFY_CACHE_LIMIT:
-        _VERIFY_CACHE.clear()
-    _VERIFY_CACHE[cache_key] = result
-    return result
-
-
-def _verify_uncached(key: PublicKey, message: bytes,
-                     signature: bytes) -> bool:
     try:
         a_point = key.point()
         r_point = _point_decompress(signature[:32])
@@ -263,3 +266,8 @@ def _verify_uncached(key: PublicKey, message: bytes,
     sb = _scalar_mult(s, _BASE)
     rha = _point_add(r_point, _scalar_mult(h, a_point))
     return _point_equal(sb, rha)
+
+
+# Imported last: repro.crypto.backend imports this module's primitives,
+# so the cycle resolves only after both module bodies have executed.
+from repro.crypto import backend as _backend  # noqa: E402

@@ -102,6 +102,7 @@ class AntiEntropyLoop:
         interval_s: float = DEFAULT_INTERVAL,
         jitter_s: float = DEFAULT_JITTER,
         session_timeout_s: float = DEFAULT_SESSION_TIMEOUT,
+        pipeline: int = 1,
         on_blocks: Optional[BlockSink] = None,
         block_sink_factory: Optional[Callable[[str], BlockSink]] = None,
         seed: Optional[int] = None,
@@ -116,6 +117,11 @@ class AntiEntropyLoop:
         self._interval = interval_s
         self._jitter = jitter_s
         self._session_timeout = session_timeout_s
+        if pipeline < 1:
+            raise ValueError("pipeline must be at least 1")
+        #: Max concurrent initiator sessions per tick, each against a
+        #: *distinct* peer (one stream cannot interleave two sessions).
+        self._pipeline = pipeline
         self._on_blocks = on_blocks
         #: When set, each initiator session gets its own block sink
         #: built from the peer name — LiveNode uses this to attribute
@@ -156,10 +162,32 @@ class AntiEntropyLoop:
             if self._jitter:
                 delay += self._jitter * (2.0 * self._rng.random() - 1.0)
             await asyncio.sleep(max(0.01, delay))
-            names = self._peers.connected_peers()
-            if not names:
-                continue
-            await self.run_once(names[self._rng.randrange(len(names))])
+            await self.run_tick()
+
+    async def run_tick(self) -> list[ReconcileStats]:
+        """One tick's worth of sessions: up to ``pipeline`` concurrent
+        initiator sessions against distinct connected peers.
+
+        With ``pipeline=1`` (the default) this is the classic single
+        random-peer gossip round, byte-for-byte and RNG-draw-for-draw
+        identical to before the knob existed.  With more, a slow peer
+        no longer head-of-line-blocks the tick: sessions to different
+        peers run on different streams, and block merges still happen
+        atomically because merging is synchronous between awaits.
+        """
+        names = self._peers.connected_peers()
+        if not names:
+            return []
+        if self._pipeline == 1:
+            stats = await self.run_once(
+                names[self._rng.randrange(len(names))]
+            )
+            return [stats] if stats is not None else []
+        chosen = self._rng.sample(names, min(self._pipeline, len(names)))
+        results = await asyncio.gather(
+            *(self.run_once(name) for name in chosen)
+        )
+        return [stats for stats in results if stats is not None]
 
     async def run_once(self, peer_name: str) -> Optional[ReconcileStats]:
         """One session against *peer_name* now; None if not connected."""

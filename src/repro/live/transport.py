@@ -30,8 +30,10 @@ from repro.obs.profiling import PHASE_FRAME_IO, maybe_phase
 from repro.wire.framing import (
     FrameDecoder,
     FrameError,
+    LENGTH_BYTES,
     MAX_FRAME_BYTES,
     encode_frame,
+    frame_header,
 )
 
 
@@ -123,15 +125,22 @@ class StreamTransport(FrameTransport):
         if self._closed:
             raise TransportClosed(f"{self.label}: send on closed transport")
         with maybe_phase(self.profiler, PHASE_FRAME_IO) as ph:
-            frame = encode_frame(payload, self._max_frame_bytes)
-            ph.units += len(frame)
+            if not isinstance(payload, bytes):
+                payload = bytes(payload)
+            # Header and payload go down as two writes (asyncio batches
+            # them into one segment on drain) so the payload — already a
+            # canonical encoding — is never copied into a frame buffer.
+            header = frame_header(len(payload), self._max_frame_bytes)
+            frame_len = LENGTH_BYTES + len(payload)
+            ph.units += frame_len
         try:
-            self._writer.write(frame)
+            self._writer.write(header)
+            self._writer.write(payload)
             await self._writer.drain()
         except (ConnectionError, OSError) as exc:
             self._mark_closed()
             raise TransportClosed(f"{self.label}: peer gone: {exc}") from exc
-        self._account_send(payload, len(frame))
+        self._account_send(payload, frame_len)
 
     async def recv(self) -> bytes:
         while not self._ready:

@@ -32,7 +32,8 @@ class Certificate:
         signature: CA signature over the certificate payload.
     """
 
-    __slots__ = ("user_id", "public_key", "role", "issued_at", "signature")
+    __slots__ = ("user_id", "public_key", "role", "issued_at", "signature",
+                 "_fingerprint")
 
     def __init__(
         self,
@@ -46,6 +47,7 @@ class Certificate:
         self.issued_at = int(issued_at)
         self.signature = bytes(signature)
         self.user_id = Hash.of_bytes(public_key.data)
+        self._fingerprint: Hash | None = None
 
     def signing_payload(self) -> bytes:
         """Canonical bytes the CA signs (everything except the signature)."""
@@ -62,8 +64,14 @@ class Certificate:
         return ca_key.verify(self.signing_payload(), self.signature)
 
     def fingerprint(self) -> Hash:
-        """Content hash identifying this exact certificate."""
-        return Hash.of_value(self.to_wire())
+        """Content hash identifying this exact certificate.
+
+        Computed once: certificates are immutable, and the CS-machine
+        consults fingerprints on every member resolution.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = Hash.of_value(self.to_wire())
+        return self._fingerprint
 
     def to_wire(self) -> dict:
         """Wire-encodable map representation."""

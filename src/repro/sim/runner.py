@@ -27,6 +27,10 @@ class Simulation:
 
     def __init__(self, scenario: Scenario):
         self.scenario = scenario
+        if scenario.crypto_backend is not None:
+            from repro.crypto import backend as crypto_backend
+
+            crypto_backend.set_backend(scenario.crypto_backend)
         self.loop = EventLoop()
         self.obs = self._build_obs(scenario)
         if self.obs is not None:

@@ -59,6 +59,7 @@ class Scenario:
         contact_epoch_ms: Optional[int] = None,
         aggregate_propagation: bool = False,
         fleet_factory: Optional[Callable] = None,
+        crypto_backend: Optional[str] = None,
     ):
         if node_count < 1:
             raise ValueError("need at least one node")
@@ -136,6 +137,13 @@ class Scenario:
         self.contact_epoch_ms = contact_epoch_ms
         self.aggregate_propagation = aggregate_propagation
         self.fleet_factory = fleet_factory
+        # Ed25519 backend for the whole run: "pure" (default),
+        # "cryptography" (OpenSSL, needs the accel extra) or "auto".
+        # Signatures and verdicts are byte-identical either way (see
+        # repro.crypto.backend), so traces and digests do not change.
+        # None leaves the process-wide selection (VGV_CRYPTO_BACKEND)
+        # untouched.
+        self.crypto_backend = crypto_backend
 
     @property
     def observability_requested(self) -> bool:

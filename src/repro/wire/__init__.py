@@ -14,6 +14,7 @@ from repro.wire.framing import (
     MAX_FRAME_BYTES,
     decode_frames,
     encode_frame,
+    frame_header,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "encode",
     "encode_frame",
     "encoded_size",
+    "frame_header",
 ]

@@ -70,11 +70,15 @@ def _encode_into(out: bytearray, value: Any) -> None:
     elif isinstance(value, int):
         out.append(TAG_INT)
         _write_uvarint(out, _zigzag_signed(value))
-    elif isinstance(value, (bytes, bytearray, memoryview)):
+    elif isinstance(value, bytes):
+        out.append(TAG_BYTES)
+        _write_uvarint(out, len(value))
+        out += value
+    elif isinstance(value, (bytearray, memoryview)):
         data = bytes(value)
         out.append(TAG_BYTES)
         _write_uvarint(out, len(data))
-        out.extend(data)
+        out += data
     elif isinstance(value, str):
         data = value.encode("utf-8")
         out.append(TAG_STR)
@@ -144,38 +148,53 @@ def encoded_size(value: Any) -> int:
 
 
 class _Reader:
-    """Cursor over an immutable byte string with canonicity checks."""
+    """Cursor over an immutable byte string with canonicity checks.
 
-    __slots__ = ("data", "pos")
+    The varint loop reads through local variables and writes the cursor
+    back once — decoding is dominated by varints (every length, every
+    int), and attribute traffic per byte is what made it slow.
+    """
+
+    __slots__ = ("data", "pos", "_end")
 
     def __init__(self, data: bytes):
         self.data = data
         self.pos = 0
+        self._end = len(data)
 
     def u8(self) -> int:
-        if self.pos >= len(self.data):
+        pos = self.pos
+        if pos >= self._end:
             raise DecodeError("unexpected end of input")
-        byte = self.data[self.pos]
-        self.pos += 1
+        byte = self.data[pos]
+        self.pos = pos + 1
         return byte
 
     def take(self, count: int) -> bytes:
-        end = self.pos + count
-        if end > len(self.data):
+        pos = self.pos
+        end = pos + count
+        if end > self._end:
             raise DecodeError("unexpected end of input")
-        chunk = self.data[self.pos:end]
+        chunk = self.data[pos:end]
         self.pos = end
         return chunk
 
     def uvarint(self) -> int:
+        data = self.data
+        pos = self.pos
+        limit = self._end
         result = 0
         shift = 0
         while True:
-            byte = self.u8()
+            if pos >= limit:
+                raise DecodeError("unexpected end of input")
+            byte = data[pos]
+            pos += 1
             result |= (byte & 0x7F) << shift
             if not byte & 0x80:
                 if byte == 0 and shift != 0:
                     raise DecodeError("overlong varint encoding")
+                self.pos = pos
                 return result
             shift += 7
             if shift > 1022:
@@ -229,10 +248,12 @@ def decode(data: bytes) -> Any:
     Rejects non-canonical input: overlong varints, unsorted or duplicate
     map keys, invalid UTF-8, unknown tags, and trailing bytes.
     """
-    reader = _Reader(bytes(data))
+    if not isinstance(data, bytes):
+        data = bytes(data)
+    reader = _Reader(data)
     value = _decode_value(reader, 0)
-    if reader.pos != len(reader.data):
+    if reader.pos != len(data):
         raise DecodeError(
-            f"{len(reader.data) - reader.pos} trailing bytes after value"
+            f"{len(data) - reader.pos} trailing bytes after value"
         )
     return value

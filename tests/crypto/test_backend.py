@@ -1,0 +1,241 @@
+"""Cross-backend equivalence: the accelerated Ed25519 must be
+byte-identical to the pure-Python oracle.
+
+The property suite drives both backends over random keys, messages,
+corrupted signatures, and the RFC 8032 edge encodings (s >= L
+malleability, non-canonical point y-coordinates, wrong lengths) and
+requires identical signatures and identical accept/reject verdicts.
+The CI crypto-backend matrix runs this file under both
+``VGV_CRYPTO_BACKEND`` values.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.crypto import backend, ed25519
+from repro.crypto.ed25519 import PrivateKey, PublicKey
+
+accel_available = "cryptography" in backend.available_backends()
+needs_accel = pytest.mark.skipif(
+    not accel_available, reason="cryptography package not installed"
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Leave each test with the process selection it started under."""
+    yield
+    backend.reset_backend()
+
+
+def _keys(count: int, seed: int = 0) -> list[PrivateKey]:
+    rng = random.Random(seed)
+    return [PrivateKey(rng.randbytes(32)) for _ in range(count)]
+
+
+def _messages(count: int, seed: int = 1) -> list[bytes]:
+    rng = random.Random(seed)
+    return [rng.randbytes(rng.randrange(0, 300)) for _ in range(count)]
+
+
+class TestBackendSelection:
+    def test_pure_always_available(self):
+        assert "pure" in backend.available_backends()
+
+    def test_default_is_pure(self, monkeypatch):
+        monkeypatch.delenv(backend.ENV_VAR, raising=False)
+        backend.reset_backend()
+        assert backend.active().name == "pure"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(backend.ENV_VAR, "pure")
+        backend.reset_backend()
+        assert backend.active().name == "pure"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(backend.BackendUnavailable):
+            backend.get_backend("sodium")
+
+    def test_auto_resolves_to_something_usable(self):
+        resolved = backend.get_backend("auto")
+        assert resolved.name in ("pure", "cryptography")
+        if accel_available:
+            assert resolved.name == "cryptography"
+
+    def test_set_backend_by_name_and_instance(self):
+        assert backend.set_backend("pure").name == "pure"
+        instance = backend.PureEd25519()
+        assert backend.set_backend(instance) is instance
+        assert backend.active() is instance
+
+    @needs_accel
+    def test_env_var_selects_accel(self, monkeypatch):
+        monkeypatch.setenv(backend.ENV_VAR, "cryptography")
+        backend.reset_backend()
+        assert backend.active().name == "cryptography"
+
+
+class TestDispatch:
+    def test_key_methods_route_through_active_backend(self):
+        key = PrivateKey.from_seed_int(7)
+        message = b"routing"
+        signature = key.sign(message)
+        assert key.public_key.verify(message, signature)
+        assert not key.public_key.verify(message + b"x", signature)
+
+    def test_memo_returns_consistent_verdicts(self):
+        key = PrivateKey.from_seed_int(8)
+        message = b"memoized"
+        signature = key.sign(message)
+        public = key.public_key
+        backend.clear_memo()
+        assert backend.verify(public, message, signature)
+        # Cached path: same verdict, no recomputation observable.
+        assert backend.verify(public, message, signature)
+        assert backend.verify_uncached(public, message, signature)
+
+    def test_wrong_length_signature_rejected_without_backend(self):
+        key = PrivateKey.from_seed_int(9)
+        assert not backend.verify(key.public_key, b"m", b"short")
+        assert not backend.verify(key.public_key, b"m", b"\0" * 63)
+        assert not backend.verify(key.public_key, b"m", b"\0" * 65)
+
+    def test_batch_matches_singles(self):
+        keys = _keys(4, seed=2)
+        messages = _messages(4, seed=3)
+        items = []
+        for key, message in zip(keys, messages):
+            items.append((key.public_key, message, key.sign(message)))
+        # Corrupt the last signature.
+        public, message, signature = items[-1]
+        items[-1] = (public, message, signature[:-1] + bytes(
+            [signature[-1] ^ 1]
+        ))
+        assert backend.verify_batch(items) == [True, True, True, False]
+
+
+@needs_accel
+class TestCrossBackendEquivalence:
+    """The accelerated backend against the pure oracle."""
+
+    def setup_method(self):
+        self.pure = backend.PureEd25519()
+        self.accel = backend.CryptographyEd25519()
+
+    def test_public_keys_byte_identical(self):
+        for key in _keys(20, seed=10):
+            assert (
+                self.accel.derive_public(key.seed)
+                == ed25519.derive_public_bytes(key.seed)
+            )
+
+    def test_signatures_byte_identical(self):
+        keys = _keys(20, seed=11)
+        for key, message in zip(keys, _messages(20, seed=12)):
+            assert self.accel.sign(key, message) == self.pure.sign(
+                key, message
+            )
+
+    def test_valid_signatures_accepted_by_both(self):
+        keys = _keys(20, seed=13)
+        for key, message in zip(keys, _messages(20, seed=14)):
+            signature = self.pure.sign(key, message)
+            public = key.public_key
+            assert self.pure.verify(public, message, signature)
+            assert self.accel.verify(public, message, signature)
+
+    def test_random_corruption_same_verdicts(self):
+        rng = random.Random(15)
+        keys = _keys(30, seed=16)
+        for key, message in zip(keys, _messages(30, seed=17)):
+            signature = bytearray(self.pure.sign(key, message))
+            bit = rng.randrange(len(signature) * 8)
+            signature[bit // 8] ^= 1 << (bit % 8)
+            corrupted = bytes(signature)
+            public = key.public_key
+            assert self.pure.verify(
+                public, message, corrupted
+            ) == self.accel.verify(public, message, corrupted)
+
+    def test_wrong_key_rejected_by_both(self):
+        signer, other = _keys(2, seed=18)
+        message = b"addressed to the wrong key"
+        signature = self.pure.sign(signer, message)
+        assert not self.pure.verify(other.public_key, message, signature)
+        assert not self.accel.verify(other.public_key, message, signature)
+
+    def test_malleated_s_rejected_by_both(self):
+        # RFC 8032 requires 0 <= s < L; s + L verifies the same equation
+        # but both implementations must reject the encoding.
+        key = _keys(1, seed=19)[0]
+        message = b"malleability"
+        signature = self.pure.sign(key, message)
+        s = int.from_bytes(signature[32:], "little")
+        malleated = signature[:32] + (s + ed25519._L).to_bytes(
+            32, "little"
+        )
+        public = key.public_key
+        assert not self.pure.verify(public, message, malleated)
+        assert not self.accel.verify(public, message, malleated)
+
+    def test_noncanonical_r_rejected_by_both(self):
+        # Re-encode the signature's R point with y' = y + p: the same
+        # point, a different (non-canonical) byte string.
+        key = _keys(1, seed=20)[0]
+        message = b"non-canonical R"
+        signature = self.pure.sign(key, message)
+        encoded = int.from_bytes(signature[:32], "little")
+        sign_bit = encoded >> 255
+        y = encoded & ((1 << 255) - 1)
+        if y + ed25519._P >= (1 << 255):
+            pytest.skip("y + p does not fit the encoding for this draw")
+        tweaked = (y + ed25519._P) | (sign_bit << 255)
+        noncanonical = tweaked.to_bytes(32, "little") + signature[32:]
+        public = key.public_key
+        assert not self.pure.verify(public, message, noncanonical)
+        assert not self.accel.verify(public, message, noncanonical)
+
+    def test_garbage_public_key_rejected_by_both(self):
+        # 32 bytes that decode to no curve point.
+        garbage = PublicKey(b"\xff" * 32)
+        key = _keys(1, seed=21)[0]
+        message = b"garbage key"
+        signature = self.pure.sign(key, message)
+        assert not self.pure.verify(garbage, message, signature)
+        assert not self.accel.verify(garbage, message, signature)
+
+    def test_full_stack_parity_under_accel(self):
+        """KeyPair → sign → verify round trip under the accel backend
+        produces the exact bytes the pure backend produces."""
+        from repro.crypto.keys import KeyPair
+
+        backend.set_backend("pure")
+        pure_kp = KeyPair.deterministic(42)
+        message = b"stack parity"
+        pure_sig = pure_kp.sign(message)
+        pure_pub = pure_kp.public_key.data
+
+        backend.set_backend("cryptography")
+        accel_kp = KeyPair.deterministic(42)
+        assert accel_kp.public_key.data == pure_pub
+        assert accel_kp.sign(message) == pure_sig
+        assert accel_kp.public_key.verify(message, pure_sig)
+
+
+class TestEnvMatrix:
+    """Sanity marker for the CI matrix: the configured backend (if any)
+    must actually be the active one."""
+
+    def test_configured_backend_is_active(self):
+        configured = os.environ.get(backend.ENV_VAR)
+        if not configured:
+            pytest.skip("no backend configured in the environment")
+        backend.reset_backend()
+        if configured == "auto":
+            assert backend.active().name in ("pure", "cryptography")
+        else:
+            assert backend.active().name == configured

@@ -74,10 +74,12 @@ class TestSeal:
         path = tmp_path / "replica.vgv"
         save_node(node, path, seal_key=deployment.keys[0])
 
-        from repro.crypto import ed25519
+        from repro.chain.verifycache import shared_cache
+        from repro.crypto import backend
 
         def timed_load(seal):
-            ed25519._VERIFY_CACHE.clear()  # cold crypto, as at reboot
+            backend.clear_memo()  # cold crypto, as at reboot
+            shared_cache().clear()
             start = time.perf_counter()
             load_node(deployment.keys[0], path, clock=deployment.clock,
                       seal_key=seal)
