@@ -1,0 +1,114 @@
+"""Append tonight's A12/A13 headline numbers to the perf-trend CSV.
+
+The nightly CI job runs the full A12 (crypto/wire) and A13 (gateway)
+benchmarks, then calls this script to append one row per run to
+``perf_trend_v1.csv`` — a long-lived, machine-diffable series of the
+two headline planes:
+
+* A12 — live blocks/s to a fresh peer per crypto backend (parsed from
+  ``results/a12_live_backends.txt``);
+* A13 — sustained gateway tx/s, client-observed p50/p99, and the
+  overload counters (parsed from ``results/a13_gateway.json``).
+
+The CSV schema is versioned in the filename: if a column must change
+meaning, bump to ``perf_trend_v2.csv`` instead of silently skewing the
+old series.  Missing inputs become empty cells, never crashes — a
+nightly that only ran one experiment still contributes its half.
+
+Usage::
+
+    python benchmarks/append_trend.py \
+        --results benchmarks/results --commit "$GITHUB_SHA"
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import datetime
+import json
+import pathlib
+
+COLUMNS = [
+    "date", "commit",
+    "a12_pure_blocks_s", "a12_accel_blocks_s",
+    "a13_sustained_tx_s", "a13_p50_ms", "a13_p99_ms",
+    "a13_overload_rate_limited", "a13_overload_shed",
+    "a13_overload_errors",
+]
+TREND_NAME = "perf_trend_v1.csv"
+
+
+def parse_a12(results: pathlib.Path) -> dict:
+    """Backend -> blocks/s from the A12.3 live-backends table."""
+    path = results / "a12_live_backends.txt"
+    rates: dict[str, str] = {}
+    if not path.exists():
+        return rates
+    for line in path.read_text().splitlines():
+        fields = line.split()
+        if len(fields) == 4 and fields[0] in ("pure", "cryptography"):
+            rates[fields[0]] = fields[3]
+    return rates
+
+
+def parse_a13(results: pathlib.Path) -> dict:
+    path = results / "a13_gateway.json"
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text())
+
+
+def build_row(results: pathlib.Path, commit: str, date: str) -> dict:
+    a12 = parse_a12(results)
+    a13 = parse_a13(results)
+    return {
+        "date": date,
+        "commit": commit,
+        "a12_pure_blocks_s": a12.get("pure", ""),
+        "a12_accel_blocks_s": a12.get("cryptography", ""),
+        "a13_sustained_tx_s": a13.get("sustained_tx_s", ""),
+        "a13_p50_ms": a13.get("p50_ms", ""),
+        "a13_p99_ms": a13.get("p99_ms", ""),
+        "a13_overload_rate_limited": a13.get(
+            "overload_rate_limited", ""
+        ),
+        "a13_overload_shed": a13.get("overload_shed", ""),
+        "a13_overload_errors": a13.get("overload_errors", ""),
+    }
+
+
+def append_row(out: pathlib.Path, row: dict) -> None:
+    fresh = not out.exists()
+    with out.open("a", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=COLUMNS)
+        if fresh:
+            writer.writeheader()
+        writer.writerow(row)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results", type=pathlib.Path,
+        default=pathlib.Path(__file__).parent / "results",
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help=f"trend CSV (default: results/{TREND_NAME})")
+    parser.add_argument("--commit", default="unknown")
+    parser.add_argument("--date", default=None,
+                        help="ISO date override (default: today, UTC)")
+    args = parser.parse_args(argv)
+
+    date = args.date or datetime.datetime.now(
+        datetime.timezone.utc
+    ).strftime("%Y-%m-%d")
+    out = args.out or args.results / TREND_NAME
+    row = build_row(args.results, args.commit, date)
+    append_row(out, row)
+    print(f"{out}: appended {row['date']} @ {row['commit'][:12]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

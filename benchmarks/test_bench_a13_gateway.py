@@ -1,0 +1,203 @@
+"""Experiment A13 — the gateway client plane under open-loop load.
+
+Three tables:
+
+* **Rate sweep** — offered Poisson rate vs. sustained accepted tx/s and
+  client-observed p50/p99 (latency measured from the *scheduled*
+  arrival, so queueing delay is charged to the server — no coordinated
+  omission).
+* **Client sweep** — p50/p99 vs. distinct client-id population at a
+  fixed rate; the admission table is LRU-bounded, so a million ids must
+  cost the same as ten.
+* **Graceful degradation** — two deliberate overload regimes, offered
+  at 2x the sweep's best sustained rate:
+
+  - *admission clamp*: one client id against a small token bucket —
+    the surplus must come back as polite 429 + Retry-After;
+  - *queue shed*: a tiny batch queue behind a slow flush deadline —
+    the surplus must be shed oldest-first, again as 429.
+
+  In both, the hard assertion is **zero transport/5xx errors**: every
+  offered request gets an orderly answer, and accepted requests still
+  complete.  That is the A13 claim — the edge degrades by refusing
+  work, never by falling over.
+
+Run with ``A13_FULL=1`` for the nightly sizes; the default is a PR-
+smoke subset.  The headline numbers also land in
+``results/a13_gateway.json`` for the perf-trend CSV
+(``benchmarks/append_trend.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+from repro.core.genesis import create_genesis
+from repro.crypto.keys import KeyPair
+from repro.gateway import GatewayNode
+from repro.gateway.loadgen import run_loadgen
+from repro.live.node import LiveNode
+
+from benchmarks.bench_util import Table
+
+FULL = os.environ.get("A13_FULL", "") not in ("", "0")
+
+# (sweep rates, client populations, seconds per point)
+RATES = (250, 500, 1000) if FULL else (100, 200)
+CLIENTS = (10, 10_000, 1_000_000) if FULL else (10, 1_000, 1_000_000)
+DURATION = 3.0 if FULL else 1.0
+
+# Generous per-client admission for the capacity sweeps: the bucket
+# must never be what limits a well-behaved population.
+OPEN_ADMISSION = dict(admission_rate=100_000.0, admission_burst=100_000.0)
+
+
+def _gateway(tmp_path, tag: str, **kwargs) -> GatewayNode:
+    owner = KeyPair.deterministic(13)
+    genesis = create_genesis(owner, chain_name="a13", timestamp=0)
+    live = LiveNode(
+        owner, tmp_path / f"{tag}.blocks", genesis=genesis, fsync=False,
+        name=f"a13-{tag}",
+    )
+    return GatewayNode([live], **kwargs)
+
+
+async def _measure(tmp_path, tag: str, *, rate: float,
+                   num_clients: int = 10_000, duration_s: float = DURATION,
+                   gateway_kwargs: dict | None = None,
+                   loadgen_kwargs: dict | None = None) -> dict:
+    gateway = _gateway(tmp_path, tag, **(gateway_kwargs or OPEN_ADMISSION))
+    await gateway.start()
+    try:
+        live = gateway.default_host.live
+        live.node.create_crdt("ledger", "append_log", "str",
+                              {"append": "*"})
+        live._persist_blocks()
+        report = await run_loadgen(
+            "127.0.0.1", gateway.http_port,
+            rate=rate, duration_s=duration_s, num_clients=num_clients,
+            connections=16, seed=13, **(loadgen_kwargs or {}),
+        )
+    finally:
+        await gateway.stop()
+    summary = report.summary()
+    # The invariants every regime must keep: an orderly answer for
+    # every offered request, and no transport or server errors.
+    assert summary["errors"] == 0, summary
+    assert report.completed + report.overruns == report.offered
+    return summary
+
+
+def _sweep_rates(tmp_path, table: Table) -> list[dict]:
+    summaries = []
+    for rate in RATES:
+        summary = asyncio.run(
+            _measure(tmp_path, f"rate{rate}", rate=rate)
+        )
+        assert summary["accepted"] > 0
+        table.add(
+            rate, summary["offered"], summary["accepted"],
+            round(summary["accepted_rate"], 1),
+            summary["p50_ms"], summary["p99_ms"],
+        )
+        summaries.append(summary)
+    return summaries
+
+
+def _sweep_clients(tmp_path, table: Table) -> None:
+    rate = RATES[0]
+    for population in CLIENTS:
+        summary = asyncio.run(
+            _measure(tmp_path, f"pop{population}", rate=rate,
+                     num_clients=population)
+        )
+        assert summary["rate_limited"] == 0  # open admission
+        table.add(
+            population, summary["accepted"],
+            round(summary["accepted_rate"], 1),
+            summary["p50_ms"], summary["p99_ms"],
+        )
+
+
+def _overload(tmp_path, table: Table, saturation: float) -> dict:
+    offered = max(2.0 * saturation, 50.0)
+
+    clamp = asyncio.run(_measure(
+        tmp_path, "clamp", rate=offered, duration_s=DURATION,
+        num_clients=1,
+        gateway_kwargs=dict(
+            admission_rate=saturation / 4.0,
+            admission_burst=max(saturation / 4.0, 1.0),
+        ),
+    ))
+    # The clamp refuses the surplus politely and keeps serving.
+    assert clamp["rate_limited"] > 0, clamp
+    assert clamp["accepted"] > 0, clamp
+    table.add("admission-clamp", int(offered), clamp["accepted"],
+              clamp["rate_limited"], clamp["shed"], clamp["p99_ms"])
+
+    shed = asyncio.run(_measure(
+        tmp_path, "shed", rate=offered, duration_s=DURATION,
+        gateway_kwargs=dict(
+            max_batch=4, max_queue=4, max_delay_s=0.25,
+            **OPEN_ADMISSION,
+        ),
+    ))
+    # A full queue sheds oldest-first instead of growing without bound.
+    assert shed["shed"] > 0, shed
+    assert shed["accepted"] > 0, shed
+    table.add("queue-shed", int(offered), shed["accepted"],
+              shed["rate_limited"], shed["shed"], shed["p99_ms"])
+    return {"clamp": clamp, "shed": shed}
+
+
+def test_a13_gateway(benchmark, results_dir, tmp_path):
+    rate_table = Table(
+        f"A13.1: open-loop rate sweep ({DURATION:.0f}s per point, "
+        "10k client ids, 16 connections)",
+        ["offered/s", "offered", "accepted", "accepted/s",
+         "p50_ms", "p99_ms"],
+    )
+    sweep = _sweep_rates(tmp_path, rate_table)
+    rate_table.emit(results_dir, "a13_gateway_rates")
+
+    client_table = Table(
+        f"A13.2: latency vs client population (rate {RATES[0]}/s — the "
+        "LRU-bounded admission table must make 1M ids cost like 10)",
+        ["clients", "accepted", "accepted/s", "p50_ms", "p99_ms"],
+    )
+    _sweep_clients(tmp_path, client_table)
+    client_table.emit(results_dir, "a13_gateway_clients")
+
+    saturation = max(s["accepted_rate"] for s in sweep)
+    overload_table = Table(
+        "A13.3: graceful degradation at 2x sustained rate "
+        "(zero errors is the gate; surplus becomes 429s, not crashes)",
+        ["regime", "offered/s", "accepted", "rate_limited", "shed",
+         "p99_ms"],
+    )
+    overload = _overload(tmp_path, overload_table, saturation)
+    overload_table.emit(results_dir, "a13_gateway_overload")
+
+    best = max(sweep, key=lambda s: s["accepted_rate"])
+    headline = {
+        "full": FULL,
+        "sustained_tx_s": round(best["accepted_rate"], 1),
+        "p50_ms": best["p50_ms"],
+        "p99_ms": best["p99_ms"],
+        "overload_rate_limited": overload["clamp"]["rate_limited"],
+        "overload_shed": overload["shed"]["shed"],
+        "overload_errors": (overload["clamp"]["errors"]
+                            + overload["shed"]["errors"]),
+    }
+    (results_dir / "a13_gateway.json").write_text(
+        json.dumps(headline, indent=2, sort_keys=True) + "\n"
+    )
+
+    def kernel():
+        asyncio.run(_measure(tmp_path, "kernel", rate=50.0,
+                             num_clients=100, duration_s=0.3))
+
+    benchmark(kernel)

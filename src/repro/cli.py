@@ -21,6 +21,13 @@ Four subcommands cover the workflows a user reaches for first:
   beacons and dials whoever it hears — zero static configuration.
   ``--ops-port`` exposes ``/metrics``, ``/healthz``, ``/status`` over
   HTTP; ``--profile`` times the hot path per phase.
+* ``gateway STORE --key KEY`` — run the client plane: an HTTP/WebSocket
+  edge (``POST /v1/tx``, ``GET /v1/state/<crdt>``, ``GET /v1/block/<hash>``,
+  ``WS /v1/subscribe``) over an embedded live replica, with per-client
+  admission control and transaction batching.  ``--chain STORE:KEY``
+  (repeatable) hosts extra tenant chains under ``/v1/c/<prefix>/…``.
+* ``loadgen --port PORT`` — open-loop Poisson load against a gateway;
+  prints the A13-style latency/throughput report as JSON.
 * ``trace-merge TRACE...`` — stitch per-node live traces into one
   causally ordered timeline with clock-skew estimation.
 * ``top TARGET...`` — poll ``/status`` across a cluster and render a
@@ -435,6 +442,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
     from repro.live import ListenError, LiveNode, PeerSpec
+    from repro.live import loop_policy
     from repro.obs.live import OpsError
 
     if args.crypto_backend is not None:
@@ -524,13 +532,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if cprofile is not None:
             cprofile.enable()
         try:
-            asyncio.run(_run())
+            loop_policy.run(_run(), choice=args.event_loop)
         finally:
             if cprofile is not None:
                 cprofile.disable()
     except KeyboardInterrupt:
         pass
-    except (ListenError, OpsError) as exc:
+    except (ListenError, OpsError, loop_policy.LoopUnavailable) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(f"stopped with {len(node.node.dag)} blocks "
@@ -544,6 +552,135 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.metrics:
             print(obs.registry.render_prometheus(), end="")
         obs.close()
+    return 0
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    """Run the client-plane gateway until interrupted."""
+    import signal
+    import time
+
+    from repro.gateway import GatewayNode
+    from repro.live import ListenError, LiveNode
+    from repro.live import loop_policy
+    from repro.obs.live import OpsError
+
+    if args.crypto_backend is not None:
+        from repro.crypto import backend as crypto_backend
+
+        try:
+            crypto_backend.set_backend(args.crypto_backend)
+        except BackendUnavailable as exc:
+            print(f"crypto backend unavailable: {exc}", file=sys.stderr)
+            return 1
+
+    obs = None
+    if args.trace or args.metrics or args.ops_port is not None:
+        from repro.obs import JsonlFileSink, Observability
+
+        sinks = [JsonlFileSink(args.trace)] if args.trace else []
+        obs = Observability(
+            sinks=sinks, clock=lambda: int(time.time() * 1000)
+        )
+
+    tenants = [(args.store, args.key)]
+    for entry in args.chain:
+        store_path, _, key_path = entry.rpartition(":")
+        if not store_path or not key_path:
+            print(f"bad --chain {entry!r}; expected STORE:KEYPATH",
+                  file=sys.stderr)
+            return 1
+        tenants.append((store_path, key_path))
+    lives = []
+    for store_path, key_path in tenants:
+        store = pathlib.Path(store_path)
+        if not store.exists():
+            print(f"no such store: {store} (create one with `init`)",
+                  file=sys.stderr)
+            return 1
+        lives.append(LiveNode(
+            _load_key(key_path), store,
+            name=f"gw-{store.stem}", obs=obs,
+        ))
+    gateway = GatewayNode(
+        lives,
+        http_host=args.http_host, http_port=args.http_port,
+        admission_rate=args.admission_rate,
+        admission_burst=args.admission_burst,
+        max_clients=args.max_clients,
+        max_batch=args.max_batch,
+        max_delay_s=args.batch_delay_ms / 1000.0,
+        max_queue=args.max_queue,
+        ops_host=args.ops_host, ops_port=args.ops_port,
+        obs=obs,
+    )
+
+    async def _run() -> None:
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await gateway.start()
+        chains = ", ".join(sorted(gateway.hosts))
+        print(f"gateway on http://{args.http_host}:{gateway.http_port} "
+              f"hosting {len(gateway.hosts)} chain(s): {chains}")
+        if gateway.ops is not None:
+            print(f"ops endpoint on http://{args.ops_host}:"
+                  f"{gateway.ops.port} (/metrics /healthz /status)")
+        try:
+            await stop.wait()
+        finally:
+            await gateway.stop()
+
+    try:
+        loop_policy.run(_run(), choice=args.event_loop)
+    except KeyboardInterrupt:
+        pass
+    except (ListenError, OpsError, loop_policy.LoopUnavailable) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    summary = gateway.status()["gateway"]
+    print(f"stopped after {summary['requests_served']} requests "
+          f"({summary['admission']['admitted']} admitted, "
+          f"{summary['admission']['refused']} refused)")
+    if obs is not None:
+        if args.metrics:
+            print(obs.registry.render_prometheus(), end="")
+        obs.close()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Open-loop load against a running gateway; JSON report on stdout."""
+    import json
+
+    from repro.gateway.loadgen import run_loadgen
+    from repro.live import loop_policy
+
+    async def _run():
+        return await run_loadgen(
+            args.host, args.port,
+            rate=args.rate, duration_s=args.duration,
+            num_clients=args.clients, connections=args.connections,
+            crdt=args.crdt, op=args.op, chain=args.chain,
+            seed=args.seed,
+        )
+
+    try:
+        report = loop_policy.run(_run(), choice=args.event_loop)
+    except loop_policy.LoopUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach gateway at "
+              f"{args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(report.summary(), indent=2, sort_keys=True))
     return 0
 
 
@@ -760,7 +897,96 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--profile-dump", metavar="PATH", default=None,
                        dest="profile_dump",
                        help="also write cProfile stats to PATH")
+    serve.add_argument("--event-loop", choices=["asyncio", "uvloop", "auto"],
+                       dest="event_loop", default=None,
+                       help="event loop implementation (default: "
+                            "VGV_EVENT_LOOP or asyncio)")
     serve.set_defaults(func=_cmd_serve)
+
+    gateway = commands.add_parser(
+        "gateway", help="run the HTTP/WebSocket client plane over an "
+                        "embedded live replica"
+    )
+    gateway.add_argument("store", help="block store path (from `init`)")
+    gateway.add_argument("--key", required=True,
+                         help="the gateway's member key seed file")
+    gateway.add_argument("--chain", action="append", default=[],
+                         metavar="STORE:KEYPATH",
+                         help="host an extra tenant chain (repeatable); "
+                              "served under /v1/c/<prefix>/…")
+    gateway.add_argument("--http-host", dest="http_host",
+                         default="127.0.0.1")
+    gateway.add_argument("--http-port", dest="http_port", type=int,
+                         default=0,
+                         help="client-plane port (0 picks a free one)")
+    gateway.add_argument("--admission-rate", dest="admission_rate",
+                         type=float, default=50.0, metavar="TOKENS_PER_S",
+                         help="per-client token refill rate (default 50/s)")
+    gateway.add_argument("--admission-burst", dest="admission_burst",
+                         type=float, default=100.0,
+                         help="per-client bucket size (default 100)")
+    gateway.add_argument("--max-clients", dest="max_clients", type=int,
+                         default=100_000,
+                         help="resident admission buckets (LRU beyond)")
+    gateway.add_argument("--max-batch", dest="max_batch", type=int,
+                         default=128,
+                         help="transactions per witness block (default 128)")
+    gateway.add_argument("--batch-delay-ms", dest="batch_delay_ms",
+                         type=float, default=25.0,
+                         help="max wait before a partial batch flushes")
+    gateway.add_argument("--max-queue", dest="max_queue", type=int,
+                         default=1024,
+                         help="pending-transaction bound per chain; "
+                              "beyond it the oldest is shed with a 429")
+    gateway.add_argument("--crypto-backend",
+                         choices=["pure", "cryptography", "auto"],
+                         default=None,
+                         help="Ed25519 backend (default: process setting)")
+    gateway.add_argument("--event-loop",
+                         choices=["asyncio", "uvloop", "auto"],
+                         dest="event_loop", default=None,
+                         help="event loop implementation")
+    gateway.add_argument("--trace", metavar="PATH", default=None,
+                         help="write a JSONL event trace to PATH")
+    gateway.add_argument("--metrics", action="store_true",
+                         help="print the metric dump on exit")
+    gateway.add_argument("--ops-port", type=int, default=None,
+                         dest="ops_port", metavar="PORT",
+                         help="expose /metrics /healthz /status (gateway "
+                              "summary included) on this port")
+    gateway.add_argument("--ops-host", default="127.0.0.1",
+                         dest="ops_host", metavar="ADDR")
+    gateway.set_defaults(func=_cmd_gateway)
+
+    loadgen = commands.add_parser(
+        "loadgen", help="open-loop Poisson load against a gateway"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True,
+                         help="gateway client-plane port")
+    loadgen.add_argument("--rate", type=float, default=100.0,
+                         help="offered arrivals per second (default 100)")
+    loadgen.add_argument("--duration", type=float, default=10.0,
+                         help="run length in seconds (default 10)")
+    loadgen.add_argument("--clients", type=int, default=1_000_000,
+                         help="distinct simulated client ids "
+                              "(default 1e6)")
+    loadgen.add_argument("--connections", type=int, default=16,
+                         help="keep-alive connection pool size")
+    loadgen.add_argument("--crdt", default="ledger",
+                         help="target CRDT name (default 'ledger')")
+    loadgen.add_argument("--op", default="append",
+                         help="operation to submit (default 'append')")
+    loadgen.add_argument("--chain", default=None, metavar="PREFIX",
+                         help="tenant chain prefix (default chain if "
+                              "omitted)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="arrival-schedule RNG seed")
+    loadgen.add_argument("--event-loop",
+                         choices=["asyncio", "uvloop", "auto"],
+                         dest="event_loop", default=None,
+                         help="event loop implementation")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     demo = commands.add_parser("demo", help="run the quickstart scenario")
     demo.set_defaults(func=_cmd_demo)

@@ -22,6 +22,7 @@ every replica either way.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Optional
 
 from repro.chain.block import (
@@ -43,6 +44,24 @@ from repro.membership.certificate import Certificate, CertificateError
 _EVENT_CERT_ADD = "cert_add"
 _EVENT_CERT_REMOVE = "cert_remove"
 _EVENT_CREATE = "create"
+
+# Genesis replay cache.  Building a fleet of n replicas from one genesis
+# used to cost n × (genesis checks + n founding-certificate verifies) —
+# O(n²) Ed25519 operations for identical, immutable input.  The genesis
+# block's hash covers every byte of it (certificates and signatures
+# included), so the validation verdict is a pure function of that hash:
+# the first replica pays full price, later replicas skip straight to
+# replay with the verified certificate fingerprints pre-seeded.  A
+# fingerprint covers the certificate's payload *and* CA signature, and
+# the CA key is itself pinned by the genesis hash, so a fingerprint hit
+# is exactly equivalent to re-running ``Certificate.verify``.
+_GENESIS_CACHE_LIMIT = 8
+_genesis_cache: "OrderedDict[bytes, frozenset[bytes]]" = OrderedDict()
+
+
+def clear_genesis_cache() -> None:
+    """Drop the genesis replay cache (tests and cold-path benchmarks)."""
+    _genesis_cache.clear()
 
 
 class TxOutcome:
@@ -95,6 +114,9 @@ class CSMachine:
         self._outcomes: dict[Hash, list[TxOutcome]] = {}
         self._applied_count = 0
         self._rejected_count = 0
+        # Certificate fingerprints already verified against this chain's
+        # CA key by an earlier replica of the same genesis.
+        self._preverified: frozenset[bytes] = frozenset()
 
     # ------------------------------------------------------------------
     # Construction
@@ -112,16 +134,34 @@ class CSMachine:
         if not genesis.is_genesis():
             raise CSMError("genesis block must have no parents")
         owner_cert = cls._extract_owner_certificate(genesis)
-        if not owner_cert.verify(owner_cert.public_key):
-            raise CSMError("genesis certificate is not properly self-signed")
-        if owner_cert.user_id != genesis.user_id:
-            raise CSMError("genesis creator does not match its certificate")
-        if not owner_cert.public_key.verify(
-            genesis.signing_payload(), genesis.signature
-        ):
-            raise CSMError("genesis block signature does not verify")
+        cached = _genesis_cache.get(genesis.hash.digest)
+        if cached is None:
+            if not owner_cert.verify(owner_cert.public_key):
+                raise CSMError(
+                    "genesis certificate is not properly self-signed"
+                )
+            if owner_cert.user_id != genesis.user_id:
+                raise CSMError(
+                    "genesis creator does not match its certificate"
+                )
+            if not owner_cert.public_key.verify(
+                genesis.signing_payload(), genesis.signature
+            ):
+                raise CSMError("genesis block signature does not verify")
+        else:
+            _genesis_cache.move_to_end(genesis.hash.digest)
         machine = cls(owner_cert.public_key, policy)
+        if cached is not None:
+            machine._preverified = cached
         machine._replay_genesis(genesis)
+        if cached is None:
+            _genesis_cache[genesis.hash.digest] = frozenset(
+                event.certificate.fingerprint().digest
+                for event in machine._events
+                if event.kind == _EVENT_CERT_ADD
+            )
+            while len(_genesis_cache) > _GENESIS_CACHE_LIMIT:
+                _genesis_cache.popitem(last=False)
         return machine
 
     @staticmethod
@@ -296,7 +336,8 @@ class CSMachine:
             if not self._policy.can_add_member(role):
                 return self._rejected(tx, f"role {role!r} may not add members")
             if not (
-                certificate.verify(self._ca_key)
+                certificate.fingerprint().digest in self._preverified
+                or certificate.verify(self._ca_key)
                 or (
                     certificate.user_id == Hash.of_bytes(self._ca_key.data)
                     and certificate.verify(certificate.public_key)

@@ -1,0 +1,249 @@
+"""Coalescing client transactions into Vegvisir blocks.
+
+Ordinary clients submit single transactions; the chain wants blocks.
+The :class:`TxBatcher` sits between them with the classic
+size-or-deadline trigger: a batch is cut the moment it reaches
+``max_batch`` transactions, or when the *oldest* queued transaction
+has waited ``max_delay_s`` — whichever comes first.  Each cut batch
+becomes one signed block through the host chain's append callable
+(the gateway's LiveNode), so a thousand cheap HTTP submits cost the
+DAG one block, one signature, and one witness of the current frontier
+(§IV-H: every block witnesses everything beneath it).
+
+Backpressure is explicit and memory is bounded: the queue holds at
+most ``max_queue`` pending transactions.  When a submit arrives over
+that bound, the *oldest* queued entry is shed (its waiter gets a
+:class:`ShedError` carrying a Retry-After hint) and the newcomer takes
+its place — under overload the gateway serves fresh requests with
+bounded latency and refuses the backlog, rather than serving everyone
+arbitrarily late.  Nothing in this file ever grows without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Callable, Optional, Sequence
+
+from repro.chain.block import MAX_TRANSACTIONS, Transaction
+
+DEFAULT_MAX_BATCH = 128
+DEFAULT_MAX_DELAY_S = 0.025
+DEFAULT_MAX_QUEUE = 1024
+
+
+class ShedError(Exception):
+    """The transaction was dropped under overload; retry later."""
+
+    def __init__(self, retry_after_s: float):
+        super().__init__(f"shed under overload; retry in {retry_after_s:.2f}s")
+        self.retry_after_s = retry_after_s
+
+
+class BatcherClosed(Exception):
+    """The batcher stopped before this transaction made it into a block."""
+
+
+class SubmitResult:
+    """Where one submitted transaction landed."""
+
+    __slots__ = ("block_hash", "index", "applied", "reason", "batch_size",
+                 "queued_ms")
+
+    def __init__(self, block_hash, index: int, applied: bool,
+                 reason: Optional[str], batch_size: int, queued_ms: float):
+        self.block_hash = block_hash
+        self.index = index
+        self.applied = applied
+        self.reason = reason
+        self.batch_size = batch_size
+        self.queued_ms = queued_ms
+
+
+class _Pending:
+    __slots__ = ("tx", "future", "enqueued")
+
+    def __init__(self, tx: Transaction, future: asyncio.Future,
+                 enqueued: float):
+        self.tx = tx
+        self.future = future
+        self.enqueued = enqueued
+
+
+class TxBatcher:
+    """One chain's size-or-deadline transaction coalescer.
+
+    *append* turns a list of transactions into a block and per-
+    transaction outcomes: ``append(txs) -> (block, outcomes)`` where
+    ``outcomes[i]`` has ``applied``/``reason`` (the CSM's
+    :class:`~repro.csm.machine.TxOutcome` fits directly).  It runs on
+    the event loop — signing and validating one batch is a sub-
+    millisecond affair at these sizes, and serializing appends per
+    chain is exactly what the branch-reining rule wants.
+    """
+
+    def __init__(
+        self,
+        append: Callable[[Sequence[Transaction]], tuple],
+        *,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_delay_s: float = DEFAULT_MAX_DELAY_S,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        clock: Optional[Callable[[], float]] = None,
+        on_flush: Optional[Callable[[int, float], None]] = None,
+        on_shed: Optional[Callable[[int], None]] = None,
+    ):
+        if max_batch < 1 or max_batch > MAX_TRANSACTIONS:
+            raise ValueError(
+                f"max_batch must be in 1..{MAX_TRANSACTIONS}"
+            )
+        if max_queue < max_batch:
+            raise ValueError("max_queue must be >= max_batch")
+        if max_delay_s <= 0:
+            raise ValueError("max_delay_s must be positive")
+        self._append = append
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.max_queue = max_queue
+        self._clock = clock or time.monotonic
+        self._on_flush = on_flush
+        self._on_shed = on_shed
+        self._queue: deque[_Pending] = deque()
+        self._wakeup: Optional[asyncio.Event] = None
+        self._task: Optional[asyncio.Task] = None
+        self._closed = False
+        self.batches_flushed = 0
+        self.txs_batched = 0
+        self.txs_shed = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("batcher already started")
+        self._closed = False
+        self._wakeup = asyncio.Event()
+        self._task = asyncio.ensure_future(self._run())
+
+    async def stop(self) -> None:
+        """Flush what is queued, then stop.  Idempotent."""
+        if self._task is None:
+            return
+        self._closed = True
+        self._wakeup.set()
+        await self._task
+        self._task = None
+        # Anything still pending (a submit that raced the stop) fails
+        # cleanly rather than hanging its waiter forever.
+        while self._queue:
+            entry = self._queue.popleft()
+            if not entry.future.done():
+                entry.future.set_exception(BatcherClosed())
+
+    # -- submission ----------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def submit(self, tx: Transaction) -> asyncio.Future:
+        """Queue one transaction; the future resolves to a
+        :class:`SubmitResult` (or :class:`ShedError` /
+        :class:`BatcherClosed`)."""
+        if self._closed or self._task is None:
+            future = asyncio.get_event_loop().create_future()
+            future.set_exception(BatcherClosed())
+            return future
+        while len(self._queue) >= self.max_queue:
+            shed = self._queue.popleft()
+            self.txs_shed += 1
+            if self._on_shed is not None:
+                self._on_shed(1)
+            if not shed.future.done():
+                shed.future.set_exception(ShedError(self._retry_after()))
+        future = asyncio.get_event_loop().create_future()
+        self._queue.append(_Pending(tx, future, self._clock()))
+        self._wakeup.set()
+        return future
+
+    def _retry_after(self) -> float:
+        """A Retry-After hint: roughly one full queue drain."""
+        return max(
+            0.05,
+            (self.max_queue / self.max_batch) * self.max_delay_s,
+        )
+
+    # -- the flusher ---------------------------------------------------
+
+    async def _run(self) -> None:
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            if self._closed and not self._queue:
+                return
+            while self._queue:
+                await self._wait_for_trigger()
+                self._flush_one_batch()
+            if self._closed:
+                return
+
+    async def _wait_for_trigger(self) -> None:
+        """Sleep until the batch is full or the oldest entry expires."""
+        while (
+            not self._closed
+            and self._queue
+            and len(self._queue) < self.max_batch
+        ):
+            deadline = self._queue[0].enqueued + self.max_delay_s
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                return
+            self._wakeup.clear()
+            try:
+                await asyncio.wait_for(self._wakeup.wait(), remaining)
+            except (asyncio.TimeoutError, TimeoutError):
+                return
+
+    def _flush_one_batch(self) -> None:
+        batch: list[_Pending] = []
+        while self._queue and len(batch) < self.max_batch:
+            batch.append(self._queue.popleft())
+        if not batch:
+            return
+        now = self._clock()
+        oldest_wait_ms = (now - batch[0].enqueued) * 1000.0
+        try:
+            block, outcomes = self._append([entry.tx for entry in batch])
+        except Exception as exc:  # the chain refused the whole batch
+            for entry in batch:
+                if not entry.future.done():
+                    entry.future.set_exception(exc)
+            return
+        self.batches_flushed += 1
+        self.txs_batched += len(batch)
+        if self._on_flush is not None:
+            self._on_flush(len(batch), oldest_wait_ms)
+        for index, entry in enumerate(batch):
+            if entry.future.done():
+                continue
+            outcome = outcomes[index]
+            entry.future.set_result(SubmitResult(
+                block_hash=block.hash,
+                index=index,
+                applied=outcome.applied,
+                reason=outcome.reason,
+                batch_size=len(batch),
+                queued_ms=(now - entry.enqueued) * 1000.0,
+            ))
+
+    def summary(self) -> dict:
+        return {
+            "queue_depth": self.queue_depth,
+            "max_queue": self.max_queue,
+            "max_batch": self.max_batch,
+            "max_delay_ms": self.max_delay_s * 1000.0,
+            "batches": self.batches_flushed,
+            "txs_batched": self.txs_batched,
+            "txs_shed": self.txs_shed,
+        }

@@ -1,0 +1,201 @@
+"""Minimal HTTP/1.1 plumbing for the client gateway.
+
+The gateway speaks plain HTTP because its clients are ordinary devices
+and load generators, not Vegvisir replicas — the anti-entropy wire
+protocol never touches this module, and the byte-parity suite pins
+that the gateway adds **zero bytes** to any gossip frame.
+
+Dependency-free by design (same stance as :mod:`repro.obs.live`): a
+request parser with bounded head and body sizes, a response builder,
+and keep-alive support so an open-loop load generator can reuse
+connections instead of churning ephemeral ports.  Anything outside the
+small subset the gateway needs (chunked bodies, trailers, multipart)
+is rejected with a clean 4xx, never an exception escaping the handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+MAX_HEAD_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    101: "Switching Protocols",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request the gateway refuses; carries the response status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "target", "path", "query", "headers", "body")
+
+    def __init__(self, method: str, target: str,
+                 headers: dict[str, str], body: bytes):
+        self.method = method
+        self.target = target
+        split = urlsplit(target)
+        self.path = unquote(split.path)
+        self.query = dict(parse_qsl(split.query))
+        self.headers = headers
+        self.body = body
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.header("connection").lower()
+        if "close" in connection:
+            return False
+        return True  # HTTP/1.1 default
+
+    @property
+    def wants_upgrade(self) -> bool:
+        return (
+            "upgrade" in self.header("connection").lower()
+            and self.header("upgrade").lower() == "websocket"
+        )
+
+    def json_body(self):
+        """The body decoded as JSON; :class:`HttpError` 400 if it isn't."""
+        if not self.body:
+            raise HttpError(400, "request body must be JSON")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return f"Request({self.method} {self.target})"
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_head: int = MAX_HEAD_BYTES,
+    max_body: int = MAX_BODY_BYTES,
+) -> Optional[Request]:
+    """Read one request; ``None`` on a clean EOF between requests.
+
+    Raises :class:`HttpError` on anything malformed or oversize — the
+    caller answers with the carried status and closes the connection.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(431, "request head too large") from exc
+    if len(head) > max_head:
+        raise HttpError(431, "request head too large")
+    lines = head[:-4].split(b"\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise HttpError(400, "malformed request line")
+    try:
+        method = parts[0].decode("ascii")
+        target = parts[1].decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise HttpError(400, "non-ASCII request line") from exc
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(b":")
+        if not sep:
+            raise HttpError(400, "malformed header line")
+        try:
+            headers[name.decode("ascii").strip().lower()] = (
+                value.decode("latin-1").strip()
+            )
+        except UnicodeDecodeError as exc:
+            raise HttpError(400, "malformed header name") from exc
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(400, "chunked bodies are not supported")
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise HttpError(400, "bad Content-Length") from exc
+    if length < 0:
+        raise HttpError(400, "bad Content-Length")
+    if length > max_body:
+        raise HttpError(413, "request body too large")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "truncated request body") from exc
+    return Request(method, target, headers, body)
+
+
+def response(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "text/plain; charset=utf-8",
+    headers: Optional[dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one response (Content-Length framing, no chunking)."""
+    lines = [
+        f"HTTP/1.1 {status} {REASONS.get(status, 'Error')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def json_response(
+    status: int,
+    payload,
+    *,
+    headers: Optional[dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return response(
+        status, body, content_type="application/json",
+        headers=headers, keep_alive=keep_alive,
+    )
+
+
+def jsonable(value):
+    """Wire values → JSON-compatible (bytes become hex strings)."""
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((jsonable(item) for item in value), key=repr)
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    return value

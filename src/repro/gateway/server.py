@@ -1,0 +1,415 @@
+"""The gateway's client-facing HTTP/WebSocket server.
+
+One asyncio server handles every client connection with keep-alive,
+routes requests to the hosted chains, and upgrades ``/v1/subscribe``
+to a WebSocket push feed.  All limits are hard: bounded request heads
+and bodies (:mod:`repro.gateway.http`), bounded subscriber queues,
+admission control before any work is done, and a bounded batch queue
+behind the submit path — a misbehaving client can be refused, shed,
+or disconnected, but can never grow the gateway's memory.
+
+Routes (``<chain>`` is a chain-id prefix; bare routes hit the default
+chain):
+
+====================================  =================================
+``GET  /healthz``                     liveness probe
+``GET  /v1/chains``                   hosted chain prefixes → ids
+``POST /v1/tx``                       submit one transaction
+``GET  /v1/state/<crdt>``             current CRDT value
+``GET  /v1/block/<hash>``             one block as JSON
+``WS   /v1/subscribe``                block/frontier push feed
+``*    /v1/c/<chain>/…``              any of the above, per tenant
+====================================  =================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from typing import Optional, TYPE_CHECKING
+
+from repro.chain.errors import MalformedBlockError
+from repro.chain.block import Transaction
+from repro.crypto.sha import Hash
+from repro.csm.errors import CSMError
+from repro.gateway import websocket as ws
+from repro.gateway.batching import BatcherClosed, ShedError
+from repro.gateway.http import (
+    HttpError,
+    Request,
+    json_response,
+    jsonable,
+    read_request,
+    response,
+)
+from repro.obs.live import OpsError
+
+if TYPE_CHECKING:
+    from repro.gateway.node import ChainHost, GatewayNode
+
+
+class GatewayServer:
+    """The asyncio server in front of a :class:`GatewayNode`."""
+
+    def __init__(self, node: "GatewayNode", *, host: str = "127.0.0.1",
+                 port: int = 0, obs=None):
+        self._node = node
+        self._host = host
+        self._port = port
+        self._obs = obs
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set[asyncio.Task] = set()
+        self.requests_served = 0
+
+    @property
+    def port(self) -> Optional[int]:
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("gateway server already started")
+        try:
+            self._server = await asyncio.start_server(
+                self._handle, self._host, self._port
+            )
+        except OSError as exc:
+            raise OpsError(
+                f"cannot bind gateway on {self._host}:{self._port}: "
+                f"{exc.strerror or exc}"
+            ) from exc
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        while True:
+            try:
+                request = await read_request(reader)
+            except HttpError as exc:
+                writer.write(json_response(
+                    exc.status, {"error": exc.message}, keep_alive=False
+                ))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            self.requests_served += 1
+            if request.wants_upgrade:
+                await self._route_websocket(request, reader, writer)
+                return
+            try:
+                body = await self._route(request)
+            except HttpError as exc:
+                body = json_response(
+                    exc.status, {"error": exc.message},
+                    keep_alive=request.keep_alive,
+                )
+                self._count(request, exc.status)
+            except Exception:  # a handler bug must not kill the server
+                body = json_response(
+                    500, {"error": "internal error"},
+                    keep_alive=request.keep_alive,
+                )
+                self._count(request, 500)
+            writer.write(body)
+            await writer.drain()
+            if not request.keep_alive:
+                return
+
+    # -- routing -------------------------------------------------------
+
+    def _split_route(self, request: Request):
+        """``(host, route-path)`` after peeling a chain prefix."""
+        path = request.path
+        prefix = None
+        if path.startswith("/v1/c/"):
+            rest = path[len("/v1/c/"):]
+            prefix, _, tail = rest.partition("/")
+            path = "/v1/" + tail
+        host = self._node.resolve_host(prefix)
+        if host is None:
+            raise HttpError(404, f"no hosted chain with prefix {prefix!r}")
+        return host, path
+
+    @staticmethod
+    def _route_label(path: str) -> str:
+        if path == "/healthz":
+            return "healthz"
+        if path == "/v1/chains":
+            return "chains"
+        if path == "/v1/tx":
+            return "tx"
+        if path.startswith("/v1/state/"):
+            return "state"
+        if path.startswith("/v1/block/"):
+            return "block"
+        if path == "/v1/subscribe":
+            return "subscribe"
+        return "other"
+
+    def _count(self, request: Request, status: int) -> None:
+        try:
+            _, path = self._split_route(request)
+        except HttpError:
+            path = request.path
+        self._node.observe_request(self._route_label(path), status)
+        if self._obs is not None:
+            self._obs.emit(
+                "gateway.request", method=request.method,
+                route=self._route_label(path), status=status,
+            )
+
+    async def _route(self, request: Request) -> bytes:
+        host, path = self._split_route(request)
+        keep = request.keep_alive
+        if path == "/healthz":
+            if request.method not in ("GET", "HEAD"):
+                raise HttpError(405, "only GET is supported")
+            self._count(request, 200)
+            return response(200, b"ok\n", keep_alive=keep)
+        if path == "/v1/chains":
+            if request.method not in ("GET", "HEAD"):
+                raise HttpError(405, "only GET is supported")
+            self._count(request, 200)
+            return json_response(200, {
+                "chains": {
+                    prefix: h.chain_id_hex
+                    for prefix, h in sorted(self._node.hosts.items())
+                },
+                "default": self._node.default_host.prefix,
+            }, keep_alive=keep)
+        if path == "/v1/tx":
+            if request.method != "POST":
+                raise HttpError(405, "submit with POST")
+            return await self._handle_submit(host, request)
+        if path.startswith("/v1/state/"):
+            if request.method not in ("GET", "HEAD"):
+                raise HttpError(405, "only GET is supported")
+            return self._handle_state(host, request,
+                                      path[len("/v1/state/"):])
+        if path.startswith("/v1/block/"):
+            if request.method not in ("GET", "HEAD"):
+                raise HttpError(405, "only GET is supported")
+            return self._handle_block(host, request,
+                                      path[len("/v1/block/"):])
+        raise HttpError(404, f"no route for {path}")
+
+    # -- handlers ------------------------------------------------------
+
+    @staticmethod
+    def _client_id(request: Request) -> str:
+        return (
+            request.header("x-client-id")
+            or request.query.get("client")
+            or "-"
+        )
+
+    async def _handle_submit(self, host: "ChainHost",
+                             request: Request) -> bytes:
+        keep = request.keep_alive
+        admitted, retry_after = self._node.admission.admit(
+            self._client_id(request)
+        )
+        if not admitted:
+            self._count(request, 429)
+            return json_response(
+                429,
+                {"error": "rate_limited",
+                 "retry_after_s": round(retry_after, 3)},
+                headers={"Retry-After": str(math.ceil(retry_after))},
+                keep_alive=keep,
+            )
+        payload = request.json_body()
+        if not isinstance(payload, dict):
+            raise HttpError(400, "transaction must be a JSON object")
+        args = payload.get("args", [])
+        if not isinstance(args, list):
+            raise HttpError(400, "args must be a list")
+        try:
+            tx = Transaction(payload.get("crdt"), payload.get("op"), args)
+        except MalformedBlockError as exc:
+            raise HttpError(400, str(exc)) from exc
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        future = host.batcher.submit(tx)
+        try:
+            result = await asyncio.wait_for(
+                future, self._node.submit_timeout_s
+            )
+        except ShedError as exc:
+            self._count(request, 429)
+            return json_response(
+                429,
+                {"error": "shed",
+                 "retry_after_s": round(exc.retry_after_s, 3)},
+                headers={"Retry-After": str(math.ceil(exc.retry_after_s))},
+                keep_alive=keep,
+            )
+        except BatcherClosed:
+            self._count(request, 503)
+            return json_response(
+                503, {"error": "gateway stopping"}, keep_alive=False
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            self._count(request, 503)
+            return json_response(
+                503, {"error": "submit timed out"}, keep_alive=keep
+            )
+        latency_ms = (loop.time() - start) * 1000.0
+        self._node.observe_submit_latency(latency_ms)
+        self._count(request, 200)
+        return json_response(200, {
+            "chain": host.prefix,
+            "block": result.block_hash.hex(),
+            "index": result.index,
+            "applied": result.applied,
+            "reason": result.reason,
+            "batch_size": result.batch_size,
+            "latency_ms": round(latency_ms, 3),
+        }, keep_alive=keep)
+
+    def _handle_state(self, host: "ChainHost", request: Request,
+                      name: str) -> bytes:
+        if not name:
+            raise HttpError(404, "state route needs a CRDT name")
+        try:
+            value = host.live.node.csm.crdt_value(name)
+        except CSMError as exc:
+            raise HttpError(404, str(exc)) from exc
+        self._count(request, 200)
+        return json_response(200, {
+            "chain": host.prefix,
+            "crdt": name,
+            "value": jsonable(value),
+            "blocks": len(host.live.node.dag),
+        }, keep_alive=request.keep_alive)
+
+    def _handle_block(self, host: "ChainHost", request: Request,
+                      hex_hash: str) -> bytes:
+        try:
+            block_hash = Hash.from_hex(hex_hash)
+        except (ValueError, TypeError) as exc:
+            raise HttpError(400, f"bad block hash: {exc}") from exc
+        dag = host.live.node.dag
+        if block_hash not in dag:
+            raise HttpError(404, "no such block on this chain")
+        block = dag.get(block_hash)
+        self._count(request, 200)
+        return json_response(200, {
+            "chain": host.prefix,
+            "hash": block.hash.hex(),
+            "block": jsonable(block.to_wire()),
+        }, keep_alive=request.keep_alive)
+
+    # -- the push feed -------------------------------------------------
+
+    async def _route_websocket(self, request: Request,
+                               reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
+        try:
+            host, path = self._split_route(request)
+        except HttpError as exc:
+            writer.write(json_response(
+                exc.status, {"error": exc.message}, keep_alive=False
+            ))
+            await writer.drain()
+            return
+        key = request.header("sec-websocket-key")
+        if path != "/v1/subscribe" or not key:
+            status = 404 if path != "/v1/subscribe" else 400
+            self._count(request, status)
+            writer.write(json_response(
+                status, {"error": "websocket upgrade only on /v1/subscribe"},
+                keep_alive=False,
+            ))
+            await writer.drain()
+            return
+        writer.write(ws.handshake_response(key))
+        await writer.drain()
+        self._count(request, 101)
+        queue = host.subscribe()
+        self._node.sync_subscriber_gauge(host)
+        sender = asyncio.ensure_future(self._ws_sender(queue, writer))
+        try:
+            writer.write(ws.text_frame(
+                '{"type": "hello", "chain": "%s", "blocks": %d}'
+                % (host.prefix, len(host.live.node.dag))
+            ))
+            await writer.drain()
+            await self._ws_reader(reader, writer)
+        except (ConnectionError, OSError, ws.WebSocketError):
+            pass
+        finally:
+            sender.cancel()
+            try:
+                await sender
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+            host.unsubscribe(queue)
+            self._node.sync_subscriber_gauge(host)
+
+    @staticmethod
+    async def _ws_sender(queue: asyncio.Queue,
+                         writer: asyncio.StreamWriter) -> None:
+        while True:
+            message = await queue.get()
+            if message is None:  # dropped: could not keep up
+                writer.write(ws.close_frame(1013))  # "try again later"
+                await writer.drain()
+                return
+            writer.write(ws.text_frame(message))
+            await writer.drain()
+
+    @staticmethod
+    async def _ws_reader(reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        parser = ws.FrameParser()
+        while True:
+            data = await reader.read(4096)
+            if not data:
+                return
+            for opcode, payload in parser.feed(data):
+                if opcode == ws.OP_CLOSE:
+                    writer.write(ws.close_frame())
+                    await writer.drain()
+                    return
+                if opcode == ws.OP_PING:
+                    writer.write(ws.encode_frame(ws.OP_PONG, payload))
+                    await writer.drain()
+                # Text/binary/pong from subscribers are ignored: the
+                # feed is one-way.
+
+    def __repr__(self) -> str:
+        return f"GatewayServer(port={self.port})"

@@ -1,0 +1,76 @@
+"""Optional uvloop event-loop selection for the live plane.
+
+High-connection-count serving (the gateway, big live fleets, the load
+generator) spends real time in the event loop itself; uvloop's libuv
+loop is a drop-in that roughly halves that overhead.  It is strictly
+optional — an extra (``pip install -e ".[loop]"``), never a hard
+dependency — and selection is explicit:
+
+* ``VGV_EVENT_LOOP=uvloop``  — require uvloop; fail loudly if missing;
+* ``VGV_EVENT_LOOP=asyncio`` — force the stdlib loop (the default);
+* ``VGV_EVENT_LOOP=auto``    — use uvloop when importable, else stdlib.
+
+The CLI's ``--event-loop`` flag overrides the environment variable.
+``run(coro)`` is the one entry point the CLI commands use: it resolves
+the policy, then delegates to ``uvloop.run`` or ``asyncio.run``.
+Nothing here touches the simulator — sim runs use the virtual
+:class:`~repro.sim.core.EventLoop`, and byte-parity between live and
+sim is loop-implementation-independent (the suite pins it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from typing import Awaitable, Optional
+
+ENV_VAR = "VGV_EVENT_LOOP"
+CHOICES = ("asyncio", "uvloop", "auto")
+DEFAULT = "asyncio"
+
+
+class LoopUnavailable(Exception):
+    """The requested event loop implementation cannot be used."""
+
+
+def _import_uvloop():
+    try:
+        import uvloop  # type: ignore[import-not-found]
+    except ImportError:
+        return None
+    return uvloop
+
+
+def resolve(choice: Optional[str] = None) -> str:
+    """The effective loop implementation: ``"asyncio"`` or ``"uvloop"``.
+
+    *choice* (usually a CLI flag) wins over ``$VGV_EVENT_LOOP``; both
+    accept ``asyncio`` / ``uvloop`` / ``auto``.  Raises
+    :class:`LoopUnavailable` when uvloop is demanded but not importable,
+    and ``ValueError`` on an unknown name — misconfiguration should
+    stop a server at startup, not quietly change its performance.
+    """
+    requested = choice or os.environ.get(ENV_VAR) or DEFAULT
+    requested = requested.strip().lower()
+    if requested not in CHOICES:
+        raise ValueError(
+            f"unknown event loop {requested!r}; pick one of {CHOICES}"
+        )
+    if requested == "asyncio":
+        return "asyncio"
+    uvloop = _import_uvloop()
+    if uvloop is not None:
+        return "uvloop"
+    if requested == "uvloop":
+        raise LoopUnavailable(
+            "VGV_EVENT_LOOP=uvloop but uvloop is not installed; "
+            'pip install -e ".[loop]" or use --event-loop auto'
+        )
+    return "asyncio"  # auto, uvloop absent
+
+
+def run(coro: Awaitable, *, choice: Optional[str] = None):
+    """``asyncio.run`` under the resolved loop implementation."""
+    if resolve(choice) == "uvloop":
+        return _import_uvloop().run(coro)
+    return asyncio.run(coro)

@@ -28,7 +28,7 @@ from __future__ import annotations
 import asyncio
 import pathlib
 import time
-from typing import List, Optional, Union
+from typing import Callable, List, Optional, Union
 
 from repro.chain.block import Block, Transaction
 from repro.core.node import VegvisirNode
@@ -152,6 +152,11 @@ class LiveNode:
         self._loop_task: Optional[asyncio.Task] = None
         self._stop_requested: Optional[asyncio.Event] = None
         self._started = False
+        # Optional in-process hook called as listener(block, origin) for
+        # every block the replica persists — local batches and gossip
+        # arrivals alike.  The gateway's push feed hangs off this; it
+        # adds zero bytes to any wire frame.
+        self.block_listener: Optional[Callable[[Block, str], None]] = None
         if self._obs is not None:
             self._c_persisted = self._obs.registry.counter(
                 "live_blocks_persisted_total",
@@ -174,7 +179,8 @@ class LiveNode:
         """
         order = self.node.dag.insertion_order()
         for block_hash in order[self._persisted:]:
-            self.store.append(self.node.dag.get(block_hash))
+            block = self.node.dag.get(block_hash)
+            self.store.append(block)
             if self._c_persisted is not None:
                 self._c_persisted.inc()
             if self._obs is not None:
@@ -182,6 +188,8 @@ class LiveNode:
                     "block.persisted", node=self.name,
                     block=block_hash, origin=origin,
                 )
+            if self.block_listener is not None:
+                self.block_listener(block, origin)
         self._persisted = len(order)
 
     def _pull_sink(self, peer_name: str):

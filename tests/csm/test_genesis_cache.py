@@ -1,0 +1,117 @@
+"""Genesis replay cache: warm replicas skip redundant cert verification
+without changing what a cold bootstrap would have produced."""
+
+import pytest
+
+from repro.chain.block import Block, Transaction, USERS_CRDT_NAME
+from repro.core.genesis import create_genesis
+from repro.crypto.keys import KeyPair
+from repro.csm.errors import CSMError
+from repro.csm import machine as machine_mod
+from repro.csm.machine import CSMachine, clear_genesis_cache
+from repro.membership.authority import CertificateAuthority
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_genesis_cache()
+    yield
+    clear_genesis_cache()
+
+
+def make_genesis(index, founders=0):
+    owner = KeyPair.deterministic(9000 + index)
+    authority = CertificateAuthority(owner)
+    keys = [KeyPair.deterministic(9100 + index * 50 + i)
+            for i in range(founders)]
+    certificates = [
+        authority.issue(key.public_key, "sensor", issued_at=1)
+        for key in keys
+    ]
+    return create_genesis(
+        owner,
+        chain_name=f"cache-{index}",
+        timestamp=0,
+        founding_members=certificates,
+    ), owner, keys
+
+
+class TestWarmMatchesCold:
+    def test_second_bootstrap_is_identical(self):
+        genesis, owner, keys = make_genesis(0, founders=4)
+        cold = CSMachine.from_genesis(genesis)
+        assert genesis.hash.digest in machine_mod._genesis_cache
+        warm = CSMachine.from_genesis(genesis)
+        assert warm._preverified  # proves the fast path engaged
+        assert cold.members() == warm.members()
+        assert cold.state_digest() == warm.state_digest()
+        for key in [owner, *keys]:
+            assert warm.is_member(key.user_id)
+
+    def test_warm_machine_still_replays_new_blocks(self):
+        genesis, owner, _ = make_genesis(1, founders=2)
+        CSMachine.from_genesis(genesis)
+        warm = CSMachine.from_genesis(genesis)
+        block = Block.create(
+            owner, [genesis.hash], 1,
+            [Transaction("__crdts__", "create",
+                         ["log", "append_log", {"element": "str"}])],
+        )
+        outcomes = warm.replay_block(block)
+        assert all(outcome.applied for outcome in outcomes)
+
+    def test_clear_cache_forces_cold_path(self):
+        genesis, _, _ = make_genesis(2)
+        CSMachine.from_genesis(genesis)
+        clear_genesis_cache()
+        assert not machine_mod._genesis_cache
+        machine = CSMachine.from_genesis(genesis)
+        assert not machine._preverified
+        assert machine.is_member(genesis.user_id)
+
+
+class TestSafety:
+    def test_invalid_genesis_rejected_even_with_populated_cache(self):
+        genesis, owner, _ = make_genesis(3)
+        CSMachine.from_genesis(genesis)
+        impostor = KeyPair.deterministic(9999)
+        fake = create_genesis(impostor, chain_name="cache-3", timestamp=0)
+        fake_first = fake.transactions[0]
+        forged = Block.create(
+            owner, [], 0,
+            [Transaction(USERS_CRDT_NAME, "add", fake_first.args)],
+        )
+        with pytest.raises(CSMError):
+            CSMachine.from_genesis(forged)
+        # The forgery must not have poisoned the cache either.
+        assert forged.hash.digest not in machine_mod._genesis_cache
+
+    def test_distinct_chains_get_distinct_entries(self):
+        first, _, _ = make_genesis(4)
+        second, _, _ = make_genesis(5)
+        CSMachine.from_genesis(first)
+        CSMachine.from_genesis(second)
+        assert len(machine_mod._genesis_cache) == 2
+        assert first.hash.digest != second.hash.digest
+
+    def test_cache_is_bounded_lru(self):
+        limit = machine_mod._GENESIS_CACHE_LIMIT
+        chains = [make_genesis(10 + i)[0] for i in range(limit + 2)]
+        for genesis in chains:
+            CSMachine.from_genesis(genesis)
+        assert len(machine_mod._genesis_cache) == limit
+        # The two oldest entries were evicted; the newest survive.
+        assert chains[0].hash.digest not in machine_mod._genesis_cache
+        assert chains[1].hash.digest not in machine_mod._genesis_cache
+        assert chains[-1].hash.digest in machine_mod._genesis_cache
+
+    def test_hit_refreshes_lru_position(self):
+        limit = machine_mod._GENESIS_CACHE_LIMIT
+        chains = [make_genesis(40 + i)[0] for i in range(limit)]
+        for genesis in chains:
+            CSMachine.from_genesis(genesis)
+        CSMachine.from_genesis(chains[0])  # touch the oldest
+        evictor, _, _ = make_genesis(80)
+        CSMachine.from_genesis(evictor)
+        assert chains[0].hash.digest in machine_mod._genesis_cache
+        assert chains[1].hash.digest not in machine_mod._genesis_cache

@@ -1,0 +1,94 @@
+"""Token-bucket admission control: rates, Retry-After, LRU bounds."""
+
+import pytest
+
+from repro.gateway.admission import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal_with_exact_retry_after(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0, now=0.0)
+        assert bucket.admit(0.0) == 0.0
+        assert bucket.admit(0.0) == 0.0
+        retry = bucket.admit(0.0)
+        assert retry == pytest.approx(0.1)  # 1 token at 10/s
+
+    def test_refill_restores_admission(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0, now=0.0)
+        bucket.admit(0.0)
+        bucket.admit(0.0)
+        assert bucket.admit(0.0) > 0
+        assert bucket.admit(0.2) == 0.0  # 0.2 s refilled 2 tokens
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=3.0, now=0.0)
+        # A long idle period must not bank more than `burst` tokens.
+        for _ in range(3):
+            assert bucket.admit(1_000.0) == 0.0
+        assert bucket.admit(1_000.0) > 0
+
+
+class TestAdmissionController:
+    def test_distinct_clients_have_independent_buckets(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            rate=1.0, burst=1.0, clock=clock
+        )
+        assert controller.admit("a") == (True, 0.0)
+        refused, retry = controller.admit("a")
+        assert not refused and retry > 0
+        assert controller.admit("b") == (True, 0.0)
+
+    def test_counters_and_summary(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=1.0, burst=1.0, clock=clock)
+        controller.admit("a")
+        controller.admit("a")
+        summary = controller.summary()
+        assert summary["admitted"] == 1
+        assert summary["refused"] == 1
+        assert summary["clients"] == 1
+        assert summary["rate"] == 1.0
+
+    def test_lru_eviction_bounds_memory(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            rate=1.0, burst=1.0, max_clients=2, clock=clock
+        )
+        for client in ("a", "b", "c"):
+            controller.admit(client)
+        assert controller.client_count == 2
+        assert controller.evicted == 1
+
+    def test_eviction_is_least_recently_used(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            rate=0.001, burst=1.0, max_clients=2, clock=clock
+        )
+        controller.admit("a")
+        controller.admit("b")
+        controller.admit("a")  # touch a: b is now least recent
+        controller.admit("c")  # evicts b
+        # a's bucket survived, so its empty state is remembered ...
+        assert controller.admit("a") == (False, pytest.approx(1000.0))
+        # ... while evicted b returns to a fresh, full bucket.
+        assert controller.admit("b") == (True, 0.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(rate=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(burst=-1.0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_clients=0)

@@ -1,0 +1,219 @@
+"""TxBatcher: size/deadline triggers, shed-oldest, clean shutdown."""
+
+import asyncio
+
+import pytest
+
+from repro.chain.block import MAX_TRANSACTIONS, Transaction
+from repro.gateway.batching import (
+    BatcherClosed,
+    ShedError,
+    TxBatcher,
+)
+
+
+class FakeOutcome:
+    def __init__(self, applied=True, reason=None):
+        self.applied = applied
+        self.reason = reason
+
+
+class FakeChain:
+    """Records batches and hands back fake blocks/outcomes."""
+
+    def __init__(self):
+        self.batches: list[list[Transaction]] = []
+        self.fail_with: Exception | None = None
+
+    def append(self, txs):
+        if self.fail_with is not None:
+            raise self.fail_with
+        txs = list(txs)
+        self.batches.append(txs)
+
+        class FakeBlock:
+            hash = f"block-{len(self.batches)}"
+
+        return FakeBlock(), [FakeOutcome() for _ in txs]
+
+
+def tx(tag: str) -> Transaction:
+    return Transaction("ledger", "append", [tag])
+
+
+class TestTriggers:
+    def test_size_trigger_cuts_full_batches(self):
+        async def scenario():
+            chain = FakeChain()
+            batcher = TxBatcher(chain.append, max_batch=3, max_delay_s=60.0)
+            await batcher.start()
+            futures = [batcher.submit(tx(f"t{i}")) for i in range(3)]
+            results = await asyncio.wait_for(
+                asyncio.gather(*futures), timeout=5.0
+            )
+            await batcher.stop()
+            return chain, results
+
+        chain, results = asyncio.run(scenario())
+        assert [len(batch) for batch in chain.batches] == [3]
+        assert [r.index for r in results] == [0, 1, 2]
+        assert all(r.batch_size == 3 and r.applied for r in results)
+
+    def test_deadline_trigger_flushes_partial_batch(self):
+        async def scenario():
+            chain = FakeChain()
+            batcher = TxBatcher(
+                chain.append, max_batch=100, max_delay_s=0.02
+            )
+            await batcher.start()
+            result = await asyncio.wait_for(
+                batcher.submit(tx("lonely")), timeout=5.0
+            )
+            await batcher.stop()
+            return chain, result
+
+        chain, result = asyncio.run(scenario())
+        assert [len(batch) for batch in chain.batches] == [1]
+        assert result.batch_size == 1
+        assert result.queued_ms >= 0
+
+    def test_submissions_during_flush_form_next_batch(self):
+        async def scenario():
+            chain = FakeChain()
+            batcher = TxBatcher(chain.append, max_batch=2, max_delay_s=0.01)
+            await batcher.start()
+            first = [batcher.submit(tx("a")), batcher.submit(tx("b"))]
+            await asyncio.gather(*first)
+            second = batcher.submit(tx("c"))
+            await second
+            await batcher.stop()
+            return chain
+
+        chain = asyncio.run(scenario())
+        assert [len(batch) for batch in chain.batches] == [2, 1]
+        assert chain.batches[1][0].args == ["c"]
+
+
+class TestBackpressure:
+    def test_overflow_sheds_oldest_with_retry_after(self):
+        async def scenario():
+            chain = FakeChain()
+            shed_counts = []
+            batcher = TxBatcher(
+                chain.append, max_batch=4, max_queue=4, max_delay_s=60.0,
+                on_shed=shed_counts.append,
+            )
+            await batcher.start()
+            # Five synchronous submits: no await between them, so the
+            # flusher cannot drain — the fifth must shed the first.
+            futures = [batcher.submit(tx(f"t{i}")) for i in range(5)]
+            with pytest.raises(ShedError) as excinfo:
+                await asyncio.wait_for(futures[0], timeout=5.0)
+            rest = await asyncio.wait_for(
+                asyncio.gather(*futures[1:]), timeout=5.0
+            )
+            await batcher.stop()
+            return chain, excinfo.value, rest, shed_counts, batcher
+
+        chain, shed_exc, rest, shed_counts, batcher = asyncio.run(scenario())
+        assert shed_exc.retry_after_s > 0
+        assert batcher.txs_shed == 1
+        assert shed_counts == [1]
+        # The survivors flush in arrival order, without the shed one.
+        assert [t.args for t in chain.batches[0]] == [
+            ["t1"], ["t2"], ["t3"], ["t4"]
+        ]
+        assert all(r.applied for r in rest)
+
+    def test_append_failure_fails_the_whole_batch(self):
+        async def scenario():
+            chain = FakeChain()
+            chain.fail_with = RuntimeError("chain refused")
+            batcher = TxBatcher(chain.append, max_batch=2, max_delay_s=0.01)
+            await batcher.start()
+            future = batcher.submit(tx("doomed"))
+            with pytest.raises(RuntimeError, match="chain refused"):
+                await asyncio.wait_for(future, timeout=5.0)
+            await batcher.stop()
+
+        asyncio.run(scenario())
+
+
+class TestLifecycle:
+    def test_stop_flushes_then_refuses(self):
+        async def scenario():
+            chain = FakeChain()
+            batcher = TxBatcher(
+                chain.append, max_batch=100, max_delay_s=60.0
+            )
+            await batcher.start()
+            pending = batcher.submit(tx("in-flight"))
+            await batcher.stop()  # flushes the partial batch
+            result = await pending
+            late = batcher.submit(tx("too-late"))
+            with pytest.raises(BatcherClosed):
+                await late
+            return chain, result
+
+        chain, result = asyncio.run(scenario())
+        assert [len(batch) for batch in chain.batches] == [1]
+        assert result.applied
+
+    def test_stop_is_idempotent_and_leaks_no_tasks(self):
+        async def scenario():
+            baseline = len(asyncio.all_tasks())
+            chain = FakeChain()
+            batcher = TxBatcher(chain.append)
+            await batcher.start()
+            await batcher.submit(tx("x"))
+            await batcher.stop()
+            await batcher.stop()
+            assert len(asyncio.all_tasks()) == baseline
+
+        asyncio.run(scenario())
+
+    def test_restart_after_stop(self):
+        async def scenario():
+            chain = FakeChain()
+            batcher = TxBatcher(chain.append, max_delay_s=0.01)
+            await batcher.start()
+            await batcher.submit(tx("first"))
+            await batcher.stop()
+            await batcher.start()
+            await batcher.submit(tx("second"))
+            await batcher.stop()
+            return chain
+
+        chain = asyncio.run(scenario())
+        assert len(chain.batches) == 2
+
+    def test_summary_counts(self):
+        async def scenario():
+            chain = FakeChain()
+            batcher = TxBatcher(chain.append, max_batch=2, max_delay_s=0.01)
+            await batcher.start()
+            await asyncio.gather(
+                batcher.submit(tx("a")), batcher.submit(tx("b"))
+            )
+            summary = batcher.summary()
+            await batcher.stop()
+            return summary
+
+        summary = asyncio.run(scenario())
+        assert summary["batches"] == 1
+        assert summary["txs_batched"] == 2
+        assert summary["txs_shed"] == 0
+        assert summary["queue_depth"] == 0
+
+
+class TestValidation:
+    def test_rejects_bad_configuration(self):
+        chain = FakeChain()
+        with pytest.raises(ValueError):
+            TxBatcher(chain.append, max_batch=0)
+        with pytest.raises(ValueError):
+            TxBatcher(chain.append, max_batch=MAX_TRANSACTIONS + 1)
+        with pytest.raises(ValueError):
+            TxBatcher(chain.append, max_batch=8, max_queue=4)
+        with pytest.raises(ValueError):
+            TxBatcher(chain.append, max_delay_s=0.0)

@@ -1,0 +1,162 @@
+"""Open-loop load generator: reports, percentiles, live runs."""
+
+import asyncio
+
+import pytest
+
+from repro.gateway import GatewayNode
+from repro.gateway.loadgen import (
+    LoadReport,
+    percentile,
+    run_loadgen,
+)
+from repro.live.node import LiveNode
+
+
+def make_gateway(deployment, tmp_path, **kwargs):
+    live = LiveNode(
+        deployment.owner, tmp_path / "chain.blocks",
+        genesis=deployment.genesis, clock=deployment.clock, fsync=False,
+    )
+    kwargs.setdefault("max_delay_s", 0.005)
+    return GatewayNode([live], **kwargs)
+
+
+def create_ledger(gateway):
+    live = gateway.default_host.live
+    live.node.create_crdt("ledger", "append_log", "str", {"append": "*"})
+    live._persist_blocks()
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_interpolation(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 0) == 0.0
+        assert percentile(values, 50) == 5.0
+        assert percentile(values, 100) == 10.0
+
+    def test_p99_of_uniform_ramp(self):
+        values = [float(i) for i in range(101)]
+        assert percentile(values, 99) == pytest.approx(99.0)
+
+
+class TestLoadReport:
+    def test_summary_fields(self):
+        report = LoadReport(offered_rate=100.0, duration_s=2.0)
+        report.offered = 10
+        report.accepted = 8
+        report.rate_limited = 1
+        report.shed = 1
+        report.elapsed_s = 2.0
+        for value in (1.0, 2.0, 3.0, 4.0):
+            report.record_latency(value)
+        summary = report.summary()
+        assert summary["offered"] == 10
+        assert summary["accepted"] == 8
+        assert summary["accepted_rate"] == pytest.approx(4.0)
+        assert summary["p50_ms"] == pytest.approx(2.5)
+        assert summary["p99_ms"] <= summary["max_ms"] == 4.0
+        assert report.completed == 10
+
+    def test_latency_recording_is_capped(self, monkeypatch):
+        from repro.gateway import loadgen
+
+        monkeypatch.setattr(loadgen, "MAX_RECORDED_LATENCIES", 3)
+        report = LoadReport(1.0, 1.0)
+        for value in range(10):
+            report.record_latency(float(value))
+        assert report.latencies_ms == [0.0, 1.0, 2.0]
+
+
+class TestRunLoadgen:
+    def test_open_loop_run_against_live_gateway(self, deployment,
+                                                tmp_path):
+        async def scenario():
+            gateway = make_gateway(
+                deployment, tmp_path,
+                admission_rate=10_000.0, admission_burst=10_000.0,
+            )
+            await gateway.start()
+            create_ledger(gateway)
+            report = await run_loadgen(
+                "127.0.0.1", gateway.http_port,
+                rate=150.0, duration_s=1.0, num_clients=50,
+                connections=4, seed=7,
+            )
+            chain_blocks = len(gateway.default_host.live.node.dag)
+            await gateway.stop()
+            return report, chain_blocks
+
+        report, chain_blocks = asyncio.run(scenario())
+        # Poisson(150) over 1s: well away from 0 with seed 7.
+        assert report.offered > 50
+        assert report.completed + report.overruns == report.offered
+        assert report.accepted > 0
+        assert report.errors == 0
+        assert report.elapsed_s >= 1.0
+        assert len(report.latencies_ms) == report.accepted
+        # Batching means far fewer blocks than transactions.
+        assert 2 < chain_blocks < report.accepted + 2
+
+    def test_same_seed_same_offered_schedule(self, deployment, tmp_path):
+        async def scenario(seed):
+            gateway = make_gateway(deployment, tmp_path / str(seed))
+            await gateway.start()
+            create_ledger(gateway)
+            report = await run_loadgen(
+                "127.0.0.1", gateway.http_port,
+                rate=100.0, duration_s=0.5, num_clients=10,
+                connections=2, seed=seed,
+            )
+            await gateway.stop()
+            return report.offered
+
+        first = asyncio.run(scenario(3))
+        second = asyncio.run(scenario(3))
+        different = asyncio.run(scenario(4))
+        assert first == second
+        # Different seeds draw different Poisson arrivals (offered counts
+        # rarely coincide; tolerate equality only in count, not require).
+        assert isinstance(different, int)
+
+    def test_rate_limited_requests_counted(self, deployment, tmp_path):
+        async def scenario():
+            gateway = make_gateway(
+                deployment, tmp_path,
+                admission_rate=1.0, admission_burst=1.0,
+            )
+            await gateway.start()
+            create_ledger(gateway)
+            report = await run_loadgen(
+                "127.0.0.1", gateway.http_port,
+                rate=100.0, duration_s=0.5, num_clients=1,
+                connections=2, seed=1,
+            )
+            await gateway.stop()
+            return report
+
+        report = asyncio.run(scenario())
+        # One client id at 1 token/s against ~50 arrivals: almost all
+        # must be refused politely, none may error.
+        assert report.rate_limited > 0
+        assert report.errors == 0
+        assert report.accepted + report.rate_limited + report.shed == (
+            report.offered - report.overruns
+        )
+
+    def test_validation(self):
+        async def scenario():
+            with pytest.raises(ValueError):
+                await run_loadgen("h", 1, rate=0.0, duration_s=1.0)
+            with pytest.raises(ValueError):
+                await run_loadgen("h", 1, rate=1.0, duration_s=1.0,
+                                  connections=0)
+
+        asyncio.run(scenario())

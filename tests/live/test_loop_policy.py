@@ -1,0 +1,92 @@
+"""Event-loop selection policy: env var, CLI override, clean fallback."""
+
+import pytest
+
+from repro.live import loop_policy
+from repro.live.loop_policy import LoopUnavailable, resolve, run
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    monkeypatch.delenv(loop_policy.ENV_VAR, raising=False)
+
+
+class TestResolve:
+    def test_default_is_stdlib(self):
+        assert resolve() == "asyncio"
+
+    def test_env_var_consulted(self, monkeypatch):
+        monkeypatch.setenv(loop_policy.ENV_VAR, "asyncio")
+        assert resolve() == "asyncio"
+
+    def test_choice_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(loop_policy.ENV_VAR, "uvloop")
+        assert resolve("asyncio") == "asyncio"
+
+    def test_names_are_normalised(self):
+        assert resolve("  ASYNCIO ") == "asyncio"
+
+    def test_unknown_name_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown event loop"):
+            resolve("trio")
+        monkeypatch.setenv(loop_policy.ENV_VAR, "bogus")
+        with pytest.raises(ValueError):
+            resolve()
+
+    def test_uvloop_demanded_but_missing(self, monkeypatch):
+        monkeypatch.setattr(loop_policy, "_import_uvloop", lambda: None)
+        with pytest.raises(LoopUnavailable, match="not installed"):
+            resolve("uvloop")
+
+    def test_auto_falls_back_when_missing(self, monkeypatch):
+        monkeypatch.setattr(loop_policy, "_import_uvloop", lambda: None)
+        assert resolve("auto") == "asyncio"
+
+    def test_auto_prefers_uvloop_when_present(self, monkeypatch):
+        class FakeUvloop:
+            @staticmethod
+            def run(coro):  # pragma: no cover - never called here
+                raise AssertionError
+
+        monkeypatch.setattr(
+            loop_policy, "_import_uvloop", lambda: FakeUvloop
+        )
+        assert resolve("auto") == "uvloop"
+        assert resolve("uvloop") == "uvloop"
+
+
+class TestRun:
+    def test_run_executes_coroutine_on_stdlib_loop(self):
+        async def answer():
+            return 42
+
+        assert run(answer()) == 42
+
+    def test_run_delegates_to_uvloop_when_selected(self, monkeypatch):
+        calls = []
+
+        class FakeUvloop:
+            @staticmethod
+            def run(coro):
+                calls.append(coro)
+                coro.close()
+                return "uv"
+
+        monkeypatch.setattr(
+            loop_policy, "_import_uvloop", lambda: FakeUvloop
+        )
+
+        async def nothing():
+            pass  # pragma: no cover - closed unawaited by the fake
+
+        assert run(nothing(), choice="uvloop") == "uv"
+        assert len(calls) == 1
+
+    def test_run_bad_choice_raises_before_running(self):
+        async def nothing():
+            pass  # pragma: no cover
+
+        coro = nothing()
+        with pytest.raises(ValueError):
+            run(coro, choice="nope")
+        coro.close()
