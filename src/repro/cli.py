@@ -197,7 +197,26 @@ def _cmd_export(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.net.partitions import PartitionSchedule, PartitionedTopology
     from repro.net.topology import FullMeshTopology
+    from repro.reconcile import protocol_factory as reconcile_factory
     from repro.sim import Scenario, Simulation
+    from repro.sim.gossip import SESSION_MODELS
+
+    # Validated here rather than via argparse choices= so an unknown
+    # name exits with a single scriptable `error:` line (satellite of
+    # the protocol-family work; argparse's usage dump is multi-line).
+    if (args.session_model is not None
+            and args.session_model not in SESSION_MODELS):
+        print(
+            f"error: unknown session model {args.session_model!r}: "
+            f"expected one of {sorted(SESSION_MODELS)}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        protocol_factory = reconcile_factory(args.protocol)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
     if args.scenario == "city":
         return _simulate_city(args)
@@ -253,6 +272,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         topology_factory=topology_factory,
         seed=args.seed,
         session_model=session_model,
+        protocol_factory=protocol_factory,
         trace_path=args.trace,
         metrics=args.metrics,
         faults=faults,
@@ -289,6 +309,11 @@ def _simulate_city(args: argparse.Namespace) -> int:
         return 1
     if args.session_model == "message":
         print("--scenario city runs the atomic session model",
+              file=sys.stderr)
+        return 1
+    if args.protocol != "frontier":
+        print("--scenario city runs its own lite-sync protocol; "
+              "--protocol applies to the default scenario",
               file=sys.stderr)
         return 1
     kwargs = {}
@@ -443,8 +468,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.live import ListenError, LiveNode, PeerSpec
     from repro.live import loop_policy
+    from repro.live.protocol import LIVE_PROTOCOLS
     from repro.obs.live import OpsError
 
+    if args.protocol not in LIVE_PROTOCOLS:
+        print(
+            f"error: unknown protocol {args.protocol!r}: "
+            f"expected one of {sorted(LIVE_PROTOCOLS)}",
+            file=sys.stderr,
+        )
+        return 1
     if args.crypto_backend is not None:
         from repro.crypto import backend as crypto_backend
 
@@ -779,7 +812,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--partition-until", type=int, default=0,
                           help="2-way partition until this time (ms)")
     simulate.add_argument("--seed", type=int, default=0)
-    simulate.add_argument("--session-model", choices=["atomic", "message"],
+    simulate.add_argument("--protocol", default="frontier", metavar="NAME",
+                          help="reconciliation protocol: frontier, full, "
+                               "bloom, height_skip, sketch, or delta "
+                               "(default frontier)")
+    simulate.add_argument("--session-model", metavar="MODEL",
                           default=None, dest="session_model",
                           help="run sessions atomically at the contact "
                                "instant, or message-by-message over the "
@@ -865,8 +902,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="UDP port for beacons")
     serve.add_argument("--name", default=None,
                        help="node name for logs and traces")
-    serve.add_argument("--protocol", choices=["frontier", "bloom"],
-                       default="frontier")
+    serve.add_argument("--protocol", default="frontier", metavar="NAME",
+                       help="anti-entropy protocol: frontier, bloom, "
+                            "sketch, or delta (default frontier)")
     serve.add_argument("--interval", type=float, default=1.0,
                        help="anti-entropy interval in seconds")
     serve.add_argument("--pipeline", type=int, default=1,

@@ -51,6 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="faulty phase length in sim ms (default 25000)",
     )
     parser.add_argument(
+        "--protocol", default="frontier", metavar="NAME",
+        help="reconciliation protocol for every seed (default frontier); "
+             "'rotate' cycles through frontier/bloom/sketch/delta by seed",
+    )
+    parser.add_argument(
         "--out", metavar="DIR",
         help="directory for failing-seed artifacts (created on demand)",
     )
@@ -87,17 +92,37 @@ def main(argv=None) -> int:
     trace_dir = pathlib.Path(args.trace_dir) if args.trace_dir else None
     if trace_dir is not None:
         trace_dir.mkdir(parents=True, exist_ok=True)
+    # Protocols that converge DAGs under the message-level session
+    # model; 'rotate' deals them out by seed so one nightly sweep
+    # exercises the whole family against the same fault matrix.
+    rotation = ("frontier", "bloom", "sketch", "delta")
+    if args.protocol != "rotate":
+        from repro.reconcile import PROTOCOLS_BY_NAME
+
+        if args.protocol not in PROTOCOLS_BY_NAME:
+            print(
+                f"error: unknown protocol {args.protocol!r}: expected "
+                f"one of {sorted(PROTOCOLS_BY_NAME) + ['rotate']}",
+                file=sys.stderr,
+            )
+            return 1
     failures = 0
-    for seed, plan in runs:
+    for index, (seed, plan) in enumerate(runs):
+        protocol = (
+            rotation[index % len(rotation)]
+            if args.protocol == "rotate" else args.protocol
+        )
         trace_path = (
             trace_dir / f"chaos_seed_{seed}.jsonl"
             if trace_dir is not None else None
         )
         report = run_chaos(
             seed, node_count=args.nodes, duration_ms=args.duration,
-            plan=plan, trace_path=trace_path,
+            plan=plan, trace_path=trace_path, protocol=protocol,
         )
         print(report.render(), flush=True)
+        if protocol != "frontier":
+            print(f"  protocol: {protocol}", flush=True)
         if not report.ok:
             failures += 1
             if out_dir is not None:

@@ -179,8 +179,16 @@ def run_chaos(
     plan: Optional[FaultPlan] = None,
     drain_budget_ms: int = 120_000,
     trace_path=None,
+    protocol: str = "frontier",
 ) -> ChaosReport:
-    """One full chaos run: simulate under faults, then check invariants."""
+    """One full chaos run: simulate under faults, then check invariants.
+
+    ``protocol`` names any :data:`repro.reconcile.PROTOCOLS_BY_NAME`
+    entry; the nightly sweep rotates through them so sketch fallback
+    and delta joins face the same loss/corruption/crash matrix as the
+    paper's frontier protocol.
+    """
+    from repro.reconcile import protocol_factory
     from repro.sim.runner import Simulation
     from repro.sim.scenario import Scenario
 
@@ -194,6 +202,7 @@ def run_chaos(
         seed=seed,
         faults=plan,
         trace_path=trace_path,
+        protocol_factory=protocol_factory(protocol),
     )
     sim = Simulation(scenario)
     try:

@@ -42,7 +42,16 @@ from repro.core.node import VegvisirNode
 from repro.crypto.sha import Hash
 from repro.obs.profiling import PHASE_CODEC, PHASE_VERIFY, maybe_phase
 from repro.reconcile.bloom import BloomFilter
+from repro.reconcile.delta import (
+    count_entries,
+    delta_push_payload,
+    delta_reply,
+    delta_summaries,
+    join_delta_push,
+    join_delta_reply,
+)
 from repro.reconcile.session import merge_blocks, responder_holdings
+from repro.reconcile.sketch import IBLT, decode_against, sketch_of
 from repro.reconcile.stats import (
     INITIATOR_TO_RESPONDER,
     RESPONDER_TO_INITIATOR,
@@ -287,6 +296,9 @@ class LiveBloom:
             fetched = _decoded_blocks(reply["blocks"])
             if not fetched:
                 break
+            # Mirror of the generator: every repair fetch is a filter
+            # false positive made good.
+            stats.fp_resend += len(fetched)
             merged = _merge_into(node, fetched + pending, stats, on_blocks,
                                  profiler=profiler)
             pending = merged.unplaced
@@ -301,9 +313,150 @@ class LiveBloom:
         return stats
 
 
+class LiveSketch:
+    """Initiator side of the IBLT sketch protocol over a transport.
+
+    Mirrors :class:`repro.reconcile.sketch.SketchProtocol` byte for
+    byte: the same attempt loop, the same per-attempt seeds, the same
+    growth schedule (the ``sketch_fail`` reply carries the responder's
+    set size, so the next guess is computable from the message alone),
+    and the same degradation to :class:`LiveFrontier` on the shared
+    stats object after ``max_attempts`` failed peels.
+    """
+
+    name = "sketch"
+
+    def __init__(self, push: bool = True, initial_diff: int = 16,
+                 max_attempts: int = 3, growth: int = 4,
+                 hash_count: int = 4):
+        if initial_diff < 1 or max_attempts < 1 or growth < 1:
+            raise ValueError("degenerate sketch protocol parameters")
+        self._push = push
+        self._initial_diff = initial_diff
+        self._max_attempts = max_attempts
+        self._growth = growth
+        self._hash_count = hash_count
+
+    async def run(self, node: VegvisirNode, transport,
+                  stats: Optional[ReconcileStats] = None,
+                  on_blocks: Optional[BlockSink] = None,
+                  profiler=None) -> ReconcileStats:
+        stats = stats if stats is not None else ReconcileStats(self.name)
+        expected_diff = self._initial_diff
+        for attempt in range(self._max_attempts):
+            stats.rounds += 1
+            sketch = sketch_of(
+                node, expected_diff, self._hash_count, seed=attempt
+            )
+            reply = await _request(
+                transport, stats,
+                {"type": "sketch", "sketch": sketch.to_wire()},
+                profiler=profiler,
+            )
+            if reply["type"] == "sketch_fail":
+                size = reply["size"]
+                if not isinstance(size, int) or isinstance(size, bool):
+                    raise LiveSessionError("sketch_fail size is not an int")
+                bound = len(node.dag) + max(size, 0)
+                expected_diff = min(expected_diff * self._growth, bound)
+                continue
+            reply = _expect(reply, "sketch_blocks")
+            pull_blocks = _decoded_blocks(reply["blocks"])
+            want = reply["want"]
+            if not isinstance(want, list) or not all(
+                isinstance(digest, bytes) for digest in want
+            ):
+                raise LiveSessionError("sketch want-list is malformed")
+            responder_frontier = [
+                Hash(bytes(digest)) for digest in reply["frontier"]
+            ]
+            merged = _merge_into(node, pull_blocks, stats, on_blocks,
+                                 profiler=profiler)
+            if merged.complete and all(
+                node.has_block(h) for h in responder_frontier
+            ):
+                stats.converged = True
+                if self._push:
+                    wanted = set(want)
+                    missing = [
+                        block for block in node.dag.blocks()
+                        if block.hash.digest in wanted
+                    ]
+                    if missing:
+                        await _send_oneway(transport, stats, {
+                            "type": "push_blocks",
+                            "blocks": [b.to_wire() for b in missing],
+                        }, profiler=profiler)
+                        stats.blocks_pushed += len(missing)
+                return stats
+            # Decode did not close the DAG: grow and retry, exactly like
+            # the generator's garbage-decode path.
+            expected_diff *= self._growth
+        stats.fallbacks += 1
+        return await LiveFrontier(push=self._push).run(
+            node, transport, stats, on_blocks=on_blocks, profiler=profiler
+        )
+
+
+class LiveDelta:
+    """Initiator side of the delta-CRDT protocol over a transport.
+
+    One summary/state round trip, an optional one-way push, then (in the
+    default durable mode) the hash-first :class:`LiveFrontier` chained on
+    the same stats object — the exact mirror of
+    :class:`repro.reconcile.delta.DeltaProtocol`.  ``delta_entries_*``
+    counters follow the push convention: pushed entries are counted as
+    *sent*; an honest responder applies them all.
+    """
+
+    name = "delta"
+
+    def __init__(self, push: bool = True, durable: bool = True):
+        self._push = push
+        self._durable = durable
+
+    async def run(self, node: VegvisirNode, transport,
+                  stats: Optional[ReconcileStats] = None,
+                  on_blocks: Optional[BlockSink] = None,
+                  profiler=None) -> ReconcileStats:
+        stats = stats if stats is not None else ReconcileStats(self.name)
+        stats.rounds += 1
+        summaries = delta_summaries(node)
+        reply = _expect(
+            await _request(
+                transport, stats,
+                {"type": "delta_summary", "crdts": summaries},
+                profiler=profiler,
+            ),
+            "delta_state",
+        )
+        try:
+            applied, invalid = join_delta_reply(node, reply["crdts"])
+        except ValueError as exc:
+            raise LiveSessionError(f"bad delta state: {exc}") from exc
+        stats.delta_entries_pulled += applied
+        stats.delta_entries_invalid += invalid
+        if self._push:
+            payload = delta_push_payload(node, reply["crdts"])
+            if payload:
+                await _send_oneway(transport, stats, {
+                    "type": "delta_push", "crdts": payload,
+                }, profiler=profiler)
+                stats.delta_entries_pushed += count_entries(payload)
+        if self._durable:
+            return await LiveFrontier(hash_first=True, push=self._push).run(
+                node, transport, stats, on_blocks=on_blocks,
+                profiler=profiler,
+            )
+        stats.converged = True
+        return stats
+
+
 LIVE_PROTOCOLS = {
     LiveFrontier.name: LiveFrontier,
     LiveBloom.name: LiveBloom,
+    LiveSketch.name: LiveSketch,
+    LiveDelta.name: LiveDelta,
 }
 
 
@@ -339,6 +492,7 @@ class LiveResponder:
         # Reset whenever a session restarts at level 1.
         self._sent_hashes: set = set()
         self.blocks_received = 0
+        self.delta_entries_received = 0
 
     def handle(self, message: dict) -> Optional[dict]:
         if not isinstance(message, dict) or "type" not in message:
@@ -409,6 +563,40 @@ class LiveResponder:
             if block is not None:
                 blocks.append(block.to_wire())
         return {"type": "blocks", "blocks": blocks}
+
+    # -- sketch --------------------------------------------------------
+
+    def _handle_sketch(self, message: dict) -> dict:
+        sketch = IBLT.from_wire(message["sketch"])
+        local_only, remote_only, ok = decode_against(self._node, sketch)
+        if not ok:
+            return {"type": "sketch_fail", "size": len(self._node.dag)}
+        only_here = set(local_only)
+        pull_blocks = [
+            block for block in self._node.dag.blocks()
+            if block.hash.digest in only_here
+        ]
+        return {
+            "type": "sketch_blocks",
+            "blocks": [block.to_wire() for block in pull_blocks],
+            "want": remote_only,
+            "frontier": [
+                h.digest for h in sorted(self._node.frontier())
+            ],
+        }
+
+    # -- delta ---------------------------------------------------------
+
+    def _handle_delta_summary(self, message: dict) -> dict:
+        return {
+            "type": "delta_state",
+            "crdts": delta_reply(self._node, message["crdts"]),
+        }
+
+    def _handle_delta_push(self, message: dict) -> Optional[dict]:
+        applied, _invalid = join_delta_push(self._node, message["crdts"])
+        self.delta_entries_received += applied
+        return None
 
     # -- push ----------------------------------------------------------
 

@@ -28,6 +28,7 @@ interrupted by mobility or partition onset between any two messages.
 
 from repro.reconcile.adapters import ByteTransportProtocol
 from repro.reconcile.bloom import BloomFilter, BloomProtocol
+from repro.reconcile.delta import DeltaProtocol, DeltaStore, delta_view_value
 from repro.reconcile.endpoint import (
     FramedEndpoint,
     ReconcileEndpoint,
@@ -46,25 +47,34 @@ from repro.reconcile.session import (
     push_missing_blocks,
     push_steps,
 )
+from repro.reconcile.sketch import IBLT, SketchProtocol
 from repro.reconcile.skip import HeightSkipProtocol
 from repro.reconcile.stats import ReconcileStats
 
 __all__ = [
+    "ALL_PROTOCOLS",
     "BloomFilter",
     "BloomProtocol",
     "ByteTransportProtocol",
+    "DeltaProtocol",
+    "DeltaStore",
     "FramedEndpoint",
     "FrontierProtocol",
     "FullExchangeProtocol",
     "HeightSkipProtocol",
+    "IBLT",
+    "PROTOCOLS_BY_NAME",
     "ReconcileEndpoint",
     "ReconcileError",
     "ReconcileSession",
     "ReconcileStats",
     "RemoteSession",
     "SessionStep",
+    "SketchProtocol",
+    "delta_view_value",
     "drive_to_completion",
     "merge_blocks",
+    "protocol_factory",
     "push_missing_blocks",
     "push_steps",
 ]
@@ -74,4 +84,34 @@ ALL_PROTOCOLS = (
     FullExchangeProtocol,
     BloomProtocol,
     HeightSkipProtocol,
+    SketchProtocol,
+    DeltaProtocol,
 )
+
+#: Scenario/CLI protocol knob: wire name -> protocol class.  Every class
+#: accepts a ``push`` keyword (the gossip layer builds sessions through
+#: ``lambda push: cls(push=push)``).
+PROTOCOLS_BY_NAME = {
+    "frontier": FrontierProtocol,
+    "full": FullExchangeProtocol,
+    "bloom": BloomProtocol,
+    "height_skip": HeightSkipProtocol,
+    "sketch": SketchProtocol,
+    "delta": DeltaProtocol,
+}
+
+
+def protocol_factory(name: str):
+    """A ``Scenario.protocol_factory`` callable for a named protocol.
+
+    Raises ``ValueError`` naming the valid choices for anything else —
+    the CLI surfaces that as its one-line ``error:`` exit.
+    """
+    try:
+        cls = PROTOCOLS_BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}: expected one of "
+            f"{sorted(PROTOCOLS_BY_NAME)}"
+        ) from None
+    return lambda push: cls(push=push)

@@ -173,6 +173,9 @@ class BloomProtocol:
             )
             if not fetched:
                 break
+            # Every repair fetch exists because the filter claimed the
+            # initiator already held the block — a false positive.
+            stats.fp_resend += len(fetched)
             merged = merge_blocks(initiator, fetched + pending)
             stats.blocks_pulled += len(merged.added)
             stats.duplicate_blocks += merged.duplicates

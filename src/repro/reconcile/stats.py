@@ -36,6 +36,19 @@ class ReconcileStats:
         self.blocks_pushed = 0
         self.duplicate_blocks = 0
         self.invalid_blocks = 0
+        # Blocks re-sent because a Bloom filter false positive hid them
+        # from the digest round — the attributable share of Bloom's
+        # waste in the E5 protocol comparison.
+        self.fp_resend = 0
+        # Times a sketch session gave up peeling and degraded to the
+        # frontier protocol (the bytes/rounds above then include the
+        # fallback's traffic).
+        self.fallbacks = 0
+        # Delta-plane lattice entries moved by the delta protocol; the
+        # block counters above stay block-granular.
+        self.delta_entries_pulled = 0
+        self.delta_entries_pushed = 0
+        self.delta_entries_invalid = 0
         self.converged = False
         # Set by the session engine when a message-level session was
         # aborted mid-transfer; the counters above then hold the partial
@@ -118,6 +131,11 @@ class ReconcileStats:
             "blocks_pushed": self.blocks_pushed,
             "duplicates": self.duplicate_blocks,
             "invalid": self.invalid_blocks,
+            "fp_resend": self.fp_resend,
+            "fallbacks": self.fallbacks,
+            "delta_entries_pulled": self.delta_entries_pulled,
+            "delta_entries_pushed": self.delta_entries_pushed,
+            "delta_entries_invalid": self.delta_entries_invalid,
             "converged": self.converged,
             "interrupted": self.interrupted,
         }

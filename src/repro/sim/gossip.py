@@ -56,6 +56,27 @@ def default_protocol_factory(push: bool):
     return FrontierProtocol(push=push)
 
 
+def _session_extras(stats: ReconcileStats) -> dict:
+    """Trace fields the newer protocols add, included only when nonzero.
+
+    The pinned-trace suite hashes raw JSONL bytes of frontier runs, so a
+    field that is always zero for the classic protocols must not appear
+    in their records at all.
+    """
+    extras = {}
+    if stats.fp_resend:
+        extras["fp_resend"] = stats.fp_resend
+    if stats.fallbacks:
+        extras["fallbacks"] = stats.fallbacks
+    if stats.delta_entries_pulled:
+        extras["delta_entries_pulled"] = stats.delta_entries_pulled
+    if stats.delta_entries_pushed:
+        extras["delta_entries_pushed"] = stats.delta_entries_pushed
+    if stats.delta_entries_invalid:
+        extras["delta_entries_invalid"] = stats.delta_entries_invalid
+    return extras
+
+
 SELECT_RANDOM = "random"
 SELECT_ROUND_ROBIN = "round_robin"
 SELECT_LEAST_RECENT = "least_recent"
@@ -580,6 +601,13 @@ class GossipScheduler:
             "pushed": stats.blocks_pushed,
             "duplicate": stats.duplicate_blocks,
             "invalid": stats.invalid_blocks,
+            # Attributed Bloom waste and delta-plane lattice entries;
+            # zero-valued kinds are skipped below, so protocols that
+            # never produce them leave the registry untouched.
+            "fp_resend": stats.fp_resend,
+            "delta_pulled": stats.delta_entries_pulled,
+            "delta_pushed": stats.delta_entries_pushed,
+            "delta_invalid": stats.delta_entries_invalid,
         }
         for kind, count in blocks.items():
             if count:
@@ -599,6 +627,10 @@ class GossipScheduler:
             duplicates=stats.duplicate_blocks,
             invalid=stats.invalid_blocks,
             converged=stats.converged, duration_ms=duration,
+            # New-protocol counters append *conditionally* so traces of
+            # pre-existing protocols stay byte-identical (the pinned
+            # trace suite hashes raw JSONL bytes).
+            **_session_extras(stats),
         )
 
     def _observe_interrupted(self, initiator_id: int, responder_id: int,
@@ -623,6 +655,7 @@ class GossipScheduler:
             duplicates=stats.duplicate_blocks,
             invalid=stats.invalid_blocks,
             duration_ms=elapsed, reason=reason,
+            **_session_extras(stats),
         )
 
     def observe_local_blocks(self, node_id: int) -> None:

@@ -15,9 +15,19 @@ import pytest
 
 from repro import wire
 from repro.live.antientropy import serve_connection
-from repro.live.protocol import LiveBloom, LiveFrontier
+from repro.live.protocol import (
+    LiveBloom,
+    LiveDelta,
+    LiveFrontier,
+    LiveSketch,
+)
 from repro.live.transport import LoopbackTransport
-from repro.reconcile import BloomProtocol, FrontierProtocol
+from repro.reconcile import (
+    BloomProtocol,
+    DeltaProtocol,
+    FrontierProtocol,
+    SketchProtocol,
+)
 from repro.reconcile.engine import ReconcileSession
 from repro.reconcile.stats import (
     INITIATOR_TO_RESPONDER,
@@ -102,6 +112,25 @@ PROTOCOL_PAIRS = [
     pytest.param(BloomProtocol, LiveBloom, {}, id="bloom"),
     pytest.param(
         BloomProtocol, LiveBloom, {"push": False}, id="bloom-pull-only"
+    ),
+    pytest.param(SketchProtocol, LiveSketch, {}, id="sketch"),
+    pytest.param(
+        SketchProtocol, LiveSketch, {"push": False},
+        id="sketch-pull-only",
+    ),
+    pytest.param(
+        # A starved first sketch forces the doubling retry (and, on the
+        # deep scenario, the frontier fallback) through the parity check.
+        SketchProtocol, LiveSketch, {"initial_diff": 1, "max_attempts": 2},
+        id="sketch-undersized",
+    ),
+    pytest.param(DeltaProtocol, LiveDelta, {}, id="delta"),
+    pytest.param(
+        DeltaProtocol, LiveDelta, {"push": False}, id="delta-pull-only"
+    ),
+    pytest.param(
+        DeltaProtocol, LiveDelta, {"durable": False},
+        id="delta-state-only",
     ),
 ]
 

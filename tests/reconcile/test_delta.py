@@ -1,0 +1,307 @@
+"""Delta-state CRDT sync: lattice laws, replay equivalence, validation.
+
+The load-bearing claim: for every delta-capable CRDT type, the value a
+replica reads through :func:`delta_view_value` (CSM state ⊔ delta store)
+after a state-only sync equals the value a replica converged through
+full-block replay reads — the join really is equivalent to replaying
+the blocks that produced the state.  Also covered: the semilattice laws
+(idempotent / commutative / associative joins), the durable mode's DAG
+convergence, schema-invalid entry counting, and malformed-payload
+rejection.
+"""
+
+import pytest
+
+from repro.reconcile import DeltaProtocol, delta_view_value
+from repro.reconcile.delta import (
+    DELTA_CAPABLE,
+    DeltaStore,
+    delta_push_payload,
+    delta_reply,
+    delta_summaries,
+    join_delta_push,
+    join_delta_reply,
+)
+
+from tests.conftest import Deployment
+
+
+PERMISSIONS = {
+    "append_log": {"append": "*"},
+    "g_counter": {"increment": "*"},
+    "pn_counter": {"increment": "*", "decrement": "*"},
+    "lww_register": {"set": "*"},
+}
+
+
+def _pair_with_crdts(element_spec="any"):
+    """Two replicas sharing one CRDT of every delta-capable type."""
+    deployment = Deployment()
+    left = deployment.node(0)
+    right = deployment.node(1)
+    for name, type_name in (
+        ("log", "append_log"),
+        ("gc", "g_counter"),
+        ("pn", "pn_counter"),
+        ("reg", "lww_register"),
+    ):
+        spec = "int" if type_name.endswith("counter") else element_spec
+        block = left.create_crdt(
+            name, type_name, spec, permissions=PERMISSIONS[type_name]
+        )
+        right.receive_block(block)
+    return left, right
+
+
+def _diverge_state(left, right):
+    """Concurrent writes to every CRDT on both sides."""
+    left.append_transactions([
+        left.crdt_op("log", "append", "from-left"),
+        left.crdt_op("gc", "increment", 5),
+        left.crdt_op("pn", "decrement", 2),
+        left.crdt_op("reg", "set", "left-value"),
+    ])
+    right.append_transactions([
+        right.crdt_op("log", "append", "from-right"),
+        right.crdt_op("gc", "increment", 7),
+        right.crdt_op("pn", "increment", 3),
+        right.crdt_op("reg", "set", "right-value"),
+    ])
+
+
+ALL_NAMES = ("log", "gc", "pn", "reg")
+
+
+class TestReplayEquivalence:
+    """State-only delta sync reads equal full-block replay reads."""
+
+    def test_state_only_sync_matches_converged_replay(self):
+        left, right = _pair_with_crdts()
+        _diverge_state(left, right)
+        # Reference world: same divergence, converged via block replay.
+        ref_left, ref_right = _pair_with_crdts()
+        _diverge_state(ref_left, ref_right)
+        from repro.reconcile import FrontierProtocol
+
+        FrontierProtocol().run(ref_left, ref_right)
+        assert ref_left.state_digest() == ref_right.state_digest()
+
+        stats = DeltaProtocol(durable=False).run(left, right)
+        assert stats.converged
+        assert stats.delta_entries_pulled > 0
+        assert stats.delta_entries_pushed > 0
+        # DAGs stayed divergent — only lattice state crossed.
+        assert left.state_digest() != right.state_digest()
+        for name in ALL_NAMES:
+            expected = ref_left.crdt_value(name)
+            assert delta_view_value(left, name) == expected
+            assert delta_view_value(right, name) == expected
+
+    def test_durable_sync_converges_dags_too(self):
+        left, right = _pair_with_crdts()
+        _diverge_state(left, right)
+        stats = DeltaProtocol().run(left, right)
+        assert stats.converged
+        assert left.state_digest() == right.state_digest()
+        # Once the blocks replayed, store and CSM agree on every value.
+        for name in ALL_NAMES:
+            assert delta_view_value(left, name) == left.crdt_value(name)
+
+    def test_log_order_is_replay_order(self):
+        left, right = _pair_with_crdts()
+        left.append_transactions([left.crdt_op("log", "append", "a")])
+        right.append_transactions([right.crdt_op("log", "append", "b")])
+        ref_left, ref_right = _pair_with_crdts()
+        ref_left.append_transactions([ref_left.crdt_op("log", "append", "a")])
+        ref_right.append_transactions([
+            ref_right.crdt_op("log", "append", "b")
+        ])
+        from repro.reconcile import FrontierProtocol
+
+        FrontierProtocol().run(ref_left, ref_right)
+        DeltaProtocol(durable=False).run(left, right)
+        assert delta_view_value(left, "log") == ref_left.crdt_value("log")
+
+
+class TestSemilatticeLaws:
+    def test_join_is_idempotent(self):
+        left, right = _pair_with_crdts()
+        _diverge_state(left, right)
+        first = DeltaProtocol(durable=False).run(left, right)
+        assert first.delta_entries_pulled + first.delta_entries_pushed > 0
+        again = DeltaProtocol(durable=False).run(left, right)
+        assert again.delta_entries_pulled == 0
+        assert again.delta_entries_pushed == 0
+        # Summaries now agree, so the reply names no CRDTs at all.
+        assert delta_reply(right, delta_summaries(left)) == []
+
+    def test_join_is_commutative(self):
+        """Initiating from either side lands both replicas on the same
+        values."""
+        a_left, a_right = _pair_with_crdts()
+        _diverge_state(a_left, a_right)
+        b_left, b_right = _pair_with_crdts()
+        _diverge_state(b_left, b_right)
+        DeltaProtocol(durable=False).run(a_left, a_right)
+        DeltaProtocol(durable=False).run(b_right, b_left)
+        for name in ALL_NAMES:
+            assert (
+                delta_view_value(a_left, name)
+                == delta_view_value(b_left, name)
+            )
+
+    def test_join_is_associative_across_three_replicas(self):
+        """Pairwise syncs in any order converge a 3-replica fleet."""
+        deployment = Deployment()
+        nodes = [deployment.node(i) for i in range(3)]
+        creator = nodes[0]
+        for name, type_name in (("gc", "g_counter"), ("log", "append_log")):
+            block = creator.create_crdt(
+                name, type_name, "int" if name == "gc" else "any",
+                permissions=PERMISSIONS[type_name],
+            )
+            for node in nodes[1:]:
+                node.receive_block(block)
+        for index, node in enumerate(nodes):
+            node.append_transactions([
+                node.crdt_op("gc", "increment", index + 1),
+                node.crdt_op("log", "append", index),
+            ])
+        # (0⊔1)⊔2 on one chain of sessions...
+        DeltaProtocol(durable=False).run(nodes[0], nodes[1])
+        DeltaProtocol(durable=False).run(nodes[1], nodes[2])
+        DeltaProtocol(durable=False).run(nodes[0], nodes[2])
+        values = {
+            name: {delta_view_value(node, name) is not None
+                   and str(delta_view_value(node, name))
+                   for node in nodes}
+            for name in ("gc", "log")
+        }
+        for name, observed in values.items():
+            assert len(observed) == 1, f"{name} diverged: {observed}"
+        assert delta_view_value(nodes[0], "gc") == 1 + 2 + 3
+
+
+class TestValidation:
+    def test_schema_invalid_entries_counted_and_skipped(self):
+        left, right = _pair_with_crdts(element_spec="int")
+        # A well-formed push whose log entry violates the int schema.
+        payload = [["log", "append_log", [[b"op-x", 5, b"actor", "str"]]]]
+        applied, invalid = join_delta_push(right, payload)
+        assert applied == 0
+        assert invalid == 1
+        assert delta_view_value(right, "log") == []
+
+    def test_lww_invalid_value_counted(self):
+        left, right = _pair_with_crdts(element_spec="int")
+        payload = [["reg", "lww_register", [99, b"a", b"op", "not-int"]]]
+        applied, invalid = join_delta_push(right, payload)
+        assert (applied, invalid) == (0, 1)
+        assert delta_view_value(right, "reg") is None
+
+    def test_structurally_malformed_payload_raises(self):
+        left, right = _pair_with_crdts()
+        bad_payloads = [
+            "not a list",
+            [["log"]],
+            [[3, "append_log", []]],
+            [["log", "append_log", "not-a-delta"]],
+            [["log", "append_log", [["short"]]]],
+            [["gc", "g_counter", [[b"actor", -1]]]],
+            [["gc", "g_counter", [[b"", 1]]]],
+            [["pn", "pn_counter", [[], [], []]]],
+            [["reg", "lww_register", [True, b"a", b"op", 1]]],
+        ]
+        for payload in bad_payloads:
+            with pytest.raises(ValueError):
+                join_delta_push(right, payload)
+
+    def test_malformed_summary_raises(self):
+        left, right = _pair_with_crdts()
+        for summaries in (
+            "no",
+            [["log", "append_log"]],
+            [["gc", "g_counter", [[b"actor", "much"]]]],
+            [["reg", "lww_register", ["ts", b"a", b"op"]]],
+        ):
+            with pytest.raises(ValueError):
+                delta_reply(right, summaries)
+
+    def test_unknown_names_and_type_mismatches_are_skipped(self):
+        left, right = _pair_with_crdts()
+        left.append_transactions([left.crdt_op("gc", "increment", 4)])
+        # A summary naming a CRDT the responder lacks, plus one whose
+        # type disagrees, simply yields no reply entries.
+        summaries = [
+            ["ghost", "g_counter", []],
+            ["gc", "append_log", []],
+        ]
+        assert delta_reply(right, summaries) == []
+        applied, invalid = join_delta_reply(
+            left, [["ghost", "g_counter", [[b"a", 9]], []]]
+        )
+        assert (applied, invalid) == (0, 0)
+
+
+class TestDeltaStore:
+    def test_type_mismatch_orphans_old_state(self):
+        store = DeltaStore()
+        store.put("x", "g_counter", {b"a": 3})
+        assert store.state("x", "g_counter") == {b"a": 3}
+        assert store.state("x", "append_log") is None
+        store.put("x", "append_log", {})
+        assert store.state("x", "g_counter") is None
+        assert store.names() == ["x"]
+
+    def test_created_lazily_and_survives_on_node(self):
+        left, right = _pair_with_crdts()
+        assert left.delta_store is None
+        _diverge_state(left, right)
+        DeltaProtocol(durable=False).run(left, right)
+        assert left.delta_store is not None
+        assert right.delta_store is not None
+        # The store never leaks into the replay-only state digest.
+        digest_before = left.state_digest()
+        left.delta_store.put("gc", "g_counter", {b"zz": 10**6})
+        assert left.state_digest() == digest_before
+
+
+class TestViewFallbacks:
+    def test_non_capable_type_falls_back_to_csm_value(self):
+        deployment = Deployment()
+        node = deployment.node(0)
+        node.create_crdt("tags", "or_set", permissions={"add": "*"})
+        node.append_transactions([node.crdt_op("tags", "add", "alpha")])
+        assert "or_set" not in DELTA_CAPABLE
+        assert delta_view_value(node, "tags") == node.crdt_value("tags")
+
+    def test_unknown_name_raises_key_error(self):
+        node = Deployment().node(0)
+        with pytest.raises(KeyError):
+            delta_view_value(node, "nope")
+
+    def test_push_payload_empty_when_nothing_to_send(self):
+        left, right = _pair_with_crdts()
+        right.append_transactions([right.crdt_op("gc", "increment", 2)])
+        summaries = delta_summaries(left)
+        reply = delta_reply(right, summaries)
+        join_delta_reply(left, reply)
+        # The initiator had nothing the responder lacked.
+        assert delta_push_payload(left, reply) == []
+
+
+class TestChainMismatch:
+    def test_different_chains_never_exchange_state(self):
+        left, _ = _pair_with_crdts()
+        from repro.core.genesis import create_genesis
+        from repro.core.node import VegvisirNode
+
+        other_deployment = Deployment()
+        other_genesis = create_genesis(
+            other_deployment.owner, chain_name="other", timestamp=0,
+            founding_members=other_deployment.certificates,
+        )
+        stranger = VegvisirNode(other_deployment.keys[0], other_genesis)
+        stats = DeltaProtocol().run(left, stranger)
+        assert not stats.converged
+        assert stats.total_messages == 0

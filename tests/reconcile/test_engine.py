@@ -11,10 +11,12 @@ import pytest
 
 from repro.reconcile import (
     BloomProtocol,
+    DeltaProtocol,
     FrontierProtocol,
     FullExchangeProtocol,
     HeightSkipProtocol,
     ReconcileSession,
+    SketchProtocol,
     drive_to_completion,
 )
 from repro.reconcile.stats import (
@@ -27,6 +29,8 @@ ALL_PROTOCOLS = [
     FullExchangeProtocol,
     BloomProtocol,
     HeightSkipProtocol,
+    SketchProtocol,
+    DeltaProtocol,
 ]
 
 

@@ -1,0 +1,300 @@
+"""IBLT sketch reconciliation: codec properties and protocol behaviour.
+
+The codec half is a seeded property suite: random set pairs across a
+grid of base sizes and symmetric differences, checking that a sketch
+sized for the true difference peels it back exactly, that subtraction is
+symmetric, and that the decode-failure rate of properly-sized sketches
+stays within the margin :data:`repro.reconcile.sketch.CELL_MARGIN` buys.
+Everything is seeded — the suite is bit-for-bit reproducible.
+"""
+
+import random
+
+import pytest
+
+from repro.reconcile import SketchProtocol
+from repro.reconcile.sketch import (
+    IBLT,
+    MAX_WIRE_CELLS,
+    decode_against,
+    sketch_of,
+)
+
+from tests.conftest import Deployment
+
+
+def _random_sets(rng, shared, left_extra, right_extra):
+    """Two 32-byte-key sets sharing ``shared`` members."""
+    universe = set()
+    while len(universe) < shared + left_extra + right_extra:
+        universe.add(rng.getrandbits(256).to_bytes(32, "big"))
+    keys = sorted(universe)
+    core = keys[:shared]
+    left_only = keys[shared:shared + left_extra]
+    right_only = keys[shared + left_extra:]
+    return set(core + left_only), set(core + right_only)
+
+
+def _sketch(keys, diff, seed):
+    sketch = IBLT.for_difference(diff, seed=seed)
+    for key in keys:
+        sketch.insert(key)
+    return sketch
+
+
+class TestIBLTProperties:
+    """Seeded random set pairs across sizes and difference magnitudes."""
+
+    GRID = [
+        # (shared, left_only, right_only)
+        (0, 0, 0),
+        (0, 1, 0),
+        (0, 0, 3),
+        (10, 2, 2),
+        (50, 8, 5),
+        (200, 16, 16),
+        (500, 0, 40),
+    ]
+
+    @pytest.mark.parametrize("shared,left_n,right_n", GRID)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sized_sketch_decodes_exact_difference(
+        self, shared, left_n, right_n, seed
+    ):
+        rng = random.Random(1_000 * seed + shared + left_n + right_n)
+        left, right = _random_sets(rng, shared, left_n, right_n)
+        diff = len(left ^ right)
+        # Size for the true difference, with one doubling of headroom —
+        # the estimator's steady state once the first guess is close.
+        # Peeling is probabilistic, so mirror the protocol: a failed
+        # seed retries re-hashed; it must decode within its 3 attempts.
+        for attempt in range(3):
+            hash_seed = 10 * seed + attempt
+            subtracted = _sketch(left, max(2 * diff, 1), hash_seed).subtract(
+                _sketch(right, max(2 * diff, 1), hash_seed)
+            )
+            only_left, only_right, ok = subtracted.peel()
+            if ok:
+                break
+        assert ok
+        assert only_left == sorted(left - right)
+        assert only_right == sorted(right - left)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_subtract_is_antisymmetric(self, seed):
+        rng = random.Random(seed)
+        left, right = _random_sets(rng, 30, 6, 9)
+        a = _sketch(left, 32, seed)
+        b = _sketch(right, 32, seed)
+        ab = a.subtract(b).peel()
+        ba = b.subtract(a).peel()
+        assert ab[2] and ba[2]
+        # Swapping operands swaps the recovered sides exactly.
+        assert ab[0] == ba[1] == sorted(left - right)
+        assert ab[1] == ba[0] == sorted(right - left)
+
+    @pytest.mark.parametrize("sizing,bound", [
+        # Sized for exactly the true difference the failure rate is
+        # real but modest (the protocol's retry absorbs it); one
+        # doubling later it is negligible.  Seeded ⇒ deterministic.
+        pytest.param(1, 0.20, id="exact-size"),
+        pytest.param(2, 0.02, id="doubled"),
+    ])
+    def test_decode_failure_rate_within_bound(self, sizing, bound):
+        failures = 0
+        trials = 200
+        for trial in range(trials):
+            rng = random.Random(10_000 + trial)
+            left, right = _random_sets(rng, 40, 8, 8)
+            diff = len(left ^ right)
+            subtracted = _sketch(left, sizing * diff, trial).subtract(
+                _sketch(right, sizing * diff, trial)
+            )
+            if not subtracted.peel()[2]:
+                failures += 1
+        assert failures <= trials * bound, f"{failures}/{trials} failed"
+
+    def test_undersized_sketch_reports_failure(self):
+        rng = random.Random(99)
+        left, right = _random_sets(rng, 0, 200, 200)
+        tiny = _sketch(left, 1, 0).subtract(_sketch(right, 1, 0))
+        _, _, ok = tiny.peel()
+        assert not ok
+
+    def test_insert_remove_cancels(self):
+        rng = random.Random(7)
+        sketch = IBLT.for_difference(8)
+        keys = [rng.getrandbits(256).to_bytes(32, "big") for _ in range(5)]
+        for key in keys:
+            sketch.insert(key)
+        for key in keys:
+            sketch.remove(key)
+        assert sketch.peel() == ([], [], True)
+
+    def test_key_length_enforced(self):
+        sketch = IBLT.for_difference(4)
+        with pytest.raises(ValueError):
+            sketch.insert(b"short")
+        with pytest.raises(ValueError):
+            sketch.remove(b"x" * 33)
+
+    def test_shape_mismatch_rejected(self):
+        base = IBLT(16, hash_count=4, seed=0)
+        for other in (
+            IBLT(32, hash_count=4, seed=0),
+            IBLT(16, hash_count=2, seed=0),
+            IBLT(16, hash_count=4, seed=1),
+        ):
+            with pytest.raises(ValueError):
+                base.subtract(other)
+
+
+class TestIBLTWire:
+    def test_round_trip_preserves_decode(self):
+        rng = random.Random(11)
+        left, right = _random_sets(rng, 20, 4, 4)
+        sketch = _sketch(left, 16, 5)
+        clone = IBLT.from_wire(sketch.to_wire())
+        recovered = _sketch(right, 16, 5).subtract(clone).peel()
+        assert recovered[2]
+        assert recovered[0] == sorted(right - left)
+
+    def test_from_wire_rejects_malformed(self):
+        good = _sketch(set(), 4, 0).to_wire()
+        bad_values = [
+            "not a map",
+            {**good, "cells": "12"},
+            {**good, "cells": True},
+            {**good, "cells": 1},
+            {**good, "cells": MAX_WIRE_CELLS + 4},
+            {**good, "k": 1},
+            {**good, "k": 5},  # cells no longer partition evenly
+            {**good, "counts": good["counts"][:-1]},
+            {**good, "counts": [0.5] * good["cells"]},
+            {**good, "keys": good["keys"][:-1]},
+            {**good, "checks": good["checks"] + b"\x00"},
+        ]
+        for value in bad_values:
+            with pytest.raises(ValueError):
+                IBLT.from_wire(value)
+
+    def test_from_wire_missing_field(self):
+        wire = _sketch(set(), 4, 0).to_wire()
+        del wire["counts"]
+        with pytest.raises((ValueError, KeyError)):
+            IBLT.from_wire(wire)
+
+
+def _diverge(deployment, left_appends, right_appends, shared=1):
+    left = deployment.node(0)
+    right = deployment.node(1)
+    for _ in range(shared):
+        block = left.append_transactions([])
+        right.receive_block(block)
+    for _ in range(left_appends):
+        left.append_transactions([])
+    for _ in range(right_appends):
+        right.append_transactions([])
+    return left, right
+
+
+class TestSketchProtocol:
+    def test_one_round_trip_on_modest_difference(self):
+        left, right = _diverge(Deployment(), 6, 3)
+        stats = SketchProtocol().run(left, right)
+        assert stats.converged
+        assert stats.rounds == 1
+        assert stats.fallbacks == 0
+        assert stats.blocks_pulled == 3
+        assert stats.blocks_pushed == 6
+        assert left.state_digest() == right.state_digest()
+
+    def test_doubling_recovers_from_undersized_start(self):
+        left, right = _diverge(Deployment(), 12, 10)
+        stats = SketchProtocol(initial_diff=1, max_attempts=4).run(
+            left, right
+        )
+        assert stats.converged
+        assert stats.fallbacks == 0
+        assert stats.rounds > 1
+        assert left.state_digest() == right.state_digest()
+
+    def test_fallback_to_frontier_still_converges(self):
+        left, right = _diverge(Deployment(), 12, 10)
+        stats = SketchProtocol(initial_diff=1, max_attempts=1, growth=1).run(
+            left, right
+        )
+        assert stats.converged
+        assert stats.fallbacks == 1
+        assert left.state_digest() == right.state_digest()
+
+    def test_pull_only_skips_push(self):
+        left, right = _diverge(Deployment(), 4, 2)
+        stats = SketchProtocol(push=False).run(left, right)
+        assert stats.converged
+        assert stats.blocks_pushed == 0
+        # The initiator pulled everything; the responder kept its gap.
+        assert right.dag.hashes() < left.dag.hashes()
+
+    def test_identical_replicas_cost_one_sketch(self):
+        left, right = _diverge(Deployment(), 0, 0)
+        stats = SketchProtocol().run(left, right)
+        assert stats.converged
+        assert stats.rounds == 1
+        assert stats.blocks_pulled == 0
+        assert stats.blocks_pushed == 0
+
+    def test_bytes_track_difference_not_dag_size(self):
+        """Grow the shared prefix 8×; sketch traffic must not grow with
+        it (the frontier protocol's would)."""
+        small_left, small_right = _diverge(Deployment(), 4, 4, shared=5)
+        big_left, big_right = _diverge(Deployment(), 4, 4, shared=40)
+        small = SketchProtocol(push=False).run(small_left, small_right)
+        big = SketchProtocol(push=False).run(big_left, big_right)
+        assert small.converged and big.converged
+        # I→R carries the sketch (plus no blocks in pull-only mode):
+        # equal difference ⇒ equal sketch bytes, regardless of DAG size.
+        from repro.reconcile.stats import INITIATOR_TO_RESPONDER
+
+        assert (
+            big.bytes[INITIATOR_TO_RESPONDER]
+            == small.bytes[INITIATOR_TO_RESPONDER]
+        )
+
+    def test_chain_mismatch_is_a_noop(self):
+        left = Deployment().node(0)
+        right = Deployment().node(1)
+        right.append_transactions([])
+        # Distinct Deployment() instances share deterministic keys and
+        # genesis, so build a different chain explicitly.
+        from repro.core.genesis import create_genesis
+
+        other = create_genesis(
+            Deployment().owner, chain_name="other-chain", timestamp=0,
+            founding_members=Deployment().certificates,
+        )
+        from repro.core.node import VegvisirNode
+
+        stranger = VegvisirNode(Deployment().keys[0], other)
+        stats = SketchProtocol().run(left, stranger)
+        assert not stats.converged
+        assert stats.total_messages == 0
+
+    def test_degenerate_parameters_rejected(self):
+        for kwargs in (
+            {"initial_diff": 0},
+            {"max_attempts": 0},
+            {"growth": 0},
+        ):
+            with pytest.raises(ValueError):
+                SketchProtocol(**kwargs)
+
+    def test_decode_against_matches_set_difference(self):
+        left, right = _diverge(Deployment(), 3, 2)
+        sketch = sketch_of(left, 16, 4, seed=0)
+        local_only, remote_only, ok = decode_against(right, sketch)
+        assert ok
+        left_hashes = {h.digest for h in left.dag.hashes()}
+        right_hashes = {h.digest for h in right.dag.hashes()}
+        assert local_only == sorted(right_hashes - left_hashes)
+        assert remote_only == sorted(left_hashes - right_hashes)

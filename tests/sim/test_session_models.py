@@ -21,9 +21,11 @@ from repro.net.topology import FullMeshTopology
 from repro.obs.analyze import analyze_trace
 from repro.reconcile import (
     BloomProtocol,
+    DeltaProtocol,
     FrontierProtocol,
     FullExchangeProtocol,
     HeightSkipProtocol,
+    SketchProtocol,
 )
 from repro.sim import Scenario, Simulation
 
@@ -32,6 +34,8 @@ ALL_PROTOCOLS = [
     FullExchangeProtocol,
     BloomProtocol,
     HeightSkipProtocol,
+    SketchProtocol,
+    DeltaProtocol,
 ]
 
 

@@ -108,6 +108,33 @@ class TestSimulateAndDemo:
         assert "converged: True" in out
         assert "hello from alice" in out
 
+    def test_simulate_with_sketch_protocol(self, capsys):
+        assert main(["simulate", "--nodes", "4", "--duration", "10000",
+                     "--seed", "3", "--protocol", "sketch"]) == 0
+
+    def test_simulate_with_delta_protocol(self, capsys):
+        assert main(["simulate", "--nodes", "4", "--duration", "10000",
+                     "--seed", "3", "--protocol", "delta"]) == 0
+
+    def test_simulate_unknown_protocol_one_line_error(self, capsys):
+        assert main(["simulate", "--protocol", "gossipx"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown protocol 'gossipx'")
+        assert "sketch" in err and "delta" in err and "frontier" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_simulate_unknown_session_model_one_line_error(self, capsys):
+        assert main(["simulate", "--session-model", "quantum"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown session model 'quantum'")
+        assert "atomic" in err and "message" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_simulate_city_rejects_protocol_override(self, capsys):
+        assert main(["simulate", "--scenario", "city",
+                     "--protocol", "sketch"]) == 1
+        assert "city" in capsys.readouterr().err
+
 
 class TestParser:
     def test_missing_command_errors(self):
@@ -155,6 +182,16 @@ class TestServe:
                      "--key", str(key)])
         assert code == 1
         assert "no such store" in capsys.readouterr().err
+
+    def test_serve_unknown_protocol_one_line_error(self, tmp_path, capsys):
+        key = self._keyfile(tmp_path)
+        code = main(["serve", str(tmp_path / "whatever.blocks"),
+                     "--key", str(key), "--protocol", "osmosis"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown protocol 'osmosis'")
+        assert "sketch" in err and "delta" in err
+        assert len(err.strip().splitlines()) == 1
 
     def test_serve_rejects_malformed_peer(self, tmp_path, capsys):
         key = self._keyfile(tmp_path)
